@@ -1,0 +1,95 @@
+// Command cubelsi builds a CubeLSI search engine over a TSV corpus of
+// (user, tag, resource) assignments and answers tag queries.
+//
+// Usage:
+//
+//	cubelsi -data corpus.tsv -query "jazz,saxophone" [-n 10]
+//	cubelsi -data corpus.tsv -related jazz
+//	cubelsi -data corpus.tsv -clusters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	data := flag.String("data", "", "TSV corpus path (user\\ttag\\tresource)")
+	query := flag.String("query", "", "comma-separated query tags")
+	related := flag.String("related", "", "print tags nearest to this tag")
+	clusters := flag.Bool("clusters", false, "print the distilled concepts")
+	topN := flag.Int("n", 10, "number of results")
+	concepts := flag.Int("concepts", 0, "concept count (0 = automatic)")
+	ratio := flag.Float64("ratio", 50, "Tucker reduction ratio c1=c2=c3")
+	minSupport := flag.Int("min-support", 5, "cleaning support threshold")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "cubelsi: -data is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*data)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	cfg := cubelsi.DefaultConfig()
+	cfg.ReductionRatios = [3]float64{*ratio, *ratio, *ratio}
+	cfg.Concepts = *concepts
+	cfg.MinSupport = *minSupport
+	cfg.Seed = *seed
+
+	eng, err := cubelsi.Open(f, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	st := eng.Stats()
+	fmt.Fprintf(os.Stderr, "engine: %d users, %d tags, %d resources, %d assignments; core %v; %d concepts; fit %.3f\n",
+		st.Users, st.Tags, st.Resources, st.Assignments, st.CoreDims, st.Concepts, st.Fit)
+
+	switch {
+	case *query != "":
+		tags := splitTags(*query)
+		for i, r := range eng.Search(tags, *topN) {
+			fmt.Printf("%2d. %-30s %.4f\n", i+1, r.Resource, r.Score)
+		}
+	case *related != "":
+		rel, err := eng.RelatedTags(*related, *topN)
+		if err != nil {
+			fatal(err)
+		}
+		for i, r := range rel {
+			fmt.Printf("%2d. %-24s D̂=%.4f\n", i+1, r.Tag, r.Distance)
+		}
+	case *clusters:
+		for i, tags := range eng.Clusters() {
+			fmt.Printf("concept %3d: %s\n", i, strings.Join(tags, ", "))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "cubelsi: nothing to do; pass -query, -related or -clusters")
+		os.Exit(2)
+	}
+}
+
+func splitTags(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "cubelsi: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+// Command experiments regenerates the paper's evaluation: every table
+// (I–VII) and figure (4, 5) of Section VI, plus the running example of
+// Sections IV–V, on the synthetic paper-analogue corpora.
+//
+// Usage:
+//
+//	experiments                 # run everything
+//	experiments -only table3    # one experiment
+//	experiments -only figure4
+//	experiments -only example
+//	experiments -budget 15s     # CubeSim dense budget for Table V
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment: example, table1..table7, figure4, figure5")
+	budget := flag.Duration("budget", 15*time.Second, "wall-clock budget for CubeSim's dense pass in Table V")
+	flag.Parse()
+
+	want := func(name string) bool {
+		return *only == "" || strings.EqualFold(*only, name)
+	}
+	ran := false
+
+	if want("example") {
+		ran = true
+		fmt.Println(experiments.RunningExample())
+	}
+
+	var setups []*experiments.Setup
+	needSetups := false
+	for _, name := range []string{"table1", "table2", "table3", "table4", "table5", "table6", "table7", "figure4", "figure5"} {
+		if want(name) {
+			needSetups = true
+		}
+	}
+	if needSetups {
+		fmt.Fprintln(os.Stderr, "generating corpora and building models (this takes a minute)...")
+		setups = experiments.Standard()
+		for _, s := range setups {
+			fmt.Fprintln(os.Stderr, "  "+s.Describe())
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	byName := func(name string) *experiments.Setup {
+		for _, s := range setups {
+			if s.Params.Name == name {
+				return s
+			}
+		}
+		return setups[0]
+	}
+
+	if want("table1") {
+		ran = true
+		// The paper's Table I examples come from Delicious.
+		fmt.Println(experiments.Table1(byName("delicious"), 3).Render())
+	}
+	if want("table2") {
+		ran = true
+		fmt.Println(experiments.RenderTable2(experiments.Table2(setups)))
+	}
+	if want("table3") {
+		ran = true
+		// The paper's Table III uses Bibsonomy.
+		fmt.Println(experiments.Table3(byName("bibsonomy")).Render())
+	}
+	if want("table4") {
+		ran = true
+		fmt.Println(experiments.RenderTable4(experiments.Table4(byName("delicious"), 8)))
+	}
+	if want("table5") {
+		ran = true
+		rows := make([]experiments.Table5Row, 0, len(setups))
+		for _, s := range setups {
+			rows = append(rows, experiments.Table5(s, *budget))
+		}
+		fmt.Println(experiments.RenderTable5(rows, *budget))
+	}
+	if want("table6") {
+		ran = true
+		rows := make([]experiments.Table6Row, 0, len(setups))
+		for _, s := range setups {
+			rows = append(rows, experiments.Table6(s))
+		}
+		fmt.Println(experiments.RenderTable6(rows))
+	}
+	if want("table7") {
+		ran = true
+		rows := make([]experiments.Table7Row, 0, len(setups))
+		for _, s := range setups {
+			rows = append(rows, experiments.Table7(s))
+		}
+		fmt.Println(experiments.RenderTable7(rows))
+	}
+	if want("figure4") {
+		ran = true
+		for _, s := range setups {
+			fmt.Println(experiments.Figure4(s).Render())
+		}
+	}
+	if want("figure5") {
+		ran = true
+		s := byName("bibsonomy")
+		fmt.Println(experiments.RenderFigure5(s.Params.Name, experiments.Figure5(s, nil)))
+	}
+
+	if !ran {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *only)
+		os.Exit(2)
+	}
+}

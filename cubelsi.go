@@ -1,0 +1,319 @@
+// Package cubelsi is the public API of the CubeLSI reproduction
+// (Bi, Lee, Kao, Cheng: "CubeLSI: An Effective and Efficient Method for
+// Searching Resources in Social Tagging Systems", ICDE 2011).
+//
+// An Engine ingests (user, tag, resource) assignments and runs the
+// offline pipeline of the paper's Figure 1: data cleaning, third-order
+// tensor construction, truncated Tucker decomposition by alternating
+// least squares, purified pairwise tag distances via the Theorem 1/2
+// shortcuts (the dense purified tensor is never materialized), and
+// concept distillation by spectral clustering. Online queries are then
+// answered by cosine similarity in the bag-of-concepts vector space.
+//
+// Minimal usage:
+//
+//	eng, err := cubelsi.Open(tsvFile, cubelsi.DefaultConfig())
+//	...
+//	results := eng.Search([]string{"jazz", "saxophone"}, 10)
+package cubelsi
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/tagging"
+	"repro/internal/tucker"
+)
+
+// Assignment is one tagging event: user annotated resource with tag.
+type Assignment struct {
+	User, Tag, Resource string
+}
+
+// Config controls the offline pipeline.
+type Config struct {
+	// ReductionRatios are the paper's c₁, c₂, c₃ (Definition 2): each
+	// tensor dimension Iₙ is compressed to a core dimension
+	// Jₙ = Iₙ/cₙ. The paper's experiments use 50. Values below 1 are
+	// invalid.
+	ReductionRatios [3]float64
+
+	// CoreDims, if any entry is nonzero, overrides the corresponding
+	// ratio with an absolute core dimension.
+	CoreDims [3]int
+
+	// Concepts is the number of concepts distilled by spectral
+	// clustering. Zero selects it automatically by the paper's
+	// 95%-eigenvalue-mass rule.
+	Concepts int
+
+	// Sigma is the spectral-clustering affinity bandwidth (Section V).
+	// Zero means self-tuned (median pairwise distance).
+	Sigma float64
+
+	// MinSupport, DropSystemTags and Lowercase configure the cleaning
+	// pass of Section VI-A.
+	MinSupport     int
+	DropSystemTags bool
+	Lowercase      bool
+
+	// MaxSweeps bounds the ALS sweeps. Zero means the tucker default.
+	MaxSweeps int
+
+	// Seed makes the whole pipeline deterministic.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's experimental settings: reduction
+// ratios of 50, min-support-5 cleaning, automatic concept count.
+func DefaultConfig() Config {
+	return Config{
+		ReductionRatios: [3]float64{50, 50, 50},
+		MinSupport:      5,
+		DropSystemTags:  true,
+		Lowercase:       true,
+	}
+}
+
+// Result is one ranked search hit.
+type Result struct {
+	Resource string
+	Score    float64
+}
+
+// RelatedTag pairs a tag name with its purified distance from a probe tag.
+type RelatedTag struct {
+	Tag      string
+	Distance float64
+}
+
+// Stats describes the corpus the engine was built on.
+type Stats struct {
+	Users, Tags, Resources, Assignments int
+	// CoreDims are the Tucker core dimensions actually used.
+	CoreDims [3]int
+	// Concepts is the number of distilled concepts.
+	Concepts int
+	// Fit is the fraction of the tensor norm the decomposition captured.
+	Fit float64
+}
+
+// Engine is an immutable search engine over one corpus. It is safe for
+// concurrent queries once built.
+type Engine struct {
+	cfg   Config
+	p     *core.Pipeline
+	stats Stats
+}
+
+// New builds an engine from in-memory assignments.
+func New(assignments []Assignment, cfg Config) (*Engine, error) {
+	raw := tagging.NewDataset()
+	for _, a := range assignments {
+		if a.User == "" || a.Tag == "" || a.Resource == "" {
+			return nil, fmt.Errorf("cubelsi: assignment with empty field: %+v", a)
+		}
+		raw.Add(a.User, a.Tag, a.Resource)
+	}
+	return build(raw, cfg)
+}
+
+// Open builds an engine from tab-separated "user\ttag\tresource" lines.
+func Open(r io.Reader, cfg Config) (*Engine, error) {
+	raw, err := tagging.ReadTSV(r)
+	if err != nil {
+		return nil, fmt.Errorf("cubelsi: %w", err)
+	}
+	return build(raw, cfg)
+}
+
+func build(raw *tagging.Dataset, cfg Config) (*Engine, error) {
+	for _, c := range cfg.ReductionRatios {
+		if c < 1 {
+			return nil, fmt.Errorf("cubelsi: reduction ratio %v < 1", c)
+		}
+	}
+	ds := tagging.Clean(raw, tagging.CleanOptions{
+		MinSupport:     cfg.MinSupport,
+		DropSystemTags: cfg.DropSystemTags,
+		Lowercase:      cfg.Lowercase,
+	})
+	st := ds.Stats()
+	if st.Assignments == 0 {
+		return nil, errors.New("cubelsi: no assignments survive cleaning; lower MinSupport or supply more data")
+	}
+
+	j1, j2, j3 := tucker.FromRatios(st.Users, st.Tags, st.Resources,
+		cfg.ReductionRatios[0], cfg.ReductionRatios[1], cfg.ReductionRatios[2])
+	if cfg.CoreDims[0] > 0 {
+		j1 = cfg.CoreDims[0]
+	}
+	if cfg.CoreDims[1] > 0 {
+		j2 = cfg.CoreDims[1]
+	}
+	if cfg.CoreDims[2] > 0 {
+		j3 = cfg.CoreDims[2]
+	}
+	p := core.Build(ds, core.Options{
+		Tucker: tucker.Options{
+			J1: j1, J2: j2, J3: j3,
+			MaxSweeps: cfg.MaxSweeps,
+			Seed:      uint64(cfg.Seed),
+		},
+		Spectral: cluster.SpectralOptions{
+			Sigma: cfg.Sigma,
+			K:     cfg.Concepts,
+			Seed:  cfg.Seed,
+		},
+	})
+
+	cj1, cj2, cj3 := p.Decomposition.CoreDims()
+	return &Engine{
+		cfg: cfg,
+		p:   p,
+		stats: Stats{
+			Users: st.Users, Tags: st.Tags, Resources: st.Resources,
+			Assignments: st.Assignments,
+			CoreDims:    [3]int{cj1, cj2, cj3},
+			Concepts:    p.K,
+			Fit:         p.Decomposition.Fit,
+		},
+	}, nil
+}
+
+// Stats returns corpus and model statistics.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Search answers a tag-keyword query with up to topN resources ranked by
+// cosine similarity in concept space (Equation 4). Unknown tags are
+// ignored; topN ≤ 0 returns every matching resource.
+func (e *Engine) Search(query []string, topN int) []Result {
+	counts := make(map[int]int)
+	for _, name := range query {
+		if e.cfg.Lowercase {
+			name = lower(name)
+		}
+		if id, ok := e.p.DS.Tags.Lookup(name); ok {
+			counts[id]++
+		}
+	}
+	concepts := ir.MapToConcepts(counts, e.p.Assign)
+	scored := e.p.Index.Query(concepts, topN)
+	out := make([]Result, len(scored))
+	for i, s := range scored {
+		out[i] = Result{Resource: e.p.DS.Resources.Name(s.Doc), Score: s.Score}
+	}
+	return out
+}
+
+// HasTag reports whether the cleaned vocabulary contains the tag.
+func (e *Engine) HasTag(tag string) bool {
+	if e.cfg.Lowercase {
+		tag = lower(tag)
+	}
+	_, ok := e.p.DS.Tags.Lookup(tag)
+	return ok
+}
+
+// Tags returns the cleaned tag vocabulary.
+func (e *Engine) Tags() []string {
+	out := make([]string, e.p.DS.Tags.Len())
+	copy(out, e.p.DS.Tags.Names())
+	return out
+}
+
+// Distance returns the purified semantic distance D̂ between two tags
+// (Theorem 2 shortcut). It errors if either tag is unknown.
+func (e *Engine) Distance(tag1, tag2 string) (float64, error) {
+	i, err := e.tagID(tag1)
+	if err != nil {
+		return 0, err
+	}
+	j, err := e.tagID(tag2)
+	if err != nil {
+		return 0, err
+	}
+	if i == j {
+		return 0, nil
+	}
+	return e.p.Distances.At(i, j), nil
+}
+
+// RelatedTags returns the n tags semantically closest to tag, nearest
+// first.
+func (e *Engine) RelatedTags(tag string, n int) ([]RelatedTag, error) {
+	id, err := e.tagID(tag)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RelatedTag, 0, e.p.DS.Tags.Len()-1)
+	for j := 0; j < e.p.DS.Tags.Len(); j++ {
+		if j == id {
+			continue
+		}
+		out = append(out, RelatedTag{Tag: e.p.DS.Tags.Name(j), Distance: e.p.Distances.At(id, j)})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Distance != out[b].Distance {
+			return out[a].Distance < out[b].Distance
+		}
+		return out[a].Tag < out[b].Tag
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out, nil
+}
+
+// ConceptOf returns the concept id of a tag (hard clustering).
+func (e *Engine) ConceptOf(tag string) (int, error) {
+	id, err := e.tagID(tag)
+	if err != nil {
+		return 0, err
+	}
+	return e.p.Assign[id], nil
+}
+
+// Clusters returns the distilled concepts as groups of tag names
+// (Table IV-style), indexed by concept id.
+func (e *Engine) Clusters() [][]string {
+	out := make([][]string, e.p.K)
+	for id, c := range e.p.Assign {
+		out[c] = append(out[c], e.p.DS.Tags.Name(id))
+	}
+	for _, tags := range out {
+		sort.Strings(tags)
+	}
+	return out
+}
+
+func (e *Engine) tagID(tag string) (int, error) {
+	if e.cfg.Lowercase {
+		tag = lower(tag)
+	}
+	id, ok := e.p.DS.Tags.Lookup(tag)
+	if !ok {
+		return 0, fmt.Errorf("cubelsi: unknown tag %q", tag)
+	}
+	return id, nil
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	changed := false
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+			changed = true
+		}
+	}
+	if !changed {
+		return s
+	}
+	return string(b)
+}

@@ -1,0 +1,258 @@
+package cubelsi
+
+import (
+	"strings"
+	"testing"
+)
+
+// corpus builds a small but structured corpus: two tag communities
+// ("music" and "code") with synonym pairs, several users per community,
+// enough volume to survive min-support cleaning.
+func corpus() []Assignment {
+	var out []Assignment
+	add := func(u, t, r string) { out = append(out, Assignment{User: u, Tag: t, Resource: r}) }
+	musicTags := []string{"audio", "mp3", "songs"}
+	codeTags := []string{"code", "golang", "compiler"}
+	musicRes := []string{"m1", "m2", "m3", "m4"}
+	codeRes := []string{"c1", "c2", "c3", "c4"}
+	for ui := 0; ui < 6; ui++ {
+		u := "mu" + string(rune('a'+ui))
+		// Each music user uses two of the three synonyms.
+		for ti := 0; ti < 2; ti++ {
+			tag := musicTags[(ui+ti)%3]
+			for _, r := range musicRes {
+				add(u, tag, r)
+			}
+		}
+	}
+	for ui := 0; ui < 6; ui++ {
+		u := "cu" + string(rune('a'+ui))
+		for ti := 0; ti < 2; ti++ {
+			tag := codeTags[(ui+ti)%3]
+			for _, r := range codeRes {
+				add(u, tag, r)
+			}
+		}
+	}
+	return out
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.ReductionRatios = [3]float64{2, 2, 2}
+	cfg.Concepts = 2
+	cfg.MinSupport = 3
+	cfg.Seed = 1
+	return cfg
+}
+
+func TestEngineBuildAndStats(t *testing.T) {
+	eng, err := New(corpus(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Tags != 6 || st.Resources != 8 || st.Users != 12 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Concepts != 2 {
+		t.Fatalf("concepts = %d, want 2", st.Concepts)
+	}
+	if st.Fit <= 0 || st.Fit > 1+1e-9 {
+		t.Fatalf("fit = %v out of range", st.Fit)
+	}
+}
+
+func TestSearchCrossSynonym(t *testing.T) {
+	// The headline behavior: searching a synonym retrieves resources even
+	// when tagged with a *different* synonym, via the shared concept.
+	eng, err := New(corpus(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Search([]string{"mp3"}, 0)
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	music, code := 0, 0
+	for _, r := range res {
+		if strings.HasPrefix(r.Resource, "m") {
+			music++
+		} else {
+			code++
+		}
+	}
+	if music != 4 {
+		t.Fatalf("mp3 query should reach all 4 music resources, got %d (results %v)", music, res)
+	}
+	if code != 0 {
+		t.Fatalf("mp3 query leaked into %d code resources: %v", code, res)
+	}
+}
+
+func TestConceptsSeparateCommunities(t *testing.T) {
+	eng, err := New(corpus(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	audio, err := eng.ConceptOf("audio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp3, _ := eng.ConceptOf("mp3")
+	songs, _ := eng.ConceptOf("songs")
+	golang, _ := eng.ConceptOf("golang")
+	if audio != mp3 || audio != songs {
+		t.Fatalf("music synonyms split: %d %d %d", audio, mp3, songs)
+	}
+	if golang == audio {
+		t.Fatal("code tags merged with music tags")
+	}
+	clusters := eng.Clusters()
+	total := 0
+	for _, c := range clusters {
+		total += len(c)
+	}
+	if total != 6 {
+		t.Fatalf("clusters cover %d tags, want 6", total)
+	}
+}
+
+func TestRelatedTags(t *testing.T) {
+	eng, err := New(corpus(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := eng.RelatedTags("audio", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel) != 2 {
+		t.Fatalf("want 2 related tags, got %v", rel)
+	}
+	for _, r := range rel {
+		if r.Tag == "code" || r.Tag == "golang" || r.Tag == "compiler" {
+			t.Fatalf("audio's nearest tags should be musical: %v", rel)
+		}
+	}
+	// Distances ascending.
+	if rel[1].Distance < rel[0].Distance {
+		t.Fatalf("related tags not sorted: %v", rel)
+	}
+}
+
+func TestDistanceSymmetricAndCaseFolded(t *testing.T) {
+	eng, err := New(corpus(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := eng.Distance("audio", "mp3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, _ := eng.Distance("MP3", "Audio") // case folding
+	if ab != ba {
+		t.Fatalf("distance not symmetric/case-folded: %v vs %v", ab, ba)
+	}
+	self, _ := eng.Distance("audio", "audio")
+	if self != 0 {
+		t.Fatalf("self distance = %v", self)
+	}
+	if _, err := eng.Distance("audio", "nosuchtag"); err == nil {
+		t.Fatal("expected error for unknown tag")
+	}
+}
+
+func TestOpenTSV(t *testing.T) {
+	var sb strings.Builder
+	for _, a := range corpus() {
+		sb.WriteString(a.User + "\t" + a.Tag + "\t" + a.Resource + "\n")
+	}
+	eng, err := Open(strings.NewReader(sb.String()), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Stats().Tags != 6 {
+		t.Fatalf("stats = %+v", eng.Stats())
+	}
+}
+
+func TestSearchUnknownTags(t *testing.T) {
+	eng, err := New(corpus(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := eng.Search([]string{"nosuchtag"}, 5); len(res) != 0 {
+		t.Fatalf("unknown tag should yield nothing: %v", res)
+	}
+	// Mixed known/unknown still works.
+	if res := eng.Search([]string{"nosuchtag", "audio"}, 5); len(res) == 0 {
+		t.Fatal("mixed query should still match")
+	}
+}
+
+func TestTopNLimit(t *testing.T) {
+	eng, err := New(corpus(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := eng.Search([]string{"audio"}, 2); len(res) != 2 {
+		t.Fatalf("topN=2 returned %d", len(res))
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	if _, err := New([]Assignment{{User: "", Tag: "t", Resource: "r"}}, testConfig()); err == nil {
+		t.Fatal("empty field should error")
+	}
+	cfg := testConfig()
+	cfg.ReductionRatios = [3]float64{0.5, 50, 50}
+	if _, err := New(corpus(), cfg); err == nil {
+		t.Fatal("ratio < 1 should error")
+	}
+	cfg = testConfig()
+	cfg.MinSupport = 10000
+	if _, err := New(corpus(), cfg); err == nil {
+		t.Fatal("over-aggressive cleaning should error")
+	}
+	if _, err := Open(strings.NewReader("bad line\n"), testConfig()); err == nil {
+		t.Fatal("malformed TSV should error")
+	}
+}
+
+func TestHasTagAndTags(t *testing.T) {
+	eng, err := New(corpus(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eng.HasTag("audio") || !eng.HasTag("AUDIO") {
+		t.Fatal("HasTag should be case-insensitive under Lowercase")
+	}
+	if eng.HasTag("nosuchtag") {
+		t.Fatal("HasTag false positive")
+	}
+	if len(eng.Tags()) != 6 {
+		t.Fatalf("Tags() = %v", eng.Tags())
+	}
+}
+
+func TestDeterministicBuilds(t *testing.T) {
+	a, err := New(corpus(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(corpus(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := a.Search([]string{"audio"}, 5)
+	rb := b.Search([]string{"audio"}, 5)
+	if len(ra) != len(rb) {
+		t.Fatal("nondeterministic result count")
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatal("nondeterministic results")
+		}
+	}
+}

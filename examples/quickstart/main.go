@@ -1,0 +1,80 @@
+// Quickstart: build a CubeLSI engine from in-memory tag assignments and
+// run a few searches. This is the minimal end-to-end use of the public
+// API — see examples/search and examples/tagexplore for realistic
+// workloads.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A miniature folksonomy: two communities tag the same photo site.
+	// Music fans say "audio"/"mp3"/"songs"; programmers say
+	// "code"/"golang"/"compiler". Synonyms are spread across users, so no
+	// single resource carries every synonym — the situation where
+	// tag-level matching fails and concept-level matching shines.
+	var assignments []cubelsi.Assignment
+	add := func(u, t, r string) {
+		assignments = append(assignments, cubelsi.Assignment{User: u, Tag: t, Resource: r})
+	}
+	musicTags := []string{"audio", "mp3", "songs"}
+	codeTags := []string{"code", "golang", "compiler"}
+	for ui := 0; ui < 6; ui++ {
+		u := fmt.Sprintf("musicfan%d", ui)
+		for ti := 0; ti < 2; ti++ {
+			for _, r := range []string{"track-a", "track-b", "track-c", "track-d"} {
+				add(u, musicTags[(ui+ti)%3], r)
+			}
+		}
+	}
+	for ui := 0; ui < 6; ui++ {
+		u := fmt.Sprintf("gopher%d", ui)
+		for ti := 0; ti < 2; ti++ {
+			for _, r := range []string{"repo-a", "repo-b", "repo-c", "repo-d"} {
+				add(u, codeTags[(ui+ti)%3], r)
+			}
+		}
+	}
+
+	cfg := cubelsi.DefaultConfig()
+	cfg.ReductionRatios = [3]float64{2, 2, 2} // tiny corpus: light compression
+	cfg.Concepts = 2
+	cfg.MinSupport = 3
+	cfg.Seed = 1
+
+	eng, err := cubelsi.New(assignments, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := eng.Stats()
+	fmt.Printf("corpus: %d users, %d tags, %d resources, %d assignments\n",
+		st.Users, st.Tags, st.Resources, st.Assignments)
+	fmt.Printf("model: core %v, %d concepts, fit %.3f\n\n", st.CoreDims, st.Concepts, st.Fit)
+
+	// Concept-level search: "mp3" retrieves tracks even where they were
+	// tagged only with "audio" or "songs".
+	fmt.Println(`search "mp3":`)
+	for _, r := range eng.Search([]string{"mp3"}, 5) {
+		fmt.Printf("  %-10s %.4f\n", r.Resource, r.Score)
+	}
+
+	// Semantic tag neighborhood.
+	fmt.Println("\nnearest tags to \"audio\":")
+	rel, err := eng.RelatedTags("audio", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range rel {
+		fmt.Printf("  %-10s D̂=%.4f\n", t.Tag, t.Distance)
+	}
+
+	// The distilled concepts.
+	fmt.Println("\ndistilled concepts:")
+	for i, tags := range eng.Clusters() {
+		fmt.Printf("  concept %d: %v\n", i, tags)
+	}
+}

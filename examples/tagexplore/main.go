@@ -1,0 +1,68 @@
+// Tagexplore demonstrates the tag-space exploration use case of
+// Section V: distilled concepts let users browse semantically coherent
+// tag groups and inspect each tag's nearest semantic neighbors, even
+// across synonyms used by entirely different tagger communities.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"repro"
+	"repro/internal/datagen"
+	"repro/internal/tagging"
+)
+
+func main() {
+	// Generate a corpus and feed its cleaned TSV form through the public
+	// API, exactly as an application embedding the library would.
+	corpus := datagen.Generate(datagen.Tiny())
+	var sb strings.Builder
+	if err := tagging.WriteTSV(&sb, corpus.Clean); err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := cubelsi.DefaultConfig()
+	cfg.ReductionRatios = [3]float64{4, 1.5, 4}
+	cfg.Concepts = corpus.Params.NumConcepts()
+	cfg.MinSupport = 2 // corpus is already cleaned
+	cfg.Seed = 7
+
+	eng, err := cubelsi.Open(strings.NewReader(sb.String()), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := eng.Stats()
+	fmt.Printf("engine over %d tags / %d resources, %d concepts\n\n", st.Tags, st.Resources, st.Concepts)
+
+	// Show the largest distilled concepts — the browsing structure.
+	clusters := eng.Clusters()
+	sort.Slice(clusters, func(i, j int) bool { return len(clusters[i]) > len(clusters[j]) })
+	fmt.Println("largest concepts:")
+	for i, tags := range clusters {
+		if i == 5 || len(tags) < 2 {
+			break
+		}
+		fmt.Printf("  %2d. %s\n", i+1, strings.Join(tags, ", "))
+	}
+
+	// Pick a probe tag from the biggest cluster and walk its semantic
+	// neighborhood.
+	probe := clusters[0][0]
+	fmt.Printf("\nnearest neighbors of %q:\n", probe)
+	rel, err := eng.RelatedTags(probe, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rel {
+		same := " "
+		pc, _ := eng.ConceptOf(probe)
+		rc, _ := eng.ConceptOf(r.Tag)
+		if pc == rc {
+			same = "≈" // same distilled concept
+		}
+		fmt.Printf("  %s %-16s D̂=%.4f\n", same, r.Tag, r.Distance)
+	}
+}

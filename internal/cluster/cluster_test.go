@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestKMeansTwoBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 40
+	pts := mat.New(2*n, 2)
+	for i := 0; i < n; i++ {
+		pts.Set(i, 0, 0+0.1*rng.NormFloat64())
+		pts.Set(i, 1, 0+0.1*rng.NormFloat64())
+		pts.Set(n+i, 0, 5+0.1*rng.NormFloat64())
+		pts.Set(n+i, 1, 5+0.1*rng.NormFloat64())
+	}
+	res := KMeans(pts, 2, KMeansOptions{Seed: 3})
+	// All points in the first blob share a label distinct from the second.
+	first := res.Assign[0]
+	for i := 0; i < n; i++ {
+		if res.Assign[i] != first {
+			t.Fatalf("point %d not in first blob's cluster", i)
+		}
+		if res.Assign[n+i] == first {
+			t.Fatalf("point %d leaked into first blob's cluster", n+i)
+		}
+	}
+	if res.Inertia > float64(2*n)*0.1 {
+		t.Fatalf("inertia %v too high for tight blobs", res.Inertia)
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := mat.New(30, 3)
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 3; j++ {
+			pts.Set(i, j, rng.NormFloat64())
+		}
+	}
+	a := KMeans(pts, 4, KMeansOptions{Seed: 9})
+	b := KMeans(pts, 4, KMeansOptions{Seed: 9})
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	pts := mat.FromRows([][]float64{{0, 0}, {1, 1}, {2, 2}})
+	res := KMeans(pts, 3, KMeansOptions{Seed: 1})
+	seen := map[int]bool{}
+	for _, a := range res.Assign {
+		seen[a] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("k=n should give singleton clusters, got %v", res.Assign)
+	}
+	if res.Inertia > 1e-12 {
+		t.Fatalf("k=n inertia should be 0, got %v", res.Inertia)
+	}
+}
+
+func TestKMeansPanicsOnBadK(t *testing.T) {
+	pts := mat.New(3, 2)
+	for _, k := range []int{0, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for k=%d", k)
+				}
+			}()
+			KMeans(pts, k, KMeansOptions{})
+		}()
+	}
+}
+
+// TestSpectralPaperExample reproduces the worked example of Section V:
+// distances D̂12=√1.92, D̂13=√5.94, D̂23=√2.36, σ=1, k=2 must cluster
+// {t1, t2} together and {t3} alone. The paper also prints the
+// intermediate A, M, L matrices, which we check.
+func TestSpectralPaperExample(t *testing.T) {
+	d12 := math.Sqrt(1.92)
+	d13 := math.Sqrt(5.94)
+	d23 := math.Sqrt(2.36)
+	d := mat.FromRows([][]float64{
+		{0, d12, d13},
+		{d12, 0, d23},
+		{d13, d23, 0},
+	})
+
+	// Check the affinity entries from the paper: A12=0.147, A13=0.00263,
+	// A23=0.0944.
+	a12 := math.Exp(-1.92)
+	a13 := math.Exp(-5.94)
+	a23 := math.Exp(-2.36)
+	if math.Abs(a12-0.147) > 0.001 || math.Abs(a13-0.00263) > 0.0001 || math.Abs(a23-0.0944) > 0.0005 {
+		t.Fatalf("affinities (%.4f, %.5f, %.4f) do not match the paper", a12, a13, a23)
+	}
+
+	res := Spectral(d, SpectralOptions{Sigma: 1, K: 2, Seed: 5})
+	if res.K != 2 {
+		t.Fatalf("K = %d, want 2", res.K)
+	}
+	if res.Assign[0] != res.Assign[1] {
+		t.Fatalf("t1 and t2 should share a cluster: %v", res.Assign)
+	}
+	if res.Assign[2] == res.Assign[0] {
+		t.Fatalf("t3 should be alone: %v", res.Assign)
+	}
+}
+
+func TestSpectralSeparatesBlocks(t *testing.T) {
+	// Three well-separated groups of items: small in-group distances,
+	// large between-group distances.
+	groups := [][]int{{0, 1, 2, 3}, {4, 5, 6}, {7, 8, 9, 10}}
+	n := 11
+	d := mat.New(n, n)
+	groupOf := make([]int, n)
+	for g, ids := range groups {
+		for _, i := range ids {
+			groupOf[i] = g
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dist := 0.2 + 0.05*rng.Float64()
+			if groupOf[i] != groupOf[j] {
+				dist = 3 + 0.2*rng.Float64()
+			}
+			d.Set(i, j, dist)
+			d.Set(j, i, dist)
+		}
+	}
+	res := Spectral(d, SpectralOptions{Sigma: 1, K: 3, Seed: 7})
+	for _, ids := range groups {
+		for _, i := range ids[1:] {
+			if res.Assign[i] != res.Assign[ids[0]] {
+				t.Fatalf("group broken: %v", res.Assign)
+			}
+		}
+	}
+	if res.Assign[0] == res.Assign[4] || res.Assign[4] == res.Assign[7] || res.Assign[0] == res.Assign[7] {
+		t.Fatalf("groups merged: %v", res.Assign)
+	}
+}
+
+func TestSpectralAutoK(t *testing.T) {
+	// With K unset, the eigenvalue-mass rule should find a reasonable
+	// number of clusters for clearly separated blocks.
+	groups := [][]int{{0, 1, 2}, {3, 4, 5}, {6, 7, 8}}
+	n := 9
+	d := mat.New(n, n)
+	groupOf := make([]int, n)
+	for g, ids := range groups {
+		for _, i := range ids {
+			groupOf[i] = g
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dist := 0.1
+			if groupOf[i] != groupOf[j] {
+				dist = 4.0
+			}
+			d.Set(i, j, dist)
+			d.Set(j, i, dist)
+		}
+	}
+	res := Spectral(d, SpectralOptions{Sigma: 1, VarianceCovered: 0.95, Seed: 1})
+	if res.K < 2 || res.K > 5 {
+		t.Fatalf("auto K = %d, expected near 3", res.K)
+	}
+}
+
+func TestSpectralAutoSigma(t *testing.T) {
+	// Sigma defaulting must not crash and must produce a valid clustering.
+	d := mat.FromRows([][]float64{
+		{0, 1, 5},
+		{1, 0, 5},
+		{5, 5, 0},
+	})
+	res := Spectral(d, SpectralOptions{K: 2, Seed: 2})
+	if res.Sigma <= 0 {
+		t.Fatalf("sigma = %v, want positive", res.Sigma)
+	}
+	if res.Assign[0] != res.Assign[1] || res.Assign[2] == res.Assign[0] {
+		t.Fatalf("clustering wrong: %v", res.Assign)
+	}
+}
+
+func TestSpectralLargeUsesSubspace(t *testing.T) {
+	// n > 400 exercises the subspace-iteration path.
+	n := 420
+	half := n / 2
+	d := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dist := 0.3
+			if (i < half) != (j < half) {
+				dist = 4.0
+			}
+			d.Set(i, j, dist)
+			d.Set(j, i, dist)
+		}
+	}
+	res := Spectral(d, SpectralOptions{Sigma: 1, K: 2, Seed: 11})
+	for i := 1; i < half; i++ {
+		if res.Assign[i] != res.Assign[0] {
+			t.Fatalf("first half split at %d", i)
+		}
+	}
+	if res.Assign[half] == res.Assign[0] {
+		t.Fatal("halves merged")
+	}
+	for i := half + 1; i < n; i++ {
+		if res.Assign[i] != res.Assign[half] {
+			t.Fatalf("second half split at %d", i)
+		}
+	}
+}
+
+func TestSpectralNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Spectral(mat.New(2, 3), SpectralOptions{K: 1})
+}

@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/mat"
+)
+
+// SoftAssignment is a weighted tag→concept mapping: Weights[i] lists the
+// concepts item i belongs to with normalized membership weights.
+//
+// The paper performs hard clustering and notes (footnote 5) that "to
+// address the polysemy problem, a soft-clustering method could be
+// employed, so that each tag may be assigned to multiple concepts with
+// different weights. We are exploring in this direction." SoftSpectral
+// implements that extension: after the spectral embedding, memberships
+// are derived from distances to the k-means centroids instead of a hard
+// argmin, so a polysemous tag splits its mass between the concepts whose
+// centroids it straddles.
+type SoftAssignment struct {
+	// Weights[i] maps concept → membership weight; weights sum to 1.
+	Weights []map[int]float64
+	// Hard[i] is the argmax concept (identical to hard clustering's
+	// assignment in the common case).
+	Hard []int
+	// K is the number of concepts.
+	K int
+}
+
+// SoftOptions configures SoftSpectral.
+type SoftOptions struct {
+	Spectral SpectralOptions
+	// Temperature controls membership sharpness: weights are
+	// exp(−d²/τ²)-normalized distances to centroids in the embedded
+	// space. Zero means 0.5 (fairly sharp; most tags stay effectively
+	// hard while genuinely ambiguous tags split).
+	Temperature float64
+	// MaxConcepts truncates each item's membership list to its top
+	// concepts (after which weights are renormalized). Zero means 3.
+	MaxConcepts int
+}
+
+// SoftSpectral runs the Ng–Jordan–Weiss pipeline of Section V but
+// returns weighted memberships instead of a hard partition.
+func SoftSpectral(d *mat.Matrix, opts SoftOptions) *SoftAssignment {
+	n := d.Rows()
+	if n == 0 {
+		return &SoftAssignment{}
+	}
+	tau := opts.Temperature
+	if tau == 0 {
+		tau = 0.5
+	}
+	maxC := opts.MaxConcepts
+	if maxC == 0 {
+		maxC = 3
+	}
+
+	embedded, km, k := spectralEmbedding(d, opts.Spectral)
+	out := &SoftAssignment{
+		Weights: make([]map[int]float64, n),
+		Hard:    make([]int, n),
+		K:       k,
+	}
+	t2 := tau * tau
+	for i := 0; i < n; i++ {
+		row := embedded.Row(i)
+		// Distance to every centroid; convert to memberships.
+		type cw struct {
+			c int
+			w float64
+		}
+		ws := make([]cw, k)
+		for c := 0; c < k; c++ {
+			ws[c] = cw{c: c, w: math.Exp(-sqDist(row, km.Centers.Row(c)) / t2)}
+		}
+		sort.Slice(ws, func(a, b int) bool {
+			if ws[a].w != ws[b].w {
+				return ws[a].w > ws[b].w
+			}
+			return ws[a].c < ws[b].c
+		})
+		if len(ws) > maxC {
+			ws = ws[:maxC]
+		}
+		var total float64
+		for _, x := range ws {
+			total += x.w
+		}
+		m := make(map[int]float64, len(ws))
+		if total > 0 {
+			for _, x := range ws {
+				if w := x.w / total; w > 1e-6 {
+					m[x.c] = w
+				}
+			}
+		} else {
+			m[km.Assign[i]] = 1
+		}
+		out.Weights[i] = m
+		out.Hard[i] = ws[0].c
+	}
+	return out
+}
+
+// spectralEmbedding factors the common part of Spectral and SoftSpectral:
+// it returns the row-normalized eigenvector embedding, the k-means result
+// on it, and the concept count.
+func spectralEmbedding(d *mat.Matrix, opts SpectralOptions) (*mat.Matrix, *KMeansResult, int) {
+	res, x := spectralCore(d, opts)
+	km := KMeans(x, res.K, KMeansOptions{Seed: opts.Seed})
+	return x, km, res.K
+}
+
+// Entropy returns the average membership entropy in nats — a diagnostic
+// for how "soft" an assignment actually is (0 = fully hard).
+func (s *SoftAssignment) Entropy() float64 {
+	if len(s.Weights) == 0 {
+		return 0
+	}
+	var total float64
+	for _, m := range s.Weights {
+		for _, w := range m {
+			if w > 0 {
+				total -= w * math.Log(w)
+			}
+		}
+	}
+	return total / float64(len(s.Weights))
+}

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// softFixture builds two tight groups plus one item equidistant between
+// them (a "polysemous" item).
+func softFixture() *mat.Matrix {
+	// Items 0-2: group A; 3-5: group B; 6: halfway between.
+	n := 7
+	d := mat.New(n, n)
+	groupOf := func(i int) int {
+		if i <= 2 {
+			return 0
+		}
+		if i <= 5 {
+			return 1
+		}
+		return 2
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			var dist float64
+			gi, gj := groupOf(i), groupOf(j)
+			switch {
+			case gi == gj:
+				dist = 0.2
+			case gi == 2 || gj == 2:
+				dist = 1.0 // the ambiguous item sits between the groups
+			default:
+				dist = 3.0
+			}
+			d.Set(i, j, dist)
+			d.Set(j, i, dist)
+		}
+	}
+	return d
+}
+
+func TestSoftSpectralMatchesHardOnClearItems(t *testing.T) {
+	d := softFixture()
+	hard := Spectral(d, SpectralOptions{Sigma: 1, K: 2, Seed: 3})
+	soft := SoftSpectral(d, SoftOptions{Spectral: SpectralOptions{Sigma: 1, K: 2, Seed: 3}})
+	if soft.K != 2 {
+		t.Fatalf("K = %d, want 2", soft.K)
+	}
+	// Clear items agree between hard and soft argmax.
+	for i := 0; i < 6; i++ {
+		if soft.Hard[i] != hard.Assign[i] {
+			t.Fatalf("item %d: soft argmax %d != hard %d", i, soft.Hard[i], hard.Assign[i])
+		}
+	}
+}
+
+func TestSoftSpectralWeightsNormalized(t *testing.T) {
+	d := softFixture()
+	soft := SoftSpectral(d, SoftOptions{Spectral: SpectralOptions{Sigma: 1, K: 2, Seed: 3}})
+	for i, m := range soft.Weights {
+		var total float64
+		for c, w := range m {
+			if w <= 0 || w > 1+1e-9 {
+				t.Fatalf("item %d concept %d weight %v out of range", i, c, w)
+			}
+			total += w
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("item %d weights sum to %v", i, total)
+		}
+	}
+}
+
+func TestSoftSpectralAmbiguousItemSplits(t *testing.T) {
+	d := softFixture()
+	soft := SoftSpectral(d, SoftOptions{
+		Spectral:    SpectralOptions{Sigma: 1, K: 2, Seed: 3},
+		Temperature: 1.0, // softer memberships
+	})
+	// The ambiguous item 6 should carry meaningful mass on both concepts,
+	// unlike the clear items.
+	amb := soft.Weights[6]
+	if len(amb) < 2 {
+		t.Fatalf("ambiguous item has hard membership: %v", amb)
+	}
+	var minW float64 = 1
+	for _, w := range amb {
+		if w < minW {
+			minW = w
+		}
+	}
+	if minW < 0.05 {
+		t.Fatalf("ambiguous item barely splits: %v", amb)
+	}
+	// A clear item should be much sharper than the ambiguous one.
+	clearMax, ambMax := 0.0, 0.0
+	for _, w := range soft.Weights[0] {
+		if w > clearMax {
+			clearMax = w
+		}
+	}
+	for _, w := range amb {
+		if w > ambMax {
+			ambMax = w
+		}
+	}
+	if clearMax <= ambMax {
+		t.Fatalf("clear item (max %v) should be sharper than ambiguous (max %v)", clearMax, ambMax)
+	}
+}
+
+func TestSoftEntropyDiagnostic(t *testing.T) {
+	d := softFixture()
+	sharp := SoftSpectral(d, SoftOptions{Spectral: SpectralOptions{Sigma: 1, K: 2, Seed: 3}, Temperature: 0.1})
+	fuzzy := SoftSpectral(d, SoftOptions{Spectral: SpectralOptions{Sigma: 1, K: 2, Seed: 3}, Temperature: 2})
+	if sharp.Entropy() >= fuzzy.Entropy() {
+		t.Fatalf("entropy should grow with temperature: sharp %v fuzzy %v", sharp.Entropy(), fuzzy.Entropy())
+	}
+}
+
+func TestSoftSpectralEmpty(t *testing.T) {
+	soft := SoftSpectral(mat.New(0, 0), SoftOptions{Spectral: SpectralOptions{K: 1}})
+	if len(soft.Weights) != 0 {
+		t.Fatal("empty input should give empty assignment")
+	}
+}
+
+func TestSoftMaxConceptsTruncates(t *testing.T) {
+	d := softFixture()
+	soft := SoftSpectral(d, SoftOptions{
+		Spectral:    SpectralOptions{Sigma: 1, K: 2, Seed: 3},
+		Temperature: 5, // everything fuzzy
+		MaxConcepts: 1,
+	})
+	for i, m := range soft.Weights {
+		if len(m) != 1 {
+			t.Fatalf("item %d: MaxConcepts=1 should force hard membership, got %v", i, m)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/datagen"
+	"repro/internal/tagging"
+	"repro/internal/tucker"
+)
+
+func paperDataset() *tagging.Dataset {
+	d := tagging.NewDataset()
+	d.Add("u1", "folk", "r1")
+	d.Add("u1", "folk", "r2")
+	d.Add("u2", "folk", "r2")
+	d.Add("u3", "folk", "r2")
+	d.Add("u1", "people", "r1")
+	d.Add("u2", "laptop", "r3")
+	d.Add("u3", "laptop", "r3")
+	return d
+}
+
+func TestBuildRunningExample(t *testing.T) {
+	p := Build(paperDataset(), Options{
+		Tucker:   tucker.Options{J1: 3, J2: 2, J3: 3, Seed: 1},
+		Spectral: cluster.SpectralOptions{Sigma: 1, K: 2, Seed: 5},
+	})
+	if p.K != 2 {
+		t.Fatalf("K = %d, want 2", p.K)
+	}
+	// folk and people together, laptop apart (Section V).
+	if p.Assign[0] != p.Assign[1] || p.Assign[2] == p.Assign[0] {
+		t.Fatalf("assignment = %v", p.Assign)
+	}
+	// Query "people" retrieves r2 via the shared concept.
+	res := p.Query([]string{"people"}, 0)
+	r2, _ := p.DS.Resources.Lookup("r2")
+	found := false
+	for _, s := range res {
+		if s.Doc == r2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("people query missed r2: %v", res)
+	}
+}
+
+func TestTimingsPopulated(t *testing.T) {
+	c := datagen.Generate(datagen.Tiny())
+	p := Build(c.Clean, Options{
+		Tucker:   tucker.Options{J1: 8, J2: 10, J3: 8, Seed: 2},
+		Spectral: cluster.SpectralOptions{K: 12, Seed: 2},
+	})
+	if p.Times.Decompose <= 0 || p.Times.Distances <= 0 || p.Times.Cluster <= 0 {
+		t.Fatalf("timings not populated: %+v", p.Times)
+	}
+	if p.Times.Offline() > p.Times.Total() {
+		t.Fatal("offline must not exceed total")
+	}
+	if p.Distances.Rows() != c.Clean.Tags.Len() {
+		t.Fatal("distance matrix size mismatch")
+	}
+}
+
+func TestQueryDeterministicAcrossBuilds(t *testing.T) {
+	c := datagen.Generate(datagen.Tiny())
+	opts := Options{
+		Tucker:   tucker.Options{J1: 8, J2: 10, J3: 8, Seed: 3},
+		Spectral: cluster.SpectralOptions{K: 12, Seed: 3},
+	}
+	a := Build(c.Clean, opts)
+	b := Build(c.Clean, opts)
+	q := c.MakeQueries(5, 2, 11)
+	for _, query := range q {
+		ra := a.Query(query.Tags, 10)
+		rb := b.Query(query.Tags, 10)
+		if len(ra) != len(rb) {
+			t.Fatal("nondeterministic across builds")
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatal("nondeterministic across builds")
+			}
+		}
+	}
+}

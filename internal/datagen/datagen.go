@@ -1,0 +1,532 @@
+// Package datagen generates synthetic social-tagging corpora that stand
+// in for the paper's Delicious, Bibsonomy and Last.fm crawls (Table II),
+// which are not available. The generator is a latent-concept model chosen
+// to exercise exactly the phenomena CubeLSI exploits:
+//
+//   - Resources and users are attached to latent concepts drawn from the
+//     semnet taxonomy, so tag co-occurrence carries real semantics.
+//   - Each user speaks a personal "idiolect": a random subset of every
+//     concept's synonym set. Different communities describe the same
+//     concept with different words — the tagger-dimension signal that
+//     distinguishes CubeLSI from plain LSI.
+//   - Polysemous words belong to two concepts; which meaning an
+//     occurrence carries is determined by who tagged it.
+//   - Raw corpora carry the noise Section VI-A cleans away: system tags,
+//     one-off gibberish tags, mixed-case duplicates, and random
+//     mis-assignments.
+//
+// Ground truth (concept of every tag, resource and user) is retained so
+// the evaluation package can score rankings without human judges.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/semnet"
+	"repro/internal/tagging"
+)
+
+// Params configures a synthetic corpus.
+type Params struct {
+	// Name labels the corpus in reports ("delicious", ...).
+	Name string
+	// Seed drives all randomness; equal Params generate equal corpora.
+	Seed int64
+
+	// Taxonomy shape: Categories × ConceptsPerCategory concepts, each
+	// with WordsPerConcept synonym leaf words.
+	Categories          int
+	ConceptsPerCategory int
+	WordsPerConcept     int
+
+	// Corpus shape.
+	Users       int
+	Resources   int
+	Assignments int // raw assignment attempts (|Y| before cleaning/dedup)
+
+	// MaxConceptsPerUser and MaxConceptsPerResource bound how many
+	// concepts each entity is attached to (at least 1 each).
+	MaxConceptsPerUser     int
+	MaxConceptsPerResource int
+
+	// DualAspectRate, when positive, overrides Min/MaxConceptsPerResource
+	// with a Bernoulli choice: a resource carries two aspects (its first
+	// concept plus, usually, that concept's partner) with this
+	// probability and one aspect otherwise. Around 0.85 the 2-D resource
+	// marginals of partnered concepts become nearly indistinguishable
+	// while the residual solo resources keep the ranking metrics
+	// informative.
+	DualAspectRate float64
+
+	// MinConceptsPerResource raises the floor on resource aspects.
+	// Real resources are multi-aspect (the paper's bouquet photo is at
+	// once "wedding" and "roses"); setting this ≥ 2 is what makes the
+	// tagger dimension informative: the aggregated 2-D tag×resource view
+	// then conflates co-located aspects, while tagger communities still
+	// separate them. Zero means 1.
+	MinConceptsPerResource int
+
+	// CrossCategoryMix is the probability that each additional resource
+	// aspect is the first aspect's designated cross-category *partner*
+	// concept. Partnered aspects encode the paper's bouquet example: the
+	// "type-of-event" (wedding) and "kind-of-flower" (roses) aspects
+	// systematically co-occur on the same photos and are told apart only
+	// by which interest community assigned the tags. This correlated
+	// co-occurrence is exactly what misleads the user-blind 2-D view
+	// while remaining separable in the 3-D tensor.
+	CrossCategoryMix float64
+
+	// UserCategoryCoherence is the probability that each additional user
+	// interest stays within the user's first category — taggers belong to
+	// interest communities.
+	UserCategoryCoherence float64
+
+	// UserVocabFraction is the fraction of a concept's synonyms a given
+	// user employs (the idiolect size), in (0, 1].
+	UserVocabFraction float64
+
+	// SynonymBurst is the probability that a tagging event deposits a
+	// second synonym from the user's idiolect on the same (user,
+	// resource) cell — the common "mp3, music, audio" tagging pattern.
+	// Bursts create tag–tag co-occurrence at the (user, resource) cell
+	// level, the signal the tensor methods exploit and user-aggregated
+	// views dilute.
+	SynonymBurst float64
+
+	// ResourceCoverage is the fraction of a concept's resources any one
+	// user actually visits, in (0, 1]. Values below 1 mean different
+	// taggers of the same concept annotate partially disjoint resource
+	// sets — the realistic regime in which the user-aggregated 2-D view
+	// turns sparse and unreliable while the 3-D view retains the
+	// user-mediated connections (the paper's central claim). 0 means 1.
+	ResourceCoverage float64
+
+	// PolysemyRate is the fraction of concepts that additionally adopt a
+	// word from some other concept, making that word polysemous.
+	PolysemyRate float64
+
+	// Noise rates, all in [0, 1): probability that an assignment is a
+	// random mis-tagging, a unique gibberish tag, a system tag, or has
+	// its tag's first letter uppercased.
+	NoiseRate     float64
+	GibberishRate float64
+	SystemRate    float64
+	CaseRate      float64
+
+	// SpamUserFraction designates this fraction of users (at least one
+	// when positive) as indiscriminate hyper-active taggers — bots and
+	// spammers that attach real vocabulary words to arbitrary resources.
+	// SpamRate is the fraction of all assignments they emit. Spam is the
+	// noise regime Section IV-B describes: aggregating over users blends
+	// it into every tag's resource profile, while the tensor keeps it
+	// confined to a few user rows that truncated decomposition isolates.
+	SpamUserFraction float64
+	SpamRate         float64
+
+	// ZipfS skews concept, user and resource popularity (0 = uniform;
+	// ~1 is web-like).
+	ZipfS float64
+}
+
+// Validate panics on nonsensical parameters.
+func (p Params) validate() {
+	if p.Categories <= 0 || p.ConceptsPerCategory <= 0 || p.WordsPerConcept <= 0 {
+		panic("datagen: taxonomy shape must be positive")
+	}
+	if p.Users <= 0 || p.Resources <= 0 || p.Assignments <= 0 {
+		panic("datagen: corpus shape must be positive")
+	}
+	if p.UserVocabFraction <= 0 || p.UserVocabFraction > 1 {
+		panic("datagen: UserVocabFraction must be in (0,1]")
+	}
+	if p.MaxConceptsPerUser <= 0 || p.MaxConceptsPerResource <= 0 {
+		panic("datagen: concept multiplicities must be positive")
+	}
+}
+
+// Corpus is a generated dataset plus its ground truth.
+type Corpus struct {
+	Params Params
+	// Raw is the corpus before cleaning; Clean after tagging.Clean with
+	// the paper's defaults.
+	Raw   *tagging.Dataset
+	Clean *tagging.Dataset
+	// Gen exposes the taxonomy (IC computed) and concept→word lists.
+	Gen *semnet.Generated
+
+	// Ground truth, keyed by *cleaned* dataset ids.
+	TagConcepts      map[int][]int // tag id → concept ids (≥2 when polysemous)
+	ResourceConcepts map[int][]int // resource id → concept ids
+	UserConcepts     map[int][]int // user id → interest concept ids
+
+	// CategoryOf maps concept id → category id (coarse relevance tier).
+	CategoryOf []int
+}
+
+// Generate builds a corpus from params. The result is deterministic in
+// Params (including Seed).
+func Generate(p Params) *Corpus {
+	p.validate()
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	gen := semnet.Generate(semnet.GenOptions{
+		Categories:          p.Categories,
+		ConceptsPerCategory: p.ConceptsPerCategory,
+		WordsPerConcept:     p.WordsPerConcept,
+		Seed:                p.Seed ^ 0x5deece66d,
+	})
+	nConcepts := len(gen.Concepts)
+
+	// Concept word lists, with polysemy: some concepts adopt a word of
+	// another concept.
+	words := make([][]string, nConcepts)
+	for c := range gen.Concepts {
+		words[c] = append([]string(nil), gen.Concepts[c]...)
+	}
+	wordConcepts := make(map[string][]int)
+	for c, ws := range words {
+		for _, w := range ws {
+			wordConcepts[w] = append(wordConcepts[w], c)
+		}
+	}
+	nPoly := int(p.PolysemyRate * float64(nConcepts))
+	for i := 0; i < nPoly; i++ {
+		dst := rng.Intn(nConcepts)
+		src := rng.Intn(nConcepts)
+		if src == dst {
+			continue
+		}
+		w := words[src][rng.Intn(len(words[src]))]
+		if containsInt(wordConcepts[w], dst) {
+			continue
+		}
+		words[dst] = append(words[dst], w)
+		wordConcepts[w] = append(wordConcepts[w], dst)
+	}
+
+	zipfConcept := newZipf(rng, nConcepts, p.ZipfS)
+	zipfUser := newZipf(rng, p.Users, p.ZipfS)
+
+	// Concepts grouped by category, for coherence/mix sampling.
+	byCategory := make(map[int][]int)
+	for c, cat := range gen.CategoryOf {
+		byCategory[cat] = append(byCategory[cat], c)
+	}
+
+	// User interests and idiolects. Taggers belong to interest
+	// communities: additional interests usually stay within the first
+	// interest's category.
+	userConcepts := make([][]int, p.Users)
+	userVocab := make([]map[int][]string, p.Users) // concept → words this user uses
+	for u := 0; u < p.Users; u++ {
+		k := 1 + rng.Intn(p.MaxConceptsPerUser)
+		first := zipfConcept.sample()
+		cs := []int{first}
+		for len(cs) < k {
+			var cand int
+			if rng.Float64() < p.UserCategoryCoherence {
+				sameCat := byCategory[gen.CategoryOf[first]]
+				cand = sameCat[rng.Intn(len(sameCat))]
+			} else {
+				cand = zipfConcept.sample()
+			}
+			if !containsInt(cs, cand) {
+				cs = append(cs, cand)
+			}
+		}
+		sort.Ints(cs)
+		userConcepts[u] = cs
+		userVocab[u] = make(map[int][]string, len(cs))
+		for _, c := range cs {
+			userVocab[u][c] = subsetWords(rng, words[c], p.UserVocabFraction)
+		}
+	}
+
+	// Concepts are partnered *symmetrically* across category pairs:
+	// categories (0,1), (2,3), … pair elementwise, so concept a's partner
+	// b has a as its own partner. Dual-aspect resources then make R(a)
+	// and R(b) overlap heavily in the user-blind 2-D view, while the two
+	// concepts' tagger communities stay disjoint. With an odd category
+	// count the last category partners with category 0 (asymmetric tail).
+	nCats := len(byCategory)
+	partner := make([]int, nConcepts)
+	for i := range partner {
+		partner[i] = i
+	}
+	for cat := 0; cat+1 < nCats; cat += 2 {
+		cur := byCategory[cat]
+		next := byCategory[cat+1]
+		for i, c := range cur {
+			partner[c] = next[i%len(next)]
+		}
+		for i, c := range next {
+			partner[c] = cur[i%len(cur)]
+		}
+	}
+	if nCats%2 == 1 && nCats > 1 {
+		last := byCategory[nCats-1]
+		first := byCategory[0]
+		for i, c := range last {
+			partner[c] = first[i%len(first)]
+		}
+	}
+
+	// Resource aspects: at least MinConceptsPerResource concepts each.
+	// Additional aspects are usually the first aspect's partner (the
+	// paper's "multitude of aspects" with correlated co-occurrence),
+	// otherwise random. The concept → resources index feeds assignment
+	// sampling.
+	minRC := p.MinConceptsPerResource
+	if minRC < 1 {
+		minRC = 1
+	}
+	resourceConcepts := make([][]int, p.Resources)
+	conceptResources := make([][]int, nConcepts)
+	for r := 0; r < p.Resources; r++ {
+		var k int
+		if p.DualAspectRate > 0 {
+			k = 1
+			if rng.Float64() < p.DualAspectRate {
+				k = 2
+			}
+		} else {
+			k = minRC
+			if p.MaxConceptsPerResource > minRC {
+				k += rng.Intn(p.MaxConceptsPerResource - minRC + 1)
+			}
+		}
+		first := zipfConcept.sample()
+		cs := []int{first}
+		for tries := 0; len(cs) < k && tries < 20*k; tries++ {
+			var cand int
+			if rng.Float64() < p.CrossCategoryMix {
+				cand = partner[first]
+			} else {
+				cand = zipfConcept.sample()
+			}
+			if !containsInt(cs, cand) {
+				cs = append(cs, cand)
+			}
+		}
+		sort.Ints(cs)
+		resourceConcepts[r] = cs
+		for _, c := range cs {
+			conceptResources[c] = append(conceptResources[c], r)
+		}
+	}
+
+	// Each user visits only a personal sub-pool of every interest
+	// concept's resources.
+	coverage := p.ResourceCoverage
+	if coverage <= 0 || coverage > 1 {
+		coverage = 1
+	}
+	userResources := make([]map[int][]int, p.Users)
+	for u := 0; u < p.Users; u++ {
+		userResources[u] = make(map[int][]int, len(userConcepts[u]))
+		for _, c := range userConcepts[u] {
+			pool := conceptResources[c]
+			if len(pool) == 0 {
+				continue
+			}
+			k := int(math.Ceil(coverage * float64(len(pool))))
+			if k < 1 {
+				k = 1
+			}
+			perm := rng.Perm(len(pool))
+			sub := make([]int, k)
+			for i := 0; i < k; i++ {
+				sub[i] = pool[perm[i]]
+			}
+			sort.Ints(sub)
+			userResources[u][c] = sub
+		}
+	}
+
+	raw := tagging.NewDataset()
+	gibberish := 0
+	emit := func(u int, tag string, r int) {
+		if p.CaseRate > 0 && rng.Float64() < p.CaseRate && tag != "" {
+			tag = upperFirst(tag)
+		}
+		raw.Add(userName(u), tag, resourceName(r))
+	}
+
+	// Spammer ids occupy the tail of the user range so they never collide
+	// with the community structure of regular users.
+	nSpam := 0
+	if p.SpamUserFraction > 0 {
+		nSpam = int(p.SpamUserFraction * float64(p.Users))
+		if nSpam < 1 {
+			nSpam = 1
+		}
+	}
+
+	allWords := gen.Taxonomy.Leaves()
+	for n := 0; n < p.Assignments; n++ {
+		u := zipfUser.sample()
+		if nSpam > 0 && rng.Float64() < p.SpamRate {
+			su := p.Users - 1 - rng.Intn(nSpam)
+			w := allWords[rng.Intn(len(allWords))]
+			gen.Taxonomy.AddCount(w, 1)
+			emit(su, w, rng.Intn(p.Resources))
+			continue
+		}
+		switch {
+		case rng.Float64() < p.SystemRate:
+			r := rng.Intn(p.Resources)
+			if rng.Intn(2) == 0 {
+				emit(u, "system:imported", r)
+			} else {
+				emit(u, "system:unfiled", r)
+			}
+		case rng.Float64() < p.GibberishRate:
+			r := rng.Intn(p.Resources)
+			gibberish++
+			emit(u, fmt.Sprintf("zzq%dx%d", gibberish, rng.Intn(1000)), r)
+		case rng.Float64() < p.NoiseRate:
+			// Random mis-assignment: any word on any resource.
+			w := allWords[rng.Intn(len(allWords))]
+			gen.Taxonomy.AddCount(w, 1)
+			emit(u, w, rng.Intn(p.Resources))
+		default:
+			// On-model assignment: the user tags a resource from their
+			// personal pool for one of their interest concepts, using a
+			// word from their idiolect.
+			c := userConcepts[u][rng.Intn(len(userConcepts[u]))]
+			rs := userResources[u][c]
+			if len(rs) == 0 {
+				continue
+			}
+			r := rs[rng.Intn(len(rs))]
+			vocab := userVocab[u][c]
+			w := vocab[rng.Intn(len(vocab))]
+			gen.Taxonomy.AddCount(w, 1)
+			emit(u, w, r)
+			if len(vocab) > 1 && rng.Float64() < p.SynonymBurst {
+				w2 := vocab[rng.Intn(len(vocab))]
+				if w2 != w {
+					gen.Taxonomy.AddCount(w2, 1)
+					emit(u, w2, r)
+				}
+			}
+		}
+	}
+	gen.Taxonomy.ComputeIC()
+
+	clean := tagging.Clean(raw, tagging.DefaultCleanOptions())
+
+	cor := &Corpus{
+		Params:           p,
+		Raw:              raw,
+		Clean:            clean,
+		Gen:              gen,
+		TagConcepts:      make(map[int][]int),
+		ResourceConcepts: make(map[int][]int),
+		UserConcepts:     make(map[int][]int),
+		CategoryOf:       gen.CategoryOf,
+	}
+	for id, name := range clean.Tags.Names() {
+		if cs, ok := wordConcepts[name]; ok {
+			cor.TagConcepts[id] = cs
+		}
+	}
+	for id, name := range clean.Resources.Names() {
+		var r int
+		if _, err := fmt.Sscanf(name, "res%d", &r); err == nil {
+			cor.ResourceConcepts[id] = resourceConcepts[r]
+		}
+	}
+	for id, name := range clean.Users.Names() {
+		var u int
+		if _, err := fmt.Sscanf(name, "user%d", &u); err == nil {
+			cor.UserConcepts[id] = userConcepts[u]
+		}
+	}
+	return cor
+}
+
+func userName(u int) string     { return fmt.Sprintf("user%d", u) }
+func resourceName(r int) string { return fmt.Sprintf("res%d", r) }
+
+func upperFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	b := []byte(s)
+	if b[0] >= 'a' && b[0] <= 'z' {
+		b[0] -= 'a' - 'A'
+	}
+	return string(b)
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// subsetWords picks ceil(frac·len) distinct words.
+func subsetWords(rng *rand.Rand, ws []string, frac float64) []string {
+	k := int(math.Ceil(frac * float64(len(ws))))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(ws) {
+		k = len(ws)
+	}
+	perm := rng.Perm(len(ws))
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = ws[perm[i]]
+	}
+	sort.Strings(out)
+	return out
+}
+
+// distinctSamples draws k distinct values from z (fewer if the space is
+// smaller than k).
+func distinctSamples(rng *rand.Rand, z *zipf, k int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for tries := 0; len(out) < k && tries < 50*k; tries++ {
+		v := z.sample()
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, z.sample())
+	}
+	sort.Ints(out)
+	return out
+}
+
+// zipf samples ranks 0..n−1 with probability ∝ 1/(rank+1)^s via inverse
+// CDF lookup. s=0 degenerates to uniform.
+type zipf struct {
+	rng *rand.Rand
+	cum []float64
+}
+
+func newZipf(rng *rand.Rand, n int, s float64) *zipf {
+	cum := make([]float64, n)
+	var acc float64
+	for i := 0; i < n; i++ {
+		acc += 1 / math.Pow(float64(i+1), s)
+		cum[i] = acc
+	}
+	return &zipf{rng: rng, cum: cum}
+}
+
+func (z *zipf) sample() int {
+	u := z.rng.Float64() * z.cum[len(z.cum)-1]
+	return sort.SearchFloat64s(z.cum, u)
+}

@@ -1,0 +1,86 @@
+package datagen
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Query is one evaluation query: a handful of tags that a user interested
+// in Concept would type (Section VI-D's user-proposed queries).
+type Query struct {
+	// Tags are tag names from the cleaned vocabulary.
+	Tags []string
+	// Concept is the latent concept the query is about (ground truth).
+	Concept int
+}
+
+// MakeQueries generates n queries, each with 1..maxTags tags drawn from
+// one concept's cleaned vocabulary, mirroring the paper's 128-query
+// workload. Deterministic in seed.
+func (c *Corpus) MakeQueries(n, maxTags int, seed int64) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	// Invert TagConcepts: concept → cleaned tag names available for it.
+	conceptTags := make(map[int][]string)
+	for id, cs := range c.TagConcepts {
+		name := c.Clean.Tags.Name(id)
+		for _, cc := range cs {
+			conceptTags[cc] = append(conceptTags[cc], name)
+		}
+	}
+	var concepts []int
+	for cc, tags := range conceptTags {
+		if len(tags) > 0 {
+			concepts = append(concepts, cc)
+		}
+	}
+	sort.Ints(concepts)
+	for _, cc := range concepts {
+		sort.Strings(conceptTags[cc])
+	}
+	if len(concepts) == 0 {
+		return nil
+	}
+
+	out := make([]Query, 0, n)
+	for i := 0; i < n; i++ {
+		cc := concepts[rng.Intn(len(concepts))]
+		avail := conceptTags[cc]
+		k := 1 + rng.Intn(maxTags)
+		if k > len(avail) {
+			k = len(avail)
+		}
+		perm := rng.Perm(len(avail))
+		tags := make([]string, k)
+		for j := 0; j < k; j++ {
+			tags[j] = avail[perm[j]]
+		}
+		sort.Strings(tags)
+		out = append(out, Query{Tags: tags, Concept: cc})
+	}
+	return out
+}
+
+// Relevance returns the graded relevance of a cleaned resource id to a
+// query, standing in for the paper's human judgments:
+//
+//	2 (Relevant): the resource is about the query's concept.
+//	1 (Partially Relevant): the resource shares the concept's category.
+//	0 (Irrelevant): otherwise.
+func (c *Corpus) Relevance(q Query, resource int) int {
+	rcs, ok := c.ResourceConcepts[resource]
+	if !ok {
+		return 0
+	}
+	for _, rc := range rcs {
+		if rc == q.Concept {
+			return 2
+		}
+	}
+	qcat := c.CategoryOf[q.Concept]
+	for _, rc := range rcs {
+		if c.CategoryOf[rc] == qcat {
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,80 @@
+package distance
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+	"repro/internal/tucker"
+)
+
+func benchDecomposition(b *testing.B) (*tensor.Sparse3, *tucker.Decomposition) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	f := tensor.NewSparse3(120, 100, 150)
+	for n := 0; n < 6000; n++ {
+		f.Append(rng.Intn(120), rng.Intn(100), rng.Intn(150), 1)
+	}
+	f.Build()
+	return f, tucker.Decompose(f, tucker.Options{J1: 16, J2: 24, J3: 20, Seed: 1, MaxSweeps: 3})
+}
+
+// BenchmarkTheorem2AllPairs measures Algorithm 1's distance loop — the
+// production path (O(J₂) per pair).
+func BenchmarkTheorem2AllPairs(b *testing.B) {
+	_, dec := benchDecomposition(b)
+	c := NewCubeLSI(dec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Pairwise()
+	}
+}
+
+// BenchmarkTheorem1AllPairs measures the general quadratic form
+// (O(J₂²) per pair) — the ablation against the diagonal fast path.
+func BenchmarkTheorem1AllPairs(b *testing.B) {
+	_, dec := benchDecomposition(b)
+	c := NewCubeLSI(dec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.PairwiseTheorem1()
+	}
+}
+
+// BenchmarkBruteForceAllPairs materializes F̂ and computes slice
+// distances directly (O(I₁·I₃) per pair) — the cost Theorems 1 and 2
+// eliminate; compare with the two benchmarks above to see the paper's
+// shortcut factor.
+func BenchmarkBruteForceAllPairs(b *testing.B) {
+	_, dec := benchDecomposition(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BruteForce(dec)
+	}
+}
+
+// BenchmarkCubeSimSparseVsDense contrasts our sparse CubeSim optimization
+// with the paper's dense formulation (Table V's cost model).
+func BenchmarkCubeSimSparseVsDense(b *testing.B) {
+	f, _ := benchDecomposition(b)
+	b.Run("sparse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			CubeSimSparse(f)
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			CubeSimDense(f, nil)
+		}
+	})
+}
+
+// BenchmarkLSIDistances measures the 2-D baseline's distance matrix.
+func BenchmarkLSIDistances(b *testing.B) {
+	f, _ := benchDecomposition(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LSI(f, 24, mat.SubspaceOptions{Seed: uint64(i)})
+	}
+}

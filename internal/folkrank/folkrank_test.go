@@ -1,0 +1,138 @@
+package folkrank
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tagging"
+)
+
+func paperDataset() *tagging.Dataset {
+	d := tagging.NewDataset()
+	d.Add("u1", "folk", "r1")
+	d.Add("u1", "folk", "r2")
+	d.Add("u2", "folk", "r2")
+	d.Add("u3", "folk", "r2")
+	d.Add("u1", "people", "r1")
+	d.Add("u2", "laptop", "r3")
+	d.Add("u3", "laptop", "r3")
+	return d
+}
+
+func TestGraphShape(t *testing.T) {
+	d := paperDataset()
+	g := NewGraph(d)
+	if g.NumVertices() != 9 {
+		t.Fatalf("vertices = %d, want 9", g.NumVertices())
+	}
+	// Every vertex in this dataset participates in ≥1 assignment.
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.invDegree[v] == 0 {
+			t.Fatalf("vertex %d isolated", v)
+		}
+	}
+}
+
+func TestEdgeWeightsAreCounts(t *testing.T) {
+	d := paperDataset()
+	g := NewGraph(d)
+	// folk–r2 edge weight = 3 users.
+	folk, _ := d.Tags.Lookup("folk")
+	r2, _ := d.Resources.Lookup("r2")
+	tv, rv := g.TagVertex(folk), g.ResourceVertex(r2)
+	var w float64
+	for _, e := range g.adj[tv] {
+		if e.to == rv {
+			w = e.weight
+		}
+	}
+	if w != 3 {
+		t.Fatalf("folk–r2 weight = %v, want 3", w)
+	}
+}
+
+func TestRankPrefersTaggedResource(t *testing.T) {
+	d := paperDataset()
+	g := NewGraph(d)
+	laptop, _ := d.Tags.Lookup("laptop")
+	scores := g.Rank([]int{laptop}, Options{})
+	r3, _ := d.Resources.Lookup("r3")
+	r1, _ := d.Resources.Lookup("r1")
+	if scores[r3] <= scores[r1] {
+		t.Fatalf("querying 'laptop' should favor r3: r3=%v r1=%v", scores[r3], scores[r1])
+	}
+	// And the differential for r3 should be positive.
+	if scores[r3] <= 0 {
+		t.Fatalf("boosted resource should gain mass, got %v", scores[r3])
+	}
+}
+
+func TestRankDifferentialSymmetry(t *testing.T) {
+	// With no query tags the differential is ~0 everywhere.
+	d := paperDataset()
+	g := NewGraph(d)
+	scores := g.Rank(nil, Options{})
+	for r, s := range scores {
+		if math.Abs(s) > 1e-9 {
+			t.Fatalf("no-preference differential should vanish, resource %d has %v", r, s)
+		}
+	}
+}
+
+func TestRankDeterministic(t *testing.T) {
+	d := paperDataset()
+	g := NewGraph(d)
+	folk, _ := d.Tags.Lookup("folk")
+	a := g.Rank([]int{folk}, Options{})
+	b := g.Rank([]int{folk}, Options{})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Rank not deterministic")
+		}
+	}
+}
+
+func TestPropagationConserves(t *testing.T) {
+	// The propagation is a convex combination of a stochastic averaging
+	// and p, so weights stay bounded in [0, max(p)∨max(w)].
+	d := paperDataset()
+	g := NewGraph(d)
+	n := g.NumVertices()
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 1 / float64(n)
+	}
+	w := g.propagate(p, Options{}.withDefaults(n))
+	for v, x := range w {
+		if x < 0 || x > 1 {
+			t.Fatalf("weight out of range at %d: %v", v, x)
+		}
+	}
+}
+
+func TestQueryDistinguishesTags(t *testing.T) {
+	d := paperDataset()
+	g := NewGraph(d)
+	folk, _ := d.Tags.Lookup("folk")
+	laptop, _ := d.Tags.Lookup("laptop")
+	r2, _ := d.Resources.Lookup("r2")
+	r3, _ := d.Resources.Lookup("r3")
+	sFolk := g.Rank([]int{folk}, Options{})
+	sLaptop := g.Rank([]int{laptop}, Options{})
+	if sFolk[r2] <= sFolk[r3] {
+		t.Fatal("folk query should favor r2 over r3")
+	}
+	if sLaptop[r3] <= sLaptop[r2] {
+		t.Fatal("laptop query should favor r3 over r2")
+	}
+}
+
+func TestBadVertexPanics(t *testing.T) {
+	g := NewGraph(paperDataset())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.TagVertex(99)
+}

@@ -1,0 +1,262 @@
+// Package ir implements the vector-space retrieval model of Section III:
+// documents (resources) and queries represented as sparse tf-idf vectors
+// over a term space (raw tags for the BOW baseline, distilled concepts
+// for CubeLSI and friends), an inverted index, and cosine-similarity
+// ranking (Equations 1–4).
+package ir
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Scored is one ranked result.
+type Scored struct {
+	Doc   int
+	Score float64
+}
+
+// Index is an inverted tf-idf index over a fixed document collection.
+type Index struct {
+	numTerms int
+	numDocs  int
+	df       []int // document frequency per term
+	// postings[t] lists (doc, weight) pairs for term t, where weight is
+	// the document's tf-idf weight for t.
+	postings [][]posting
+	norms    []float64 // per-document vector norms
+}
+
+type posting struct {
+	doc    int
+	weight float64
+}
+
+// BuildIndex constructs the index from per-document term counts:
+// docs[d][t] = c(t, d), the occurrence count of term t in document d
+// (for resources, the number of users who assigned the term).
+//
+// Weights follow Equations 1–2: w(t, d) = tf(t, d) · log(N / n_t) with
+// tf normalized by the document's total count. Terms that appear in every
+// document receive weight zero (log 1), exactly as the formula dictates.
+func BuildIndex(docs []map[int]int, numTerms int) *Index {
+	fdocs := make([]map[int]float64, len(docs))
+	for d, counts := range docs {
+		fd := make(map[int]float64, len(counts))
+		for t, c := range counts {
+			fd[t] = float64(c)
+		}
+		fdocs[d] = fd
+	}
+	return BuildIndexFloat(fdocs, numTerms)
+}
+
+// BuildIndexFloat is BuildIndex over fractional term counts, as produced
+// by the soft concept mapping (footnote 5's extension): a document's
+// "count" for a concept may be a weighted sum of tag memberships.
+func BuildIndexFloat(docs []map[int]float64, numTerms int) *Index {
+	ix := &Index{
+		numTerms: numTerms,
+		numDocs:  len(docs),
+		df:       make([]int, numTerms),
+		postings: make([][]posting, numTerms),
+		norms:    make([]float64, len(docs)),
+	}
+	for _, counts := range docs {
+		for t, c := range counts {
+			ix.checkTerm(t)
+			if c > 0 {
+				ix.df[t]++
+			}
+		}
+	}
+	n := float64(len(docs))
+	for d, counts := range docs {
+		var total float64
+		for _, c := range counts {
+			total += c
+		}
+		if total == 0 {
+			continue
+		}
+		// Iterate terms in sorted order so floating-point accumulation is
+		// deterministic across runs (map order is randomized).
+		var norm2 float64
+		for _, t := range sortedTerms(counts) {
+			c := counts[t]
+			if c <= 0 || ix.df[t] == 0 {
+				continue
+			}
+			w := (c / total) * math.Log(n/float64(ix.df[t]))
+			if w == 0 {
+				continue
+			}
+			ix.postings[t] = append(ix.postings[t], posting{doc: d, weight: w})
+			norm2 += w * w
+		}
+		ix.norms[d] = math.Sqrt(norm2)
+	}
+	for t := range ix.postings {
+		sort.Slice(ix.postings[t], func(a, b int) bool { return ix.postings[t][a].doc < ix.postings[t][b].doc })
+	}
+	return ix
+}
+
+func (ix *Index) checkTerm(t int) {
+	if t < 0 || t >= ix.numTerms {
+		panic(fmt.Sprintf("ir: term %d out of range [0,%d)", t, ix.numTerms))
+	}
+}
+
+// NumDocs returns the collection size N.
+func (ix *Index) NumDocs() int { return ix.numDocs }
+
+// NumTerms returns the term-space size.
+func (ix *Index) NumTerms() int { return ix.numTerms }
+
+// DocFreq returns n_t, the number of documents containing term t.
+func (ix *Index) DocFreq(t int) int {
+	ix.checkTerm(t)
+	return ix.df[t]
+}
+
+// QueryWeights converts raw query term counts into the query's tf-idf
+// vector using the same weighting as documents (Section III applies the
+// identical transformation to queries).
+func (ix *Index) QueryWeights(counts map[int]int) map[int]float64 {
+	var total int
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return nil
+	}
+	n := float64(ix.numDocs)
+	out := make(map[int]float64, len(counts))
+	for t, c := range counts {
+		ix.checkTerm(t)
+		if ix.df[t] == 0 {
+			continue // term absent from the collection: contributes nothing
+		}
+		w := (float64(c) / float64(total)) * math.Log(n/float64(ix.df[t]))
+		if w != 0 {
+			out[t] = w
+		}
+	}
+	return out
+}
+
+// sortedTerms returns the keys of a term-count map in ascending order.
+func sortedTerms[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for t := range m {
+		keys = append(keys, t)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Query ranks all matching documents by cosine similarity (Equation 4)
+// against the query counts and returns the top results in descending
+// score order (ties broken by document id for determinism). topN ≤ 0
+// returns every document with a positive score.
+func (ix *Index) Query(counts map[int]int, topN int) []Scored {
+	return ix.rank(ix.QueryWeights(counts), topN)
+}
+
+// QueryFloat is Query over fractional term counts (soft concept mapping).
+func (ix *Index) QueryFloat(counts map[int]float64, topN int) []Scored {
+	var total float64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return nil
+	}
+	n := float64(ix.numDocs)
+	qw := make(map[int]float64, len(counts))
+	for t, c := range counts {
+		ix.checkTerm(t)
+		if c <= 0 || ix.df[t] == 0 {
+			continue
+		}
+		if w := (c / total) * math.Log(n/float64(ix.df[t])); w != 0 {
+			qw[t] = w
+		}
+	}
+	return ix.rank(qw, topN)
+}
+
+func (ix *Index) rank(qw map[int]float64, topN int) []Scored {
+	if len(qw) == 0 {
+		return nil
+	}
+	terms := sortedTerms(qw)
+	var qnorm2 float64
+	for _, t := range terms {
+		qnorm2 += qw[t] * qw[t]
+	}
+	qnorm := math.Sqrt(qnorm2)
+
+	dots := make(map[int]float64)
+	for _, t := range terms {
+		w := qw[t]
+		for _, p := range ix.postings[t] {
+			dots[p.doc] += w * p.weight
+		}
+	}
+	out := make([]Scored, 0, len(dots))
+	for d, dot := range dots {
+		if ix.norms[d] == 0 {
+			continue
+		}
+		out = append(out, Scored{Doc: d, Score: dot / (qnorm * ix.norms[d])})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Doc < out[b].Doc
+	})
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out
+}
+
+// MapToConcepts rewrites tag counts into concept counts using a hard
+// tag→concept assignment (Section V's concept distillation followed by
+// the tag-to-concept mapping of Figure 1). Tags with no concept
+// (assign[t] < 0) are dropped.
+func MapToConcepts(tagCounts map[int]int, assign []int) map[int]int {
+	out := make(map[int]int, len(tagCounts))
+	for t, c := range tagCounts {
+		if t < 0 || t >= len(assign) {
+			continue
+		}
+		k := assign[t]
+		if k < 0 {
+			continue
+		}
+		out[k] += c
+	}
+	return out
+}
+
+// MapToConceptsSoft rewrites tag counts into fractional concept counts
+// using weighted tag→concept memberships — the soft-clustering extension
+// the paper sketches in footnote 5 for the polysemy problem. Each tag
+// occurrence spreads its mass across the tag's concepts.
+func MapToConceptsSoft(tagCounts map[int]int, weights []map[int]float64) map[int]float64 {
+	out := make(map[int]float64, len(tagCounts))
+	for t, c := range tagCounts {
+		if t < 0 || t >= len(weights) {
+			continue
+		}
+		for concept, w := range weights[t] {
+			out[concept] += float64(c) * w
+		}
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package ir
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func sampleDocs() []map[int]int {
+	// Three documents over a 4-term space.
+	return []map[int]int{
+		{0: 2, 1: 1},
+		{0: 1, 2: 3},
+		{3: 5},
+	}
+}
+
+func TestBuildIndexDocFreq(t *testing.T) {
+	ix := BuildIndex(sampleDocs(), 4)
+	want := []int{2, 1, 1, 1}
+	for tm, w := range want {
+		if ix.DocFreq(tm) != w {
+			t.Fatalf("df[%d] = %d, want %d", tm, ix.DocFreq(tm), w)
+		}
+	}
+	if ix.NumDocs() != 3 || ix.NumTerms() != 4 {
+		t.Fatal("sizes wrong")
+	}
+}
+
+func TestTFIDFWeights(t *testing.T) {
+	ix := BuildIndex(sampleDocs(), 4)
+	// Doc 0: counts {0:2, 1:1}, total 3.
+	// w(0, d0) = (2/3)·log(3/2); w(1, d0) = (1/3)·log(3/1).
+	qw := ix.QueryWeights(map[int]int{0: 2, 1: 1})
+	if !almostEq(qw[0], (2.0/3.0)*math.Log(1.5), 1e-12) {
+		t.Fatalf("w(0) = %v", qw[0])
+	}
+	if !almostEq(qw[1], (1.0/3.0)*math.Log(3), 1e-12) {
+		t.Fatalf("w(1) = %v", qw[1])
+	}
+}
+
+func TestQueryRanksExactMatchFirst(t *testing.T) {
+	ix := BuildIndex(sampleDocs(), 4)
+	res := ix.Query(map[int]int{2: 1}, 0)
+	if len(res) != 1 || res[0].Doc != 1 {
+		t.Fatalf("query for term 2 should hit doc 1 only: %v", res)
+	}
+	res = ix.Query(map[int]int{0: 1}, 0)
+	if len(res) != 2 {
+		t.Fatalf("term 0 appears in 2 docs, got %v", res)
+	}
+}
+
+func TestQueryCosineSelf(t *testing.T) {
+	// Querying with exactly a document's counts must rank it with
+	// cosine 1 (identical direction).
+	docs := []map[int]int{
+		{0: 1, 1: 2},
+		{2: 4},
+		{0: 3, 2: 1},
+	}
+	ix := BuildIndex(docs, 3)
+	res := ix.Query(docs[0], 1)
+	if len(res) == 0 || res[0].Doc != 0 {
+		t.Fatalf("self query should top-rank doc 0: %v", res)
+	}
+	if !almostEq(res[0].Score, 1, 1e-12) {
+		t.Fatalf("self cosine = %v, want 1", res[0].Score)
+	}
+}
+
+func TestQueryUnknownTermsIgnored(t *testing.T) {
+	ix := BuildIndex(sampleDocs(), 5)
+	// Term 4 never occurs: query containing it alone yields nothing.
+	if res := ix.Query(map[int]int{4: 1}, 0); len(res) != 0 {
+		t.Fatalf("unknown term should return nothing, got %v", res)
+	}
+	// Mixed with a known term, the known part still matches.
+	if res := ix.Query(map[int]int{4: 1, 3: 1}, 0); len(res) != 1 || res[0].Doc != 2 {
+		t.Fatalf("mixed query wrong: %v", res)
+	}
+}
+
+func TestUbiquitousTermHasZeroWeight(t *testing.T) {
+	docs := []map[int]int{{0: 1, 1: 1}, {0: 2, 1: 3}, {0: 5}}
+	ix := BuildIndex(docs, 2)
+	// Term 0 is in every doc: idf = log(1) = 0.
+	qw := ix.QueryWeights(map[int]int{0: 7})
+	if len(qw) != 0 {
+		t.Fatalf("ubiquitous term should have zero weight: %v", qw)
+	}
+}
+
+func TestTopNTruncation(t *testing.T) {
+	docs := make([]map[int]int, 10)
+	for i := range docs {
+		docs[i] = map[int]int{0: i + 1, 1: 1}
+	}
+	// One document without term 0 so that idf(0) > 0.
+	docs = append(docs, map[int]int{1: 2})
+	ix := BuildIndex(docs, 2)
+	res := ix.Query(map[int]int{0: 1}, 3)
+	if len(res) != 3 {
+		t.Fatalf("topN=3 returned %d", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Score > res[i-1].Score {
+			t.Fatal("results not sorted")
+		}
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	docs := []map[int]int{{0: 1}, {0: 1}, {0: 1, 1: 1}, {1: 2}}
+	ix := BuildIndex(docs, 2)
+	a := ix.Query(map[int]int{0: 1}, 0)
+	b := ix.Query(map[int]int{0: 1}, 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("query not deterministic")
+		}
+	}
+	// Docs 0 and 1 have identical vectors: tie must break by id.
+	if a[0].Doc > a[1].Doc && almostEq(a[0].Score, a[1].Score, 1e-12) {
+		t.Fatal("tie not broken by doc id")
+	}
+}
+
+func TestMapToConcepts(t *testing.T) {
+	assign := []int{0, 0, 1, -1}
+	got := MapToConcepts(map[int]int{0: 2, 1: 3, 2: 1, 3: 9}, assign)
+	if got[0] != 5 || got[1] != 1 {
+		t.Fatalf("MapToConcepts = %v", got)
+	}
+	if _, ok := got[-1]; ok {
+		t.Fatal("unassigned tag leaked")
+	}
+	// Out-of-range tags are dropped, not panicking.
+	got = MapToConcepts(map[int]int{7: 1}, assign)
+	if len(got) != 0 {
+		t.Fatalf("out-of-range tag should be dropped: %v", got)
+	}
+}
+
+func TestCosineScoreBounds(t *testing.T) {
+	// Property: cosine scores lie in [−1, 1] (practically [0, 1] with
+	// non-negative counts).
+	f := func(counts []uint8) bool {
+		docs := []map[int]int{{}, {}, {}}
+		for i, c := range counts {
+			docs[i%3][int(c)%6] += int(c%4) + 1
+		}
+		ix := BuildIndex(docs, 6)
+		for _, q := range docs {
+			if len(q) == 0 {
+				continue
+			}
+			for _, r := range ix.Query(q, 0) {
+				if r.Score < -1e-9 || r.Score > 1+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyQueryAndEmptyIndex(t *testing.T) {
+	ix := BuildIndex(nil, 3)
+	if res := ix.Query(map[int]int{0: 1}, 0); len(res) != 0 {
+		t.Fatal("empty index should return nothing")
+	}
+	ix2 := BuildIndex(sampleDocs(), 4)
+	if res := ix2.Query(map[int]int{}, 0); len(res) != 0 {
+		t.Fatal("empty query should return nothing")
+	}
+}

@@ -1,0 +1,329 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eigen holds a symmetric eigendecomposition A = V·diag(Values)·Vᵀ with
+// eigenvalues sorted in descending order and eigenvectors as the columns
+// of Vectors.
+type Eigen struct {
+	Values  []float64
+	Vectors *Matrix
+}
+
+// SymEig computes the full eigendecomposition of the symmetric matrix a
+// using the cyclic Jacobi method. It is exact (to rounding) and robust,
+// with O(n³) cost per sweep; intended for matrices up to a few hundred
+// rows. Larger problems should use SubspaceIteration for leading pairs.
+func SymEig(a *Matrix) *Eigen {
+	n, c := a.Dims()
+	if n != c {
+		panic(fmt.Sprintf("mat: SymEig requires square matrix, got %d×%d", n, c))
+	}
+	w := a.Clone()
+	v := Identity(n)
+
+	offDiag := func() float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += w.At(i, j) * w.At(i, j)
+			}
+		}
+		return math.Sqrt(2 * s)
+	}
+
+	scale := w.MaxAbs()
+	if scale == 0 {
+		scale = 1
+	}
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		if offDiag() <= 1e-14*scale*float64(n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) <= 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				cth := 1 / math.Sqrt(1+t*t)
+				sth := t * cth
+				// Apply the rotation J(p,q,θ) on both sides of w.
+				for k := 0; k < n; k++ {
+					akp, akq := w.At(k, p), w.At(k, q)
+					w.Set(k, p, cth*akp-sth*akq)
+					w.Set(k, q, sth*akp+cth*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := w.At(p, k), w.At(q, k)
+					w.Set(p, k, cth*apk-sth*aqk)
+					w.Set(q, k, sth*apk+cth*aqk)
+				}
+				// Accumulate eigenvectors.
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, cth*vkp-sth*vkq)
+					v.Set(k, q, sth*vkp+cth*vkq)
+				}
+			}
+		}
+	}
+
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.At(i, i)
+	}
+	return sortEigen(vals, v)
+}
+
+// sortEigen orders eigenpairs by descending eigenvalue.
+func sortEigen(vals []float64, vecs *Matrix) *Eigen {
+	n := len(vals)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+	sv := make([]float64, n)
+	sm := New(vecs.Rows(), n)
+	for k, i := range idx {
+		sv[k] = vals[i]
+		sm.SetCol(k, vecs.Col(i))
+	}
+	return &Eigen{Values: sv, Vectors: sm}
+}
+
+// Operator is a symmetric linear operator y = A·x, used by
+// SubspaceIteration so that large or implicitly-defined matrices (for
+// example Gram products W·Wᵀ) never need to be materialized.
+type Operator interface {
+	// Dim returns the dimension n of the operator.
+	Dim() int
+	// Apply computes y = A·x. len(x) == len(y) == Dim().
+	Apply(x, y []float64)
+}
+
+// MatrixOperator adapts a symmetric *Matrix to the Operator interface.
+type MatrixOperator struct{ M *Matrix }
+
+// Dim returns the operator dimension.
+func (o MatrixOperator) Dim() int { return o.M.Rows() }
+
+// Apply computes y = M·x.
+func (o MatrixOperator) Apply(x, y []float64) {
+	m := o.M
+	for i := 0; i < m.rows; i++ {
+		y[i] = Dot(m.Row(i), x)
+	}
+}
+
+// ConcurrencySafe marks the operator safe for concurrent Apply calls.
+func (o MatrixOperator) ConcurrencySafe() bool { return true }
+
+// GramOperator represents W·Wᵀ for a rectangular W without forming the
+// product: Apply computes y = W·(Wᵀ·x).
+type GramOperator struct{ W *Matrix }
+
+// Dim returns the number of rows of W.
+func (o GramOperator) Dim() int { return o.W.Rows() }
+
+// Apply computes y = W·Wᵀ·x.
+func (o GramOperator) Apply(x, y []float64) {
+	t := o.W.TMulVec(x)
+	r := o.W.MulVec(t)
+	copy(y, r)
+}
+
+// ConcurrencySafe marks the operator safe for concurrent Apply calls.
+func (o GramOperator) ConcurrencySafe() bool { return true }
+
+// ConcurrentOperator is implemented by operators whose Apply may be
+// invoked from multiple goroutines at once; SubspaceIteration then
+// processes block columns in parallel.
+type ConcurrentOperator interface {
+	Operator
+	ConcurrencySafe() bool
+}
+
+// SubspaceOptions configures SubspaceIteration.
+type SubspaceOptions struct {
+	// MaxIter bounds the number of orthogonal-iteration sweeps.
+	// Zero means the default of 200.
+	MaxIter int
+	// Tol is the convergence threshold on the eigenpair residual
+	// ||A·v − λ·v|| relative to the largest Ritz value. Zero means 1e-8.
+	Tol float64
+	// Seed makes the random starting block deterministic.
+	Seed uint64
+}
+
+// SubspaceIteration computes the k algebraically largest eigenvalues and
+// corresponding eigenvectors of the symmetric positive semidefinite
+// operator op using blocked orthogonal iteration with Rayleigh–Ritz
+// extraction. It returns eigenvalues in descending order and eigenvectors
+// as matrix columns.
+//
+// The operator must be PSD (all uses in this codebase are Gram or
+// Laplacian-affinity operators, which are PSD or have known shifts
+// applied by the caller).
+func SubspaceIteration(op Operator, k int, opts SubspaceOptions) *Eigen {
+	n := op.Dim()
+	if k <= 0 || k > n {
+		panic(fmt.Sprintf("mat: SubspaceIteration k=%d out of range for n=%d", k, n))
+	}
+	maxIter := opts.MaxIter
+	if maxIter == 0 {
+		maxIter = 200
+	}
+	tol := opts.Tol
+	if tol == 0 {
+		tol = 1e-8
+	}
+	// Oversample the block a little to speed convergence of the trailing
+	// wanted eigenpair.
+	b := k + 4
+	if b > n {
+		b = n
+	}
+
+	rng := newSplitMix(opts.Seed ^ 0x9e3779b97f4a7c15)
+	q := New(n, b)
+	for i := 0; i < n; i++ {
+		for j := 0; j < b; j++ {
+			q.Set(i, j, rng.normFloat())
+		}
+	}
+	Orthonormalize(q)
+
+	z := New(n, b)
+	xbuf := make([]float64, n)
+	ybuf := make([]float64, n)
+	concurrent := false
+	if c, ok := op.(ConcurrentOperator); ok && c.ConcurrencySafe() {
+		concurrent = true
+	}
+
+	applyBlock := func() {
+		if concurrent && b > 1 {
+			// One goroutine per column chunk; each worker owns its own
+			// in/out buffers.
+			parallelFor(b, parallelThreshold*2, func(lo, hi int) {
+				xw := make([]float64, n)
+				yw := make([]float64, n)
+				for j := lo; j < hi; j++ {
+					for i := 0; i < n; i++ {
+						xw[i] = q.At(i, j)
+					}
+					op.Apply(xw, yw)
+					z.SetCol(j, yw)
+				}
+			})
+			return
+		}
+		for j := 0; j < b; j++ {
+			for i := 0; i < n; i++ {
+				xbuf[i] = q.At(i, j)
+			}
+			op.Apply(xbuf, ybuf)
+			z.SetCol(j, ybuf)
+		}
+	}
+	rayleighRitz := func() *Eigen {
+		// H = QᵀZ is symmetric since A is; symmetrize against rounding.
+		h := TMul(q, z)
+		for i := 0; i < b; i++ {
+			for j := i + 1; j < b; j++ {
+				v := 0.5 * (h.At(i, j) + h.At(j, i))
+				h.Set(i, j, v)
+				h.Set(j, i, v)
+			}
+		}
+		return SymEig(h)
+	}
+
+	var ritz *Eigen
+	var vecs, avecs *Matrix
+	// Between Rayleigh–Ritz extractions (which cost a dense b×b
+	// eigendecomposition each) run plain power-orthonormalize steps; the
+	// Ritz step then both accelerates and tests convergence.
+	const powerSteps = 2
+	for applied := 0; applied < maxIter; {
+		for p := 0; p < powerSteps && applied < maxIter-1; p++ {
+			applyBlock()
+			applied++
+			q, z = z, q
+			Orthonormalize(q)
+		}
+		applyBlock()
+		applied++
+		ritz = rayleighRitz()
+		// Ritz vectors in original coordinates and their images under A.
+		vecs = Mul(q, ritz.Vectors)
+		avecs = Mul(z, ritz.Vectors)
+
+		// Residual-based convergence on the top-k pairs:
+		// ||A·v − λ·v|| ≤ tol·|λmax| for every wanted pair.
+		maxv := math.Abs(ritz.Values[0])
+		if maxv == 0 {
+			maxv = 1
+		}
+		var worst float64
+		for j := 0; j < k; j++ {
+			var res float64
+			for i := 0; i < n; i++ {
+				r := avecs.At(i, j) - ritz.Values[j]*vecs.At(i, j)
+				res += r * r
+			}
+			worst = math.Max(worst, math.Sqrt(res))
+		}
+		if worst <= tol*maxv {
+			break
+		}
+		// Advance the block: Q ← orth(A·Q rotated onto Ritz directions).
+		q = Orthonormalize(avecs.Clone())
+	}
+
+	out := &Eigen{Values: make([]float64, k), Vectors: New(n, k)}
+	copy(out.Values, ritz.Values[:k])
+	for j := 0; j < k; j++ {
+		out.Vectors.SetCol(j, vecs.Col(j))
+	}
+	return out
+}
+
+// splitMix is a tiny deterministic PRNG (SplitMix64) used for seeding
+// iteration starting blocks without importing math/rand.
+type splitMix struct{ state uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{state: seed} }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// normFloat returns an approximately standard-normal variate via the sum
+// of uniforms (Irwin–Hall with 4 terms), adequate for iteration starts.
+func (s *splitMix) normFloat() float64 {
+	var acc float64
+	for i := 0; i < 4; i++ {
+		acc += float64(s.next()>>11) / (1 << 53)
+	}
+	return (acc - 2) * math.Sqrt(3)
+}

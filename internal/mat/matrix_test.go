@@ -1,0 +1,235 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(3, 4)
+	if r, c := m.Dims(); r != 3 || c != 4 {
+		t.Fatalf("Dims = (%d,%d), want (3,4)", r, c)
+	}
+	m.Set(1, 2, 5)
+	if got := m.At(1, 2); got != 5 {
+		t.Fatalf("At(1,2) = %v, want 5", got)
+	}
+	m.Add(1, 2, 2.5)
+	if got := m.At(1, 2); got != 7.5 {
+		t.Fatalf("after Add, At(1,2) = %v, want 7.5", got)
+	}
+}
+
+func TestFromRowsAndClone(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone is not a deep copy")
+	}
+	if !Equal(m, FromRows([][]float64{{1, 2}, {3, 4}}), 0) {
+		t.Fatal("FromRows round-trip failed")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestIdentityAndDiag(t *testing.T) {
+	i3 := Identity(3)
+	d := Diag([]float64{1, 1, 1})
+	if !Equal(i3, d, 0) {
+		t.Fatal("Identity(3) != Diag(ones)")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	want := FromRows([][]float64{{1, 4}, {2, 5}, {3, 6}})
+	if !Equal(mt, want, 0) {
+		t.Fatalf("T() = \n%v want \n%v", mt, want)
+	}
+	if !Equal(mt.T(), m, 0) {
+		t.Fatal("double transpose is not identity")
+	}
+}
+
+func TestMulAgainstHand(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := Mul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !Equal(got, want, 1e-15) {
+		t.Fatalf("Mul = \n%v want \n%v", got, want)
+	}
+}
+
+func TestMulVariantsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a := randMatrix(rng, m, k)
+		b := randMatrix(rng, k, n)
+		ab := Mul(a, b)
+		// MulT(a, bᵀ as rows) == a·b
+		if got := MulT(a, b.T()); !Equal(got, ab, 1e-12) {
+			t.Fatalf("MulT disagrees with Mul (trial %d)", trial)
+		}
+		// TMul(aᵀ stored transposed, b) == a·b
+		if got := TMul(a.T(), b); !Equal(got, ab, 1e-12) {
+			t.Fatalf("TMul disagrees with Mul (trial %d)", trial)
+		}
+	}
+}
+
+func TestMulVecAgainstMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randMatrix(rng, 6, 4)
+	x := make([]float64, 4)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	xm := New(4, 1)
+	xm.SetCol(0, x)
+	want := Mul(a, xm)
+	got := a.MulVec(x)
+	for i := range got {
+		if !almostEq(got[i], want.At(i, 0), 1e-12) {
+			t.Fatalf("MulVec[%d] = %v, want %v", i, got[i], want.At(i, 0))
+		}
+	}
+	// TMulVec == aᵀx
+	y := make([]float64, 6)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	gotT := a.TMulVec(y)
+	wantT := a.T().MulVec(y)
+	for i := range gotT {
+		if !almostEq(gotT[i], wantT[i], 1e-12) {
+			t.Fatalf("TMulVec[%d] = %v, want %v", i, gotT[i], wantT[i])
+		}
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{4, 3}, {2, 1}})
+	if !Equal(AddTo(a, b), FromRows([][]float64{{5, 5}, {5, 5}}), 0) {
+		t.Fatal("AddTo wrong")
+	}
+	if !Equal(Sub(a, b), FromRows([][]float64{{-3, -1}, {1, 3}}), 0) {
+		t.Fatal("Sub wrong")
+	}
+	if !Equal(a.Scale(2), FromRows([][]float64{{2, 4}, {6, 8}}), 0) {
+		t.Fatal("Scale wrong")
+	}
+}
+
+func TestRowColViews(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	r := m.Row(1)
+	r[0] = 40 // view semantics
+	if m.At(1, 0) != 40 {
+		t.Fatal("Row should be a view")
+	}
+	c := m.Col(2)
+	c[0] = 99 // copy semantics
+	if m.At(0, 2) != 3 {
+		t.Fatal("Col should be a copy")
+	}
+	m.SetCol(1, []float64{7, 8})
+	if m.At(0, 1) != 7 || m.At(1, 1) != 8 {
+		t.Fatal("SetCol wrong")
+	}
+	m.SetRow(0, []float64{9, 9, 9})
+	if m.At(0, 0) != 9 || m.At(0, 2) != 9 {
+		t.Fatal("SetRow wrong")
+	}
+}
+
+func TestSubMatrix(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	s := m.SubMatrix(1, 3, 0, 2)
+	want := FromRows([][]float64{{4, 5}, {7, 8}})
+	if !Equal(s, want, 0) {
+		t.Fatalf("SubMatrix = \n%v want \n%v", s, want)
+	}
+}
+
+func TestFrobNormAndMaxAbs(t *testing.T) {
+	m := FromRows([][]float64{{3, 0}, {0, -4}})
+	if !almostEq(m.FrobNorm(), 5, 1e-14) {
+		t.Fatalf("FrobNorm = %v, want 5", m.FrobNorm())
+	}
+	if m.MaxAbs() != 4 {
+		t.Fatalf("MaxAbs = %v, want 4", m.MaxAbs())
+	}
+}
+
+func TestMulAssociativityProperty(t *testing.T) {
+	// (AB)C == A(BC) for random small matrices.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randMatrix(rng, 3, 4)
+		b := randMatrix(rng, 4, 5)
+		c := randMatrix(rng, 5, 2)
+		return Equal(Mul(Mul(a, b), c), Mul(a, Mul(b, c)), 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeProductProperty(t *testing.T) {
+	// (AB)ᵀ == BᵀAᵀ
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randMatrix(rng, 4, 3)
+		b := randMatrix(rng, 3, 5)
+		return Equal(Mul(a, b).T(), Mul(b.T(), a.T()), 1e-11)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	a := New(2, 3)
+	b := New(2, 3)
+	for name, fn := range map[string]func(){
+		"Mul":     func() { Mul(a, b) },
+		"AddBad":  func() { AddTo(a, New(3, 2)) },
+		"SubBad":  func() { Sub(a, New(3, 2)) },
+		"MulVec":  func() { a.MulVec(make([]float64, 2)) },
+		"FromBad": func() { FromData(2, 2, make([]float64, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,38 @@
+package mat
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the approximate floating-point-op count below
+// which parallel dispatch costs more than it saves.
+const parallelThreshold = 1 << 18
+
+// parallelFor splits [0, n) into contiguous chunks and runs fn on each
+// chunk concurrently. cost is the estimated total op count; small jobs
+// run inline. fn must be safe to run concurrently on disjoint ranges.
+func parallelFor(n int, cost int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if cost < parallelThreshold || workers <= 1 || n < 2 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

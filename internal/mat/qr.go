@@ -1,0 +1,203 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR factorization A = Q·R with Q m×n (thin,
+// orthonormal columns) and R n×n upper triangular, for m ≥ n.
+type QR struct {
+	Q *Matrix
+	R *Matrix
+}
+
+// QRFactor computes the thin QR factorization of a (rows ≥ cols) using
+// Householder reflections.
+func QRFactor(a *Matrix) *QR {
+	m, n := a.Dims()
+	if m < n {
+		panic(fmt.Sprintf("mat: QRFactor requires rows ≥ cols, got %d×%d", m, n))
+	}
+	r := a.Clone()
+	// vs[k] stores the Householder vector for column k.
+	vs := make([][]float64, n)
+	for k := 0; k < n; k++ {
+		// Build the Householder vector from column k below the diagonal.
+		v := make([]float64, m-k)
+		for i := k; i < m; i++ {
+			v[i-k] = r.At(i, k)
+		}
+		alpha := Norm2(v)
+		if v[0] > 0 {
+			alpha = -alpha
+		}
+		if alpha == 0 {
+			vs[k] = nil
+			continue
+		}
+		v[0] -= alpha
+		Normalize(v)
+		vs[k] = v
+		// Apply reflection H = I − 2vvᵀ to the trailing block of R.
+		for j := k; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i-k] * r.At(i, j)
+			}
+			dot *= 2
+			for i := k; i < m; i++ {
+				r.Add(i, j, -dot*v[i-k])
+			}
+		}
+	}
+	// Accumulate thin Q by applying the reflections to the first n columns
+	// of the identity, in reverse order.
+	q := New(m, n)
+	for j := 0; j < n; j++ {
+		q.Set(j, j, 1)
+	}
+	for k := n - 1; k >= 0; k-- {
+		v := vs[k]
+		if v == nil {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i-k] * q.At(i, j)
+			}
+			dot *= 2
+			for i := k; i < m; i++ {
+				q.Add(i, j, -dot*v[i-k])
+			}
+		}
+	}
+	// Zero the strictly-lower part of R and truncate to n×n.
+	rr := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			rr.Set(i, j, r.At(i, j))
+		}
+	}
+	return &QR{Q: q, R: rr}
+}
+
+// Orthonormalize replaces the columns of a with an orthonormal basis of
+// their span. For well-conditioned large blocks it uses two rounds of
+// Cholesky-QR (fully parallel: one Gram product and one triangular solve
+// per round); on rank-deficiency it falls back to modified Gram–Schmidt
+// with reorthogonalization, replacing null columns by unit coordinate
+// vectors orthogonal to the previous columns so the result is always a
+// complete orthonormal set. It modifies a in place and returns it.
+func Orthonormalize(a *Matrix) *Matrix {
+	m, n := a.Dims()
+	if m < n {
+		panic(fmt.Sprintf("mat: Orthonormalize requires rows ≥ cols, got %d×%d", m, n))
+	}
+	if m*n*n >= parallelThreshold {
+		if cholQR(a) && cholQR(a) {
+			return a
+		}
+	}
+	cols := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		cols[j] = a.Col(j)
+	}
+	for j := 0; j < n; j++ {
+		// Two passes of projection for numerical robustness.
+		for pass := 0; pass < 2; pass++ {
+			for k := 0; k < j; k++ {
+				d := Dot(cols[k], cols[j])
+				AXPY(-d, cols[k], cols[j])
+			}
+		}
+		if Norm2(cols[j]) < 1e-12 {
+			// Rank deficiency: substitute a coordinate vector not in the
+			// span of the previous columns.
+			replaced := false
+			for e := 0; e < m && !replaced; e++ {
+				cand := make([]float64, m)
+				cand[e] = 1
+				for k := 0; k < j; k++ {
+					d := Dot(cols[k], cand)
+					AXPY(-d, cols[k], cand)
+				}
+				if Norm2(cand) > 1e-6 {
+					cols[j] = cand
+					replaced = true
+				}
+			}
+			if !replaced {
+				panic("mat: Orthonormalize could not complete basis")
+			}
+		}
+		Normalize(cols[j])
+	}
+	for j := 0; j < n; j++ {
+		a.SetCol(j, cols[j])
+	}
+	return a
+}
+
+// cholQR performs one round of Cholesky-QR in place: G = AᵀA = RᵀR,
+// A ← A·R⁻¹. Returns false (leaving a partially modified only in G, not
+// in A) when the Gram matrix is not safely positive definite; callers
+// fall back to Gram–Schmidt.
+func cholQR(a *Matrix) bool {
+	m, n := a.Dims()
+	g := TMul(a, a)
+	// In-place Cholesky G = RᵀR (upper triangular R stored in g).
+	for j := 0; j < n; j++ {
+		d := g.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= g.At(k, j) * g.At(k, j)
+		}
+		if d <= 1e-12*g.At(j, j) || d <= 0 {
+			return false
+		}
+		rjj := math.Sqrt(d)
+		g.Set(j, j, rjj)
+		for c := j + 1; c < n; c++ {
+			v := g.At(j, c)
+			for k := 0; k < j; k++ {
+				v -= g.At(k, j) * g.At(k, c)
+			}
+			g.Set(j, c, v/rjj)
+		}
+	}
+	// A ← A·R⁻¹ by forward substitution per row, parallel across rows.
+	parallelFor(m, m*n*n/2, func(lo, hi int) {
+		x := make([]float64, n)
+		for i := lo; i < hi; i++ {
+			row := a.Row(i)
+			for j := 0; j < n; j++ {
+				v := row[j]
+				for k := 0; k < j; k++ {
+					v -= x[k] * g.At(k, j)
+				}
+				x[j] = v / g.At(j, j)
+			}
+			copy(row, x)
+		}
+	})
+	return true
+}
+
+// IsOrthonormal reports whether the columns of a are orthonormal within tol.
+func IsOrthonormal(a *Matrix, tol float64) bool {
+	g := TMul(a, a)
+	n := a.Cols()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(g.At(i, j)-want) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,264 @@
+// Package rank assembles the six ranking methods compared in Section VI-B
+// behind one interface: CubeLSI, CubeSim, LSI, BOW, Freq and FolkRank.
+// All methods answer tag-keyword queries with a ranked list of resources.
+package rank
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/distance"
+	"repro/internal/folkrank"
+	"repro/internal/ir"
+	"repro/internal/mat"
+	"repro/internal/tagging"
+	"repro/internal/tucker"
+)
+
+// Ranker answers tag queries over a fixed corpus.
+type Ranker interface {
+	// Name identifies the method ("CubeLSI", "BOW", ...).
+	Name() string
+	// Query returns resources ranked by relevance to the tag names.
+	// Unknown tags are ignored; topN ≤ 0 returns all scored resources.
+	Query(tags []string, topN int) []ir.Scored
+}
+
+// tagIDs resolves tag names against the dataset vocabulary, counting
+// duplicates.
+func tagIDs(ds *tagging.Dataset, tags []string) map[int]int {
+	counts := make(map[int]int)
+	for _, name := range tags {
+		if id, ok := ds.Tags.Lookup(name); ok {
+			counts[id]++
+		}
+	}
+	return counts
+}
+
+// BOW is the bag-of-words baseline: tf-idf over raw tags, cosine ranking
+// (Section VI-B's BOW).
+type BOW struct {
+	ds    *tagging.Dataset
+	index *ir.Index
+}
+
+// NewBOW builds the tag-level index: each resource is the bag of its
+// tags, counted by the number of users who assigned them.
+func NewBOW(ds *tagging.Dataset) *BOW {
+	return &BOW{ds: ds, index: ir.BuildIndex(ds.ResourceTags(), ds.Tags.Len())}
+}
+
+// Name implements Ranker.
+func (b *BOW) Name() string { return "BOW" }
+
+// Query implements Ranker.
+func (b *BOW) Query(tags []string, topN int) []ir.Scored {
+	return b.index.Query(tagIDs(b.ds, tags), topN)
+}
+
+// Freq is the likelihood baseline of Section VI-B:
+//
+//	Sim(q, r) = Σ_{t ∈ q∩tags(r)} |users(t,r)| / Σ_{t ∈ tags(r)} |users(t,r)|.
+type Freq struct {
+	ds *tagging.Dataset
+	// resourceTags[r][t] = |users(t, r)|.
+	resourceTags []map[int]int
+	totals       []int
+}
+
+// NewFreq precomputes per-resource user counts.
+func NewFreq(ds *tagging.Dataset) *Freq {
+	rt := ds.ResourceTags()
+	totals := make([]int, len(rt))
+	for r, counts := range rt {
+		for _, c := range counts {
+			totals[r] += c
+		}
+	}
+	return &Freq{ds: ds, resourceTags: rt, totals: totals}
+}
+
+// Name implements Ranker.
+func (f *Freq) Name() string { return "Freq" }
+
+// Query implements Ranker.
+func (f *Freq) Query(tags []string, topN int) []ir.Scored {
+	q := tagIDs(f.ds, tags)
+	if len(q) == 0 {
+		return nil
+	}
+	var out []ir.Scored
+	for r, counts := range f.resourceTags {
+		if f.totals[r] == 0 {
+			continue
+		}
+		var hit int
+		for t := range q {
+			hit += counts[t]
+		}
+		if hit > 0 {
+			out = append(out, ir.Scored{Doc: r, Score: float64(hit) / float64(f.totals[r])})
+		}
+	}
+	sortScored(out)
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out
+}
+
+// FolkRank wraps the tripartite propagation baseline.
+type FolkRank struct {
+	ds       *tagging.Dataset
+	g        *folkrank.Graph
+	opts     folkrank.Options
+	baseline []float64
+}
+
+// NewFolkRank builds the tripartite graph and the query-independent
+// baseline propagation once; each query then performs one
+// preference-biased propagation run.
+func NewFolkRank(ds *tagging.Dataset, opts folkrank.Options) *FolkRank {
+	g := folkrank.NewGraph(ds)
+	return &FolkRank{ds: ds, g: g, opts: opts, baseline: g.Baseline(opts)}
+}
+
+// Name implements Ranker.
+func (f *FolkRank) Name() string { return "FolkRank" }
+
+// Query implements Ranker.
+func (f *FolkRank) Query(tags []string, topN int) []ir.Scored {
+	var ids []int
+	for t := range tagIDs(f.ds, tags) {
+		ids = append(ids, t)
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	sort.Ints(ids)
+	scores := f.g.RankWithBaseline(ids, f.baseline, f.opts)
+	out := make([]ir.Scored, 0, len(scores))
+	for r, s := range scores {
+		if s > 0 {
+			out = append(out, ir.Scored{Doc: r, Score: s})
+		}
+	}
+	sortScored(out)
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out
+}
+
+// ConceptRanker is the shared semantic pipeline of Figure 1: pairwise tag
+// distances → spectral concept distillation → bag-of-concepts tf-idf
+// index → cosine ranking. CubeLSI, CubeSim and LSI differ only in the
+// distance matrix they feed in.
+type ConceptRanker struct {
+	name string
+	ds   *tagging.Dataset
+	// Assign maps tag id → concept id (hard clustering, footnote 5).
+	Assign []int
+	// K is the number of distilled concepts.
+	K     int
+	index *ir.Index
+}
+
+// ConceptOptions configures concept distillation.
+type ConceptOptions struct {
+	// Spectral carries σ, K (0 = automatic 95% rule) and the seed.
+	Spectral cluster.SpectralOptions
+}
+
+// NewConceptRanker distills concepts from the given pairwise tag distance
+// matrix and indexes every resource as a bag of concepts.
+func NewConceptRanker(name string, ds *tagging.Dataset, dist *mat.Matrix, opts ConceptOptions) *ConceptRanker {
+	res := cluster.Spectral(dist, opts.Spectral)
+	cr := &ConceptRanker{name: name, ds: ds, Assign: res.Assign, K: res.K}
+	docs := make([]map[int]int, ds.Resources.Len())
+	for r, tagCounts := range ds.ResourceTags() {
+		docs[r] = ir.MapToConcepts(tagCounts, res.Assign)
+	}
+	cr.index = ir.BuildIndex(docs, res.K)
+	return cr
+}
+
+// Name implements Ranker.
+func (c *ConceptRanker) Name() string { return c.name }
+
+// Query implements Ranker: query tags are mapped to concepts with the
+// same assignment, then matched by cosine similarity (Section III).
+func (c *ConceptRanker) Query(tags []string, topN int) []ir.Scored {
+	concepts := ir.MapToConcepts(tagIDs(c.ds, tags), c.Assign)
+	return c.index.Query(concepts, topN)
+}
+
+// ConceptOf returns the concept id of a tag name, or -1 if unknown.
+func (c *ConceptRanker) ConceptOf(tag string) int {
+	id, ok := c.ds.Tags.Lookup(tag)
+	if !ok {
+		return -1
+	}
+	return c.Assign[id]
+}
+
+// Clusters groups tag names by concept id (for Table IV-style reports).
+func (c *ConceptRanker) Clusters() map[int][]string {
+	out := make(map[int][]string)
+	for id, concept := range c.Assign {
+		out[concept] = append(out[concept], c.ds.Tags.Name(id))
+	}
+	for k := range out {
+		sort.Strings(out[k])
+	}
+	return out
+}
+
+// CubeLSIRanker couples the concept pipeline with its Tucker artifacts so
+// callers can inspect the decomposition and distance structures.
+type CubeLSIRanker struct {
+	*ConceptRanker
+	// Decomposition is the underlying Tucker decomposition.
+	Decomposition *tucker.Decomposition
+	// Distances is the Theorem 2 pairwise tag distance matrix.
+	Distances *mat.Matrix
+}
+
+// NewCubeLSI runs the full offline pipeline of Figure 1 on the dataset:
+// tensor → Tucker (HOOI) → Theorem 2 distances → spectral concepts →
+// concept index.
+func NewCubeLSI(ds *tagging.Dataset, topts tucker.Options, copts ConceptOptions) *CubeLSIRanker {
+	f := ds.Tensor()
+	dec := tucker.Decompose(f, topts)
+	dists := distance.NewCubeLSI(dec).Pairwise()
+	return &CubeLSIRanker{
+		ConceptRanker: NewConceptRanker("CubeLSI", ds, dists, copts),
+		Decomposition: dec,
+		Distances:     dists,
+	}
+}
+
+// NewCubeSim builds the concept ranker from raw-tensor slice distances
+// (no decomposition), using the sparse implementation.
+func NewCubeSim(ds *tagging.Dataset, copts ConceptOptions) *ConceptRanker {
+	dists := distance.CubeSimSparse(ds.Tensor())
+	r := NewConceptRanker("CubeSim", ds, dists, copts)
+	return r
+}
+
+// NewLSI builds the concept ranker from 2-D LSI distances of the given
+// rank (tagger dimension collapsed).
+func NewLSI(ds *tagging.Dataset, k int, seed uint64, copts ConceptOptions) *ConceptRanker {
+	dists := distance.LSI(ds.Tensor(), k, mat.SubspaceOptions{Seed: seed})
+	return NewConceptRanker("LSI", ds, dists, copts)
+}
+
+func sortScored(out []ir.Scored) {
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Doc < out[b].Doc
+	})
+}

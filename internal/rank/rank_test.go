@@ -1,0 +1,228 @@
+package rank
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/datagen"
+	"repro/internal/distance"
+	"repro/internal/folkrank"
+	"repro/internal/mat"
+	"repro/internal/tagging"
+	"repro/internal/tucker"
+)
+
+// distanceMatrix derives Theorem 2 distances from a decomposition.
+func distanceMatrix(dec *tucker.Decomposition) *mat.Matrix {
+	return distance.NewCubeLSI(dec).Pairwise()
+}
+
+func paperDataset() *tagging.Dataset {
+	d := tagging.NewDataset()
+	d.Add("u1", "folk", "r1")
+	d.Add("u1", "folk", "r2")
+	d.Add("u2", "folk", "r2")
+	d.Add("u3", "folk", "r2")
+	d.Add("u1", "people", "r1")
+	d.Add("u2", "laptop", "r3")
+	d.Add("u3", "laptop", "r3")
+	return d
+}
+
+func resourceID(t *testing.T, ds *tagging.Dataset, name string) int {
+	t.Helper()
+	id, ok := ds.Resources.Lookup(name)
+	if !ok {
+		t.Fatalf("unknown resource %q", name)
+	}
+	return id
+}
+
+func TestFreqPaperFormula(t *testing.T) {
+	ds := paperDataset()
+	f := NewFreq(ds)
+	// Query "folk" against r2: users(folk, r2) = 3, total user-counts on
+	// r2 = 3, so Sim = 1. Against r1: 1 of 2 → 0.5.
+	res := f.Query([]string{"folk"}, 0)
+	if len(res) != 2 {
+		t.Fatalf("want 2 results, got %v", res)
+	}
+	r2 := resourceID(t, ds, "r2")
+	r1 := resourceID(t, ds, "r1")
+	if res[0].Doc != r2 || res[0].Score != 1 {
+		t.Fatalf("top result should be r2 with 1.0: %v", res)
+	}
+	if res[1].Doc != r1 || res[1].Score != 0.5 {
+		t.Fatalf("second should be r1 with 0.5: %v", res)
+	}
+}
+
+func TestFreqRange(t *testing.T) {
+	ds := paperDataset()
+	f := NewFreq(ds)
+	for _, q := range [][]string{{"folk"}, {"people"}, {"laptop"}, {"folk", "people"}} {
+		for _, r := range f.Query(q, 0) {
+			if r.Score < 0 || r.Score > 1 {
+				t.Fatalf("Freq score out of [0,1]: %v", r)
+			}
+		}
+	}
+}
+
+func TestBOWFindsTaggedResources(t *testing.T) {
+	ds := paperDataset()
+	b := NewBOW(ds)
+	res := b.Query([]string{"laptop"}, 0)
+	if len(res) != 1 || res[0].Doc != resourceID(t, ds, "r3") {
+		t.Fatalf("laptop should match only r3: %v", res)
+	}
+	if b.Name() != "BOW" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestBOWUnknownTag(t *testing.T) {
+	b := NewBOW(paperDataset())
+	if res := b.Query([]string{"nonexistent"}, 0); len(res) != 0 {
+		t.Fatalf("unknown tag should return nothing: %v", res)
+	}
+}
+
+func TestFolkRankRanker(t *testing.T) {
+	ds := paperDataset()
+	fr := NewFolkRank(ds, folkrank.DefaultOptions())
+	res := fr.Query([]string{"laptop"}, 0)
+	if len(res) == 0 || res[0].Doc != resourceID(t, ds, "r3") {
+		t.Fatalf("laptop should top-rank r3: %v", res)
+	}
+}
+
+func TestCubeLSIPipelinePaperExample(t *testing.T) {
+	// The full offline pipeline on the running example with the paper's
+	// clustering (k=2) must group folk+people and isolate laptop, and a
+	// query for "people" must then retrieve r2 (tagged only "folk") via
+	// the shared concept — the tag-ambiguity win of Section I.
+	ds := paperDataset()
+	r := NewCubeLSI(ds,
+		tucker.Options{J1: 3, J2: 2, J3: 3, Seed: 1},
+		ConceptOptions{Spectral: cluster.SpectralOptions{Sigma: 1, K: 2, Seed: 5}})
+	folk := r.ConceptOf("folk")
+	people := r.ConceptOf("people")
+	laptop := r.ConceptOf("laptop")
+	if folk != people {
+		t.Fatalf("folk and people should share a concept: %d vs %d", folk, people)
+	}
+	if laptop == folk {
+		t.Fatal("laptop should be its own concept")
+	}
+	res := r.Query([]string{"people"}, 0)
+	found := false
+	for _, s := range res {
+		if s.Doc == resourceID(t, ds, "r2") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("concept-level match should retrieve r2 for 'people': %v", res)
+	}
+}
+
+func TestCubeSimAndLSIRankersRun(t *testing.T) {
+	ds := paperDataset()
+	copts := ConceptOptions{Spectral: cluster.SpectralOptions{Sigma: 1, K: 2, Seed: 3}}
+	cs := NewCubeSim(ds, copts)
+	if cs.Name() != "CubeSim" {
+		t.Fatal("name wrong")
+	}
+	if len(cs.Query([]string{"folk"}, 0)) == 0 {
+		t.Fatal("CubeSim returned nothing")
+	}
+	lsi := NewLSI(ds, 2, 1, copts)
+	if lsi.Name() != "LSI" {
+		t.Fatal("name wrong")
+	}
+	if len(lsi.Query([]string{"folk"}, 0)) == 0 {
+		t.Fatal("LSI returned nothing")
+	}
+}
+
+func TestClustersPartitionTags(t *testing.T) {
+	ds := paperDataset()
+	r := NewCubeSim(ds, ConceptOptions{Spectral: cluster.SpectralOptions{Sigma: 1, K: 2, Seed: 3}})
+	clusters := r.Clusters()
+	total := 0
+	for _, tags := range clusters {
+		total += len(tags)
+	}
+	if total != ds.Tags.Len() {
+		t.Fatalf("clusters cover %d tags, want %d", total, ds.Tags.Len())
+	}
+}
+
+func TestAllRankersOnGeneratedCorpus(t *testing.T) {
+	// Smoke test on a realistic corpus: every ranker builds and answers
+	// queries with results for most queries.
+	c := datagen.Generate(datagen.Tiny())
+	ds := c.Clean
+	j1, j2, j3 := tucker.FromRatios(ds.Users.Len(), ds.Tags.Len(), ds.Resources.Len(), 8, 4, 8)
+	copts := ConceptOptions{Spectral: cluster.SpectralOptions{K: 12, Seed: 1}}
+	rankers := []Ranker{
+		NewBOW(ds),
+		NewFreq(ds),
+		NewFolkRank(ds, folkrank.DefaultOptions()),
+		NewLSI(ds, j2, 1, copts),
+		NewCubeSim(ds, copts),
+		NewCubeLSI(ds, tucker.Options{J1: j1, J2: j2, J3: j3, Seed: 1}, copts),
+	}
+	queries := c.MakeQueries(10, 2, 77)
+	for _, r := range rankers {
+		answered := 0
+		for _, q := range queries {
+			if len(r.Query(q.Tags, 10)) > 0 {
+				answered++
+			}
+		}
+		if answered < 8 {
+			t.Fatalf("%s answered only %d/10 queries", r.Name(), answered)
+		}
+	}
+}
+
+func TestSoftConceptRanker(t *testing.T) {
+	c := datagen.Generate(datagen.Tiny())
+	ds := c.Clean
+	f := ds.Tensor()
+	dec := tucker.Decompose(f, tucker.Options{J1: 8, J2: 10, J3: 8, Seed: 1})
+	dists := distanceMatrix(dec)
+	soft := NewSoftConceptRanker("SoftCubeLSI", ds, dists, SoftConceptOptions{
+		Soft: cluster.SoftOptions{Spectral: cluster.SpectralOptions{K: 12, Seed: 1}},
+	})
+	if soft.Name() != "SoftCubeLSI" {
+		t.Fatal("name wrong")
+	}
+	queries := c.MakeQueries(10, 2, 77)
+	answered := 0
+	for _, q := range queries {
+		if len(soft.Query(q.Tags, 10)) > 0 {
+			answered++
+		}
+	}
+	if answered < 8 {
+		t.Fatalf("soft ranker answered only %d/10 queries", answered)
+	}
+	if soft.Memberships().Entropy() < 0 {
+		t.Fatal("entropy must be non-negative")
+	}
+}
+
+func TestConceptRankerDeterministic(t *testing.T) {
+	ds := paperDataset()
+	copts := ConceptOptions{Spectral: cluster.SpectralOptions{Sigma: 1, K: 2, Seed: 9}}
+	a := NewCubeSim(ds, copts)
+	b := NewCubeSim(ds, copts)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("concept assignment not deterministic")
+		}
+	}
+}

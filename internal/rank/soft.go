@@ -1,0 +1,53 @@
+package rank
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/ir"
+	"repro/internal/mat"
+	"repro/internal/tagging"
+)
+
+// SoftConceptRanker is the soft-clustering extension the paper sketches
+// in footnote 5: instead of assigning every tag to one concept, each tag
+// carries weighted memberships in several concepts, so polysemous tags
+// contribute to all of their senses' concepts at indexing and query time.
+type SoftConceptRanker struct {
+	name  string
+	ds    *tagging.Dataset
+	soft  *cluster.SoftAssignment
+	index *ir.Index
+}
+
+// SoftConceptOptions configures soft distillation.
+type SoftConceptOptions struct {
+	Soft cluster.SoftOptions
+}
+
+// NewSoftConceptRanker distills weighted concepts from the pairwise tag
+// distances and indexes resources as fractional bags of concepts.
+func NewSoftConceptRanker(name string, ds *tagging.Dataset, dist *mat.Matrix, opts SoftConceptOptions) *SoftConceptRanker {
+	soft := cluster.SoftSpectral(dist, opts.Soft)
+	docs := make([]map[int]float64, ds.Resources.Len())
+	for r, tagCounts := range ds.ResourceTags() {
+		docs[r] = ir.MapToConceptsSoft(tagCounts, soft.Weights)
+	}
+	return &SoftConceptRanker{
+		name:  name,
+		ds:    ds,
+		soft:  soft,
+		index: ir.BuildIndexFloat(docs, soft.K),
+	}
+}
+
+// Name implements Ranker.
+func (c *SoftConceptRanker) Name() string { return c.name }
+
+// Query implements Ranker with soft tag→concept mapping on the query
+// side as well.
+func (c *SoftConceptRanker) Query(tags []string, topN int) []ir.Scored {
+	concepts := ir.MapToConceptsSoft(tagIDs(c.ds, tags), c.soft.Weights)
+	return c.index.QueryFloat(concepts, topN)
+}
+
+// Memberships exposes the underlying soft assignment (diagnostics).
+func (c *SoftConceptRanker) Memberships() *cluster.SoftAssignment { return c.soft }

@@ -1,0 +1,308 @@
+// Package semnet provides a synthetic semantic lexicon standing in for
+// WordNet in the Table III experiment: a concept taxonomy whose leaves are
+// vocabulary words, information content (IC) derived from corpus counts,
+// and the Jiang–Conrath (JCN) semantic distance
+//
+//	JCN(w1, w2) = IC(w1) + IC(w2) − 2·IC(lcs(w1, w2))
+//
+// where lcs is the lowest common subsumer in the taxonomy. The paper uses
+// WordNet with JCN as the ground truth for judging tag-distance quality;
+// WordNet's data files are not available offline, so the generator in
+// package datagen samples its tag vocabulary from this taxonomy's leaves,
+// which yields a ground truth of the same mathematical form that is
+// exactly aligned with the corpus.
+package semnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// node is one taxonomy vertex. Leaves are words; internal nodes are
+// synset-like categories.
+type node struct {
+	name     string
+	parent   int // -1 for the root
+	children []int
+	depth    int
+	count    float64 // own corpus count (usually only leaves have counts)
+	cum      float64 // count summed over the subtree
+	ic       float64
+}
+
+// Taxonomy is a rooted tree over words with IC-based distances.
+type Taxonomy struct {
+	nodes  []node
+	byName map[string]int
+	frozen bool
+	total  float64
+}
+
+// New returns a taxonomy containing only the root node.
+func New() *Taxonomy {
+	t := &Taxonomy{byName: make(map[string]int)}
+	t.nodes = append(t.nodes, node{name: "<root>", parent: -1, depth: 0})
+	t.byName["<root>"] = 0
+	return t
+}
+
+// Root returns the root node id.
+func (t *Taxonomy) Root() int { return 0 }
+
+// AddNode inserts a child of parent with the given name and returns its
+// id. Names must be unique.
+func (t *Taxonomy) AddNode(parent int, name string) int {
+	if t.frozen {
+		panic("semnet: taxonomy is frozen after ComputeIC")
+	}
+	if parent < 0 || parent >= len(t.nodes) {
+		panic(fmt.Sprintf("semnet: invalid parent %d", parent))
+	}
+	if _, dup := t.byName[name]; dup {
+		panic(fmt.Sprintf("semnet: duplicate node name %q", name))
+	}
+	id := len(t.nodes)
+	t.nodes = append(t.nodes, node{name: name, parent: parent, depth: t.nodes[parent].depth + 1})
+	t.nodes[parent].children = append(t.nodes[parent].children, id)
+	t.byName[name] = id
+	return id
+}
+
+// Contains reports whether a word is in the taxonomy — the analogue of
+// "tag appears in WordNet" that defines the evaluation set D in §VI-C.
+func (t *Taxonomy) Contains(name string) bool {
+	_, ok := t.byName[name]
+	return ok
+}
+
+// NodeID returns the id of name.
+func (t *Taxonomy) NodeID(name string) (int, bool) {
+	id, ok := t.byName[name]
+	return id, ok
+}
+
+// Name returns the name of node id.
+func (t *Taxonomy) Name(id int) string { return t.nodes[id].name }
+
+// Parent returns the parent of id, or -1 for the root.
+func (t *Taxonomy) Parent(id int) int { return t.nodes[id].parent }
+
+// Leaves returns the names of all leaf nodes in id order.
+func (t *Taxonomy) Leaves() []string {
+	var out []string
+	for _, n := range t.nodes {
+		if len(n.children) == 0 && n.parent != -1 {
+			out = append(out, n.name)
+		}
+	}
+	return out
+}
+
+// Len returns the number of nodes including the root.
+func (t *Taxonomy) Len() int { return len(t.nodes) }
+
+// AddCount credits corpus occurrences to the named word. Counts drive the
+// information content: frequent words carry little information.
+func (t *Taxonomy) AddCount(name string, n float64) {
+	if t.frozen {
+		panic("semnet: taxonomy is frozen after ComputeIC")
+	}
+	id, ok := t.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("semnet: unknown word %q", name))
+	}
+	t.nodes[id].count += n
+}
+
+// ComputeIC propagates counts up the tree and computes the information
+// content IC(c) = −log p(c) with p(c) = (cum(c)+1) / (total+|nodes|)
+// (add-one smoothing keeps unseen words finite). The taxonomy becomes
+// immutable afterwards.
+func (t *Taxonomy) ComputeIC() {
+	if t.frozen {
+		return
+	}
+	// Children always have larger ids than parents, so one reverse pass
+	// accumulates subtree counts.
+	for i := range t.nodes {
+		t.nodes[i].cum = t.nodes[i].count
+	}
+	for i := len(t.nodes) - 1; i >= 1; i-- {
+		t.nodes[t.nodes[i].parent].cum += t.nodes[i].cum
+	}
+	t.total = t.nodes[0].cum
+	denom := t.total + float64(len(t.nodes))
+	for i := range t.nodes {
+		p := (t.nodes[i].cum + 1) / denom
+		t.nodes[i].ic = -math.Log(p)
+	}
+	t.frozen = true
+}
+
+// IC returns the information content of the named node. ComputeIC must
+// have been called.
+func (t *Taxonomy) IC(name string) float64 {
+	if !t.frozen {
+		panic("semnet: ComputeIC must run before IC queries")
+	}
+	id, ok := t.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("semnet: unknown word %q", name))
+	}
+	return t.nodes[id].ic
+}
+
+// LCS returns the lowest common subsumer of the two named nodes.
+func (t *Taxonomy) LCS(a, b string) string {
+	ia, ok := t.byName[a]
+	if !ok {
+		panic(fmt.Sprintf("semnet: unknown word %q", a))
+	}
+	ib, ok := t.byName[b]
+	if !ok {
+		panic(fmt.Sprintf("semnet: unknown word %q", b))
+	}
+	for t.nodes[ia].depth > t.nodes[ib].depth {
+		ia = t.nodes[ia].parent
+	}
+	for t.nodes[ib].depth > t.nodes[ia].depth {
+		ib = t.nodes[ib].parent
+	}
+	for ia != ib {
+		ia = t.nodes[ia].parent
+		ib = t.nodes[ib].parent
+	}
+	return t.nodes[ia].name
+}
+
+// JCN returns the Jiang–Conrath distance between two words. Identical
+// words have distance 0.
+func (t *Taxonomy) JCN(a, b string) float64 {
+	if a == b {
+		return 0
+	}
+	lcs := t.LCS(a, b)
+	d := t.IC(a) + t.IC(b) - 2*t.IC(lcs)
+	if d < 0 {
+		// Guard against tiny negative values from smoothing.
+		d = 0
+	}
+	return d
+}
+
+// RankOf returns the 1-based rank of candidate among all words in the
+// given vocabulary by ascending JCN distance from target (ties broken by
+// name for determinism), excluding the target itself. This implements the
+// Rank(t, t_sim) score of Equation 23.
+func (t *Taxonomy) RankOf(target, candidate string, vocabulary []string) int {
+	type pair struct {
+		name string
+		d    float64
+	}
+	var ps []pair
+	for _, w := range vocabulary {
+		if w == target {
+			continue
+		}
+		ps = append(ps, pair{name: w, d: t.JCN(target, w)})
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].d != ps[j].d {
+			return ps[i].d < ps[j].d
+		}
+		return ps[i].name < ps[j].name
+	})
+	for i, p := range ps {
+		if p.name == candidate {
+			return i + 1
+		}
+	}
+	return len(ps) + 1
+}
+
+// GenOptions configures Generate.
+type GenOptions struct {
+	// Categories is the number of top-level categories under the root.
+	Categories int
+	// ConceptsPerCategory is the number of synset-like concept nodes in
+	// each category.
+	ConceptsPerCategory int
+	// WordsPerConcept is the number of leaf words under each concept
+	// (synonyms of one another).
+	WordsPerConcept int
+	// Seed drives the word-shape generator.
+	Seed int64
+}
+
+// Generated couples a taxonomy with its structure: which words belong to
+// which concept. The generator in package datagen uses this to emit
+// corpora whose ground-truth concepts are taxonomy nodes.
+type Generated struct {
+	Taxonomy *Taxonomy
+	// Concepts[i] lists the leaf words of concept i; concepts are
+	// numbered globally across categories.
+	Concepts [][]string
+	// ConceptNames[i] is the taxonomy node name of concept i.
+	ConceptNames []string
+	// CategoryOf[i] is the category index of concept i.
+	CategoryOf []int
+}
+
+// Generate builds a random three-level taxonomy (root → categories →
+// concepts → words) with pronounceable unique word names.
+func Generate(opts GenOptions) *Generated {
+	if opts.Categories <= 0 || opts.ConceptsPerCategory <= 0 || opts.WordsPerConcept <= 0 {
+		panic("semnet: Generate needs positive shape parameters")
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	t := New()
+	g := &Generated{Taxonomy: t}
+	seen := make(map[string]bool)
+	concept := 0
+	for c := 0; c < opts.Categories; c++ {
+		cat := t.AddNode(t.Root(), fmt.Sprintf("category-%02d", c))
+		for s := 0; s < opts.ConceptsPerCategory; s++ {
+			cname := fmt.Sprintf("concept-%02d-%02d", c, s)
+			cn := t.AddNode(cat, cname)
+			words := make([]string, 0, opts.WordsPerConcept)
+			for w := 0; w < opts.WordsPerConcept; w++ {
+				word := uniqueWord(rng, seen)
+				t.AddNode(cn, word)
+				words = append(words, word)
+			}
+			g.Concepts = append(g.Concepts, words)
+			g.ConceptNames = append(g.ConceptNames, cname)
+			g.CategoryOf = append(g.CategoryOf, c)
+			concept++
+		}
+	}
+	return g
+}
+
+var (
+	onsets  = []string{"b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "l", "m", "n", "p", "pl", "qu", "r", "s", "sh", "st", "t", "tr", "v", "w", "z"}
+	vowels  = []string{"a", "e", "i", "o", "u", "ai", "ea", "io", "ou"}
+	codas   = []string{"", "n", "r", "s", "t", "l", "m", "ck", "nd", "st"}
+	suffixe = []string{"", "", "", "er", "ing", "ia", "ix", "on"}
+)
+
+// uniqueWord emits a pronounceable lowercase pseudo-word not seen before.
+func uniqueWord(rng *rand.Rand, seen map[string]bool) string {
+	for {
+		syll := 2 + rng.Intn(2)
+		w := ""
+		for s := 0; s < syll; s++ {
+			w += onsets[rng.Intn(len(onsets))] + vowels[rng.Intn(len(vowels))]
+			if s == syll-1 {
+				w += codas[rng.Intn(len(codas))]
+			}
+		}
+		w += suffixe[rng.Intn(len(suffixe))]
+		if len(w) >= 3 && !seen[w] {
+			seen[w] = true
+			return w
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package semnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// toyTaxonomy builds:
+//
+//	root ── animal ── dog, cat
+//	     └─ tool   ── hammer
+func toyTaxonomy(counts map[string]float64) *Taxonomy {
+	t := New()
+	animal := t.AddNode(t.Root(), "animal")
+	t.AddNode(animal, "dog")
+	t.AddNode(animal, "cat")
+	tool := t.AddNode(t.Root(), "tool")
+	t.AddNode(tool, "hammer")
+	for w, n := range counts {
+		t.AddCount(w, n)
+	}
+	t.ComputeIC()
+	return t
+}
+
+func TestLCS(t *testing.T) {
+	tax := toyTaxonomy(map[string]float64{"dog": 10, "cat": 10, "hammer": 10})
+	if got := tax.LCS("dog", "cat"); got != "animal" {
+		t.Fatalf("LCS(dog,cat) = %q, want animal", got)
+	}
+	if got := tax.LCS("dog", "hammer"); got != "<root>" {
+		t.Fatalf("LCS(dog,hammer) = %q, want <root>", got)
+	}
+	if got := tax.LCS("dog", "dog"); got != "dog" {
+		t.Fatalf("LCS(dog,dog) = %q, want dog", got)
+	}
+	if got := tax.LCS("dog", "animal"); got != "animal" {
+		t.Fatalf("LCS(dog,animal) = %q, want animal", got)
+	}
+}
+
+func TestICMonotone(t *testing.T) {
+	// Ancestors subsume descendants, so IC(ancestor) ≤ IC(descendant).
+	tax := toyTaxonomy(map[string]float64{"dog": 50, "cat": 5, "hammer": 20})
+	if tax.IC("animal") > tax.IC("dog") {
+		t.Fatal("IC(animal) should not exceed IC(dog)")
+	}
+	if tax.IC("<root>") > tax.IC("animal") {
+		t.Fatal("IC(root) should not exceed IC(animal)")
+	}
+	// Rare words are more informative.
+	if tax.IC("cat") <= tax.IC("dog") {
+		t.Fatal("rare cat should have higher IC than frequent dog")
+	}
+}
+
+func TestJCNProperties(t *testing.T) {
+	tax := toyTaxonomy(map[string]float64{"dog": 10, "cat": 10, "hammer": 10})
+	if d := tax.JCN("dog", "dog"); d != 0 {
+		t.Fatalf("JCN(x,x) = %v, want 0", d)
+	}
+	// Symmetry.
+	if tax.JCN("dog", "cat") != tax.JCN("cat", "dog") {
+		t.Fatal("JCN not symmetric")
+	}
+	// Words sharing a close subsumer are nearer than cross-category pairs.
+	if tax.JCN("dog", "cat") >= tax.JCN("dog", "hammer") {
+		t.Fatalf("JCN(dog,cat)=%v should be < JCN(dog,hammer)=%v",
+			tax.JCN("dog", "cat"), tax.JCN("dog", "hammer"))
+	}
+	// Non-negative.
+	if tax.JCN("cat", "hammer") < 0 {
+		t.Fatal("JCN must be non-negative")
+	}
+}
+
+func TestRankOf(t *testing.T) {
+	tax := toyTaxonomy(map[string]float64{"dog": 10, "cat": 10, "hammer": 10})
+	vocab := []string{"dog", "cat", "hammer"}
+	// cat is dog's nearest word, so its rank is 1.
+	if r := tax.RankOf("dog", "cat", vocab); r != 1 {
+		t.Fatalf("RankOf(dog,cat) = %d, want 1", r)
+	}
+	if r := tax.RankOf("dog", "hammer", vocab); r != 2 {
+		t.Fatalf("RankOf(dog,hammer) = %d, want 2", r)
+	}
+}
+
+func TestContainsAndLookup(t *testing.T) {
+	tax := toyTaxonomy(map[string]float64{"dog": 1, "cat": 1, "hammer": 1})
+	if !tax.Contains("dog") || tax.Contains("unicorn") {
+		t.Fatal("Contains wrong")
+	}
+	if len(tax.Leaves()) != 3 {
+		t.Fatalf("Leaves = %v, want 3 words", tax.Leaves())
+	}
+}
+
+func TestFrozenPanics(t *testing.T) {
+	tax := toyTaxonomy(nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on AddNode after ComputeIC")
+		}
+	}()
+	tax.AddNode(tax.Root(), "late")
+}
+
+func TestGenerateShape(t *testing.T) {
+	g := Generate(GenOptions{Categories: 3, ConceptsPerCategory: 4, WordsPerConcept: 5, Seed: 1})
+	if len(g.Concepts) != 12 {
+		t.Fatalf("concepts = %d, want 12", len(g.Concepts))
+	}
+	for i, ws := range g.Concepts {
+		if len(ws) != 5 {
+			t.Fatalf("concept %d has %d words, want 5", i, len(ws))
+		}
+	}
+	if len(g.Taxonomy.Leaves()) != 60 {
+		t.Fatalf("leaves = %d, want 60", len(g.Taxonomy.Leaves()))
+	}
+	// Category assignment is block-wise.
+	if g.CategoryOf[0] != 0 || g.CategoryOf[11] != 2 {
+		t.Fatalf("CategoryOf = %v", g.CategoryOf)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GenOptions{Categories: 2, ConceptsPerCategory: 2, WordsPerConcept: 3, Seed: 5})
+	b := Generate(GenOptions{Categories: 2, ConceptsPerCategory: 2, WordsPerConcept: 3, Seed: 5})
+	for i := range a.Concepts {
+		for j := range a.Concepts[i] {
+			if a.Concepts[i][j] != b.Concepts[i][j] {
+				t.Fatal("same seed produced different words")
+			}
+		}
+	}
+}
+
+func TestGeneratedJCNSeparatesConcepts(t *testing.T) {
+	// Words within a concept must on average be JCN-closer than words in
+	// different categories — the property that makes the taxonomy a
+	// usable ground truth for Table III.
+	g := Generate(GenOptions{Categories: 3, ConceptsPerCategory: 3, WordsPerConcept: 4, Seed: 11})
+	tax := g.Taxonomy
+	for _, ws := range g.Concepts {
+		for _, w := range ws {
+			tax.AddCount(w, 10)
+		}
+	}
+	tax.ComputeIC()
+	same := tax.JCN(g.Concepts[0][0], g.Concepts[0][1])
+	cross := tax.JCN(g.Concepts[0][0], g.Concepts[8][0]) // different category
+	if same >= cross {
+		t.Fatalf("intra-concept JCN %v should be < cross-category %v", same, cross)
+	}
+}
+
+func TestJCNTriangleLikeOrdering(t *testing.T) {
+	// Property: for random count assignments, JCN stays symmetric and
+	// non-negative and identical words are always at distance zero.
+	f := func(c1, c2, c3 uint8) bool {
+		tax := toyTaxonomy(map[string]float64{
+			"dog": float64(c1%50) + 1, "cat": float64(c2%50) + 1, "hammer": float64(c3%50) + 1,
+		})
+		words := []string{"dog", "cat", "hammer"}
+		for _, a := range words {
+			if tax.JCN(a, a) != 0 {
+				return false
+			}
+			for _, b := range words {
+				if tax.JCN(a, b) < 0 || math.Abs(tax.JCN(a, b)-tax.JCN(b, a)) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

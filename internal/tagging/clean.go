@@ -1,0 +1,90 @@
+package tagging
+
+import "strings"
+
+// CleanOptions configures the cleaning pipeline of Section VI-A.
+type CleanOptions struct {
+	// MinSupport drops any user, tag, or resource that appears in fewer
+	// than this many assignments, iterating until a fixed point (the
+	// removal of one entity can push another below the threshold). The
+	// paper uses 5. Zero disables support pruning.
+	MinSupport int
+	// DropSystemTags removes tags with the "system:" prefix, such as
+	// "system:imported" and "system:unfiled".
+	DropSystemTags bool
+	// Lowercase folds tags to lowercase before any other processing, as
+	// the paper does ("we convert all tag letters into lowercase").
+	Lowercase bool
+}
+
+// DefaultCleanOptions mirrors the paper's choices.
+func DefaultCleanOptions() CleanOptions {
+	return CleanOptions{MinSupport: 5, DropSystemTags: true, Lowercase: true}
+}
+
+// Clean applies the paper's cleaning pipeline to d and returns a new
+// dataset with freshly compacted id spaces. The input is not modified.
+func Clean(d *Dataset, opts CleanOptions) *Dataset {
+	// Pass 1: tag-level normalization (lowercasing merges tag ids;
+	// system tags are dropped entirely).
+	type triple struct {
+		u, r int
+		tag  string
+	}
+	var triples []triple
+	for _, a := range d.Assignments() {
+		tag := d.Tags.Name(a.Tag)
+		if opts.Lowercase {
+			tag = strings.ToLower(tag)
+		}
+		if opts.DropSystemTags && strings.HasPrefix(tag, "system:") {
+			continue
+		}
+		triples = append(triples, triple{u: a.User, r: a.Resource, tag: tag})
+	}
+
+	// Pass 2: iterative minimum-support pruning over users, tags, and
+	// resources, to a fixed point.
+	type key struct {
+		u   int
+		tag string
+		r   int
+	}
+	alive := make(map[key]struct{}, len(triples))
+	for _, t := range triples {
+		alive[key{t.u, t.tag, t.r}] = struct{}{}
+	}
+	if opts.MinSupport > 1 {
+		for {
+			uc := make(map[int]int)
+			tc := make(map[string]int)
+			rc := make(map[int]int)
+			for k := range alive {
+				uc[k.u]++
+				tc[k.tag]++
+				rc[k.r]++
+			}
+			removed := false
+			for k := range alive {
+				if uc[k.u] < opts.MinSupport || tc[k.tag] < opts.MinSupport || rc[k.r] < opts.MinSupport {
+					delete(alive, k)
+					removed = true
+				}
+			}
+			if !removed {
+				break
+			}
+		}
+	}
+
+	// Pass 3: rebuild with compact ids, preserving original names and a
+	// deterministic order (original insertion order of the triples).
+	out := NewDataset()
+	for _, t := range triples {
+		if _, ok := alive[key{t.u, t.tag, t.r}]; !ok {
+			continue
+		}
+		out.Add(d.Users.Name(t.u), t.tag, d.Resources.Name(t.r))
+	}
+	return out
+}

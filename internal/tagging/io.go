@@ -1,0 +1,70 @@
+package tagging
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// WriteTSV serializes the dataset as tab-separated (user, tag, resource)
+// lines in deterministic order.
+func WriteTSV(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for _, a := range d.SortedAssignments() {
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\n",
+			d.Users.Name(a.User), d.Tags.Name(a.Tag), d.Resources.Name(a.Resource)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses tab-separated (user, tag, resource) lines into a
+// dataset. Blank lines and lines starting with '#' are skipped.
+func ReadTSV(r io.Reader) (*Dataset, error) {
+	d := NewDataset()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("tagging: line %d: want 3 tab-separated fields, got %d", lineNo, len(parts))
+		}
+		d.Add(parts[0], parts[1], parts[2])
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tagging: scan: %w", err)
+	}
+	return d, nil
+}
+
+// SaveFile writes the dataset to path as TSV.
+func SaveFile(path string, d *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("tagging: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := WriteTSV(f, d); err != nil {
+		return fmt.Errorf("tagging: write %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// LoadFile reads a TSV dataset from path.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tagging: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadTSV(f)
+}

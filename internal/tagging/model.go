@@ -1,0 +1,184 @@
+// Package tagging defines the social-tagging data model of the paper: a
+// set of users U, tags T, resources R, and tag assignments Y ⊆ U×T×R,
+// together with TSV input/output, the cleaning pipeline of Section VI-A,
+// and the derived structures the ranking methods consume (the third-order
+// tensor of Equation 5 and per-resource tag statistics).
+package tagging
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// Interner maps strings to dense integer identifiers and back.
+type Interner struct {
+	byName map[string]int
+	names  []string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{byName: make(map[string]int)}
+}
+
+// Intern returns the id of name, assigning the next id on first sight.
+func (in *Interner) Intern(name string) int {
+	if id, ok := in.byName[name]; ok {
+		return id
+	}
+	id := len(in.names)
+	in.byName[name] = id
+	in.names = append(in.names, name)
+	return id
+}
+
+// Lookup returns the id of name and whether it is known.
+func (in *Interner) Lookup(name string) (int, bool) {
+	id, ok := in.byName[name]
+	return id, ok
+}
+
+// Name returns the string for id.
+func (in *Interner) Name(id int) string {
+	if id < 0 || id >= len(in.names) {
+		panic(fmt.Sprintf("tagging: id %d out of range (%d interned)", id, len(in.names)))
+	}
+	return in.names[id]
+}
+
+// Len returns the number of interned strings.
+func (in *Interner) Len() int { return len(in.names) }
+
+// Names returns all interned strings in id order. Callers must not
+// mutate the returned slice.
+func (in *Interner) Names() []string { return in.names }
+
+// Assignment is one tag assignment (u, t, r) ∈ Y.
+type Assignment struct {
+	User, Tag, Resource int
+}
+
+// Dataset is a social-tagging corpus: interned entity namespaces plus the
+// set of distinct tag assignments.
+type Dataset struct {
+	Users     *Interner
+	Tags      *Interner
+	Resources *Interner
+
+	assignments []Assignment
+	seen        map[Assignment]struct{}
+}
+
+// NewDataset returns an empty dataset.
+func NewDataset() *Dataset {
+	return &Dataset{
+		Users:     NewInterner(),
+		Tags:      NewInterner(),
+		Resources: NewInterner(),
+		seen:      make(map[Assignment]struct{}),
+	}
+}
+
+// Add records the assignment (user, tag, resource), interning the names.
+// Duplicate triples are ignored, matching the set semantics of Y.
+func (d *Dataset) Add(user, tag, resource string) {
+	a := Assignment{
+		User:     d.Users.Intern(user),
+		Tag:      d.Tags.Intern(tag),
+		Resource: d.Resources.Intern(resource),
+	}
+	if _, dup := d.seen[a]; dup {
+		return
+	}
+	d.seen[a] = struct{}{}
+	d.assignments = append(d.assignments, a)
+}
+
+// AddIDs records an assignment by pre-interned ids (used by the cleaner
+// and generator, which manage namespaces themselves).
+func (d *Dataset) AddIDs(user, tag, resource int) {
+	a := Assignment{User: user, Tag: tag, Resource: resource}
+	if _, dup := d.seen[a]; dup {
+		return
+	}
+	d.seen[a] = struct{}{}
+	d.assignments = append(d.assignments, a)
+}
+
+// Assignments returns the distinct tag assignments in insertion order.
+// Callers must not mutate the returned slice.
+func (d *Dataset) Assignments() []Assignment { return d.assignments }
+
+// Stats summarizes dataset sizes in the shape of Table II.
+type Stats struct {
+	Users, Tags, Resources, Assignments int
+}
+
+// Stats returns |U|, |T|, |R|, |Y|.
+func (d *Dataset) Stats() Stats {
+	return Stats{
+		Users:       d.Users.Len(),
+		Tags:        d.Tags.Len(),
+		Resources:   d.Resources.Len(),
+		Assignments: len(d.assignments),
+	}
+}
+
+// String renders the stats as a Table II row.
+func (s Stats) String() string {
+	return fmt.Sprintf("|U|=%d |T|=%d |R|=%d |Y|=%d", s.Users, s.Tags, s.Resources, s.Assignments)
+}
+
+// Tensor builds the third-order 0/1 tensor F ∈ {0,1}^{|U|×|T|×|R|} of
+// Equation 5 from the assignments.
+func (d *Dataset) Tensor() *tensor.Sparse3 {
+	f := tensor.NewSparse3(d.Users.Len(), d.Tags.Len(), d.Resources.Len())
+	for _, a := range d.assignments {
+		f.Append(a.User, a.Tag, a.Resource, 1)
+	}
+	f.Build()
+	return f
+}
+
+// ResourceTags returns, for every resource, a map from tag id to the
+// number of distinct users who assigned that tag to the resource —
+// c(t, r) = |users(t, r)| in the paper's notation.
+func (d *Dataset) ResourceTags() []map[int]int {
+	out := make([]map[int]int, d.Resources.Len())
+	for i := range out {
+		out[i] = make(map[int]int)
+	}
+	for _, a := range d.assignments {
+		out[a.Resource][a.Tag]++
+	}
+	return out
+}
+
+// TagCounts returns the total number of assignments per tag.
+func (d *Dataset) TagCounts() []int {
+	out := make([]int, d.Tags.Len())
+	for _, a := range d.assignments {
+		out[a.Tag]++
+	}
+	return out
+}
+
+// SortedAssignments returns a copy of the assignments sorted by
+// (user, tag, resource), for deterministic serialization.
+func (d *Dataset) SortedAssignments() []Assignment {
+	out := make([]Assignment, len(d.assignments))
+	copy(out, d.assignments)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.User != b.User {
+			return a.User < b.User
+		}
+		if a.Tag != b.Tag {
+			return a.Tag < b.Tag
+		}
+		return a.Resource < b.Resource
+	})
+	return out
+}

@@ -1,0 +1,243 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Dense3 is a dense third-order tensor stored row-major as
+// data[i*I2*I3 + j*I3 + k]. It is used for small tensors: cores of Tucker
+// decompositions, test oracles, and the paper's running example.
+type Dense3 struct {
+	i1, i2, i3 int
+	data       []float64
+}
+
+// NewDense3 returns a zeroed I1×I2×I3 dense tensor.
+func NewDense3(i1, i2, i3 int) *Dense3 {
+	if i1 < 0 || i2 < 0 || i3 < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %d×%d×%d", i1, i2, i3))
+	}
+	return &Dense3{i1: i1, i2: i2, i3: i3, data: make([]float64, i1*i2*i3)}
+}
+
+// Dims returns (I1, I2, I3).
+func (d *Dense3) Dims() (int, int, int) { return d.i1, d.i2, d.i3 }
+
+// At returns the value at (i, j, k).
+func (d *Dense3) At(i, j, k int) float64 {
+	d.check(i, j, k)
+	return d.data[(i*d.i2+j)*d.i3+k]
+}
+
+// Set assigns the value at (i, j, k).
+func (d *Dense3) Set(i, j, k int, v float64) {
+	d.check(i, j, k)
+	d.data[(i*d.i2+j)*d.i3+k] = v
+}
+
+func (d *Dense3) check(i, j, k int) {
+	if i < 0 || i >= d.i1 || j < 0 || j >= d.i2 || k < 0 || k >= d.i3 {
+		panic(fmt.Sprintf("tensor: index (%d,%d,%d) out of bounds %d×%d×%d", i, j, k, d.i1, d.i2, d.i3))
+	}
+}
+
+// Data returns the underlying slice (not a copy).
+func (d *Dense3) Data() []float64 { return d.data }
+
+// Clone returns a deep copy.
+func (d *Dense3) Clone() *Dense3 {
+	c := NewDense3(d.i1, d.i2, d.i3)
+	copy(c.data, d.data)
+	return c
+}
+
+// FrobNorm returns the Frobenius norm (Equation 15).
+func (d *Dense3) FrobNorm() float64 {
+	return mat.Norm2(d.data)
+}
+
+// Sub returns d − e as a new tensor.
+func Sub(d, e *Dense3) *Dense3 {
+	if d.i1 != e.i1 || d.i2 != e.i2 || d.i3 != e.i3 {
+		panic("tensor: Sub shape mismatch")
+	}
+	out := NewDense3(d.i1, d.i2, d.i3)
+	for i := range d.data {
+		out.data[i] = d.data[i] - e.data[i]
+	}
+	return out
+}
+
+// Equal reports whether d and e agree entrywise within tol.
+func Equal(d, e *Dense3, tol float64) bool {
+	if d.i1 != e.i1 || d.i2 != e.i2 || d.i3 != e.i3 {
+		return false
+	}
+	for i := range d.data {
+		if math.Abs(d.data[i]-e.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Unfold returns the mode-n unfolding (matricization) of the tensor as a
+// matrix with I_n rows. Columns follow the convention that the remaining
+// modes vary with the lower-numbered mode moving slowest, matching
+// Kronecker products Y^(a) ⊗ Y^(b) with a < b:
+//
+//	mode 1: rows i1, columns (i2, i3) → i2*I3 + i3
+//	mode 2: rows i2, columns (i1, i3) → i1*I3 + i3
+//	mode 3: rows i3, columns (i1, i2) → i1*I2 + i2
+func (d *Dense3) Unfold(mode int) *mat.Matrix {
+	switch mode {
+	case 1:
+		m := mat.New(d.i1, d.i2*d.i3)
+		for i := 0; i < d.i1; i++ {
+			copy(m.Row(i), d.data[i*d.i2*d.i3:(i+1)*d.i2*d.i3])
+		}
+		return m
+	case 2:
+		m := mat.New(d.i2, d.i1*d.i3)
+		for i := 0; i < d.i1; i++ {
+			for j := 0; j < d.i2; j++ {
+				for k := 0; k < d.i3; k++ {
+					m.Set(j, i*d.i3+k, d.At(i, j, k))
+				}
+			}
+		}
+		return m
+	case 3:
+		m := mat.New(d.i3, d.i1*d.i2)
+		for i := 0; i < d.i1; i++ {
+			for j := 0; j < d.i2; j++ {
+				for k := 0; k < d.i3; k++ {
+					m.Set(k, i*d.i2+j, d.At(i, j, k))
+				}
+			}
+		}
+		return m
+	default:
+		panic(fmt.Sprintf("tensor: invalid mode %d", mode))
+	}
+}
+
+// FoldDense3 is the inverse of Unfold: it folds a matrix back into an
+// I1×I2×I3 tensor along the given mode, using the same column convention.
+func FoldDense3(m *mat.Matrix, mode, i1, i2, i3 int) *Dense3 {
+	d := NewDense3(i1, i2, i3)
+	switch mode {
+	case 1:
+		if m.Rows() != i1 || m.Cols() != i2*i3 {
+			panic("tensor: Fold mode-1 shape mismatch")
+		}
+		for i := 0; i < i1; i++ {
+			copy(d.data[i*i2*i3:(i+1)*i2*i3], m.Row(i))
+		}
+	case 2:
+		if m.Rows() != i2 || m.Cols() != i1*i3 {
+			panic("tensor: Fold mode-2 shape mismatch")
+		}
+		for j := 0; j < i2; j++ {
+			for i := 0; i < i1; i++ {
+				for k := 0; k < i3; k++ {
+					d.Set(i, j, k, m.At(j, i*i3+k))
+				}
+			}
+		}
+	case 3:
+		if m.Rows() != i3 || m.Cols() != i1*i2 {
+			panic("tensor: Fold mode-3 shape mismatch")
+		}
+		for k := 0; k < i3; k++ {
+			for i := 0; i < i1; i++ {
+				for j := 0; j < i2; j++ {
+					d.Set(i, j, k, m.At(k, i*i2+j))
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("tensor: invalid mode %d", mode))
+	}
+	return d
+}
+
+// ModeProduct computes the n-mode product G = D ×_mode W where W is
+// J×I_mode (Definition 1): the mode-n fibers of D are each multiplied by W.
+func (d *Dense3) ModeProduct(mode int, w *mat.Matrix) *Dense3 {
+	switch mode {
+	case 1:
+		if w.Cols() != d.i1 {
+			panic(fmt.Sprintf("tensor: mode-1 product needs %d columns, got %d", d.i1, w.Cols()))
+		}
+		out := NewDense3(w.Rows(), d.i2, d.i3)
+		for jn := 0; jn < w.Rows(); jn++ {
+			for i := 0; i < d.i1; i++ {
+				wv := w.At(jn, i)
+				if wv == 0 {
+					continue
+				}
+				for j := 0; j < d.i2; j++ {
+					for k := 0; k < d.i3; k++ {
+						out.Set(jn, j, k, out.At(jn, j, k)+wv*d.At(i, j, k))
+					}
+				}
+			}
+		}
+		return out
+	case 2:
+		if w.Cols() != d.i2 {
+			panic(fmt.Sprintf("tensor: mode-2 product needs %d columns, got %d", d.i2, w.Cols()))
+		}
+		out := NewDense3(d.i1, w.Rows(), d.i3)
+		for jn := 0; jn < w.Rows(); jn++ {
+			for j := 0; j < d.i2; j++ {
+				wv := w.At(jn, j)
+				if wv == 0 {
+					continue
+				}
+				for i := 0; i < d.i1; i++ {
+					for k := 0; k < d.i3; k++ {
+						out.Set(i, jn, k, out.At(i, jn, k)+wv*d.At(i, j, k))
+					}
+				}
+			}
+		}
+		return out
+	case 3:
+		if w.Cols() != d.i3 {
+			panic(fmt.Sprintf("tensor: mode-3 product needs %d columns, got %d", d.i3, w.Cols()))
+		}
+		out := NewDense3(d.i1, d.i2, w.Rows())
+		for jn := 0; jn < w.Rows(); jn++ {
+			for k := 0; k < d.i3; k++ {
+				wv := w.At(jn, k)
+				if wv == 0 {
+					continue
+				}
+				for i := 0; i < d.i1; i++ {
+					for j := 0; j < d.i2; j++ {
+						out.Set(i, j, jn, out.At(i, j, jn)+wv*d.At(i, j, k))
+					}
+				}
+			}
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("tensor: invalid mode %d", mode))
+	}
+}
+
+// SliceMode2 returns the frontal slice D[:, j, :] as an I1×I3 matrix.
+func (d *Dense3) SliceMode2(j int) *mat.Matrix {
+	m := mat.New(d.i1, d.i3)
+	for i := 0; i < d.i1; i++ {
+		for k := 0; k < d.i3; k++ {
+			m.Set(i, k, d.At(i, j, k))
+		}
+	}
+	return m
+}

@@ -1,0 +1,162 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/mat"
+)
+
+// ProjectedUnfold computes, directly from the sparse coordinate data, the
+// mode-n unfolding of the tensor projected by the transposed factor
+// matrices in the other two modes:
+//
+//	mode 1: W = [F ×₂ Bᵀ ×₃ Cᵀ]₍₁₎  with B = y2 (I2×J2), C = y3 (I3×J3)
+//	mode 2: W = [F ×₁ Aᵀ ×₃ Cᵀ]₍₂₎  with A = y1 (I1×J1), C = y3 (I3×J3)
+//	mode 3: W = [F ×₁ Aᵀ ×₂ Bᵀ]₍₃₎  with A = y1 (I1×J1), B = y2 (I2×J2)
+//
+// This is the workhorse of the HOOI sweep: the dense projected tensor is
+// never materialized; each sparse entry contributes a rank-1 outer product
+// of two factor rows. Cost is O(nnz · Ja · Jb).
+//
+// The column ordering matches Dense3.Unfold, so results are directly
+// comparable with the dense oracle in tests.
+func ProjectedUnfold(f *Sparse3, mode int, ya, yb *mat.Matrix) *mat.Matrix {
+	i1, i2, i3 := f.Dims()
+	var rows int
+	var rowOf func(Entry) (row, ia, ib int)
+	switch mode {
+	case 1:
+		checkFactor("mode-1 projection", ya, i2)
+		checkFactor("mode-1 projection", yb, i3)
+		rows = i1
+		rowOf = func(e Entry) (int, int, int) { return e.I, e.J, e.K }
+	case 2:
+		checkFactor("mode-2 projection", ya, i1)
+		checkFactor("mode-2 projection", yb, i3)
+		rows = i2
+		rowOf = func(e Entry) (int, int, int) { return e.J, e.I, e.K }
+	case 3:
+		checkFactor("mode-3 projection", ya, i1)
+		checkFactor("mode-3 projection", yb, i2)
+		rows = i3
+		rowOf = func(e Entry) (int, int, int) { return e.K, e.I, e.J }
+	default:
+		panic(fmt.Sprintf("tensor: invalid mode %d", mode))
+	}
+	entries := f.Entries()
+	ja, jb := ya.Cols(), yb.Cols()
+	w := mat.New(rows, ja*jb)
+
+	// Bucket entries by output row (counting sort) so workers own
+	// disjoint row ranges and accumulate without synchronization.
+	starts := make([]int, rows+1)
+	for _, e := range entries {
+		r, _, _ := rowOf(e)
+		starts[r+1]++
+	}
+	for r := 0; r < rows; r++ {
+		starts[r+1] += starts[r]
+	}
+	order := make([]int, len(entries))
+	fill := append([]int(nil), starts[:rows]...)
+	for idx, e := range entries {
+		r, _, _ := rowOf(e)
+		order[fill[r]] = idx
+		fill[r]++
+	}
+
+	parallelRows(rows, len(entries)*ja*jb, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			dst := w.Row(r)
+			for _, idx := range order[starts[r]:starts[r+1]] {
+				e := entries[idx]
+				_, ia, ib := rowOf(e)
+				accumOuter(dst, e.V, ya.Row(ia), yb.Row(ib))
+			}
+		}
+	})
+	return w
+}
+
+// parallelRows splits [0, n) across GOMAXPROCS workers when cost (an
+// op-count estimate) warrants it.
+func parallelRows(n, cost int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if cost < 1<<18 || workers <= 1 || n < 2 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func checkFactor(ctx string, y *mat.Matrix, wantRows int) {
+	if y.Rows() != wantRows {
+		panic(fmt.Sprintf("tensor: %s factor has %d rows, want %d", ctx, y.Rows(), wantRows))
+	}
+}
+
+// accumOuter adds v · (ra ⊗ rb) to the flattened row dst, where
+// dst[a*len(rb)+b] += v·ra[a]·rb[b].
+func accumOuter(dst []float64, v float64, ra, rb []float64) {
+	for a, va := range ra {
+		s := v * va
+		if s == 0 {
+			continue
+		}
+		seg := dst[a*len(rb) : (a+1)*len(rb)]
+		for b, vb := range rb {
+			seg[b] += s * vb
+		}
+	}
+}
+
+// Core computes the Tucker core S = F ×₁ Y⁽¹⁾ᵀ ×₂ Y⁽²⁾ᵀ ×₃ Y⁽³⁾ᵀ
+// (Equation 16) from the sparse tensor and the three factor matrices
+// (Y⁽ⁿ⁾ is I_n×J_n). It computes the mode-1 projected unfolding first and
+// then contracts mode 1, so the full projected tensor in original
+// coordinates is never formed.
+func Core(f *Sparse3, y1, y2, y3 *mat.Matrix) *Dense3 {
+	i1, _, _ := f.Dims()
+	checkFactor("core", y1, i1)
+	w := ProjectedUnfold(f, 1, y2, y3) // I1 × (J2·J3)
+	s1 := mat.TMul(y1, w)              // J1 × (J2·J3)
+	return FoldDense3(s1, 1, y1.Cols(), y2.Cols(), y3.Cols())
+}
+
+// Reconstruct computes F̂ = S ×₁ Y⁽¹⁾ ×₂ Y⁽²⁾ ×₃ Y⁽³⁾ (Equation 14) as a
+// dense tensor. This materializes the purified tensor and is intended only
+// for tests and small examples — the whole point of Theorems 1 and 2 is
+// that production code never calls this.
+func Reconstruct(s *Dense3, y1, y2, y3 *mat.Matrix) *Dense3 {
+	return s.ModeProduct(1, y1).ModeProduct(2, y2).ModeProduct(3, y3)
+}
+
+// Mode2Matrix aggregates the tensor over the user dimension, producing
+// the traditional tag×resource matrix of Figure 3 used by the LSI and
+// BOW baselines: M[t, r] = Σ_u F[u, t, r].
+func Mode2Matrix(f *Sparse3) *mat.Matrix {
+	_, i2, i3 := f.Dims()
+	m := mat.New(i2, i3)
+	for _, e := range f.Entries() {
+		m.Add(e.J, e.K, e.V)
+	}
+	return m
+}

@@ -1,0 +1,288 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+// paperTensor builds the 3×3×3 tensor of Figure 2(b): the seven
+// (user, tag, resource) records of the running example.
+func paperTensor() *Sparse3 {
+	f := NewSparse3(3, 3, 3)
+	records := [][3]int{
+		{0, 0, 0}, // u1 t1 r1
+		{0, 0, 1}, // u1 t1 r2
+		{1, 0, 1}, // u2 t1 r2
+		{2, 0, 1}, // u3 t1 r2
+		{0, 1, 0}, // u1 t2 r1
+		{1, 2, 2}, // u2 t3 r3
+		{2, 2, 2}, // u3 t3 r3
+	}
+	for _, r := range records {
+		f.Append(r[0], r[1], r[2], 1)
+	}
+	f.Build()
+	return f
+}
+
+func randSparse(rng *rand.Rand, i1, i2, i3, nnz int) *Sparse3 {
+	f := NewSparse3(i1, i2, i3)
+	for n := 0; n < nnz; n++ {
+		f.Append(rng.Intn(i1), rng.Intn(i2), rng.Intn(i3), rng.NormFloat64())
+	}
+	f.Build()
+	return f
+}
+
+func TestPaperTensorSlices(t *testing.T) {
+	f := paperTensor()
+	if f.NNZ() != 7 {
+		t.Fatalf("NNZ = %d, want 7", f.NNZ())
+	}
+	// Section IV-A: F[:,1,:] (tag t1) =
+	// [1 1 0; 0 1 0; 0 1 0]
+	want := [][]float64{{1, 1, 0}, {0, 1, 0}, {0, 1, 0}}
+	got := f.SliceMode2(0)
+	for i := range want {
+		for k := range want[i] {
+			if got[i][k] != want[i][k] {
+				t.Fatalf("slice t1[%d][%d] = %v, want %v", i, k, got[i][k], want[i][k])
+			}
+		}
+	}
+	// F(u3, t1, r2) = 1 per the fourth record.
+	if f.At(2, 0, 1) != 1 {
+		t.Fatal("At(2,0,1) should be 1")
+	}
+	if f.At(2, 0, 0) != 0 {
+		t.Fatal("At(2,0,0) should be 0")
+	}
+}
+
+func TestPaperSliceDistances(t *testing.T) {
+	f := paperTensor()
+	// Section IV-B: D12 = √3, D13 = √6, D23 = √3.
+	if d := f.SliceDistanceMode2(0, 1); !almostEq(d, math.Sqrt(3), 1e-12) {
+		t.Fatalf("D12 = %v, want √3", d)
+	}
+	if d := f.SliceDistanceMode2(0, 2); !almostEq(d, math.Sqrt(6), 1e-12) {
+		t.Fatalf("D13 = %v, want √6", d)
+	}
+	if d := f.SliceDistanceMode2(1, 2); !almostEq(d, math.Sqrt(3), 1e-12) {
+		t.Fatalf("D23 = %v, want √3", d)
+	}
+}
+
+func TestPaperMode2MatrixDistances(t *testing.T) {
+	// Figure 3: aggregated tag×resource matrix and the traditional
+	// vector distances d12 = √9, d13 = √14, d23 = √5.
+	f := paperTensor()
+	m := Mode2Matrix(f)
+	wantM := mat.FromRows([][]float64{{1, 3, 0}, {1, 0, 0}, {0, 0, 2}})
+	if !mat.Equal(m, wantM, 0) {
+		t.Fatalf("Mode2Matrix = \n%v want \n%v", m, wantM)
+	}
+	d := func(a, b int) float64 { return mat.Norm2(mat.SubVec(m.Row(a), m.Row(b))) }
+	if !almostEq(d(0, 1), 3, 1e-12) {
+		t.Fatalf("d12 = %v, want 3", d(0, 1))
+	}
+	if !almostEq(d(0, 2), math.Sqrt(14), 1e-12) {
+		t.Fatalf("d13 = %v, want √14", d(0, 2))
+	}
+	if !almostEq(d(1, 2), math.Sqrt(5), 1e-12) {
+		t.Fatalf("d23 = %v, want √5", d(1, 2))
+	}
+}
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBuildDeduplicates(t *testing.T) {
+	f := NewSparse3(2, 2, 2)
+	f.Append(0, 0, 0, 1)
+	f.Append(0, 0, 0, 2)
+	f.Append(1, 1, 1, 5)
+	f.Append(0, 1, 0, 3)
+	f.Append(0, 1, 0, -3) // cancels to zero → dropped
+	f.Build()
+	if f.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", f.NNZ())
+	}
+	if f.At(0, 0, 0) != 3 {
+		t.Fatalf("At(0,0,0) = %v, want 3", f.At(0, 0, 0))
+	}
+}
+
+func TestFrobNormMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := randSparse(rng, 4, 5, 6, 30)
+	if !almostEq(f.FrobNorm(), f.Dense().FrobNorm(), 1e-12) {
+		t.Fatal("sparse and dense Frobenius norms disagree")
+	}
+}
+
+func TestUnfoldFoldRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := randSparse(rng, 3, 4, 5, 25).Dense()
+	for mode := 1; mode <= 3; mode++ {
+		u := d.Unfold(mode)
+		back := FoldDense3(u, mode, 3, 4, 5)
+		if !Equal(d, back, 0) {
+			t.Fatalf("mode %d: fold(unfold) != identity", mode)
+		}
+	}
+}
+
+func TestModeProductAgainstUnfolding(t *testing.T) {
+	// Fundamental identity: [D ×_n W]_(n) = W · D_(n).
+	rng := rand.New(rand.NewSource(3))
+	d := randSparse(rng, 3, 4, 5, 30).Dense()
+	dims := []int{3, 4, 5}
+	for mode := 1; mode <= 3; mode++ {
+		w := mat.New(2, dims[mode-1])
+		for i := 0; i < 2; i++ {
+			for j := 0; j < dims[mode-1]; j++ {
+				w.Set(i, j, rng.NormFloat64())
+			}
+		}
+		prod := d.ModeProduct(mode, w)
+		got := prod.Unfold(mode)
+		want := mat.Mul(w, d.Unfold(mode))
+		if !mat.Equal(got, want, 1e-12) {
+			t.Fatalf("mode %d: [D×W]_(n) != W·D_(n)", mode)
+		}
+	}
+}
+
+func TestModeProductCommutes(t *testing.T) {
+	// Products along different modes commute: (D ×₁ A) ×₂ B = (D ×₂ B) ×₁ A.
+	rng := rand.New(rand.NewSource(4))
+	d := randSparse(rng, 3, 4, 5, 30).Dense()
+	a := randomMatrix(rng, 2, 3)
+	b := randomMatrix(rng, 3, 4)
+	left := d.ModeProduct(1, a).ModeProduct(2, b)
+	right := d.ModeProduct(2, b).ModeProduct(1, a)
+	if !Equal(left, right, 1e-12) {
+		t.Fatal("mode products along different modes do not commute")
+	}
+}
+
+func TestModeProductComposes(t *testing.T) {
+	// (D ×₁ A) ×₁ B = D ×₁ (B·A).
+	rng := rand.New(rand.NewSource(5))
+	d := randSparse(rng, 3, 4, 5, 30).Dense()
+	a := randomMatrix(rng, 4, 3)
+	b := randomMatrix(rng, 2, 4)
+	left := d.ModeProduct(1, a).ModeProduct(1, b)
+	right := d.ModeProduct(1, mat.Mul(b, a))
+	if !Equal(left, right, 1e-12) {
+		t.Fatal("repeated mode-1 products do not compose")
+	}
+}
+
+func randomMatrix(rng *rand.Rand, r, c int) *mat.Matrix {
+	m := mat.New(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func TestProjectedUnfoldAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := randSparse(rng, 5, 6, 7, 60)
+	d := f.Dense()
+	y1 := randomMatrix(rng, 5, 2)
+	y2 := randomMatrix(rng, 6, 3)
+	y3 := randomMatrix(rng, 7, 2)
+	// mode 1
+	want1 := d.ModeProduct(2, y2.T()).ModeProduct(3, y3.T()).Unfold(1)
+	got1 := ProjectedUnfold(f, 1, y2, y3)
+	if !mat.Equal(got1, want1, 1e-12) {
+		t.Fatal("mode-1 projected unfolding mismatch")
+	}
+	// mode 2
+	want2 := d.ModeProduct(1, y1.T()).ModeProduct(3, y3.T()).Unfold(2)
+	got2 := ProjectedUnfold(f, 2, y1, y3)
+	if !mat.Equal(got2, want2, 1e-12) {
+		t.Fatal("mode-2 projected unfolding mismatch")
+	}
+	// mode 3
+	want3 := d.ModeProduct(1, y1.T()).ModeProduct(2, y2.T()).Unfold(3)
+	got3 := ProjectedUnfold(f, 3, y1, y2)
+	if !mat.Equal(got3, want3, 1e-12) {
+		t.Fatal("mode-3 projected unfolding mismatch")
+	}
+}
+
+func TestCoreAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := randSparse(rng, 5, 6, 7, 60)
+	d := f.Dense()
+	y1 := randomMatrix(rng, 5, 2)
+	y2 := randomMatrix(rng, 6, 3)
+	y3 := randomMatrix(rng, 7, 2)
+	got := Core(f, y1, y2, y3)
+	want := d.ModeProduct(1, y1.T()).ModeProduct(2, y2.T()).ModeProduct(3, y3.T())
+	if !Equal(got, want, 1e-12) {
+		t.Fatal("sparse Core disagrees with dense mode products")
+	}
+}
+
+func TestReconstructShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	s := randSparse(rng, 2, 3, 2, 10).Dense()
+	y1 := randomMatrix(rng, 5, 2)
+	y2 := randomMatrix(rng, 6, 3)
+	y3 := randomMatrix(rng, 7, 2)
+	r := Reconstruct(s, y1, y2, y3)
+	i1, i2, i3 := r.Dims()
+	if i1 != 5 || i2 != 6 || i3 != 7 {
+		t.Fatalf("Reconstruct dims = %d×%d×%d, want 5×6×7", i1, i2, i3)
+	}
+}
+
+func TestSliceDistanceProperty(t *testing.T) {
+	// Sparse slice distance equals the dense Frobenius difference for
+	// random tensors, and the triangle inequality holds.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fz := randSparse(rng, 4, 4, 4, 20)
+		d := fz.Dense()
+		idx := fz.Mode2SliceIndex()
+		for a := 0; a < 4; a++ {
+			for b := 0; b < 4; b++ {
+				want := mat.Sub(d.SliceMode2(a), d.SliceMode2(b)).FrobNorm()
+				if math.Abs(fz.SliceDistanceMode2(a, b)-want) > 1e-10 {
+					return false
+				}
+				if math.Abs(SliceDistanceFromIndex(idx, a, b)-want) > 1e-10 {
+					return false
+				}
+			}
+		}
+		// Triangle inequality on the first three tags.
+		d01 := fz.SliceDistanceMode2(0, 1)
+		d12 := fz.SliceDistanceMode2(1, 2)
+		d02 := fz.SliceDistanceMode2(0, 2)
+		return d02 <= d01+d12+1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f := NewSparse3(2, 2, 2)
+	f.Append(2, 0, 0, 1)
+}

@@ -1,0 +1,243 @@
+// Package tucker implements the truncated Tucker decomposition of sparse
+// third-order tensors by higher-order orthogonal iteration (HOOI), the
+// alternating least squares scheme of De Lathauwer, De Moor and
+// Vandewalle that the paper's Algorithm 1 invokes as ALS.
+//
+// Decompose returns the core tensor S, the three factor matrices Y⁽ⁿ⁾,
+// and the per-mode singular values Λₙ of the final sweep. Λ₂ is the ALS
+// by-product that Theorem 2 uses to turn pairwise tag distances into a
+// diagonal quadratic form.
+package tucker
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// Options configures Decompose.
+type Options struct {
+	// J1, J2, J3 are the target core dimensions. The paper specifies them
+	// through reduction ratios cₙ = Iₙ/Jₙ (Definition 2); use FromRatios
+	// to derive core dimensions the same way.
+	J1, J2, J3 int
+	// MaxSweeps bounds the number of full ALS sweeps. Zero means 12.
+	MaxSweeps int
+	// Tol stops the iteration when the relative fit improves by less than
+	// this amount between sweeps. Zero means 1e-7.
+	Tol float64
+	// Seed makes the decomposition deterministic.
+	Seed uint64
+	// SkipHOSVDInit starts from random orthonormal factors instead of the
+	// HOSVD of the raw unfoldings. Mainly for tests and ablations.
+	SkipHOSVDInit bool
+}
+
+// FromRatios returns core dimensions Jₙ = max(1, round(Iₙ/cₙ)) for a
+// tensor with dimensions (i1, i2, i3), mirroring the paper's reduction
+// ratios (for example c₁=c₂=c₃=50 in the experiments).
+func FromRatios(i1, i2, i3 int, c1, c2, c3 float64) (j1, j2, j3 int) {
+	r := func(i int, c float64) int {
+		if c < 1 {
+			panic(fmt.Sprintf("tucker: reduction ratio %v < 1", c))
+		}
+		j := int(math.Round(float64(i) / c))
+		if j < 1 {
+			j = 1
+		}
+		if j > i {
+			j = i
+		}
+		return j
+	}
+	return r(i1, c1), r(i2, c2), r(i3, c3)
+}
+
+// Decomposition is the result of a truncated Tucker decomposition.
+type Decomposition struct {
+	// Core is the J1×J2×J3 core tensor S (Equation 16).
+	Core *tensor.Dense3
+	// Y1, Y2, Y3 are the factor matrices Y⁽ⁿ⁾ ∈ R^{Iₙ×Jₙ} with
+	// orthonormal columns.
+	Y1, Y2, Y3 *mat.Matrix
+	// Lambda holds the leading mode-n singular values from the final ALS
+	// sweep; Lambda[1] is the Λ₂ of Theorem 2. Indexed by mode-1 (0,1,2).
+	Lambda [3][]float64
+	// Fit is 1 − ‖F−F̂‖/‖F‖, the fraction of the tensor norm captured.
+	Fit float64
+	// Sweeps is the number of ALS sweeps performed.
+	Sweeps int
+}
+
+// Decompose computes the truncated Tucker decomposition of f.
+//
+// Each sweep updates one mode at a time: with the other two factors
+// fixed, the optimal Y⁽ⁿ⁾ consists of the leading Jₙ left singular
+// vectors of the mode-n unfolding of F ×_{m≠n} Y⁽ᵐ⁾ᵀ. That projected
+// unfolding is assembled directly from the sparse entries, so the dense
+// tensor is never materialized.
+func Decompose(f *tensor.Sparse3, opts Options) *Decomposition {
+	i1, i2, i3 := f.Dims()
+	j1, j2, j3 := clampDims(opts, i1, i2, i3)
+	maxSweeps := opts.MaxSweeps
+	if maxSweeps == 0 {
+		maxSweeps = 12
+	}
+	tol := opts.Tol
+	if tol == 0 {
+		tol = 1e-7
+	}
+
+	// Sweep SVDs run with a bounded budget: social-tagging tensors have
+	// long flat noise spectra, so the trailing wanted eigenvectors
+	// converge slowly — and to machine precision they simply don't need
+	// to (each sweep refines the previous one anyway). Small problems
+	// bypass iteration entirely via exact dense paths inside LeftSVD.
+	sub := mat.SubspaceOptions{Seed: opts.Seed, MaxIter: 45, Tol: 1e-6}
+
+	// Initial factors for modes 2 and 3 (mode 1 is computed first in the
+	// sweep and needs no initialization). Initialization only has to land
+	// in the right neighborhood — the ALS sweeps refine it — so the
+	// eigensolver runs with a loose budget here.
+	initSub := mat.SubspaceOptions{Seed: opts.Seed, MaxIter: 48, Tol: 1e-4}
+	var y2, y3 *mat.Matrix
+	if opts.SkipHOSVDInit {
+		y2 = randomOrthonormal(i2, j2, opts.Seed+1)
+		y3 = randomOrthonormal(i3, j3, opts.Seed+2)
+	} else {
+		y2 = hosvdInit(f, 2, j2, initSub)
+		y3 = hosvdInit(f, 3, j3, initSub)
+	}
+
+	normF := f.FrobNorm()
+	var y1 *mat.Matrix
+	var lambda [3][]float64
+	prevFit := math.Inf(-1)
+	fit := 0.0
+	sweeps := 0
+
+	for s := 0; s < maxSweeps; s++ {
+		sweeps = s + 1
+		// Mode 1.
+		w1 := tensor.ProjectedUnfold(f, 1, y2, y3)
+		svd1 := leadingLeft(w1, j1, sub)
+		y1, lambda[0] = svd1.U, svd1.S
+		// Mode 2.
+		w2 := tensor.ProjectedUnfold(f, 2, y1, y3)
+		svd2 := leadingLeft(w2, j2, sub)
+		y2, lambda[1] = svd2.U, svd2.S
+		// Mode 3.
+		w3 := tensor.ProjectedUnfold(f, 3, y1, y2)
+		svd3 := leadingLeft(w3, j3, sub)
+		y3, lambda[2] = svd3.U, svd3.S
+
+		// After the mode-3 update the captured energy is Σ Λ₃², since
+		// ‖S‖² = ‖Y⁽³⁾ᵀW₃‖² and Y⁽³⁾ holds the leading left singular
+		// vectors of W₃.
+		var captured float64
+		for _, sv := range lambda[2] {
+			captured += sv * sv
+		}
+		residual := normF*normF - captured
+		if residual < 0 {
+			residual = 0
+		}
+		if normF > 0 {
+			fit = 1 - math.Sqrt(residual)/normF
+		} else {
+			fit = 1
+		}
+		if fit-prevFit <= tol && s > 0 {
+			break
+		}
+		prevFit = fit
+	}
+
+	core := tensor.Core(f, y1, y2, y3)
+	return &Decomposition{
+		Core: core, Y1: y1, Y2: y2, Y3: y3,
+		Lambda: lambda, Fit: fit, Sweeps: sweeps,
+	}
+}
+
+func clampDims(opts Options, i1, i2, i3 int) (j1, j2, j3 int) {
+	c := func(j, max int, name string) int {
+		if j <= 0 {
+			panic(fmt.Sprintf("tucker: %s must be positive, got %d", name, j))
+		}
+		if j > max {
+			return max
+		}
+		return j
+	}
+	j1 = c(opts.J1, i1, "J1")
+	j2 = c(opts.J2, i2, "J2")
+	j3 = c(opts.J3, i3, "J3")
+	// Each Jₙ is further bounded by the rank bound of the projected
+	// unfolding (its column count is the product of the other two core
+	// dimensions). Iterate to a fixed point since the bounds interact.
+	for {
+		n1 := minInt(j1, j2*j3)
+		n2 := minInt(j2, j1*j3)
+		n3 := minInt(j3, j1*j2)
+		if n1 == j1 && n2 == j2 && n3 == j3 {
+			return
+		}
+		j1, j2, j3 = n1, n2, n3
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// hosvdInit returns the leading j left singular vectors of the raw mode-n
+// unfolding, computed via subspace iteration on the sparse Gram operator.
+func hosvdInit(f *tensor.Sparse3, mode, j int, sub mat.SubspaceOptions) *mat.Matrix {
+	op := tensor.UnfoldingGram(f, mode)
+	eig := mat.SubspaceIteration(op, j, sub)
+	return eig.Vectors
+}
+
+// leadingLeft returns the leading j left singular vectors and values of w.
+func leadingLeft(w *mat.Matrix, j int, sub mat.SubspaceOptions) *mat.SVD {
+	rows, cols := w.Dims()
+	maxK := minInt(rows, cols)
+	if j > maxK {
+		j = maxK
+	}
+	return mat.LeftSVD(w, j, sub)
+}
+
+// randomOrthonormal returns an n×k matrix with orthonormal columns drawn
+// from a deterministic pseudo-random start.
+func randomOrthonormal(n, k int, seed uint64) *mat.Matrix {
+	m := mat.New(n, k)
+	state := seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	next := func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(state>>11)/(1<<53) - 0.5
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			m.Set(i, j, next())
+		}
+	}
+	return mat.Orthonormalize(m)
+}
+
+// Reconstruct materializes F̂ = S ×₁Y⁽¹⁾ ×₂Y⁽²⁾ ×₃Y⁽³⁾. Tests only: the
+// production distance path never forms F̂ (Theorems 1 and 2).
+func (d *Decomposition) Reconstruct() *tensor.Dense3 {
+	return tensor.Reconstruct(d.Core, d.Y1, d.Y2, d.Y3)
+}
+
+// CoreDims returns the core dimensions (J1, J2, J3).
+func (d *Decomposition) CoreDims() (int, int, int) { return d.Core.Dims() }

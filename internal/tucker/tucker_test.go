@@ -1,0 +1,205 @@
+package tucker
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// paperTensor builds the 3×3×3 tensor of Figure 2(b).
+func paperTensor() *tensor.Sparse3 {
+	f := tensor.NewSparse3(3, 3, 3)
+	for _, r := range [][3]int{
+		{0, 0, 0}, {0, 0, 1}, {1, 0, 1}, {2, 0, 1}, {0, 1, 0}, {1, 2, 2}, {2, 2, 2},
+	} {
+		f.Append(r[0], r[1], r[2], 1)
+	}
+	f.Build()
+	return f
+}
+
+func randSparse(rng *rand.Rand, i1, i2, i3, nnz int) *tensor.Sparse3 {
+	f := tensor.NewSparse3(i1, i2, i3)
+	for n := 0; n < nnz; n++ {
+		f.Append(rng.Intn(i1), rng.Intn(i2), rng.Intn(i3), rng.NormFloat64())
+	}
+	f.Build()
+	return f
+}
+
+func TestFromRatios(t *testing.T) {
+	j1, j2, j3 := FromRatios(3897, 3326, 2849, 50, 50, 50)
+	// The paper quotes 78×67×57 for Last.fm at c=50.
+	if j1 != 78 || j2 != 67 || j3 != 57 {
+		t.Fatalf("FromRatios = (%d,%d,%d), want (78,67,57)", j1, j2, j3)
+	}
+	// Ratios can never drop a dimension to zero.
+	j1, j2, j3 = FromRatios(10, 10, 10, 100, 100, 100)
+	if j1 != 1 || j2 != 1 || j3 != 1 {
+		t.Fatalf("tiny dims: got (%d,%d,%d), want (1,1,1)", j1, j2, j3)
+	}
+}
+
+func TestFullRankExactReconstruction(t *testing.T) {
+	// With no truncation the decomposition must reproduce F exactly.
+	f := paperTensor()
+	d := Decompose(f, Options{J1: 3, J2: 3, J3: 3, Seed: 7})
+	fh := d.Reconstruct()
+	if !tensor.Equal(f.Dense(), fh, 1e-8) {
+		t.Fatal("full-rank Tucker did not reconstruct F")
+	}
+	if d.Fit < 1-1e-6 {
+		t.Fatalf("full-rank fit = %v, want ~1", d.Fit)
+	}
+}
+
+func TestFactorsOrthonormal(t *testing.T) {
+	f := paperTensor()
+	d := Decompose(f, Options{J1: 3, J2: 3, J3: 2, Seed: 1})
+	for i, y := range []*mat.Matrix{d.Y1, d.Y2, d.Y3} {
+		if !mat.IsOrthonormal(y, 1e-8) {
+			t.Fatalf("Y(%d) not orthonormal", i+1)
+		}
+	}
+}
+
+func TestPaperRunningExample(t *testing.T) {
+	// Section IV-D: the running example reports D̂12 = √1.92,
+	// D̂13 = √5.94, D̂23 = √2.36. Reconstructing the paper's printed F̂
+	// slices shows its rank-2 truncation was applied to the *tag* mode
+	// (F̂:,t2,: is proportional to F̂:,t1,:, i.e. mode-2 rank 2), so in our
+	// (user, tag, resource) mode order the example is J = (3, 2, 3).
+	f := paperTensor()
+	d := Decompose(f, Options{J1: 3, J2: 2, J3: 3, Seed: 3})
+	fh := d.Reconstruct()
+	dist := func(a, b int) float64 {
+		return mat.Sub(fh.SliceMode2(a), fh.SliceMode2(b)).FrobNorm()
+	}
+	d12, d13, d23 := dist(0, 1), dist(0, 2), dist(1, 2)
+	if !(d12 < d23 && d23 < d13) {
+		t.Fatalf("purified distance ordering wrong: D12=%v D23=%v D13=%v", d12, d13, d23)
+	}
+	// Match the paper's numbers: √1.92≈1.386, √5.94≈2.437, √2.36≈1.536.
+	// The ALS optimum may differ in low digits from the paper's rounded
+	// report; allow a few percent.
+	within := func(got, want float64) bool { return math.Abs(got-want)/want < 0.05 }
+	if !within(d12, math.Sqrt(1.92)) {
+		t.Errorf("D̂12 = %v, paper says √1.92 = %v", d12, math.Sqrt(1.92))
+	}
+	if !within(d13, math.Sqrt(5.94)) {
+		t.Errorf("D̂13 = %v, paper says √5.94 = %v", d13, math.Sqrt(5.94))
+	}
+	if !within(d23, math.Sqrt(2.36)) {
+		t.Errorf("D̂23 = %v, paper says √2.36 = %v", d23, math.Sqrt(2.36))
+	}
+}
+
+func TestCoreMatchesProjection(t *testing.T) {
+	// Core returned must equal F ×₁Y1ᵀ ×₂Y2ᵀ ×₃Y3ᵀ.
+	rng := rand.New(rand.NewSource(11))
+	f := randSparse(rng, 6, 7, 5, 60)
+	d := Decompose(f, Options{J1: 3, J2: 3, J3: 3, Seed: 5})
+	want := f.Dense().
+		ModeProduct(1, d.Y1.T()).
+		ModeProduct(2, d.Y2.T()).
+		ModeProduct(3, d.Y3.T())
+	if !tensor.Equal(d.Core, want, 1e-9) {
+		t.Fatal("core disagrees with explicit projection")
+	}
+}
+
+func TestFitMonotoneInRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := randSparse(rng, 8, 8, 8, 120)
+	var prev float64
+	for _, j := range []int{1, 2, 4, 8} {
+		d := Decompose(f, Options{J1: j, J2: j, J3: j, Seed: 2})
+		if d.Fit < prev-1e-6 {
+			t.Fatalf("fit decreased when rank grew: J=%d fit=%v prev=%v", j, d.Fit, prev)
+		}
+		prev = d.Fit
+	}
+	if prev < 1-1e-6 {
+		t.Fatalf("full-rank fit = %v, want ~1", prev)
+	}
+}
+
+func TestLambdaMatchesCoreGram(t *testing.T) {
+	// Theorem 2's premise: at convergence S₍₂₎S₍₂₎ᵀ ≈ diag(Λ₂²).
+	rng := rand.New(rand.NewSource(17))
+	f := randSparse(rng, 7, 6, 8, 80)
+	d := Decompose(f, Options{J1: 4, J2: 4, J3: 4, Seed: 4, MaxSweeps: 60, Tol: 1e-13})
+	s2 := d.Core.Unfold(2)
+	g := mat.MulT(s2, s2)
+	scale := d.Lambda[1][0] * d.Lambda[1][0]
+	for i := 0; i < g.Rows(); i++ {
+		for j := 0; j < g.Cols(); j++ {
+			want := 0.0
+			if i == j {
+				want = d.Lambda[1][i] * d.Lambda[1][i]
+			}
+			if math.Abs(g.At(i, j)-want) > 1e-5*scale {
+				t.Fatalf("S₍₂₎S₍₂₎ᵀ[%d,%d] = %v, want %v", i, j, g.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestApproximationBeatsTruncatedNothing(t *testing.T) {
+	// The rank-(2,2,2) HOOI approximation error must not exceed the
+	// trivial approximation by the zero tensor.
+	rng := rand.New(rand.NewSource(19))
+	f := randSparse(rng, 6, 6, 6, 50)
+	d := Decompose(f, Options{J1: 2, J2: 2, J3: 2, Seed: 6})
+	res := tensor.Sub(f.Dense(), d.Reconstruct()).FrobNorm()
+	if res >= f.FrobNorm() {
+		t.Fatalf("approximation residual %v not better than zero tensor %v", res, f.FrobNorm())
+	}
+}
+
+func TestRandomInitConvergesToo(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	f := randSparse(rng, 6, 6, 6, 60)
+	a := Decompose(f, Options{J1: 3, J2: 3, J3: 3, Seed: 1})
+	b := Decompose(f, Options{J1: 3, J2: 3, J3: 3, Seed: 1, SkipHOSVDInit: true, MaxSweeps: 40})
+	// Fits should be comparable (same local optimum in practice).
+	if math.Abs(a.Fit-b.Fit) > 0.05 {
+		t.Fatalf("HOSVD init fit %v vs random init fit %v differ too much", a.Fit, b.Fit)
+	}
+}
+
+func TestDecomposeDeterministic(t *testing.T) {
+	f := paperTensor()
+	a := Decompose(f, Options{J1: 3, J2: 3, J3: 2, Seed: 9})
+	b := Decompose(f, Options{J1: 3, J2: 3, J3: 2, Seed: 9})
+	if !tensor.Equal(a.Core, b.Core, 0) {
+		t.Fatal("same seed produced different cores")
+	}
+	if !mat.Equal(a.Y2, b.Y2, 0) {
+		t.Fatal("same seed produced different factors")
+	}
+}
+
+func TestClampDims(t *testing.T) {
+	// Requesting J larger than the dimension clamps; rank bounds from the
+	// other modes also apply (J1 ≤ J2·J3).
+	f := paperTensor()
+	d := Decompose(f, Options{J1: 10, J2: 1, J3: 1, Seed: 1})
+	j1, j2, j3 := d.CoreDims()
+	if j1 != 1 || j2 != 1 || j3 != 1 {
+		t.Fatalf("CoreDims = (%d,%d,%d), want (1,1,1)", j1, j2, j3)
+	}
+}
+
+func TestInvalidOptionsPanic(t *testing.T) {
+	f := paperTensor()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for J=0")
+		}
+	}()
+	Decompose(f, Options{J1: 0, J2: 1, J3: 1})
+}
