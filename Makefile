@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test bench vet fmt
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run=^$$ -bench=. -benchmem ./...
+
+fmt:
+	gofmt -l -w .

@@ -7,6 +7,7 @@
 package cubelsi
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -177,10 +178,12 @@ func BenchmarkFigure5_DecompositionAtRatio(b *testing.B) {
 	j1, j2, j3 := tucker.FromRatios(st.Users, st.Tags, st.Resources, 8, 8, 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.Build(s.Corpus.Clean, core.Options{
+		if _, err := core.Build(context.Background(), s.Corpus.Clean, core.Options{
 			Tucker:   tucker.Options{J1: j1, J2: j2, J3: j3, MaxSweeps: s.Sweeps, Seed: uint64(s.Seed)},
 			Spectral: cluster.SpectralOptions{K: minIntBench(s.K, j2), Seed: s.Seed},
-		})
+		}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

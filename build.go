@@ -1,0 +1,208 @@
+package cubelsi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/tagging"
+	"repro/internal/tucker"
+)
+
+// Stage identifies one Figure-1 stage of the offline pipeline.
+type Stage = core.Stage
+
+// Pipeline stages, in execution order.
+const (
+	StageTensor    = core.StageTensor
+	StageDecompose = core.StageDecompose
+	StageDistances = core.StageDistances
+	StageCluster   = core.StageCluster
+	StageIndex     = core.StageIndex
+)
+
+// Progress is one build-progress notification: each stage reports once
+// at start (Done false) and once at finish (Done true, Elapsed set).
+type Progress = core.Progress
+
+// ProgressFunc observes build progress. It is called synchronously from
+// the build goroutine and must not block.
+type ProgressFunc = core.ProgressFunc
+
+// Source supplies the raw assignment corpus to Build.
+type Source interface {
+	dataset() (*tagging.Dataset, error)
+}
+
+type readerSource struct{ r io.Reader }
+
+func (s readerSource) dataset() (*tagging.Dataset, error) {
+	ds, err := tagging.ReadTSV(s.r)
+	if err != nil {
+		return nil, fmt.Errorf("cubelsi: %w", err)
+	}
+	return ds, nil
+}
+
+// FromTSV sources tab-separated "user\ttag\tresource" lines from r.
+func FromTSV(r io.Reader) Source { return readerSource{r: r} }
+
+type fileSource struct{ path string }
+
+func (s fileSource) dataset() (*tagging.Dataset, error) {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return nil, fmt.Errorf("cubelsi: %w", err)
+	}
+	defer f.Close()
+	return readerSource{r: f}.dataset()
+}
+
+// FromTSVFile sources a TSV corpus from a file path.
+func FromTSVFile(path string) Source { return fileSource{path: path} }
+
+type assignmentSource []Assignment
+
+func (s assignmentSource) dataset() (*tagging.Dataset, error) {
+	ds := tagging.NewDataset()
+	for _, a := range s {
+		if a.User == "" || a.Tag == "" || a.Resource == "" {
+			return nil, fmt.Errorf("cubelsi: assignment with empty field: %+v", a)
+		}
+		ds.Add(a.User, a.Tag, a.Resource)
+	}
+	return ds, nil
+}
+
+// FromAssignments sources an in-memory assignment list.
+func FromAssignments(assignments []Assignment) Source {
+	return assignmentSource(assignments)
+}
+
+// FromDataset sources an already-constructed (but not yet cleaned)
+// dataset. The dataset is not copied; do not mutate it during Build.
+func FromDataset(ds *tagging.Dataset) Source {
+	return datasetSource{ds: ds}
+}
+
+type datasetSource struct{ ds *tagging.Dataset }
+
+func (s datasetSource) dataset() (*tagging.Dataset, error) { return s.ds, nil }
+
+// BuildOption configures Build.
+type BuildOption func(*buildSettings)
+
+type buildSettings struct {
+	cfg      Config
+	progress ProgressFunc
+}
+
+// WithConfig replaces the default pipeline configuration.
+func WithConfig(cfg Config) BuildOption {
+	return func(s *buildSettings) { s.cfg = cfg }
+}
+
+// WithProgress registers a per-stage progress observer.
+func WithProgress(fn ProgressFunc) BuildOption {
+	return func(s *buildSettings) { s.progress = fn }
+}
+
+// Build runs the offline pipeline over the source corpus and returns a
+// query-ready engine. The context is threaded through every stage —
+// including the ALS mode updates and the O(|T|²) distance loop — so
+// cancelling it aborts the build promptly with the context's error.
+func Build(ctx context.Context, src Source, opts ...BuildOption) (*Engine, error) {
+	settings := buildSettings{cfg: DefaultConfig()}
+	for _, o := range opts {
+		o(&settings)
+	}
+	cfg := settings.cfg
+
+	for _, c := range cfg.ReductionRatios {
+		if c < 1 {
+			return nil, fmt.Errorf("cubelsi: reduction ratio %v < 1", c)
+		}
+	}
+	raw, err := src.dataset()
+	if err != nil {
+		return nil, err
+	}
+	ds := tagging.Clean(raw, tagging.CleanOptions{
+		MinSupport:     cfg.MinSupport,
+		DropSystemTags: cfg.DropSystemTags,
+		Lowercase:      cfg.Lowercase,
+	})
+	st := ds.Stats()
+	if st.Assignments == 0 {
+		return nil, errors.New("cubelsi: no assignments survive cleaning; lower MinSupport or supply more data")
+	}
+
+	j1, j2, j3 := tucker.FromRatios(st.Users, st.Tags, st.Resources,
+		cfg.ReductionRatios[0], cfg.ReductionRatios[1], cfg.ReductionRatios[2])
+	if cfg.CoreDims[0] > 0 {
+		j1 = cfg.CoreDims[0]
+	}
+	if cfg.CoreDims[1] > 0 {
+		j2 = cfg.CoreDims[1]
+	}
+	if cfg.CoreDims[2] > 0 {
+		j3 = cfg.CoreDims[2]
+	}
+	p, err := core.Build(ctx, ds, core.Options{
+		Tucker: tucker.Options{
+			J1: j1, J2: j2, J3: j3,
+			MaxSweeps: cfg.MaxSweeps,
+			Seed:      uint64(cfg.Seed),
+		},
+		Spectral: cluster.SpectralOptions{
+			Sigma: cfg.Sigma,
+			K:     cfg.Concepts,
+			Seed:  cfg.Seed,
+		},
+		Progress: settings.progress,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cubelsi: build: %w", err)
+	}
+
+	cj1, cj2, cj3 := p.Decomposition.CoreDims()
+	return &Engine{
+		lowercase: cfg.Lowercase,
+		users:     p.DS.Users.Names(),
+		tags:      p.DS.Tags,
+		resources: p.DS.Resources,
+		decomp:    p.Decomposition,
+		distances: p.Distances,
+		assign:    p.Assign,
+		k:         p.K,
+		index:     p.Index,
+		stats: Stats{
+			Users: st.Users, Tags: st.Tags, Resources: st.Resources,
+			Assignments: st.Assignments,
+			CoreDims:    [3]int{cj1, cj2, cj3},
+			Concepts:    p.K,
+			Fit:         p.Decomposition.Fit,
+		},
+		timings: p.Times,
+	}, nil
+}
+
+// New builds an engine from in-memory assignments.
+//
+// Deprecated: use Build with FromAssignments, which adds context
+// cancellation and progress reporting.
+func New(assignments []Assignment, cfg Config) (*Engine, error) {
+	return Build(context.Background(), FromAssignments(assignments), WithConfig(cfg))
+}
+
+// Open builds an engine from tab-separated "user\ttag\tresource" lines.
+//
+// Deprecated: use Build with FromTSV, which adds context cancellation
+// and progress reporting.
+func Open(r io.Reader, cfg Config) (*Engine, error) {
+	return Build(context.Background(), FromTSV(r), WithConfig(cfg))
+}

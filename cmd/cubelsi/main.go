@@ -1,64 +1,82 @@
 // Command cubelsi builds a CubeLSI search engine over a TSV corpus of
-// (user, tag, resource) assignments and answers tag queries.
+// (user, tag, resource) assignments, answers tag queries, and saves
+// models for cmd/cubelsiserve to serve.
 //
 // Usage:
 //
 //	cubelsi -data corpus.tsv -query "jazz,saxophone" [-n 10]
 //	cubelsi -data corpus.tsv -related jazz
 //	cubelsi -data corpus.tsv -clusters
+//	cubelsi -data corpus.tsv -save model.clsi      # offline build
+//	cubelsi -load model.clsi -query "jazz"         # serve a saved model
+//
+// The offline build is cancellable with SIGINT/SIGTERM and, with
+// -progress, reports each Figure-1 stage as it runs.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro"
 )
 
 func main() {
 	data := flag.String("data", "", "TSV corpus path (user\\ttag\\tresource)")
+	load := flag.String("load", "", "load a saved model instead of building from -data")
+	save := flag.String("save", "", "save the built model to this path")
 	query := flag.String("query", "", "comma-separated query tags")
 	related := flag.String("related", "", "print tags nearest to this tag")
 	clusters := flag.Bool("clusters", false, "print the distilled concepts")
 	topN := flag.Int("n", 10, "number of results")
+	minScore := flag.Float64("min-score", 0, "drop results scoring below this")
 	concepts := flag.Int("concepts", 0, "concept count (0 = automatic)")
 	ratio := flag.Float64("ratio", 50, "Tucker reduction ratio c1=c2=c3")
 	minSupport := flag.Int("min-support", 5, "cleaning support threshold")
 	seed := flag.Int64("seed", 1, "random seed")
+	progress := flag.Bool("progress", false, "report pipeline stages on stderr")
 	flag.Parse()
 
-	if *data == "" {
-		fmt.Fprintln(os.Stderr, "cubelsi: -data is required")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var eng *cubelsi.Engine
+	var err error
+	switch {
+	case *load != "":
+		eng, err = cubelsi.LoadFile(*load)
+	case *data != "":
+		eng, err = buildEngine(ctx, *data, *ratio, *concepts, *minSupport, *seed, *progress)
+	default:
+		fmt.Fprintln(os.Stderr, "cubelsi: -data or -load is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-
-	f, err := os.Open(*data)
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
 
-	cfg := cubelsi.DefaultConfig()
-	cfg.ReductionRatios = [3]float64{*ratio, *ratio, *ratio}
-	cfg.Concepts = *concepts
-	cfg.MinSupport = *minSupport
-	cfg.Seed = *seed
-
-	eng, err := cubelsi.Open(f, cfg)
-	if err != nil {
-		fatal(err)
-	}
 	st := eng.Stats()
 	fmt.Fprintf(os.Stderr, "engine: %d users, %d tags, %d resources, %d assignments; core %v; %d concepts; fit %.3f\n",
 		st.Users, st.Tags, st.Resources, st.Assignments, st.CoreDims, st.Concepts, st.Fit)
 
+	if *save != "" {
+		if err := eng.SaveFile(*save); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "model saved to %s\n", *save)
+	}
+
 	switch {
 	case *query != "":
-		tags := splitTags(*query)
-		for i, r := range eng.Search(tags, *topN) {
+		q := cubelsi.NewQuery(splitTags(*query),
+			cubelsi.WithLimit(*topN), cubelsi.WithMinScore(*minScore))
+		for i, r := range eng.Query(q) {
 			fmt.Printf("%2d. %-30s %.4f\n", i+1, r.Resource, r.Score)
 		}
 	case *related != "":
@@ -74,9 +92,31 @@ func main() {
 			fmt.Printf("concept %3d: %s\n", i, strings.Join(tags, ", "))
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "cubelsi: nothing to do; pass -query, -related or -clusters")
-		os.Exit(2)
+		if *save == "" {
+			fmt.Fprintln(os.Stderr, "cubelsi: nothing to do; pass -query, -related, -clusters or -save")
+			os.Exit(2)
+		}
 	}
+}
+
+func buildEngine(ctx context.Context, data string, ratio float64, concepts, minSupport int, seed int64, progress bool) (*cubelsi.Engine, error) {
+	cfg := cubelsi.DefaultConfig()
+	cfg.ReductionRatios = [3]float64{ratio, ratio, ratio}
+	cfg.Concepts = concepts
+	cfg.MinSupport = minSupport
+	cfg.Seed = seed
+
+	opts := []cubelsi.BuildOption{cubelsi.WithConfig(cfg)}
+	if progress {
+		opts = append(opts, cubelsi.WithProgress(func(p cubelsi.Progress) {
+			if p.Done {
+				fmt.Fprintf(os.Stderr, "stage %-10s done in %v\n", p.Stage, p.Elapsed)
+			} else {
+				fmt.Fprintf(os.Stderr, "stage %-10s ...\n", p.Stage)
+			}
+		}))
+	}
+	return cubelsi.Build(ctx, cubelsi.FromTSVFile(data), opts...)
 }
 
 func splitTags(s string) []string {

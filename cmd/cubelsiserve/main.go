@@ -1,0 +1,105 @@
+// Command cubelsiserve serves a CubeLSI model over HTTP: load a model
+// saved by `cubelsi -save` (or build one from a TSV corpus at startup)
+// and answer concurrent search queries as JSON.
+//
+// Usage:
+//
+//	cubelsiserve -model model.clsi [-addr :8080]
+//	cubelsiserve -data corpus.tsv [-concepts 40] [-addr :8080]
+//
+// Endpoints:
+//
+//	GET  /healthz                 liveness probe
+//	GET  /stats                   corpus and model statistics
+//	GET  /search?q=a,b&n=10       search (also min_score=, concepts=)
+//	POST /search                  JSON query, or {"queries": [...]} batch
+//	GET  /related?tag=jazz&n=10   nearest tags by purified distance
+//	GET  /clusters                distilled concepts as tag groups
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	model := flag.String("model", "", "model file saved by cubelsi -save")
+	data := flag.String("data", "", "TSV corpus to build from when no -model is given")
+	addr := flag.String("addr", ":8080", "listen address")
+	concepts := flag.Int("concepts", 0, "concept count when building (0 = automatic)")
+	ratio := flag.Float64("ratio", 50, "Tucker reduction ratio when building")
+	minSupport := flag.Int("min-support", 5, "cleaning support threshold when building")
+	seed := flag.Int64("seed", 1, "random seed when building")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var eng *cubelsi.Engine
+	var err error
+	switch {
+	case *model != "":
+		eng, err = cubelsi.LoadFile(*model)
+	case *data != "":
+		cfg := cubelsi.DefaultConfig()
+		cfg.ReductionRatios = [3]float64{*ratio, *ratio, *ratio}
+		cfg.Concepts = *concepts
+		cfg.MinSupport = *minSupport
+		cfg.Seed = *seed
+		eng, err = cubelsi.Build(ctx, cubelsi.FromTSVFile(*data),
+			cubelsi.WithConfig(cfg),
+			cubelsi.WithProgress(func(p cubelsi.Progress) {
+				if p.Done {
+					fmt.Fprintf(os.Stderr, "build: stage %-10s done in %v\n", p.Stage, p.Elapsed)
+				}
+			}))
+	default:
+		fmt.Fprintln(os.Stderr, "cubelsiserve: -model or -data is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	st := eng.Stats()
+	fmt.Fprintf(os.Stderr, "serving %d resources / %d tags / %d concepts on %s\n",
+		st.Resources, st.Tags, st.Concepts, *addr)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(eng),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fatal(err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "cubelsiserve: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+// server wraps an immutable engine with the HTTP API. Engines are safe
+// for concurrent queries, so handlers need no locking.
+type server struct {
+	eng     *cubelsi.Engine
+	started time.Time
+	mux     *http.ServeMux
+}
+
+// newServer builds the HTTP handler for an engine.
+func newServer(eng *cubelsi.Engine) *server {
+	s := &server{eng: eng, started: time.Now(), mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /search", s.handleSearchGet)
+	s.mux.HandleFunc("POST /search", s.handleSearchPost)
+	s.mux.HandleFunc("GET /related", s.handleRelated)
+	s.mux.HandleFunc("GET /clusters", s.handleClusters)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type statsResponse struct {
+	Users       int     `json:"users"`
+	Tags        int     `json:"tags"`
+	Resources   int     `json:"resources"`
+	Assignments int     `json:"assignments"`
+	CoreDims    [3]int  `json:"core_dims"`
+	Concepts    int     `json:"concepts"`
+	Fit         float64 `json:"fit"`
+	UptimeSec   float64 `json:"uptime_seconds"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Users:       st.Users,
+		Tags:        st.Tags,
+		Resources:   st.Resources,
+		Assignments: st.Assignments,
+		CoreDims:    st.CoreDims,
+		Concepts:    st.Concepts,
+		Fit:         st.Fit,
+		UptimeSec:   time.Since(s.started).Seconds(),
+	})
+}
+
+type searchResponse struct {
+	Results []cubelsi.Result `json:"results"`
+}
+
+type batchResponse struct {
+	Batches [][]cubelsi.Result `json:"batches"`
+}
+
+// handleSearchGet answers GET /search?q=jazz,sax&n=10&min_score=0.05&concepts=1,2.
+func (s *server) handleSearchGet(w http.ResponseWriter, r *http.Request) {
+	params := r.URL.Query()
+	tags := splitList(params.Get("q"))
+	q := cubelsi.NewQuery(tags)
+	if v := params.Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad n: %v", err)
+			return
+		}
+		q.Limit = n
+	}
+	if v := params.Get("min_score"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad min_score: %v", err)
+			return
+		}
+		q.MinScore = ms
+	}
+	for _, c := range splitList(params.Get("concepts")) {
+		id, err := strconv.Atoi(c)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad concepts: %v", err)
+			return
+		}
+		q.Concepts = append(q.Concepts, id)
+	}
+	// Concept-only queries (no q) are the concept-browsing entry point.
+	if len(q.Tags) == 0 && len(q.Concepts) == 0 {
+		writeError(w, http.StatusBadRequest, "missing query parameter q or concepts")
+		return
+	}
+	writeJSON(w, http.StatusOK, searchResponse{Results: orEmpty(s.eng.Query(q))})
+}
+
+// searchRequest is the POST /search body: either one query object or a
+// batch under "queries".
+type searchRequest struct {
+	cubelsi.Query
+	Queries []cubelsi.Query `json:"queries"`
+}
+
+// handleSearchPost answers a single JSON query, or a batch — the batch
+// path fans out through Engine.SearchBatch, the amortized multi-query
+// entry point.
+func (s *server) handleSearchPost(w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Queries) > 0 {
+		if len(req.Tags) > 0 || req.Limit != 0 || req.MinScore != 0 || len(req.Concepts) > 0 {
+			writeError(w, http.StatusBadRequest, "batch requests take options per query, not top-level")
+			return
+		}
+		batches := s.eng.SearchBatch(req.Queries)
+		for i := range batches {
+			batches[i] = orEmpty(batches[i])
+		}
+		writeJSON(w, http.StatusOK, batchResponse{Batches: batches})
+		return
+	}
+	if len(req.Tags) == 0 && len(req.Concepts) == 0 {
+		writeError(w, http.StatusBadRequest, "missing tags or concepts")
+		return
+	}
+	writeJSON(w, http.StatusOK, searchResponse{Results: orEmpty(s.eng.Query(req.Query))})
+}
+
+type relatedResponse struct {
+	Tag     string               `json:"tag"`
+	Related []cubelsi.RelatedTag `json:"related"`
+}
+
+func (s *server) handleRelated(w http.ResponseWriter, r *http.Request) {
+	tag := r.URL.Query().Get("tag")
+	if tag == "" {
+		writeError(w, http.StatusBadRequest, "missing query parameter tag")
+		return
+	}
+	n := 10
+	if v := r.URL.Query().Get("n"); v != "" {
+		var err error
+		if n, err = strconv.Atoi(v); err != nil {
+			writeError(w, http.StatusBadRequest, "bad n: %v", err)
+			return
+		}
+	}
+	rel, err := s.eng.RelatedTags(tag, n)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if rel == nil {
+		rel = []cubelsi.RelatedTag{}
+	}
+	writeJSON(w, http.StatusOK, relatedResponse{Tag: tag, Related: rel})
+}
+
+type clustersResponse struct {
+	Clusters [][]string `json:"clusters"`
+}
+
+func (s *server) handleClusters(w http.ResponseWriter, r *http.Request) {
+	clusters := s.eng.Clusters()
+	for i := range clusters {
+		if clusters[i] == nil {
+			clusters[i] = []string{}
+		}
+	}
+	writeJSON(w, http.StatusOK, clustersResponse{Clusters: clusters})
+}
+
+// orEmpty turns a nil result slice into an empty one so JSON clients
+// always see an array, never null.
+func orEmpty(rs []cubelsi.Result) []cubelsi.Result {
+	if rs == nil {
+		return []cubelsi.Result{}
+	}
+	return rs
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}

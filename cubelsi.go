@@ -10,22 +10,36 @@
 // concept distillation by spectral clustering. Online queries are then
 // answered by cosine similarity in the bag-of-concepts vector space.
 //
-// Minimal usage:
+// The offline build is context-aware and reports per-stage progress:
 //
-//	eng, err := cubelsi.Open(tsvFile, cubelsi.DefaultConfig())
-//	...
-//	results := eng.Search([]string{"jazz", "saxophone"}, 10)
+//	eng, err := cubelsi.Build(ctx, cubelsi.FromTSV(f),
+//		cubelsi.WithConfig(cfg),
+//		cubelsi.WithProgress(func(p cubelsi.Progress) {
+//			log.Printf("%s done=%v %v", p.Stage, p.Done, p.Elapsed)
+//		}))
+//
+// Built engines serialize, so offline build and online serving are
+// separate processes (cmd/cubelsi -save, cmd/cubelsiserve -model):
+//
+//	err = eng.Save(w)
+//	eng, err = cubelsi.Load(r)
+//
+// Queries are values with composable options, and batches amortize
+// multi-query serving:
+//
+//	results := eng.Query(cubelsi.NewQuery([]string{"jazz", "saxophone"},
+//		cubelsi.WithLimit(10), cubelsi.WithMinScore(0.05)))
+//	batches := eng.SearchBatch(queries)
 package cubelsi
 
 import (
-	"errors"
 	"fmt"
-	"io"
 	"sort"
+	"strings"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/ir"
+	"repro/internal/mat"
 	"repro/internal/tagging"
 	"repro/internal/tucker"
 )
@@ -82,14 +96,14 @@ func DefaultConfig() Config {
 
 // Result is one ranked search hit.
 type Result struct {
-	Resource string
-	Score    float64
+	Resource string  `json:"resource"`
+	Score    float64 `json:"score"`
 }
 
 // RelatedTag pairs a tag name with its purified distance from a probe tag.
 type RelatedTag struct {
-	Tag      string
-	Distance float64
+	Tag      string  `json:"tag"`
+	Distance float64 `json:"distance"`
 }
 
 // Stats describes the corpus the engine was built on.
@@ -103,127 +117,44 @@ type Stats struct {
 	Fit float64
 }
 
-// Engine is an immutable search engine over one corpus. It is safe for
-// concurrent queries once built.
+// Engine is an immutable search engine over one corpus, either freshly
+// built (Build) or deserialized from a saved model (Load). It is safe
+// for concurrent queries.
 type Engine struct {
-	cfg   Config
-	p     *core.Pipeline
-	stats Stats
-}
+	lowercase bool
 
-// New builds an engine from in-memory assignments.
-func New(assignments []Assignment, cfg Config) (*Engine, error) {
-	raw := tagging.NewDataset()
-	for _, a := range assignments {
-		if a.User == "" || a.Tag == "" || a.Resource == "" {
-			return nil, fmt.Errorf("cubelsi: assignment with empty field: %+v", a)
-		}
-		raw.Add(a.User, a.Tag, a.Resource)
-	}
-	return build(raw, cfg)
-}
+	users     []string
+	tags      *tagging.Interner
+	resources *tagging.Interner
 
-// Open builds an engine from tab-separated "user\ttag\tresource" lines.
-func Open(r io.Reader, cfg Config) (*Engine, error) {
-	raw, err := tagging.ReadTSV(r)
-	if err != nil {
-		return nil, fmt.Errorf("cubelsi: %w", err)
-	}
-	return build(raw, cfg)
-}
+	decomp    *tucker.Decomposition
+	distances *mat.Matrix
+	assign    []int
+	k         int
+	index     *ir.Index
 
-func build(raw *tagging.Dataset, cfg Config) (*Engine, error) {
-	for _, c := range cfg.ReductionRatios {
-		if c < 1 {
-			return nil, fmt.Errorf("cubelsi: reduction ratio %v < 1", c)
-		}
-	}
-	ds := tagging.Clean(raw, tagging.CleanOptions{
-		MinSupport:     cfg.MinSupport,
-		DropSystemTags: cfg.DropSystemTags,
-		Lowercase:      cfg.Lowercase,
-	})
-	st := ds.Stats()
-	if st.Assignments == 0 {
-		return nil, errors.New("cubelsi: no assignments survive cleaning; lower MinSupport or supply more data")
-	}
-
-	j1, j2, j3 := tucker.FromRatios(st.Users, st.Tags, st.Resources,
-		cfg.ReductionRatios[0], cfg.ReductionRatios[1], cfg.ReductionRatios[2])
-	if cfg.CoreDims[0] > 0 {
-		j1 = cfg.CoreDims[0]
-	}
-	if cfg.CoreDims[1] > 0 {
-		j2 = cfg.CoreDims[1]
-	}
-	if cfg.CoreDims[2] > 0 {
-		j3 = cfg.CoreDims[2]
-	}
-	p := core.Build(ds, core.Options{
-		Tucker: tucker.Options{
-			J1: j1, J2: j2, J3: j3,
-			MaxSweeps: cfg.MaxSweeps,
-			Seed:      uint64(cfg.Seed),
-		},
-		Spectral: cluster.SpectralOptions{
-			Sigma: cfg.Sigma,
-			K:     cfg.Concepts,
-			Seed:  cfg.Seed,
-		},
-	})
-
-	cj1, cj2, cj3 := p.Decomposition.CoreDims()
-	return &Engine{
-		cfg: cfg,
-		p:   p,
-		stats: Stats{
-			Users: st.Users, Tags: st.Tags, Resources: st.Resources,
-			Assignments: st.Assignments,
-			CoreDims:    [3]int{cj1, cj2, cj3},
-			Concepts:    p.K,
-			Fit:         p.Decomposition.Fit,
-		},
-	}, nil
+	stats   Stats
+	timings core.Timings
 }
 
 // Stats returns corpus and model statistics.
 func (e *Engine) Stats() Stats { return e.stats }
 
-// Search answers a tag-keyword query with up to topN resources ranked by
-// cosine similarity in concept space (Equation 4). Unknown tags are
-// ignored; topN ≤ 0 returns every matching resource.
-func (e *Engine) Search(query []string, topN int) []Result {
-	counts := make(map[int]int)
-	for _, name := range query {
-		if e.cfg.Lowercase {
-			name = lower(name)
-		}
-		if id, ok := e.p.DS.Tags.Lookup(name); ok {
-			counts[id]++
-		}
-	}
-	concepts := ir.MapToConcepts(counts, e.p.Assign)
-	scored := e.p.Index.Query(concepts, topN)
-	out := make([]Result, len(scored))
-	for i, s := range scored {
-		out[i] = Result{Resource: e.p.DS.Resources.Name(s.Doc), Score: s.Score}
-	}
-	return out
-}
+// Timings returns the wall-clock stage durations of the offline build.
+// Engines restored by Load report zero timings: they never ran the
+// pipeline.
+func (e *Engine) Timings() core.Timings { return e.timings }
 
 // HasTag reports whether the cleaned vocabulary contains the tag.
 func (e *Engine) HasTag(tag string) bool {
-	if e.cfg.Lowercase {
-		tag = lower(tag)
-	}
-	_, ok := e.p.DS.Tags.Lookup(tag)
-	return ok
+	_, err := e.tagID(tag)
+	return err == nil
 }
 
 // Tags returns the cleaned tag vocabulary.
 func (e *Engine) Tags() []string {
-	out := make([]string, e.p.DS.Tags.Len())
-	copy(out, e.p.DS.Tags.Names())
+	out := make([]string, e.tags.Len())
+	copy(out, e.tags.Names())
 	return out
 }
 
@@ -241,7 +172,7 @@ func (e *Engine) Distance(tag1, tag2 string) (float64, error) {
 	if i == j {
 		return 0, nil
 	}
-	return e.p.Distances.At(i, j), nil
+	return e.distances.At(i, j), nil
 }
 
 // RelatedTags returns the n tags semantically closest to tag, nearest
@@ -251,12 +182,12 @@ func (e *Engine) RelatedTags(tag string, n int) ([]RelatedTag, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]RelatedTag, 0, e.p.DS.Tags.Len()-1)
-	for j := 0; j < e.p.DS.Tags.Len(); j++ {
+	out := make([]RelatedTag, 0, e.tags.Len()-1)
+	for j := 0; j < e.tags.Len(); j++ {
 		if j == id {
 			continue
 		}
-		out = append(out, RelatedTag{Tag: e.p.DS.Tags.Name(j), Distance: e.p.Distances.At(id, j)})
+		out = append(out, RelatedTag{Tag: e.tags.Name(j), Distance: e.distances.At(id, j)})
 	}
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].Distance != out[b].Distance {
@@ -276,15 +207,21 @@ func (e *Engine) ConceptOf(tag string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return e.p.Assign[id], nil
+	return e.assign[id], nil
 }
+
+// Concepts returns the number of distilled concepts.
+func (e *Engine) Concepts() int { return e.k }
 
 // Clusters returns the distilled concepts as groups of tag names
 // (Table IV-style), indexed by concept id.
 func (e *Engine) Clusters() [][]string {
-	out := make([][]string, e.p.K)
-	for id, c := range e.p.Assign {
-		out[c] = append(out[c], e.p.DS.Tags.Name(id))
+	out := make([][]string, e.k)
+	for id, c := range e.assign {
+		if c < 0 {
+			continue
+		}
+		out[c] = append(out[c], e.tags.Name(id))
 	}
 	for _, tags := range out {
 		sort.Strings(tags)
@@ -293,27 +230,12 @@ func (e *Engine) Clusters() [][]string {
 }
 
 func (e *Engine) tagID(tag string) (int, error) {
-	if e.cfg.Lowercase {
-		tag = lower(tag)
+	if e.lowercase {
+		tag = strings.ToLower(tag)
 	}
-	id, ok := e.p.DS.Tags.Lookup(tag)
+	id, ok := e.tags.Lookup(tag)
 	if !ok {
 		return 0, fmt.Errorf("cubelsi: unknown tag %q", tag)
 	}
 	return id, nil
-}
-
-func lower(s string) string {
-	b := []byte(s)
-	changed := false
-	for i, c := range b {
-		if c >= 'A' && c <= 'Z' {
-			b[i] = c + 'a' - 'A'
-			changed = true
-		}
-	}
-	if !changed {
-		return s
-	}
-	return string(b)
 }

@@ -1,10 +1,12 @@
-// Quickstart: build a CubeLSI engine from in-memory tag assignments and
-// run a few searches. This is the minimal end-to-end use of the public
-// API — see examples/search and examples/tagexplore for realistic
-// workloads.
+// Quickstart: build a CubeLSI engine from in-memory tag assignments,
+// run a few searches, and round-trip the model through Save/Load — the
+// minimal end-to-end use of the public API. See examples/search and
+// examples/tagexplore for realistic workloads.
 package main
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -46,7 +48,15 @@ func main() {
 	cfg.MinSupport = 3
 	cfg.Seed = 1
 
-	eng, err := cubelsi.New(assignments, cfg)
+	// The build is cancellable and reports each Figure-1 stage.
+	eng, err := cubelsi.Build(context.Background(),
+		cubelsi.FromAssignments(assignments),
+		cubelsi.WithConfig(cfg),
+		cubelsi.WithProgress(func(p cubelsi.Progress) {
+			if p.Done {
+				fmt.Printf("  built stage %-10s in %v\n", p.Stage, p.Elapsed)
+			}
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,9 +68,24 @@ func main() {
 	// Concept-level search: "mp3" retrieves tracks even where they were
 	// tagged only with "audio" or "songs".
 	fmt.Println(`search "mp3":`)
-	for _, r := range eng.Search([]string{"mp3"}, 5) {
+	q := cubelsi.NewQuery([]string{"mp3"}, cubelsi.WithLimit(5))
+	for _, r := range eng.Query(q) {
 		fmt.Printf("  %-10s %.4f\n", r.Resource, r.Score)
 	}
+
+	// Models serialize: an offline job saves, a serving process loads
+	// and answers with bit-identical rankings (see cmd/cubelsiserve).
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		log.Fatal(err)
+	}
+	modelBytes := buf.Len()
+	restored, err := cubelsi.Load(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmodel round-trips through %d bytes; restored top hit: %+v\n",
+		modelBytes, restored.Query(q)[0])
 
 	// Semantic tag neighborhood.
 	fmt.Println("\nnearest tags to \"audio\":")

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -30,7 +31,8 @@ func main() {
 	cfg.MinSupport = 2 // corpus is already cleaned
 	cfg.Seed = 7
 
-	eng, err := cubelsi.Open(strings.NewReader(sb.String()), cfg)
+	eng, err := cubelsi.Build(context.Background(),
+		cubelsi.FromTSV(strings.NewReader(sb.String())), cubelsi.WithConfig(cfg))
 	if err != nil {
 		log.Fatal(err)
 	}

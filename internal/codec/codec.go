@@ -1,0 +1,501 @@
+// Package codec serializes built CubeLSI models so the expensive offline
+// pipeline (tensor build, ALS, Theorem-2 distances, spectral
+// distillation) and online serving can run in separate processes: an
+// offline job builds and Writes a model, a serving process Reads it and
+// answers queries immediately.
+//
+// The format is a versioned little-endian binary stream: a 4-byte magic
+// ("CLSI"), a format version, then the model sections in fixed order —
+// vocabularies, Tucker decomposition, distance matrix, concept
+// assignment, and the bag-of-concepts index. Float64 values are encoded
+// as raw IEEE-754 bits, so a decoded model reproduces search rankings
+// bit-for-bit.
+package codec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/mat"
+	"repro/internal/tensor"
+	"repro/internal/tucker"
+)
+
+// Magic identifies a CubeLSI model stream.
+var Magic = [4]byte{'C', 'L', 'S', 'I'}
+
+// Version is the current format version. Readers reject other versions.
+const Version uint32 = 1
+
+// maxLen bounds every decoded length field (strings, slices, matrix
+// dimensions). Decoded slices additionally grow incrementally (capped
+// initial capacity), so a corrupt length field fails on stream EOF
+// after a bounded allocation instead of triggering a huge make(). Kept
+// within int32 range so int(v) cannot wrap negative on 32-bit builds.
+const maxLen = 1<<31 - 1
+
+// initialCap caps the capacity pre-allocated for a decoded slice.
+const initialCap = 1 << 16
+
+// capCap returns the initial capacity for a decoded slice of length n.
+func capCap(n int) int {
+	if n > initialCap {
+		return initialCap
+	}
+	return n
+}
+
+// checkedProduct returns the product of dims, reporting false on
+// negative entries or if the product exceeds maxLen (which also guards
+// against int overflow in the multiplication).
+func checkedProduct(dims ...int) (int, bool) {
+	prod := 1
+	for _, d := range dims {
+		if d < 0 {
+			return 0, false
+		}
+		if d > 0 && prod > maxLen/d {
+			return 0, false
+		}
+		prod *= d
+	}
+	return prod, true
+}
+
+// Model is the serializable state of a built CubeLSI engine: everything
+// the online query paths (search, related tags, clusters, stats) need,
+// and nothing tied to the raw assignment log.
+type Model struct {
+	// Lowercase records whether the vocabulary was case-folded at build
+	// time, so the serving process folds queries the same way.
+	Lowercase bool
+	// Assignments is |Y| of the cleaned corpus (for stats reporting).
+	Assignments int
+
+	// Users, Tags, Resources are the cleaned vocabularies in id order.
+	Users, Tags, Resources []string
+
+	// Decomp carries the Tucker factors, core tensor, singular values,
+	// fit and sweep count.
+	Decomp *tucker.Decomposition
+	// Distances is the |T|×|T| purified tag distance matrix D̂.
+	Distances *mat.Matrix
+	// Assign maps tag id → concept id; K is the concept count.
+	Assign []int
+	K      int
+	// Index is the bag-of-concepts tf-idf index over the resources.
+	Index *ir.Index
+}
+
+// Write encodes the model to w.
+func Write(w io.Writer, m *Model) error {
+	bw := bufio.NewWriter(w)
+	e := &encoder{w: bw}
+
+	e.bytes(Magic[:])
+	e.u32(Version)
+	e.bool(m.Lowercase)
+	e.length(m.Assignments)
+
+	e.strings(m.Users)
+	e.strings(m.Tags)
+	e.strings(m.Resources)
+
+	e.decomposition(m.Decomp)
+	e.matrix(m.Distances)
+
+	e.length(len(m.Assign))
+	for _, c := range m.Assign {
+		e.i64(int64(c))
+	}
+	e.length(m.K)
+
+	e.index(m.Index.Snapshot())
+
+	if e.err != nil {
+		return fmt.Errorf("codec: write: %w", e.err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("codec: write: %w", err)
+	}
+	return nil
+}
+
+// Read decodes a model from r and validates its cross-section shape
+// invariants.
+func Read(r io.Reader) (*Model, error) {
+	d := &decoder{r: bufio.NewReader(r)}
+
+	var magic [4]byte
+	d.bytes(magic[:])
+	if d.err == nil && magic != Magic {
+		return nil, fmt.Errorf("codec: bad magic %q: not a CubeLSI model", magic[:])
+	}
+	version := d.u32()
+	if d.err == nil && version != Version {
+		return nil, fmt.Errorf("codec: unsupported model version %d (want %d)", version, Version)
+	}
+
+	m := &Model{}
+	m.Lowercase = d.bool()
+	m.Assignments = d.length()
+
+	m.Users = d.strings()
+	m.Tags = d.strings()
+	m.Resources = d.strings()
+
+	m.Decomp = d.decomposition()
+	m.Distances = d.matrix()
+
+	n := d.length()
+	m.Assign = make([]int, 0, capCap(n))
+	for i := 0; i < n && d.err == nil; i++ {
+		m.Assign = append(m.Assign, int(d.i64()))
+	}
+	m.K = d.length()
+
+	snap := d.indexSnapshot()
+	if d.err != nil {
+		return nil, fmt.Errorf("codec: read: %w", d.err)
+	}
+	ix, err := ir.FromSnapshot(snap)
+	if err != nil {
+		return nil, fmt.Errorf("codec: %w", err)
+	}
+	m.Index = ix
+
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// validate checks the invariants that tie the sections together.
+func (m *Model) validate() error {
+	nTags := len(m.Tags)
+	if len(m.Assign) != nTags {
+		return fmt.Errorf("codec: %d concept assignments for %d tags", len(m.Assign), nTags)
+	}
+	for t, c := range m.Assign {
+		if c < -1 || c >= m.K {
+			return fmt.Errorf("codec: tag %d assigned to concept %d outside [-1,%d)", t, c, m.K)
+		}
+	}
+	if r, c := m.Distances.Dims(); r != nTags || c != nTags {
+		return fmt.Errorf("codec: distance matrix is %d×%d for %d tags", r, c, nTags)
+	}
+	if m.Index.NumTerms() != m.K {
+		return fmt.Errorf("codec: index has %d terms for %d concepts", m.Index.NumTerms(), m.K)
+	}
+	if m.Index.NumDocs() != len(m.Resources) {
+		return fmt.Errorf("codec: index has %d docs for %d resources", m.Index.NumDocs(), len(m.Resources))
+	}
+	if m.Decomp != nil && m.Decomp.Y2.Rows() != nTags {
+		return fmt.Errorf("codec: Y2 has %d rows for %d tags", m.Decomp.Y2.Rows(), nTags)
+	}
+	return nil
+}
+
+// encoder writes primitives with a sticky error.
+type encoder struct {
+	w   *bufio.Writer
+	err error
+	buf [8]byte
+}
+
+func (e *encoder) bytes(p []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(p)
+}
+
+func (e *encoder) u32(v uint32) {
+	binary.LittleEndian.PutUint32(e.buf[:4], v)
+	e.bytes(e.buf[:4])
+}
+
+func (e *encoder) u64(v uint64) {
+	binary.LittleEndian.PutUint64(e.buf[:8], v)
+	e.bytes(e.buf[:8])
+}
+
+func (e *encoder) i64(v int64) { e.u64(uint64(v)) }
+
+func (e *encoder) bool(v bool) {
+	if v {
+		e.bytes([]byte{1})
+	} else {
+		e.bytes([]byte{0})
+	}
+}
+
+func (e *encoder) length(n int) {
+	if e.err == nil && n < 0 {
+		e.err = fmt.Errorf("negative length %d", n)
+		return
+	}
+	e.u64(uint64(n))
+}
+
+func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *encoder) f64s(vs []float64) {
+	e.length(len(vs))
+	for _, v := range vs {
+		e.f64(v)
+	}
+}
+
+func (e *encoder) string(s string) {
+	e.length(len(s))
+	e.bytes([]byte(s))
+}
+
+func (e *encoder) strings(ss []string) {
+	e.length(len(ss))
+	for _, s := range ss {
+		e.string(s)
+	}
+}
+
+func (e *encoder) matrix(m *mat.Matrix) {
+	rows, cols := m.Dims()
+	e.length(rows)
+	e.length(cols)
+	e.f64s(m.Data())
+}
+
+func (e *encoder) dense3(t *tensor.Dense3) {
+	i1, i2, i3 := t.Dims()
+	e.length(i1)
+	e.length(i2)
+	e.length(i3)
+	e.f64s(t.Data())
+}
+
+func (e *encoder) decomposition(d *tucker.Decomposition) {
+	e.bool(d != nil)
+	if d == nil {
+		return
+	}
+	e.dense3(d.Core)
+	e.matrix(d.Y1)
+	e.matrix(d.Y2)
+	e.matrix(d.Y3)
+	for _, l := range d.Lambda {
+		e.f64s(l)
+	}
+	e.f64(d.Fit)
+	e.length(d.Sweeps)
+}
+
+func (e *encoder) index(s *ir.IndexSnapshot) {
+	e.length(s.NumTerms)
+	e.length(s.NumDocs)
+	e.length(len(s.DF))
+	for _, v := range s.DF {
+		e.i64(int64(v))
+	}
+	e.length(len(s.Postings))
+	for _, ps := range s.Postings {
+		e.length(len(ps))
+		for _, p := range ps {
+			e.i64(int64(p.Doc))
+			e.f64(p.Weight)
+		}
+	}
+	e.f64s(s.Norms)
+}
+
+// decoder reads primitives with a sticky error.
+type decoder struct {
+	r   *bufio.Reader
+	err error
+	buf [8]byte
+}
+
+func (d *decoder) bytes(p []byte) {
+	if d.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(d.r, p); err != nil {
+		d.err = err
+	}
+}
+
+func (d *decoder) u32() uint32 {
+	d.bytes(d.buf[:4])
+	if d.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(d.buf[:4])
+}
+
+func (d *decoder) u64() uint64 {
+	d.bytes(d.buf[:8])
+	if d.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(d.buf[:8])
+}
+
+func (d *decoder) i64() int64 { return int64(d.u64()) }
+
+func (d *decoder) bool() bool {
+	var b [1]byte
+	d.bytes(b[:])
+	return d.err == nil && b[0] != 0
+}
+
+func (d *decoder) length() int {
+	v := d.u64()
+	if d.err == nil && v > maxLen {
+		d.err = fmt.Errorf("length %d exceeds limit", v)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *decoder) f64s() []float64 {
+	n := d.length()
+	if d.err != nil {
+		return nil
+	}
+	out := make([]float64, 0, capCap(n))
+	for i := 0; i < n; i++ {
+		if d.err != nil {
+			return nil
+		}
+		out = append(out, d.f64())
+	}
+	return out
+}
+
+func (d *decoder) string() string {
+	n := d.length()
+	if d.err != nil || n == 0 {
+		return ""
+	}
+	// Read in bounded chunks so a corrupt length fails on EOF without a
+	// giant upfront allocation.
+	var sb strings.Builder
+	buf := make([]byte, capCap(n))
+	for n > 0 && d.err == nil {
+		chunk := buf
+		if n < len(chunk) {
+			chunk = chunk[:n]
+		}
+		d.bytes(chunk)
+		if d.err != nil {
+			return ""
+		}
+		sb.Write(chunk)
+		n -= len(chunk)
+	}
+	return sb.String()
+}
+
+func (d *decoder) strings() []string {
+	n := d.length()
+	if d.err != nil {
+		return nil
+	}
+	out := make([]string, 0, capCap(n))
+	for i := 0; i < n; i++ {
+		if d.err != nil {
+			return nil
+		}
+		out = append(out, d.string())
+	}
+	return out
+}
+
+func (d *decoder) matrix() *mat.Matrix {
+	rows := d.length()
+	cols := d.length()
+	data := d.f64s()
+	if d.err != nil {
+		return nil
+	}
+	want, ok := checkedProduct(rows, cols)
+	if !ok || len(data) != want {
+		d.err = fmt.Errorf("matrix data length %d does not match %d×%d", len(data), rows, cols)
+		return nil
+	}
+	return mat.FromData(rows, cols, data)
+}
+
+func (d *decoder) dense3() *tensor.Dense3 {
+	i1 := d.length()
+	i2 := d.length()
+	i3 := d.length()
+	data := d.f64s()
+	if d.err != nil {
+		return nil
+	}
+	want, ok := checkedProduct(i1, i2, i3)
+	if !ok || len(data) != want {
+		d.err = fmt.Errorf("tensor data length %d does not match %d×%d×%d", len(data), i1, i2, i3)
+		return nil
+	}
+	t := tensor.NewDense3(i1, i2, i3)
+	copy(t.Data(), data)
+	return t
+}
+
+func (d *decoder) decomposition() *tucker.Decomposition {
+	if !d.bool() {
+		return nil
+	}
+	dec := &tucker.Decomposition{}
+	dec.Core = d.dense3()
+	dec.Y1 = d.matrix()
+	dec.Y2 = d.matrix()
+	dec.Y3 = d.matrix()
+	for i := range dec.Lambda {
+		dec.Lambda[i] = d.f64s()
+	}
+	dec.Fit = d.f64()
+	dec.Sweeps = d.length()
+	return dec
+}
+
+func (d *decoder) indexSnapshot() *ir.IndexSnapshot {
+	s := &ir.IndexSnapshot{}
+	s.NumTerms = d.length()
+	s.NumDocs = d.length()
+	ndf := d.length()
+	if d.err != nil {
+		return s
+	}
+	s.DF = make([]int, 0, capCap(ndf))
+	for i := 0; i < ndf && d.err == nil; i++ {
+		s.DF = append(s.DF, int(d.i64()))
+	}
+	nt := d.length()
+	if d.err != nil {
+		return s
+	}
+	s.Postings = make([][]ir.Posting, 0, capCap(nt))
+	for t := 0; t < nt && d.err == nil; t++ {
+		np := d.length()
+		if d.err != nil {
+			return s
+		}
+		ps := make([]ir.Posting, 0, capCap(np))
+		for i := 0; i < np && d.err == nil; i++ {
+			ps = append(ps, ir.Posting{Doc: int(d.i64()), Weight: d.f64()})
+		}
+		s.Postings = append(s.Postings, ps)
+	}
+	s.Norms = d.f64s()
+	return s
+}

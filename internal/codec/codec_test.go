@@ -1,0 +1,229 @@
+package codec
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/tagging"
+	"repro/internal/tucker"
+)
+
+func buildModel(t *testing.T) *Model {
+	t.Helper()
+	ds := tagging.NewDataset()
+	users := []string{"u1", "u2", "u3", "u4"}
+	tags := []string{"folk", "people", "laptop", "notebook"}
+	res := []string{"r1", "r2", "r3", "r4", "r5"}
+	for ui, u := range users {
+		for ti, tag := range tags {
+			for ri, r := range res {
+				if (ui+ti+ri)%2 == 0 {
+					ds.Add(u, tag, r)
+				}
+			}
+		}
+	}
+	p, err := core.Build(context.Background(), ds, core.Options{
+		Tucker:   tucker.Options{J1: 3, J2: 3, J3: 3, Seed: 1},
+		Spectral: cluster.SpectralOptions{K: 2, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Model{
+		Lowercase:   true,
+		Assignments: len(ds.Assignments()),
+		Users:       ds.Users.Names(),
+		Tags:        ds.Tags.Names(),
+		Resources:   ds.Resources.Names(),
+		Decomp:      p.Decomposition,
+		Distances:   p.Distances,
+		Assign:      p.Assign,
+		K:           p.K,
+		Index:       p.Index,
+	}
+}
+
+func roundtrip(t *testing.T, m *Model) *Model {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestRoundtripExact(t *testing.T) {
+	m := buildModel(t)
+	got := roundtrip(t, m)
+
+	if got.Lowercase != m.Lowercase || got.Assignments != m.Assignments || got.K != m.K {
+		t.Fatalf("scalars changed: %+v vs %+v", got, m)
+	}
+	eqStrings := func(name string, a, b []string) {
+		if len(a) != len(b) {
+			t.Fatalf("%s length %d vs %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s[%d]: %q vs %q", name, i, a[i], b[i])
+			}
+		}
+	}
+	eqStrings("users", got.Users, m.Users)
+	eqStrings("tags", got.Tags, m.Tags)
+	eqStrings("resources", got.Resources, m.Resources)
+
+	for i, c := range m.Assign {
+		if got.Assign[i] != c {
+			t.Fatalf("assign[%d] = %d, want %d", i, got.Assign[i], c)
+		}
+	}
+
+	// Distances and factors must be bit-identical.
+	eqFloats := func(name string, a, b []float64) {
+		if len(a) != len(b) {
+			t.Fatalf("%s length %d vs %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Fatalf("%s[%d]: %v vs %v (bits differ)", name, i, a[i], b[i])
+			}
+		}
+	}
+	eqFloats("distances", got.Distances.Data(), m.Distances.Data())
+	eqFloats("core", got.Decomp.Core.Data(), m.Decomp.Core.Data())
+	eqFloats("y1", got.Decomp.Y1.Data(), m.Decomp.Y1.Data())
+	eqFloats("y2", got.Decomp.Y2.Data(), m.Decomp.Y2.Data())
+	eqFloats("y3", got.Decomp.Y3.Data(), m.Decomp.Y3.Data())
+	for mode := range m.Decomp.Lambda {
+		eqFloats("lambda", got.Decomp.Lambda[mode], m.Decomp.Lambda[mode])
+	}
+	if math.Float64bits(got.Decomp.Fit) != math.Float64bits(m.Decomp.Fit) || got.Decomp.Sweeps != m.Decomp.Sweeps {
+		t.Fatalf("fit/sweeps changed")
+	}
+
+	// The index must answer identically.
+	q := map[int]int{0: 1}
+	a, b := m.Index.Query(q, 0), got.Index.Query(q, 0)
+	if len(a) != len(b) {
+		t.Fatalf("index query lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("index query result %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRoundtripNilDecomp(t *testing.T) {
+	m := buildModel(t)
+	m.Decomp = nil
+	got := roundtrip(t, m)
+	if got.Decomp != nil {
+		t.Fatal("nil decomposition should stay nil")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Read(strings.NewReader("NOPE....")); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("err = %v, want bad-magic error", err)
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, buildModel(t)); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 99 // bump version field
+	if _, err := Read(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("err = %v, want version error", err)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, buildModel(t)); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Truncation anywhere must produce an error, never a panic or a
+	// silently short model.
+	for _, frac := range []int{1, 2, 3, 10} {
+		trunc := b[:len(b)/frac]
+		if len(trunc) == len(b) {
+			continue
+		}
+		if _, err := Read(bytes.NewReader(trunc)); err == nil {
+			t.Fatalf("truncated to %d/%d bytes: want error", len(trunc), len(b))
+		}
+	}
+}
+
+func TestHugeLengthFieldFailsFast(t *testing.T) {
+	// A tiny stream claiming a multi-billion-element section must fail
+	// on EOF after a bounded allocation, not attempt a giant make().
+	var buf bytes.Buffer
+	buf.Write(Magic[:])
+	buf.Write([]byte{1, 0, 0, 0}) // version 1
+	buf.WriteByte(1)              // lowercase
+	var scratch [8]byte
+	buf.Write(scratch[:]) // assignments = 0
+	// Users section: length 2^30 with no data behind it.
+	scratch = [8]byte{0, 0, 0, 0x40, 0, 0, 0, 0}
+	buf.Write(scratch[:])
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("want error for truncated huge section")
+	}
+}
+
+func TestCheckedProduct(t *testing.T) {
+	if p, ok := checkedProduct(3, 4, 5); !ok || p != 60 {
+		t.Fatalf("checkedProduct(3,4,5) = %d, %v", p, ok)
+	}
+	if _, ok := checkedProduct(1<<31, 1<<31, 4); ok {
+		t.Fatal("overflowing product must be rejected")
+	}
+	if _, ok := checkedProduct(-1, 2); ok {
+		t.Fatal("negative dimension must be rejected")
+	}
+	if p, ok := checkedProduct(0, 1<<30); !ok || p != 0 {
+		t.Fatalf("zero dimension: %d, %v", p, ok)
+	}
+}
+
+func TestCorruptAssignRejected(t *testing.T) {
+	m := buildModel(t)
+	m.Assign = append([]int(nil), m.Assign...)
+	m.Assign[0] = m.K + 5 // out-of-range concept
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil || !strings.Contains(err.Error(), "concept") {
+		t.Fatalf("err = %v, want concept-range error", err)
+	}
+}
+
+func TestShapeMismatchRejected(t *testing.T) {
+	m := buildModel(t)
+	m.Tags = m.Tags[:len(m.Tags)-1] // vocabulary no longer matches Assign
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("want shape-mismatch error")
+	}
+}

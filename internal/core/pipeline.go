@@ -2,10 +2,13 @@
 // CubeLSI offline pipeline of Figure 1 — tensor construction, truncated
 // Tucker decomposition by ALS, Theorem 1/2 tag distances, concept
 // distillation, and the bag-of-concepts index — plus the online query
-// path. Every stage is timed, which Tables V and VI rely on.
+// path. Every stage is timed, which Tables V and VI rely on, and every
+// stage is cancellable through the build context.
 package core
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"repro/internal/cluster"
@@ -17,6 +20,57 @@ import (
 	"repro/internal/tucker"
 )
 
+// Stage identifies one Figure-1 stage of the offline pipeline, in
+// execution order.
+type Stage int
+
+const (
+	// StageTensor assembles the third-order tensor from the assignments.
+	StageTensor Stage = iota
+	// StageDecompose runs the truncated Tucker decomposition by ALS.
+	StageDecompose
+	// StageDistances computes all-pairs Theorem 2 tag distances.
+	StageDistances
+	// StageCluster distills concepts by spectral clustering.
+	StageCluster
+	// StageIndex builds the bag-of-concepts tf-idf index.
+	StageIndex
+
+	// NumStages is the number of pipeline stages.
+	NumStages = int(StageIndex) + 1
+)
+
+// String returns the stage's short name.
+func (s Stage) String() string {
+	switch s {
+	case StageTensor:
+		return "tensor"
+	case StageDecompose:
+		return "decompose"
+	case StageDistances:
+		return "distances"
+	case StageCluster:
+		return "cluster"
+	case StageIndex:
+		return "index"
+	default:
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+}
+
+// Progress is one build-progress notification. Each stage reports twice:
+// once when it starts (Done false, Elapsed zero) and once when it
+// finishes (Done true, Elapsed the stage's wall-clock duration).
+type Progress struct {
+	Stage   Stage
+	Done    bool
+	Elapsed time.Duration
+}
+
+// ProgressFunc receives build-progress notifications. It is called
+// synchronously from the build goroutine and must not block.
+type ProgressFunc func(Progress)
+
 // Options configures the offline pipeline.
 type Options struct {
 	// Tucker carries the core dimensions (or use ratios via
@@ -25,6 +79,8 @@ type Options struct {
 	// Spectral carries σ, the concept count K (0 = automatic) and the
 	// clustering seed.
 	Spectral cluster.SpectralOptions
+	// Progress, if non-nil, observes each stage's start and finish.
+	Progress ProgressFunc
 }
 
 // Timings records wall-clock durations of the offline stages.
@@ -45,6 +101,22 @@ func (t Timings) Total() time.Duration {
 	return t.Tensor + t.Decompose + t.Distances + t.Cluster + t.Index
 }
 
+// set records the duration of one stage.
+func (t *Timings) set(s Stage, d time.Duration) {
+	switch s {
+	case StageTensor:
+		t.Tensor = d
+	case StageDecompose:
+		t.Decompose = d
+	case StageDistances:
+		t.Distances = d
+	case StageCluster:
+		t.Cluster = d
+	case StageIndex:
+		t.Index = d
+	}
+}
+
 // Pipeline is a built CubeLSI model over one cleaned dataset.
 type Pipeline struct {
 	DS            *tagging.Dataset
@@ -59,38 +131,83 @@ type Pipeline struct {
 	Times  Timings
 }
 
-// Build runs the offline pipeline on an already-cleaned dataset.
-func Build(ds *tagging.Dataset, opts Options) *Pipeline {
+// Build runs the offline pipeline on an already-cleaned dataset. The
+// context is threaded through the long-running stages (ALS mode updates,
+// distance rows), so cancelling it aborts the build promptly and returns
+// the context's error; opts.Progress observes each stage.
+func Build(ctx context.Context, ds *tagging.Dataset, opts Options) (*Pipeline, error) {
 	p := &Pipeline{DS: ds}
 
-	start := time.Now()
-	p.Tensor = ds.Tensor()
-	p.Times.Tensor = time.Since(start)
-
-	start = time.Now()
-	p.Decomposition = tucker.Decompose(p.Tensor, opts.Tucker)
-	p.Times.Decompose = time.Since(start)
-
-	start = time.Now()
-	p.Cube = distance.NewCubeLSI(p.Decomposition)
-	p.Distances = p.Cube.Pairwise()
-	p.Times.Distances = time.Since(start)
-
-	start = time.Now()
-	spec := cluster.Spectral(p.Distances, opts.Spectral)
-	p.Assign = spec.Assign
-	p.K = spec.K
-	p.Times.Cluster = time.Since(start)
-
-	start = time.Now()
-	docs := make([]map[int]int, ds.Resources.Len())
-	for r, tagCounts := range ds.ResourceTags() {
-		docs[r] = ir.MapToConcepts(tagCounts, p.Assign)
+	run := func(stage Stage, f func() error) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if opts.Progress != nil {
+			opts.Progress(Progress{Stage: stage})
+		}
+		start := time.Now()
+		if err := f(); err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		p.Times.set(stage, elapsed)
+		if opts.Progress != nil {
+			opts.Progress(Progress{Stage: stage, Done: true, Elapsed: elapsed})
+		}
+		return nil
 	}
-	p.Index = ir.BuildIndex(docs, p.K)
-	p.Times.Index = time.Since(start)
 
-	return p
+	if err := run(StageTensor, func() error {
+		p.Tensor = ds.Tensor()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := run(StageDecompose, func() error {
+		d, err := tucker.DecomposeContext(ctx, p.Tensor, opts.Tucker)
+		if err != nil {
+			return err
+		}
+		p.Decomposition = d
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := run(StageDistances, func() error {
+		p.Cube = distance.NewCubeLSI(p.Decomposition)
+		d, err := p.Cube.PairwiseContext(ctx)
+		if err != nil {
+			return err
+		}
+		p.Distances = d
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := run(StageCluster, func() error {
+		spec := cluster.Spectral(p.Distances, opts.Spectral)
+		p.Assign = spec.Assign
+		p.K = spec.K
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := run(StageIndex, func() error {
+		docs := make([]map[int]int, ds.Resources.Len())
+		for r, tagCounts := range ds.ResourceTags() {
+			docs[r] = ir.MapToConcepts(tagCounts, p.Assign)
+		}
+		p.Index = ir.BuildIndex(docs, p.K)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	return p, nil
 }
 
 // Query answers a tag query by mapping the tags to concepts and ranking

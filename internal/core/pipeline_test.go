@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/cluster"
@@ -21,8 +23,17 @@ func paperDataset() *tagging.Dataset {
 	return d
 }
 
+func mustBuild(t *testing.T, ds *tagging.Dataset, opts Options) *Pipeline {
+	t.Helper()
+	p, err := Build(context.Background(), ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 func TestBuildRunningExample(t *testing.T) {
-	p := Build(paperDataset(), Options{
+	p := mustBuild(t, paperDataset(), Options{
 		Tucker:   tucker.Options{J1: 3, J2: 2, J3: 3, Seed: 1},
 		Spectral: cluster.SpectralOptions{Sigma: 1, K: 2, Seed: 5},
 	})
@@ -49,7 +60,7 @@ func TestBuildRunningExample(t *testing.T) {
 
 func TestTimingsPopulated(t *testing.T) {
 	c := datagen.Generate(datagen.Tiny())
-	p := Build(c.Clean, Options{
+	p := mustBuild(t, c.Clean, Options{
 		Tucker:   tucker.Options{J1: 8, J2: 10, J3: 8, Seed: 2},
 		Spectral: cluster.SpectralOptions{K: 12, Seed: 2},
 	})
@@ -70,8 +81,8 @@ func TestQueryDeterministicAcrossBuilds(t *testing.T) {
 		Tucker:   tucker.Options{J1: 8, J2: 10, J3: 8, Seed: 3},
 		Spectral: cluster.SpectralOptions{K: 12, Seed: 3},
 	}
-	a := Build(c.Clean, opts)
-	b := Build(c.Clean, opts)
+	a := mustBuild(t, c.Clean, opts)
+	b := mustBuild(t, c.Clean, opts)
 	q := c.MakeQueries(5, 2, 11)
 	for _, query := range q {
 		ra := a.Query(query.Tags, 10)
@@ -83,6 +94,97 @@ func TestQueryDeterministicAcrossBuilds(t *testing.T) {
 			if ra[i] != rb[i] {
 				t.Fatal("nondeterministic across builds")
 			}
+		}
+	}
+}
+
+func TestBuildProgressReportsEveryStage(t *testing.T) {
+	var starts, finishes []Stage
+	p, err := Build(context.Background(), paperDataset(), Options{
+		Tucker:   tucker.Options{J1: 3, J2: 2, J3: 3, Seed: 1},
+		Spectral: cluster.SpectralOptions{Sigma: 1, K: 2, Seed: 5},
+		Progress: func(pr Progress) {
+			if pr.Done {
+				finishes = append(finishes, pr.Stage)
+			} else {
+				starts = append(starts, pr.Stage)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil {
+		t.Fatal("nil pipeline")
+	}
+	want := []Stage{StageTensor, StageDecompose, StageDistances, StageCluster, StageIndex}
+	if len(starts) != len(want) || len(finishes) != len(want) {
+		t.Fatalf("starts=%v finishes=%v, want all of %v", starts, finishes, want)
+	}
+	for i, s := range want {
+		if starts[i] != s || finishes[i] != s {
+			t.Fatalf("stage order: starts=%v finishes=%v", starts, finishes)
+		}
+	}
+}
+
+func TestBuildCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p, err := Build(ctx, paperDataset(), Options{
+		Tucker:   tucker.Options{J1: 3, J2: 2, J3: 3, Seed: 1},
+		Spectral: cluster.SpectralOptions{Sigma: 1, K: 2, Seed: 5},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if p != nil {
+		t.Fatal("cancelled build must not return a pipeline")
+	}
+}
+
+func TestBuildCancelMidALS(t *testing.T) {
+	c := datagen.Generate(datagen.Tiny())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var sawDecompose bool
+	p, err := Build(ctx, c.Clean, Options{
+		Tucker:   tucker.Options{J1: 8, J2: 10, J3: 8, Seed: 2},
+		Spectral: cluster.SpectralOptions{K: 12, Seed: 2},
+		Progress: func(pr Progress) {
+			// Cancel as the decompose stage starts: the ALS sweep's own
+			// context checks must abort it.
+			if pr.Stage == StageDecompose && !pr.Done {
+				sawDecompose = true
+				cancel()
+			}
+		},
+	})
+	if !sawDecompose {
+		t.Fatal("decompose stage never started")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if p != nil {
+		t.Fatal("cancelled build must not return a pipeline")
+	}
+}
+
+func TestStageString(t *testing.T) {
+	names := map[Stage]string{
+		StageTensor:    "tensor",
+		StageDecompose: "decompose",
+		StageDistances: "distances",
+		StageCluster:   "cluster",
+		StageIndex:     "index",
+	}
+	if len(names) != NumStages {
+		t.Fatalf("NumStages = %d, want %d", NumStages, len(names))
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", s, s.String(), want)
 		}
 	}
 }

@@ -13,6 +13,7 @@
 package distance
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -76,16 +77,31 @@ func (c *CubeLSI) DistanceDiag(i, j int) float64 {
 // Pairwise returns the full symmetric distance matrix using the Theorem 2
 // fast path (Algorithm 1's double loop).
 func (c *CubeLSI) Pairwise() *mat.Matrix {
+	out, err := c.PairwiseContext(context.Background())
+	if err != nil {
+		// Background contexts are never cancelled, so this is unreachable.
+		panic(err)
+	}
+	return out
+}
+
+// PairwiseContext is Pairwise with cooperative cancellation, checked once
+// per tag row: the O(|T|²·J₂) double loop aborts within one row of the
+// context being cancelled.
+func (c *CubeLSI) PairwiseContext(ctx context.Context) (*mat.Matrix, error) {
 	n := c.NumTags()
 	out := mat.New(n, n)
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for j := i + 1; j < n; j++ {
 			d := c.DistanceDiag(i, j)
 			out.Set(i, j, d)
 			out.Set(j, i, d)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // PairwiseTheorem1 returns the full matrix via the general quadratic form

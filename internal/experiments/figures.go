@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -108,10 +109,14 @@ func Figure5(s *Setup, ratios []float64) []Figure5Point {
 	out := make([]Figure5Point, 0, len(ratios))
 	for _, c := range ratios {
 		j1, j2, j3 := tucker.FromRatios(st.Users, st.Tags, st.Resources, c, c, c)
-		p := core.Build(s.Corpus.Clean, core.Options{
+		p, err := core.Build(context.Background(), s.Corpus.Clean, core.Options{
 			Tucker:   tucker.Options{J1: j1, J2: j2, J3: j3, MaxSweeps: s.Sweeps, Seed: uint64(s.Seed)},
 			Spectral: cluster.SpectralOptions{K: minInt(s.K, j2), Seed: s.Seed},
 		})
+		if err != nil {
+			// Background contexts are never cancelled, so this is unreachable.
+			panic(err)
+		}
 		out = append(out, Figure5Point{Ratio: c, J1: j1, J2: j2, J3: j3, Time: p.Times.Offline()})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Ratio < out[j].Ratio })

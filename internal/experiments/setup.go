@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -106,13 +107,18 @@ func (s *Setup) Pipeline() *core.Pipeline {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.pipeline == nil {
-		s.pipeline = core.Build(s.Corpus.Clean, core.Options{
+		p, err := core.Build(context.Background(), s.Corpus.Clean, core.Options{
 			Tucker: tucker.Options{
 				J1: s.J1, J2: s.J2, J3: s.J3,
 				MaxSweeps: s.Sweeps, Seed: uint64(s.Seed),
 			},
 			Spectral: s.SpectralOpts(),
 		})
+		if err != nil {
+			// Background contexts are never cancelled, so this is unreachable.
+			panic(err)
+		}
+		s.pipeline = p
 	}
 	return s.pipeline
 }

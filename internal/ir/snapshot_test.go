@@ -1,0 +1,75 @@
+package ir
+
+import "testing"
+
+func snapshotTestIndex() *Index {
+	docs := []map[int]int{
+		{0: 2, 1: 1},
+		{1: 3},
+		{0: 1, 2: 2},
+		{},
+	}
+	return BuildIndex(docs, 3)
+}
+
+func TestSnapshotRoundtrip(t *testing.T) {
+	ix := snapshotTestIndex()
+	got, err := FromSnapshot(ix.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumDocs() != ix.NumDocs() || got.NumTerms() != ix.NumTerms() {
+		t.Fatalf("dims changed: %d/%d vs %d/%d", got.NumDocs(), got.NumTerms(), ix.NumDocs(), ix.NumTerms())
+	}
+	for _, q := range []map[int]int{{0: 1}, {1: 2}, {0: 1, 2: 1}} {
+		a, b := ix.Query(q, 0), got.Query(q, 0)
+		if len(a) != len(b) {
+			t.Fatalf("query %v: %d vs %d results", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %v result %d: %+v vs %+v", q, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	ix := snapshotTestIndex()
+	s := ix.Snapshot()
+	s.DF[0] = 99
+	if len(s.Postings[0]) > 0 {
+		s.Postings[0][0].Weight = 42
+	}
+	s2 := ix.Snapshot()
+	if s2.DF[0] == 99 {
+		t.Fatal("snapshot shares df with index")
+	}
+	if len(s2.Postings[0]) > 0 && s2.Postings[0][0].Weight == 42 {
+		t.Fatal("snapshot shares postings with index")
+	}
+}
+
+func TestFromSnapshotValidates(t *testing.T) {
+	base := snapshotTestIndex().Snapshot()
+
+	bad := *base
+	bad.DF = bad.DF[:1]
+	if _, err := FromSnapshot(&bad); err == nil {
+		t.Fatal("short df should be rejected")
+	}
+
+	bad = *base
+	bad.Norms = append(bad.Norms, 1)
+	if _, err := FromSnapshot(&bad); err == nil {
+		t.Fatal("extra norms should be rejected")
+	}
+
+	bad = *base
+	bad.Postings = make([][]Posting, len(base.Postings))
+	copy(bad.Postings, base.Postings)
+	bad.Postings[0] = []Posting{{Doc: 999, Weight: 1}}
+	if _, err := FromSnapshot(&bad); err == nil {
+		t.Fatal("out-of-range doc should be rejected")
+	}
+}

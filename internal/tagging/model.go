@@ -34,6 +34,20 @@ func (in *Interner) Intern(name string) int {
 	return id
 }
 
+// NewInternerFromNames rebuilds an interner from a name list in id
+// order, as produced by Names. It errors on duplicates, which would
+// silently alias two ids.
+func NewInternerFromNames(names []string) (*Interner, error) {
+	in := NewInterner()
+	for i, name := range names {
+		if _, dup := in.byName[name]; dup {
+			return nil, fmt.Errorf("tagging: duplicate name %q at id %d", name, i)
+		}
+		in.Intern(name)
+	}
+	return in, nil
+}
+
 // Lookup returns the id of name and whether it is known.
 func (in *Interner) Lookup(name string) (int, bool) {
 	id, ok := in.byName[name]

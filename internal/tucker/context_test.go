@@ -1,0 +1,52 @@
+package tucker
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func smallTensor() *tensor.Sparse3 {
+	f := tensor.NewSparse3(6, 6, 6)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if (i+j)%2 == 0 {
+				f.Append(i, j, (i*j)%6, 1)
+			}
+		}
+	}
+	f.Build()
+	return f
+}
+
+func TestDecomposeContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d, err := DecomposeContext(ctx, smallTensor(), Options{J1: 2, J2: 2, J3: 2, Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d != nil {
+		t.Fatal("cancelled decomposition must be nil")
+	}
+}
+
+func TestDecomposeContextBackgroundMatchesDecompose(t *testing.T) {
+	f := smallTensor()
+	opts := Options{J1: 2, J2: 2, J3: 2, Seed: 1}
+	a := Decompose(f, opts)
+	b, err := DecomposeContext(context.Background(), f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fit != b.Fit || a.Sweeps != b.Sweeps {
+		t.Fatalf("context path diverged: fit %v vs %v, sweeps %d vs %d", a.Fit, b.Fit, a.Sweeps, b.Sweeps)
+	}
+	for i := range a.Y2.Data() {
+		if a.Y2.Data()[i] != b.Y2.Data()[i] {
+			t.Fatal("Y2 diverged between Decompose and DecomposeContext")
+		}
+	}
+}

@@ -10,6 +10,7 @@
 package tucker
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -79,6 +80,19 @@ type Decomposition struct {
 // unfolding is assembled directly from the sparse entries, so the dense
 // tensor is never materialized.
 func Decompose(f *tensor.Sparse3, opts Options) *Decomposition {
+	d, err := DecomposeContext(context.Background(), f, opts)
+	if err != nil {
+		// Background contexts are never cancelled, so this is unreachable.
+		panic(err)
+	}
+	return d
+}
+
+// DecomposeContext is Decompose with cooperative cancellation: the
+// context is checked before every per-mode factor update, so a long ALS
+// run aborts within one mode update of cancellation and returns the
+// context's error.
+func DecomposeContext(ctx context.Context, f *tensor.Sparse3, opts Options) (*Decomposition, error) {
 	i1, i2, i3 := f.Dims()
 	j1, j2, j3 := clampDims(opts, i1, i2, i3)
 	maxSweeps := opts.MaxSweeps
@@ -107,7 +121,13 @@ func Decompose(f *tensor.Sparse3, opts Options) *Decomposition {
 		y2 = randomOrthonormal(i2, j2, opts.Seed+1)
 		y3 = randomOrthonormal(i3, j3, opts.Seed+2)
 	} else {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		y2 = hosvdInit(f, 2, j2, initSub)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		y3 = hosvdInit(f, 3, j3, initSub)
 	}
 
@@ -121,14 +141,23 @@ func Decompose(f *tensor.Sparse3, opts Options) *Decomposition {
 	for s := 0; s < maxSweeps; s++ {
 		sweeps = s + 1
 		// Mode 1.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		w1 := tensor.ProjectedUnfold(f, 1, y2, y3)
 		svd1 := leadingLeft(w1, j1, sub)
 		y1, lambda[0] = svd1.U, svd1.S
 		// Mode 2.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		w2 := tensor.ProjectedUnfold(f, 2, y1, y3)
 		svd2 := leadingLeft(w2, j2, sub)
 		y2, lambda[1] = svd2.U, svd2.S
 		// Mode 3.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		w3 := tensor.ProjectedUnfold(f, 3, y1, y2)
 		svd3 := leadingLeft(w3, j3, sub)
 		y3, lambda[2] = svd3.U, svd3.S
@@ -155,11 +184,14 @@ func Decompose(f *tensor.Sparse3, opts Options) *Decomposition {
 		prevFit = fit
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	core := tensor.Core(f, y1, y2, y3)
 	return &Decomposition{
 		Core: core, Y1: y1, Y2: y2, Y3: y3,
 		Lambda: lambda, Fit: fit, Sweeps: sweeps,
-	}
+	}, nil
 }
 
 func clampDims(opts Options, i1, i2, i3 int) (j1, j2, j3 int) {

@@ -1,0 +1,95 @@
+package cubelsi
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/codec"
+	"repro/internal/tagging"
+)
+
+// Save serializes the engine's model — vocabularies, Tucker factors,
+// distance matrix, concept assignment, and index — so a separate
+// serving process can Load it and answer queries with bit-identical
+// rankings, without re-running the offline pipeline.
+func (e *Engine) Save(w io.Writer) error {
+	return codec.Write(w, &codec.Model{
+		Lowercase:   e.lowercase,
+		Assignments: e.stats.Assignments,
+		Users:       e.users,
+		Tags:        e.tags.Names(),
+		Resources:   e.resources.Names(),
+		Decomp:      e.decomp,
+		Distances:   e.distances,
+		Assign:      e.assign,
+		K:           e.k,
+		Index:       e.index,
+	})
+}
+
+// SaveFile writes the model to path.
+func (e *Engine) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("cubelsi: %w", err)
+	}
+	defer f.Close()
+	if err := e.Save(f); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("cubelsi: %w", err)
+	}
+	return nil
+}
+
+// Load restores an engine from a model stream written by Save.
+func Load(r io.Reader) (*Engine, error) {
+	m, err := codec.Read(r)
+	if err != nil {
+		return nil, fmt.Errorf("cubelsi: %w", err)
+	}
+	tags, err := tagging.NewInternerFromNames(m.Tags)
+	if err != nil {
+		return nil, fmt.Errorf("cubelsi: tag vocabulary: %w", err)
+	}
+	resources, err := tagging.NewInternerFromNames(m.Resources)
+	if err != nil {
+		return nil, fmt.Errorf("cubelsi: resource vocabulary: %w", err)
+	}
+	st := Stats{
+		Users:       len(m.Users),
+		Tags:        len(m.Tags),
+		Resources:   len(m.Resources),
+		Assignments: m.Assignments,
+		Concepts:    m.K,
+	}
+	if m.Decomp != nil {
+		cj1, cj2, cj3 := m.Decomp.CoreDims()
+		st.CoreDims = [3]int{cj1, cj2, cj3}
+		st.Fit = m.Decomp.Fit
+	}
+	return &Engine{
+		lowercase: m.Lowercase,
+		users:     m.Users,
+		tags:      tags,
+		resources: resources,
+		decomp:    m.Decomp,
+		distances: m.Distances,
+		assign:    m.Assign,
+		k:         m.K,
+		index:     m.Index,
+		stats:     st,
+	}, nil
+}
+
+// LoadFile restores an engine from a model file written by SaveFile.
+func LoadFile(path string) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("cubelsi: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,127 @@
+package cubelsi
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/ir"
+)
+
+// Query is one search request: tag keywords plus ranking options. The
+// zero value with only Tags set ranks every matching resource.
+type Query struct {
+	// Tags are the query keywords. Unknown tags are ignored.
+	Tags []string `json:"tags"`
+	// Limit caps the number of results; zero or negative returns every
+	// matching resource.
+	Limit int `json:"limit,omitempty"`
+	// MinScore drops results whose cosine similarity is below it.
+	MinScore float64 `json:"min_score,omitempty"`
+	// Concepts adds concept ids directly to the query vector, alongside
+	// the concepts the tags map to — the hook for soft-concept scoring
+	// and concept-browsing front ends. Out-of-range ids are ignored.
+	Concepts []int `json:"concepts,omitempty"`
+}
+
+// QueryOption configures a Query.
+type QueryOption func(*Query)
+
+// WithLimit caps the result count (zero or negative = unlimited).
+func WithLimit(n int) QueryOption {
+	return func(q *Query) { q.Limit = n }
+}
+
+// WithMinScore drops results scoring below s.
+func WithMinScore(s float64) QueryOption {
+	return func(q *Query) { q.MinScore = s }
+}
+
+// WithConcepts adds concept ids directly to the query vector.
+func WithConcepts(ids ...int) QueryOption {
+	return func(q *Query) { q.Concepts = append(q.Concepts, ids...) }
+}
+
+// NewQuery builds a Query over the given tags.
+func NewQuery(tags []string, opts ...QueryOption) Query {
+	q := Query{Tags: tags}
+	for _, o := range opts {
+		o(&q)
+	}
+	return q
+}
+
+// Query answers one search request: the tags are case-folded the same
+// way the vocabulary was, mapped to distilled concepts (plus any
+// explicitly listed concept ids), and resources are ranked by cosine
+// similarity in concept space (Equation 4).
+func (e *Engine) Query(q Query) []Result {
+	counts := make(map[int]int, len(q.Tags))
+	for _, name := range q.Tags {
+		if e.lowercase {
+			name = strings.ToLower(name)
+		}
+		if id, ok := e.tags.Lookup(name); ok {
+			counts[id]++
+		}
+	}
+	concepts := ir.MapToConcepts(counts, e.assign)
+	for _, c := range q.Concepts {
+		if c >= 0 && c < e.k {
+			concepts[c]++
+		}
+	}
+	scored := e.index.Query(concepts, q.Limit)
+	out := make([]Result, 0, len(scored))
+	for _, s := range scored {
+		if s.Score < q.MinScore {
+			continue
+		}
+		out = append(out, Result{Resource: e.resources.Name(s.Doc), Score: s.Score})
+	}
+	return out
+}
+
+// SearchBatch answers many queries at once, fanning out across
+// GOMAXPROCS goroutines. Results arrive in query order and are
+// identical to issuing each Query individually — the engine is
+// immutable, so batching only amortizes scheduling, never changes
+// rankings.
+func (e *Engine) SearchBatch(queries []Query) [][]Result {
+	out := make([][]Result, len(queries))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		for i, q := range queries {
+			out[i] = e.Query(q)
+		}
+		return out
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = e.Query(queries[i])
+			}
+		}()
+	}
+	for i := range queries {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// Search answers a tag-keyword query with up to topN resources.
+//
+// Deprecated: use Query with NewQuery, which adds MinScore and concept
+// options; Search remains as a thin shim.
+func (e *Engine) Search(query []string, topN int) []Result {
+	return e.Query(NewQuery(query, WithLimit(topN)))
+}
