@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: build test bench vet fmt
+# Preset for the tracked offline benchmark; CI smoke-tests with tiny.
+BENCH_PRESET ?= lastfm
+
+.PHONY: build test bench bench-smoke vet fmt fuzz
 
 build:
 	$(GO) build ./...
@@ -11,8 +14,20 @@ vet:
 test: vet
 	$(GO) test -race ./...
 
+# bench runs the key microbenchmarks and then records the offline
+# trajectory (build time, model size v1 vs v2, query latency) in
+# BENCH_offline.json so perf is tracked across PRs.
 bench:
-	$(GO) test -run=^$$ -bench=. -benchmem ./...
+	$(GO) test -run='^$$' -bench='NearestK|Pairwise1k|QueryTop10|QueryFullSort|EngineBuild|EngineSearch' -benchmem ./internal/embed/ ./internal/ir/ .
+	$(GO) run ./cmd/benchoffline -preset $(BENCH_PRESET) -out BENCH_offline.json
+
+# bench-smoke is the CI-sized version: tiny preset, same artifact.
+bench-smoke:
+	$(GO) run ./cmd/benchoffline -preset tiny -scale-tags 1000,5000 -out BENCH_offline.json
+
+# fuzz exercises the model-decode fuzz target briefly.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzLoad -fuzztime=30s ./internal/codec/
 
 fmt:
 	gofmt -l -w .

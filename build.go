@@ -20,9 +20,15 @@ type Stage = core.Stage
 const (
 	StageTensor    = core.StageTensor
 	StageDecompose = core.StageDecompose
-	StageDistances = core.StageDistances
+	StageEmbed     = core.StageEmbed
 	StageCluster   = core.StageCluster
 	StageIndex     = core.StageIndex
+
+	// StageDistances is the former name of StageEmbed, from when the
+	// pipeline unconditionally materialized the O(|T|²) distance matrix.
+	//
+	// Deprecated: use StageEmbed.
+	StageDistances = core.StageDistances
 )
 
 // Progress is one build-progress notification: each stage reports once
@@ -97,8 +103,9 @@ func (s datasetSource) dataset() (*tagging.Dataset, error) { return s.ds, nil }
 type BuildOption func(*buildSettings)
 
 type buildSettings struct {
-	cfg      Config
-	progress ProgressFunc
+	cfg           Config
+	progress      ProgressFunc
+	exactSpectral bool
 }
 
 // WithConfig replaces the default pipeline configuration.
@@ -109,6 +116,17 @@ func WithConfig(cfg Config) BuildOption {
 // WithProgress registers a per-stage progress observer.
 func WithProgress(fn ProgressFunc) BuildOption {
 	return func(s *buildSettings) { s.progress = fn }
+}
+
+// WithExactSpectral preserves the pre-embedding offline pipeline:
+// materialize the full |T|×|T| Theorem 2 distance matrix and spectrally
+// cluster it (Section V), exactly as the seed pipeline did. The default
+// embedding-first build clusters the Λ₂·Y⁽²⁾ embedding rows directly —
+// the same geometry by Theorem 2 at O(|T|·K·k₂) per k-means sweep — and
+// never pays the quadratic cost. Use this option for parity testing and
+// paper-faithful reproduction runs.
+func WithExactSpectral() BuildOption {
+	return func(s *buildSettings) { s.exactSpectral = true }
 }
 
 // Build runs the offline pipeline over the source corpus and returns a
@@ -163,7 +181,8 @@ func Build(ctx context.Context, src Source, opts ...BuildOption) (*Engine, error
 			K:     cfg.Concepts,
 			Seed:  cfg.Seed,
 		},
-		Progress: settings.progress,
+		ExactSpectral: settings.exactSpectral,
+		Progress:      settings.progress,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cubelsi: build: %w", err)
@@ -175,17 +194,17 @@ func Build(ctx context.Context, src Source, opts ...BuildOption) (*Engine, error
 		users:     p.DS.Users.Names(),
 		tags:      p.DS.Tags,
 		resources: p.DS.Resources,
-		decomp:    p.Decomposition,
-		distances: p.Distances,
+		emb:       p.Embedding,
 		assign:    p.Assign,
 		k:         p.K,
 		index:     p.Index,
 		stats: Stats{
 			Users: st.Users, Tags: st.Tags, Resources: st.Resources,
-			Assignments: st.Assignments,
-			CoreDims:    [3]int{cj1, cj2, cj3},
-			Concepts:    p.K,
-			Fit:         p.Decomposition.Fit,
+			Assignments:  st.Assignments,
+			CoreDims:     [3]int{cj1, cj2, cj3},
+			Concepts:     p.K,
+			Fit:          p.Decomposition.Fit,
+			EmbeddingDim: p.Embedding.Dim(),
 		},
 		timings: p.Times,
 	}, nil

@@ -1,0 +1,347 @@
+// Command benchoffline measures the offline-pipeline performance profile
+// and writes it to a JSON file (BENCH_offline.json by default), so the
+// perf trajectory — build time, model size, query latency — is tracked
+// across PRs.
+//
+// Three sections are recorded:
+//
+//   - build: wall-clock of the embedding-first offline build vs the
+//     exact-spectral (seed) pipeline on a generated corpus, per stage.
+//   - query: online latency percentiles over a generated workload.
+//   - size_scaling: encoded model bytes of the v1 (quadratic, dense
+//     distance matrix) vs v2 (linear, |T|×k₂ embedding) formats at
+//     growing tag-vocabulary sizes, measured through the real codec.
+//
+// Usage:
+//
+//	benchoffline [-preset tiny|delicious|bibsonomy|lastfm]
+//	             [-out BENCH_offline.json] [-scale-tags 1000,5000]
+//	             [-skip-exact] [-queries 256]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/ir"
+	"repro/internal/mat"
+	"repro/internal/tensor"
+	"repro/internal/tucker"
+)
+
+type stageMillis struct {
+	Tensor    float64 `json:"tensor_ms"`
+	Decompose float64 `json:"decompose_ms"`
+	Embed     float64 `json:"embed_ms"`
+	Cluster   float64 `json:"cluster_ms"`
+	Index     float64 `json:"index_ms"`
+	Total     float64 `json:"total_ms"`
+}
+
+type buildReport struct {
+	EmbeddingPath stageMillis  `json:"embedding_path"`
+	ExactPath     *stageMillis `json:"exact_path,omitempty"`
+	// Speedup is exact total / embedding total (>1 means the embedding
+	// path is faster).
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+type queryReport struct {
+	Count  int     `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
+	P99US  float64 `json:"p99_us"`
+}
+
+type modelReport struct {
+	V2Bytes int64   `json:"v2_bytes"`
+	V1Bytes int64   `json:"v1_bytes,omitempty"`
+	Ratio   float64 `json:"v1_over_v2_ratio,omitempty"`
+}
+
+type scalePoint struct {
+	Tags    int     `json:"tags"`
+	K2      int     `json:"k2"`
+	V1Bytes int64   `json:"v1_bytes"`
+	V2Bytes int64   `json:"v2_bytes"`
+	Ratio   float64 `json:"v1_over_v2_ratio"`
+}
+
+type report struct {
+	GeneratedAt string       `json:"generated_at"`
+	Preset      string       `json:"preset"`
+	Users       int          `json:"users"`
+	Tags        int          `json:"tags"`
+	Resources   int          `json:"resources"`
+	Assignments int          `json:"assignments"`
+	Build       buildReport  `json:"build"`
+	Model       modelReport  `json:"model"`
+	Query       queryReport  `json:"query"`
+	SizeScaling []scalePoint `json:"size_scaling"`
+}
+
+func main() {
+	preset := flag.String("preset", "tiny", "corpus preset: tiny, delicious, bibsonomy or lastfm")
+	out := flag.String("out", "BENCH_offline.json", "output JSON path")
+	scaleTags := flag.String("scale-tags", "1000,5000", "comma-separated tag counts for the size-scaling section")
+	skipExact := flag.Bool("skip-exact", false, "skip the exact-spectral comparison build")
+	numQueries := flag.Int("queries", 256, "query workload size")
+	flag.Parse()
+
+	params, err := presetParams(*preset)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "benchoffline: generating %s corpus\n", params.Name)
+	corpus := datagen.Generate(params)
+	st := corpus.Clean.Stats()
+	rep := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Preset:      params.Name,
+		Users:       st.Users,
+		Tags:        st.Tags,
+		Resources:   st.Resources,
+		Assignments: st.Assignments,
+	}
+
+	// Hyper-parameters mirror internal/experiments.NewSetup scaling.
+	k := params.NumConcepts()
+	j2 := min(st.Tags, (k*28)/10)
+	j1 := clampInt(st.Users/7, 16, 80)
+	j3 := clampInt(st.Resources/8, 16, 96)
+	opts := core.Options{
+		Tucker: tucker.Options{
+			J1: min(j1, st.Users), J2: j2, J3: min(j3, st.Resources),
+			MaxSweeps: 3, Seed: uint64(params.Seed),
+		},
+		Spectral: cluster.SpectralOptions{K: k, Seed: params.Seed},
+	}
+
+	fmt.Fprintf(os.Stderr, "benchoffline: embedding-first build (|T|=%d, k2=%d)\n", st.Tags, j2)
+	p, err := core.Build(context.Background(), corpus.Clean, opts)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Build.EmbeddingPath = toStageMillis(p.Times)
+
+	var pe *core.Pipeline
+	if !*skipExact {
+		fmt.Fprintf(os.Stderr, "benchoffline: exact-spectral build for comparison\n")
+		exactOpts := opts
+		exactOpts.ExactSpectral = true
+		pe, err = core.Build(context.Background(), corpus.Clean, exactOpts)
+		if err != nil {
+			fatal(err)
+		}
+		ms := toStageMillis(pe.Times)
+		rep.Build.ExactPath = &ms
+		if rep.Build.EmbeddingPath.Total > 0 {
+			rep.Build.Speedup = ms.Total / rep.Build.EmbeddingPath.Total
+		}
+	}
+
+	// Model size: the real pipeline serialized the way each format's
+	// writer actually ships it — v2 is factor-free (embedding + summary
+	// stats), v1 carries the full decomposition plus the dense matrix.
+	cj1, cj2, cj3 := p.Decomposition.CoreDims()
+	model := &codec.Model{
+		Lowercase:   true,
+		Assignments: st.Assignments,
+		Users:       corpus.Clean.Users.Names(),
+		Tags:        corpus.Clean.Tags.Names(),
+		Resources:   corpus.Clean.Resources.Names(),
+		CoreDims:    [3]int{cj1, cj2, cj3},
+		Fit:         p.Decomposition.Fit,
+		Embedding:   p.Embedding.Matrix(),
+		Assign:      p.Assign,
+		K:           p.K,
+		Index:       p.Index,
+	}
+	rep.Model.V2Bytes = encodedSize(func(w io.Writer) error { return codec.Write(w, model) })
+	if pe != nil {
+		// Reuse the exact build's already-materialized matrix — also the
+		// faithful v1 payload, since real v1 files shipped exactly it.
+		v1Model := *model
+		v1Model.Decomp = pe.Decomposition
+		v1Model.Distances = pe.Distances
+		rep.Model.V1Bytes = encodedSize(func(w io.Writer) error { return codec.WriteV1(w, &v1Model) })
+		rep.Model.Ratio = ratio(rep.Model.V1Bytes, rep.Model.V2Bytes)
+	}
+
+	// Query latency over a generated workload.
+	queries := corpus.MakeQueries(*numQueries, 3, params.Seed+1000)
+	lat := make([]float64, 0, len(queries))
+	for _, q := range queries {
+		start := time.Now()
+		p.Query(q.Tags, 20)
+		lat = append(lat, float64(time.Since(start).Nanoseconds())/1e3)
+	}
+	rep.Query = summarize(lat)
+
+	// Size scaling: real codec byte counts at synthetic vocabulary sizes.
+	for _, field := range strings.Split(*scaleTags, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		n, err := strconv.Atoi(field)
+		if err != nil || n < 2 {
+			fatal(fmt.Errorf("bad -scale-tags entry %q", field))
+		}
+		k2 := max(2, n/50) // the paper's reduction ratio of 50
+		fmt.Fprintf(os.Stderr, "benchoffline: size scaling at |T|=%d (k2=%d)\n", n, k2)
+		rep.SizeScaling = append(rep.SizeScaling, measureScale(n, k2))
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchoffline: wrote %s\n", *out)
+	os.Stdout.Write(data)
+}
+
+// measureScale encodes a synthetic model with |T| = n in both formats
+// and reports the byte counts, shaped the way each writer actually
+// ships models: v2 is factor-free (8·n·k₂ embedding + summary stats),
+// v1 carries the 8·n² dense matrix plus the full Tucker decomposition
+// (factors and core at lastfm-like mode proportions and the paper's
+// reduction ratio of 50 — Y⁽¹⁾ alone is |U|×(|U|/50), quadratic in
+// users).
+func measureScale(n, k2 int) scalePoint {
+	tags := make([]string, n)
+	for i := range tags {
+		tags[i] = "tag" + strconv.Itoa(i)
+	}
+	assign := make([]int, n)
+	m := &codec.Model{
+		Lowercase: true,
+		Users:     []string{"u0"},
+		Tags:      tags,
+		Resources: []string{"r0"},
+		CoreDims:  [3]int{0, k2, 0},
+		Embedding: mat.New(n, k2),
+		Assign:    assign,
+		K:         1,
+		Index:     ir.BuildIndex([]map[int]int{{0: 1}}, 1),
+	}
+	v2 := encodedSize(func(w io.Writer) error { return codec.Write(w, m) })
+
+	// The v1 decomposition at lastfm-like mode proportions
+	// (|U| ≈ 1.17·|T|, |R| ≈ 0.86·|T|, Table II) and reduction ratio 50.
+	users := (n * 117) / 100
+	resources := (n * 86) / 100
+	j1 := max(2, users/50)
+	j3 := max(2, resources/50)
+	m.Decomp = &tucker.Decomposition{
+		Core: tensor.NewDense3(j1, k2, j3),
+		Y1:   mat.New(users, j1),
+		Y2:   mat.New(n, k2),
+		Y3:   mat.New(resources, j3),
+		Lambda: [3][]float64{
+			make([]float64, j1), make([]float64, k2), make([]float64, j3),
+		},
+	}
+	m.Distances = mat.New(n, n)
+	v1 := encodedSize(func(w io.Writer) error { return codec.WriteV1(w, m) })
+	return scalePoint{Tags: n, K2: k2, V1Bytes: v1, V2Bytes: v2, Ratio: ratio(v1, v2)}
+}
+
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+func encodedSize(write func(io.Writer) error) int64 {
+	var c countWriter
+	if err := write(&c); err != nil {
+		fatal(err)
+	}
+	return c.n
+}
+
+func toStageMillis(t core.Timings) stageMillis {
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	return stageMillis{
+		Tensor:    ms(t.Tensor),
+		Decompose: ms(t.Decompose),
+		Embed:     ms(t.Embed),
+		Cluster:   ms(t.Cluster),
+		Index:     ms(t.Index),
+		Total:     ms(t.Total()),
+	}
+}
+
+func summarize(lat []float64) queryReport {
+	if len(lat) == 0 {
+		return queryReport{}
+	}
+	sorted := append([]float64(nil), lat...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	return queryReport{
+		Count:  len(sorted),
+		MeanUS: sum / float64(len(sorted)),
+		P50US:  pct(0.50),
+		P95US:  pct(0.95),
+		P99US:  pct(0.99),
+	}
+}
+
+func presetParams(name string) (datagen.Params, error) {
+	switch name {
+	case "tiny":
+		return datagen.Tiny(), nil
+	case "delicious":
+		return datagen.DeliciousLike(), nil
+	case "bibsonomy":
+		return datagen.BibsonomyLike(), nil
+	case "lastfm":
+		return datagen.LastFMLike(), nil
+	default:
+		return datagen.Params{}, fmt.Errorf("unknown preset %q", name)
+	}
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func clampInt(v, lo, hi int) int {
+	return min(max(v, lo), hi)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchoffline: %v\n", err)
+	os.Exit(1)
+}

@@ -9,6 +9,7 @@
 //	cubelsi -data corpus.tsv -clusters
 //	cubelsi -data corpus.tsv -save model.clsi      # offline build
 //	cubelsi -load model.clsi -query "jazz"         # serve a saved model
+//	cubelsi -load old.model -save new.model        # upgrade v1 → v2 format
 //
 // The offline build is cancellable with SIGINT/SIGTERM and, with
 // -progress, reports each Figure-1 stage as it runs.

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestOversizedBodyRejected413 proves POST /search bodies beyond the
+// MaxBytesReader limit return 413 instead of being read to completion.
+func TestOversizedBodyRejected413(t *testing.T) {
+	_, loaded := buildTestEngine(t)
+	ts := httptest.NewServer(newServer(loaded))
+	defer ts.Close()
+
+	// A syntactically valid JSON body just past the limit.
+	big := `{"tags":["` + strings.Repeat("a", maxSearchBody) + `"]}`
+	resp, err := ts.Client().Post(ts.URL+"/search", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+	var e map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e["error"], "exceeds") {
+		t.Fatalf("error = %q", e["error"])
+	}
+
+	// A body right at the boundary still parses.
+	small, _ := json.Marshal(map[string]any{"tags": []string{"audio"}})
+	resp2, err := ts.Client().Post(ts.URL+"/search", "application/json", bytes.NewReader(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("normal body after limit wiring: status %d", resp2.StatusCode)
+	}
+}
+
+// TestStatsReportsEmbedding proves /stats reflects the embedding-first
+// representation: k₂ and the linear memory footprint, not the quadratic
+// matrix.
+func TestStatsReportsEmbedding(t *testing.T) {
+	built, loaded := buildTestEngine(t)
+	ts := httptest.NewServer(newServer(loaded))
+	defer ts.Close()
+
+	var st statsResponse
+	if resp := getJSON(t, ts, "/stats", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	if st.EmbeddingDim != built.Stats().EmbeddingDim || st.EmbeddingDim == 0 {
+		t.Fatalf("embedding_dim = %d, want %d", st.EmbeddingDim, built.Stats().EmbeddingDim)
+	}
+	wantBytes := 8 * int64(st.Tags) * int64(st.EmbeddingDim)
+	if st.EmbeddingBytes != wantBytes {
+		t.Fatalf("embedding_bytes = %d, want %d", st.EmbeddingBytes, wantBytes)
+	}
+	dense := 8 * int64(st.Tags) * int64(st.Tags)
+	if st.Tags > st.EmbeddingDim && st.EmbeddingBytes >= dense {
+		t.Fatalf("embedding footprint %d not below dense %d", st.EmbeddingBytes, dense)
+	}
+}

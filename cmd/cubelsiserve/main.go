@@ -75,10 +75,15 @@ func main() {
 	fmt.Fprintf(os.Stderr, "serving %d resources / %d tags / %d concepts on %s\n",
 		st.Resources, st.Tags, st.Concepts, *addr)
 
+	// Per-request timeouts: slow-loris headers, slow bodies and stuck
+	// writes all terminate instead of pinning a connection forever.
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           newServer(eng),
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -10,6 +11,10 @@ import (
 
 	"repro"
 )
+
+// maxSearchBody bounds POST /search request bodies. Oversized bodies are
+// rejected with 413 instead of being read to completion.
+const maxSearchBody = 1 << 20 // 1 MiB
 
 // server wraps an immutable engine with the HTTP API. Engines are safe
 // for concurrent queries, so handlers need no locking.
@@ -52,27 +57,40 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsResponse struct {
-	Users       int     `json:"users"`
-	Tags        int     `json:"tags"`
-	Resources   int     `json:"resources"`
-	Assignments int     `json:"assignments"`
-	CoreDims    [3]int  `json:"core_dims"`
-	Concepts    int     `json:"concepts"`
-	Fit         float64 `json:"fit"`
-	UptimeSec   float64 `json:"uptime_seconds"`
+	Users       int    `json:"users"`
+	Tags        int    `json:"tags"`
+	Resources   int    `json:"resources"`
+	Assignments int    `json:"assignments"`
+	CoreDims    [3]int `json:"core_dims"`
+	Concepts    int    `json:"concepts"`
+	// EmbeddingDim is k₂ of the Theorem 2 tag embedding the model serves
+	// distances from; 0 marks a legacy matrix-backed model.
+	EmbeddingDim int `json:"embedding_dim"`
+	// EmbeddingBytes is the in-memory size of the tag-semantics
+	// structure: 8·|T|·k₂ for embedding-backed models (vs 8·|T|² a dense
+	// matrix would cost).
+	EmbeddingBytes int64   `json:"embedding_bytes"`
+	Fit            float64 `json:"fit"`
+	UptimeSec      float64 `json:"uptime_seconds"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
+	embBytes := 8 * int64(st.Tags) * int64(st.EmbeddingDim)
+	if st.EmbeddingDim == 0 {
+		embBytes = 8 * int64(st.Tags) * int64(st.Tags)
+	}
 	writeJSON(w, http.StatusOK, statsResponse{
-		Users:       st.Users,
-		Tags:        st.Tags,
-		Resources:   st.Resources,
-		Assignments: st.Assignments,
-		CoreDims:    st.CoreDims,
-		Concepts:    st.Concepts,
-		Fit:         st.Fit,
-		UptimeSec:   time.Since(s.started).Seconds(),
+		Users:          st.Users,
+		Tags:           st.Tags,
+		Resources:      st.Resources,
+		Assignments:    st.Assignments,
+		CoreDims:       st.CoreDims,
+		Concepts:       st.Concepts,
+		EmbeddingDim:   st.EmbeddingDim,
+		EmbeddingBytes: embBytes,
+		Fit:            st.Fit,
+		UptimeSec:      time.Since(s.started).Seconds(),
 	})
 }
 
@@ -132,10 +150,16 @@ type searchRequest struct {
 // path fans out through Engine.SearchBatch, the amortized multi-query
 // entry point.
 func (s *server) handleSearchPost(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxSearchBody)
 	var req searchRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}

@@ -38,10 +38,10 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/embed"
 	"repro/internal/ir"
 	"repro/internal/mat"
 	"repro/internal/tagging"
-	"repro/internal/tucker"
 )
 
 // Assignment is one tagging event: user annotated resource with tag.
@@ -115,6 +115,10 @@ type Stats struct {
 	Concepts int
 	// Fit is the fraction of the tensor norm the decomposition captured.
 	Fit float64
+	// EmbeddingDim is k₂, the dimensionality of the Theorem 2 tag
+	// embedding the engine serves distances from. Zero for legacy
+	// matrix-backed engines.
+	EmbeddingDim int
 }
 
 // Engine is an immutable search engine over one corpus, either freshly
@@ -127,7 +131,11 @@ type Engine struct {
 	tags      *tagging.Interner
 	resources *tagging.Interner
 
-	decomp    *tucker.Decomposition
+	// emb is the Theorem 2 tag embedding; all tag-distance serving goes
+	// through it. distances is the legacy dense fallback, populated only
+	// for v1 models that carry no decomposition to derive an embedding
+	// from.
+	emb       *embed.TagEmbedding
 	distances *mat.Matrix
 	assign    []int
 	k         int
@@ -158,8 +166,9 @@ func (e *Engine) Tags() []string {
 	return out
 }
 
-// Distance returns the purified semantic distance D̂ between two tags
-// (Theorem 2 shortcut). It errors if either tag is unknown.
+// Distance returns the purified semantic distance D̂ between two tags —
+// by Theorem 2, the Euclidean distance between their embedding rows. It
+// errors if either tag is unknown.
 func (e *Engine) Distance(tag1, tag2 string) (float64, error) {
 	i, err := e.tagID(tag1)
 	if err != nil {
@@ -172,22 +181,57 @@ func (e *Engine) Distance(tag1, tag2 string) (float64, error) {
 	if i == j {
 		return 0, nil
 	}
+	if e.emb != nil {
+		return e.emb.Dist(i, j), nil
+	}
 	return e.distances.At(i, j), nil
 }
 
+// EmbeddingDim returns k₂, the dimensionality of the tag embedding
+// (zero for legacy matrix-backed engines).
+func (e *Engine) EmbeddingDim() int {
+	if e.emb == nil {
+		return 0
+	}
+	return e.emb.Dim()
+}
+
 // RelatedTags returns the n tags semantically closest to tag, nearest
-// first.
+// first. Membership in the top-n is decided by (distance, tag id) —
+// the same strict order on both the embedding and the legacy dense
+// path — and the returned list is then ordered by (distance, tag name)
+// for display. On embedding-backed engines the lookup is a blocked
+// parallel top-k selection over the embedding rows — O(|T|·k₂) work and
+// O(n) memory, never a scan of a dense matrix row.
 func (e *Engine) RelatedTags(tag string, n int) ([]RelatedTag, error) {
 	id, err := e.tagID(tag)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]RelatedTag, 0, e.tags.Len()-1)
-	for j := 0; j < e.tags.Len(); j++ {
-		if j == id {
-			continue
+	var nb []embed.Neighbor
+	if e.emb != nil {
+		nb = e.emb.NearestK(id, n)
+	} else {
+		nb = make([]embed.Neighbor, 0, e.tags.Len()-1)
+		for j := 0; j < e.tags.Len(); j++ {
+			if j == id {
+				continue
+			}
+			nb = append(nb, embed.Neighbor{Tag: j, Dist: e.distances.At(id, j)})
 		}
-		out = append(out, RelatedTag{Tag: e.tags.Name(j), Distance: e.distances.At(id, j)})
+		sort.Slice(nb, func(a, b int) bool {
+			if nb[a].Dist != nb[b].Dist {
+				return nb[a].Dist < nb[b].Dist
+			}
+			return nb[a].Tag < nb[b].Tag
+		})
+		if n > 0 && len(nb) > n {
+			nb = nb[:n]
+		}
+	}
+	out := make([]RelatedTag, len(nb))
+	for i, b := range nb {
+		out[i] = RelatedTag{Tag: e.tags.Name(b.Tag), Distance: b.Dist}
 	}
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].Distance != out[b].Distance {
@@ -195,9 +239,6 @@ func (e *Engine) RelatedTags(tag string, n int) ([]RelatedTag, error) {
 		}
 		return out[a].Tag < out[b].Tag
 	})
-	if n > 0 && len(out) > n {
-		out = out[:n]
-	}
 	return out, nil
 }
 

@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// threeGroups returns 3 well-separated point groups of 8 points each.
+func threeGroups() *mat.Matrix {
+	centers := [][]float64{{0, 0}, {20, 0}, {0, 20}}
+	m := mat.New(24, 2)
+	for i := 0; i < 24; i++ {
+		c := centers[i/8]
+		jitter := float64(i%8) * 0.05
+		m.Set(i, 0, c[0]+jitter)
+		m.Set(i, 1, c[1]-jitter)
+	}
+	return m
+}
+
+func TestConceptKMeansSeparatesGroups(t *testing.T) {
+	res := ConceptKMeans(threeGroups(), nil, SpectralOptions{K: 3, Seed: 1})
+	if res.K != 3 {
+		t.Fatalf("K = %d, want 3", res.K)
+	}
+	for g := 0; g < 3; g++ {
+		want := res.Assign[g*8]
+		for i := g * 8; i < (g+1)*8; i++ {
+			if res.Assign[i] != want {
+				t.Fatalf("group %d split: %v", g, res.Assign)
+			}
+		}
+	}
+	if res.Assign[0] == res.Assign[8] || res.Assign[8] == res.Assign[16] || res.Assign[0] == res.Assign[16] {
+		t.Fatalf("groups merged: %v", res.Assign)
+	}
+}
+
+func TestConceptKMeansDeterministic(t *testing.T) {
+	pts := threeGroups()
+	a := ConceptKMeans(pts, nil, SpectralOptions{K: 3, Seed: 7})
+	b := ConceptKMeans(pts, nil, SpectralOptions{K: 3, Seed: 7})
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("nondeterministic assignment")
+		}
+	}
+}
+
+func TestConceptKMeansAutoK(t *testing.T) {
+	// A spectrum with two dominant components: the 95% rule keeps 2.
+	spectrum := []float64{10, 10, 0.1, 0.01}
+	res := ConceptKMeans(threeGroups(), spectrum, SpectralOptions{Seed: 1})
+	if res.K != 2 {
+		t.Fatalf("auto K = %d, want 2 from spectrum %v", res.K, spectrum)
+	}
+	if res.EigenvalueMass < 0.95 {
+		t.Fatalf("covered mass = %v", res.EigenvalueMass)
+	}
+
+	// A flat spectrum runs into the MaxK bound.
+	flat := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	res = ConceptKMeans(threeGroups(), flat, SpectralOptions{Seed: 1, MaxK: 3})
+	if res.K != 3 {
+		t.Fatalf("MaxK-bounded K = %d, want 3", res.K)
+	}
+
+	// No spectrum at all: column energies stand in.
+	res = ConceptKMeans(threeGroups(), nil, SpectralOptions{Seed: 1})
+	if res.K < 1 || res.K > 12 {
+		t.Fatalf("fallback K = %d out of range", res.K)
+	}
+}
+
+func TestConceptKMeansEmpty(t *testing.T) {
+	res := ConceptKMeans(mat.New(0, 0), nil, SpectralOptions{})
+	if res.K != 0 || res.Assign != nil {
+		t.Fatalf("empty input: %+v", res)
+	}
+}

@@ -6,10 +6,21 @@
 //
 // The format is a versioned little-endian binary stream: a 4-byte magic
 // ("CLSI"), a format version, then the model sections in fixed order —
-// vocabularies, Tucker decomposition, distance matrix, concept
-// assignment, and the bag-of-concepts index. Float64 values are encoded
-// as raw IEEE-754 bits, so a decoded model reproduces search rankings
+// vocabularies, Tucker decomposition, tag semantics, concept assignment,
+// and the bag-of-concepts index. Float64 values are encoded as raw
+// IEEE-754 bits, so a decoded model reproduces search rankings
 // bit-for-bit.
+//
+// Format v2 stores tag semantics as the |T|×k₂ Theorem 2 embedding
+// E = Λ₂·Y⁽²⁾ and carries the decomposition's summary statistics
+// (core dimensions, fit) as scalar metadata, so serving models need no
+// factor matrices at all: files shrink from quadratic to linear in the
+// vocabularies (v1's Y⁽¹⁾ section alone was |U|×(|U|/c₁) — quadratic in
+// users at the paper's reduction ratios). Format v1 stored the dense
+// |T|×|T| distance matrix D̂ plus the full decomposition; Read still
+// accepts v1 streams (the loader derives the embedding from the stored
+// decomposition), and Write always emits v2 — so
+// `cubelsi -load old.model -save new.model` upgrades a file in place.
 package codec
 
 import (
@@ -29,8 +40,13 @@ import (
 // Magic identifies a CubeLSI model stream.
 var Magic = [4]byte{'C', 'L', 'S', 'I'}
 
-// Version is the current format version. Readers reject other versions.
-const Version uint32 = 1
+// Version is the current format version, written by Write. Read accepts
+// VersionV1 streams as well.
+const Version uint32 = 2
+
+// VersionV1 is the legacy quadratic format: tag semantics stored as the
+// dense |T|×|T| distance matrix.
+const VersionV1 uint32 = 1
 
 // maxLen bounds every decoded length field (strings, slices, matrix
 // dimensions). Decoded slices additionally grow incrementally (capped
@@ -80,10 +96,25 @@ type Model struct {
 	// Users, Tags, Resources are the cleaned vocabularies in id order.
 	Users, Tags, Resources []string
 
-	// Decomp carries the Tucker factors, core tensor, singular values,
-	// fit and sweep count.
+	// CoreDims and Fit summarize the Tucker decomposition the model was
+	// built from (serving statistics). In v2 they are stored as scalar
+	// metadata; reading a v1 stream derives them from its decomposition
+	// section.
+	CoreDims [3]int
+	Fit      float64
+
+	// Decomp carries the full Tucker factors, core tensor, singular
+	// values, fit and sweep count. Serving models omit it (v2 writes the
+	// section empty unless explicitly populated); it survives v1 reads
+	// so embeddings can be derived.
 	Decomp *tucker.Decomposition
-	// Distances is the |T|×|T| purified tag distance matrix D̂.
+	// Embedding is the |T|×k₂ Theorem 2 tag embedding E = Λ₂·Y⁽²⁾, the
+	// v2 representation of tag semantics (purified distances are
+	// Euclidean distances between its rows). Required by Write.
+	Embedding *mat.Matrix
+	// Distances is the dense |T|×|T| distance matrix D̂ of legacy v1
+	// streams. Read populates it only for v1 input; Write ignores it
+	// (WriteV1 exists for tests and migration tooling).
 	Distances *mat.Matrix
 	// Assign maps tag id → concept id; K is the concept count.
 	Assign []int
@@ -92,13 +123,33 @@ type Model struct {
 	Index *ir.Index
 }
 
-// Write encodes the model to w.
+// Write encodes the model to w in the current (v2) format: tag semantics
+// as the linear-size embedding. m.Embedding must be set.
 func Write(w io.Writer, m *Model) error {
+	if m.Embedding == nil {
+		return fmt.Errorf("codec: write: model has no tag embedding (v2 requires one; see embed.FromDecomposition)")
+	}
+	return write(w, m, Version)
+}
+
+// WriteV1 encodes the model in the legacy quadratic v1 format, with tag
+// semantics as the dense distance matrix. m.Distances must be set.
+//
+// Deprecated: WriteV1 exists so tests and migration tooling can produce
+// v1 streams; new models should always be written with Write.
+func WriteV1(w io.Writer, m *Model) error {
+	if m.Distances == nil {
+		return fmt.Errorf("codec: write: v1 requires the dense distance matrix")
+	}
+	return write(w, m, VersionV1)
+}
+
+func write(w io.Writer, m *Model, version uint32) error {
 	bw := bufio.NewWriter(w)
 	e := &encoder{w: bw}
 
 	e.bytes(Magic[:])
-	e.u32(Version)
+	e.u32(version)
 	e.bool(m.Lowercase)
 	e.length(m.Assignments)
 
@@ -106,8 +157,18 @@ func Write(w io.Writer, m *Model) error {
 	e.strings(m.Tags)
 	e.strings(m.Resources)
 
+	if version != VersionV1 {
+		for _, d := range m.CoreDims {
+			e.length(d)
+		}
+		e.f64(m.Fit)
+	}
 	e.decomposition(m.Decomp)
-	e.matrix(m.Distances)
+	if version == VersionV1 {
+		e.matrix(m.Distances)
+	} else {
+		e.matrix(m.Embedding)
+	}
 
 	e.length(len(m.Assign))
 	for _, c := range m.Assign {
@@ -137,8 +198,8 @@ func Read(r io.Reader) (*Model, error) {
 		return nil, fmt.Errorf("codec: bad magic %q: not a CubeLSI model", magic[:])
 	}
 	version := d.u32()
-	if d.err == nil && version != Version {
-		return nil, fmt.Errorf("codec: unsupported model version %d (want %d)", version, Version)
+	if d.err == nil && version != Version && version != VersionV1 {
+		return nil, fmt.Errorf("codec: unsupported model version %d (want %d or %d)", version, Version, VersionV1)
 	}
 
 	m := &Model{}
@@ -149,8 +210,26 @@ func Read(r io.Reader) (*Model, error) {
 	m.Tags = d.strings()
 	m.Resources = d.strings()
 
+	if version != VersionV1 {
+		for i := range m.CoreDims {
+			m.CoreDims[i] = d.length()
+		}
+		m.Fit = d.f64()
+	}
 	m.Decomp = d.decomposition()
-	m.Distances = d.matrix()
+	if version == VersionV1 {
+		m.Distances = d.matrix()
+		// v1 carried the statistics only inside the decomposition. Guard
+		// on the sticky error: a truncated stream yields a partially
+		// decoded decomposition (nil core).
+		if d.err == nil && m.Decomp != nil && m.Decomp.Core != nil {
+			cj1, cj2, cj3 := m.Decomp.CoreDims()
+			m.CoreDims = [3]int{cj1, cj2, cj3}
+			m.Fit = m.Decomp.Fit
+		}
+	} else {
+		m.Embedding = d.matrix()
+	}
 
 	n := d.length()
 	m.Assign = make([]int, 0, capCap(n))
@@ -186,8 +265,17 @@ func (m *Model) validate() error {
 			return fmt.Errorf("codec: tag %d assigned to concept %d outside [-1,%d)", t, c, m.K)
 		}
 	}
-	if r, c := m.Distances.Dims(); r != nTags || c != nTags {
-		return fmt.Errorf("codec: distance matrix is %d×%d for %d tags", r, c, nTags)
+	switch {
+	case m.Embedding != nil:
+		if r, _ := m.Embedding.Dims(); r != nTags {
+			return fmt.Errorf("codec: embedding has %d rows for %d tags", r, nTags)
+		}
+	case m.Distances != nil:
+		if r, c := m.Distances.Dims(); r != nTags || c != nTags {
+			return fmt.Errorf("codec: distance matrix is %d×%d for %d tags", r, c, nTags)
+		}
+	default:
+		return fmt.Errorf("codec: model carries neither embedding nor distance matrix")
 	}
 	if m.Index.NumTerms() != m.K {
 		return fmt.Errorf("codec: index has %d terms for %d concepts", m.Index.NumTerms(), m.K)

@@ -13,7 +13,7 @@ import (
 	"repro/internal/tucker"
 )
 
-func buildModel(t *testing.T) *Model {
+func buildModel(t testing.TB) *Model {
 	t.Helper()
 	ds := tagging.NewDataset()
 	users := []string{"u1", "u2", "u3", "u4"}
@@ -28,20 +28,27 @@ func buildModel(t *testing.T) *Model {
 			}
 		}
 	}
+	// ExactSpectral so the model carries both representations: the v2
+	// embedding and the v1 dense matrix (for WriteV1-based tests).
 	p, err := core.Build(context.Background(), ds, core.Options{
-		Tucker:   tucker.Options{J1: 3, J2: 3, J3: 3, Seed: 1},
-		Spectral: cluster.SpectralOptions{K: 2, Seed: 1},
+		Tucker:        tucker.Options{J1: 3, J2: 3, J3: 3, Seed: 1},
+		Spectral:      cluster.SpectralOptions{K: 2, Seed: 1},
+		ExactSpectral: true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	cj1, cj2, cj3 := p.Decomposition.CoreDims()
 	return &Model{
 		Lowercase:   true,
 		Assignments: len(ds.Assignments()),
 		Users:       ds.Users.Names(),
 		Tags:        ds.Tags.Names(),
 		Resources:   ds.Resources.Names(),
+		CoreDims:    [3]int{cj1, cj2, cj3},
+		Fit:         p.Decomposition.Fit,
 		Decomp:      p.Decomposition,
+		Embedding:   p.Embedding.Matrix(),
 		Distances:   p.Distances,
 		Assign:      p.Assign,
 		K:           p.K,
@@ -69,6 +76,9 @@ func TestRoundtripExact(t *testing.T) {
 	if got.Lowercase != m.Lowercase || got.Assignments != m.Assignments || got.K != m.K {
 		t.Fatalf("scalars changed: %+v vs %+v", got, m)
 	}
+	if got.CoreDims != m.CoreDims || math.Float64bits(got.Fit) != math.Float64bits(m.Fit) {
+		t.Fatalf("metadata changed: dims %v fit %v, want %v / %v", got.CoreDims, got.Fit, m.CoreDims, m.Fit)
+	}
 	eqStrings := func(name string, a, b []string) {
 		if len(a) != len(b) {
 			t.Fatalf("%s length %d vs %d", name, len(a), len(b))
@@ -89,7 +99,7 @@ func TestRoundtripExact(t *testing.T) {
 		}
 	}
 
-	// Distances and factors must be bit-identical.
+	// The embedding and factors must be bit-identical.
 	eqFloats := func(name string, a, b []float64) {
 		if len(a) != len(b) {
 			t.Fatalf("%s length %d vs %d", name, len(a), len(b))
@@ -100,7 +110,10 @@ func TestRoundtripExact(t *testing.T) {
 			}
 		}
 	}
-	eqFloats("distances", got.Distances.Data(), m.Distances.Data())
+	eqFloats("embedding", got.Embedding.Data(), m.Embedding.Data())
+	if got.Distances != nil {
+		t.Fatal("v2 streams must not carry the dense distance matrix")
+	}
 	eqFloats("core", got.Decomp.Core.Data(), m.Decomp.Core.Data())
 	eqFloats("y1", got.Decomp.Y1.Data(), m.Decomp.Y1.Data())
 	eqFloats("y2", got.Decomp.Y2.Data(), m.Decomp.Y2.Data())
@@ -131,6 +144,81 @@ func TestRoundtripNilDecomp(t *testing.T) {
 	got := roundtrip(t, m)
 	if got.Decomp != nil {
 		t.Fatal("nil decomposition should stay nil")
+	}
+}
+
+func TestWriteRequiresEmbedding(t *testing.T) {
+	m := buildModel(t)
+	m.Embedding = nil
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err == nil || !strings.Contains(err.Error(), "embedding") {
+		t.Fatalf("err = %v, want missing-embedding error", err)
+	}
+}
+
+func TestReadV1Stream(t *testing.T) {
+	m := buildModel(t)
+	var buf bytes.Buffer
+	if err := WriteV1(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Embedding != nil {
+		t.Fatal("v1 streams carry no embedding section")
+	}
+	if got.Distances == nil {
+		t.Fatal("v1 distances lost")
+	}
+	for i, v := range m.Distances.Data() {
+		if math.Float64bits(got.Distances.Data()[i]) != math.Float64bits(v) {
+			t.Fatalf("v1 distances not bit-identical at %d", i)
+		}
+	}
+	if got.Decomp == nil {
+		t.Fatal("v1 decomposition lost")
+	}
+	// Metadata is derived from the v1 decomposition.
+	if got.CoreDims != m.CoreDims || got.Fit != m.Fit {
+		t.Fatalf("v1 metadata: dims %v fit %v, want %v / %v", got.CoreDims, got.Fit, m.CoreDims, m.Fit)
+	}
+}
+
+func TestV1FilesAreQuadraticV2Linear(t *testing.T) {
+	// The point of format v2: file size linear in the vocabularies
+	// instead of quadratic. With the same sections populated, the byte
+	// gap is exactly the matrix-section difference (8·|T|² vs 8·|T|·k₂)
+	// minus v2's 32 bytes of scalar metadata (core dims + fit).
+	m := buildModel(t)
+	var v1, v2 bytes.Buffer
+	if err := WriteV1(&v1, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&v2, m); err != nil {
+		t.Fatal(err)
+	}
+	wantGap := 8*(len(m.Distances.Data())-len(m.Embedding.Data())) - 32
+	if gap := v1.Len() - v2.Len(); gap != wantGap {
+		t.Fatalf("v1 %d bytes, v2 %d bytes: gap %d, want %d", v1.Len(), v2.Len(), gap, wantGap)
+	}
+
+	// Production-shaped models: v2 drops the decomposition entirely
+	// (Save ships embedding + metadata), v1 ships decomposition + dense
+	// matrix. The gap must then cover both sections.
+	v1.Reset()
+	v2.Reset()
+	m2 := *m
+	m2.Decomp = nil
+	if err := Write(&v2, &m2); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteV1(&v1, m); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Len() >= v1.Len() {
+		t.Fatalf("production v2 (%d bytes) not smaller than v1 (%d bytes)", v2.Len(), v1.Len())
 	}
 }
 

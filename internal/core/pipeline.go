@@ -1,18 +1,28 @@
 // Package core orchestrates the paper's primary contribution: the
 // CubeLSI offline pipeline of Figure 1 — tensor construction, truncated
-// Tucker decomposition by ALS, Theorem 1/2 tag distances, concept
+// Tucker decomposition by ALS, the Theorem 2 tag embedding, concept
 // distillation, and the bag-of-concepts index — plus the online query
 // path. Every stage is timed, which Tables V and VI rely on, and every
 // stage is cancellable through the build context.
+//
+// The pipeline is embedding-first: Theorem 2 shows purified tag
+// distances are Euclidean distances in the k₂-dimensional embedding
+// E = Λ₂·Y⁽²⁾, so the default build clusters the embedding rows directly
+// (O(|T|·K·k₂) per k-means sweep) and never materializes the O(|T|²)
+// distance matrix D̂. The pre-refactor path — materialize D̂, spectrally
+// cluster it — is preserved behind Options.ExactSpectral for parity
+// tests and the paper's evaluation tables.
 package core
 
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/distance"
+	"repro/internal/embed"
 	"repro/internal/ir"
 	"repro/internal/mat"
 	"repro/internal/tagging"
@@ -29,9 +39,12 @@ const (
 	StageTensor Stage = iota
 	// StageDecompose runs the truncated Tucker decomposition by ALS.
 	StageDecompose
-	// StageDistances computes all-pairs Theorem 2 tag distances.
-	StageDistances
-	// StageCluster distills concepts by spectral clustering.
+	// StageEmbed derives the Theorem 2 tag embedding E = Λ₂·Y⁽²⁾ (and,
+	// under Options.ExactSpectral, materializes the dense distance
+	// matrix D̂ the pre-embedding pipeline clustered).
+	StageEmbed
+	// StageCluster distills concepts: k-means on the embedding rows, or
+	// spectral clustering of D̂ under Options.ExactSpectral.
 	StageCluster
 	// StageIndex builds the bag-of-concepts tf-idf index.
 	StageIndex
@@ -40,6 +53,12 @@ const (
 	NumStages = int(StageIndex) + 1
 )
 
+// StageDistances is the former name of StageEmbed, from when the
+// pipeline unconditionally materialized the all-pairs distance matrix.
+//
+// Deprecated: use StageEmbed.
+const StageDistances = StageEmbed
+
 // String returns the stage's short name.
 func (s Stage) String() string {
 	switch s {
@@ -47,8 +66,8 @@ func (s Stage) String() string {
 		return "tensor"
 	case StageDecompose:
 		return "decompose"
-	case StageDistances:
-		return "distances"
+	case StageEmbed:
+		return "embed"
 	case StageCluster:
 		return "cluster"
 	case StageIndex:
@@ -76,9 +95,16 @@ type Options struct {
 	// Tucker carries the core dimensions (or use ratios via
 	// tucker.FromRatios before filling this in) and the ALS budget.
 	Tucker tucker.Options
-	// Spectral carries σ, the concept count K (0 = automatic) and the
-	// clustering seed.
+	// Spectral carries the concept count K (0 = automatic), the
+	// clustering seed and, on the exact path, σ and the affinity options.
 	Spectral cluster.SpectralOptions
+	// ExactSpectral preserves the pre-embedding pipeline: materialize the
+	// full |T|×|T| Theorem 2 distance matrix and spectrally cluster it
+	// (Ng–Jordan–Weiss, Section V). The default embedding path runs
+	// k-means directly on the embedding rows instead — same geometry by
+	// Theorem 2, O(|T|·K·k₂) per sweep instead of O(|T|²) + an
+	// eigendecomposition.
+	ExactSpectral bool
 	// Progress, if non-nil, observes each stage's start and finish.
 	Progress ProgressFunc
 }
@@ -87,18 +113,18 @@ type Options struct {
 type Timings struct {
 	Tensor    time.Duration // tensor assembly from assignments
 	Decompose time.Duration // Tucker/ALS decomposition
-	Distances time.Duration // all-pairs Theorem 2 distances
-	Cluster   time.Duration // spectral concept distillation
+	Embed     time.Duration // Theorem 2 embedding (and D̂ when exact)
+	Cluster   time.Duration // concept distillation
 	Index     time.Duration // bag-of-concepts tf-idf index
 }
 
-// Offline is Tensor+Decompose+Distances — the pre-processing cost
-// compared against CubeSim in Table V.
-func (t Timings) Offline() time.Duration { return t.Tensor + t.Decompose + t.Distances }
+// Offline is Tensor+Decompose+Embed — the pre-processing cost compared
+// against CubeSim in Table V.
+func (t Timings) Offline() time.Duration { return t.Tensor + t.Decompose + t.Embed }
 
 // Total is the full offline pipeline duration.
 func (t Timings) Total() time.Duration {
-	return t.Tensor + t.Decompose + t.Distances + t.Cluster + t.Index
+	return t.Tensor + t.Decompose + t.Embed + t.Cluster + t.Index
 }
 
 // set records the duration of one stage.
@@ -108,8 +134,8 @@ func (t *Timings) set(s Stage, d time.Duration) {
 		t.Tensor = d
 	case StageDecompose:
 		t.Decompose = d
-	case StageDistances:
-		t.Distances = d
+	case StageEmbed:
+		t.Embed = d
 	case StageCluster:
 		t.Cluster = d
 	case StageIndex:
@@ -122,19 +148,43 @@ type Pipeline struct {
 	DS            *tagging.Dataset
 	Tensor        *tensor.Sparse3
 	Decomposition *tucker.Decomposition
-	Cube          *distance.CubeLSI
-	Distances     *mat.Matrix
+	// Cube holds the Theorem 1/2 distance structures; populated only
+	// under Options.ExactSpectral.
+	Cube *distance.CubeLSI
+	// Embedding is the Theorem 2 tag embedding E = Λ₂·Y⁽²⁾; every
+	// distance the model serves is a Euclidean distance in it.
+	Embedding *embed.TagEmbedding
+	// Distances is the materialized |T|×|T| matrix D̂. It is populated
+	// only under Options.ExactSpectral; use DistanceMatrix for a lazy
+	// view that works on either path.
+	Distances *mat.Matrix
 	// Assign maps tag id → concept id; K is the concept count.
 	Assign []int
 	K      int
 	Index  *ir.Index
 	Times  Timings
+
+	distOnce sync.Once
+}
+
+// DistanceMatrix returns the dense distance matrix D̂, materializing it
+// from the embedding on first use (cached; safe for concurrent callers).
+// Serving paths should prefer Embedding — this view exists for the
+// evaluation tables and other consumers that genuinely need all pairs.
+func (p *Pipeline) DistanceMatrix() *mat.Matrix {
+	p.distOnce.Do(func() {
+		if p.Distances == nil {
+			p.Distances = p.Embedding.Pairwise()
+		}
+	})
+	return p.Distances
 }
 
 // Build runs the offline pipeline on an already-cleaned dataset. The
 // context is threaded through the long-running stages (ALS mode updates,
-// distance rows), so cancelling it aborts the build promptly and returns
-// the context's error; opts.Progress observes each stage.
+// distance rows on the exact path), so cancelling it aborts the build
+// promptly and returns the context's error; opts.Progress observes each
+// stage.
 func Build(ctx context.Context, ds *tagging.Dataset, opts Options) (*Pipeline, error) {
 	p := &Pipeline{DS: ds}
 
@@ -175,22 +225,32 @@ func Build(ctx context.Context, ds *tagging.Dataset, opts Options) (*Pipeline, e
 		return nil, err
 	}
 
-	if err := run(StageDistances, func() error {
-		p.Cube = distance.NewCubeLSI(p.Decomposition)
-		d, err := p.Cube.PairwiseContext(ctx)
-		if err != nil {
-			return err
+	if err := run(StageEmbed, func() error {
+		p.Embedding = embed.FromDecomposition(p.Decomposition)
+		if opts.ExactSpectral {
+			// The Theorem 1/2 structures (Σ = S₍₂₎S₍₂₎ᵀ) are only needed
+			// to materialize D̂; the embedding path never pays for them.
+			p.Cube = distance.NewCubeLSI(p.Decomposition)
+			d, err := p.Cube.PairwiseContext(ctx)
+			if err != nil {
+				return err
+			}
+			p.Distances = d
 		}
-		p.Distances = d
 		return nil
 	}); err != nil {
 		return nil, err
 	}
 
 	if err := run(StageCluster, func() error {
-		spec := cluster.Spectral(p.Distances, opts.Spectral)
-		p.Assign = spec.Assign
-		p.K = spec.K
+		var res *cluster.SpectralResult
+		if opts.ExactSpectral {
+			res = cluster.Spectral(p.Distances, opts.Spectral)
+		} else {
+			res = cluster.ConceptKMeans(p.Embedding.Matrix(), p.Decomposition.Lambda[1], opts.Spectral)
+		}
+		p.Assign = res.Assign
+		p.K = res.K
 		return nil
 	}); err != nil {
 		return nil, err

@@ -64,14 +64,24 @@ func TestTimingsPopulated(t *testing.T) {
 		Tucker:   tucker.Options{J1: 8, J2: 10, J3: 8, Seed: 2},
 		Spectral: cluster.SpectralOptions{K: 12, Seed: 2},
 	})
-	if p.Times.Decompose <= 0 || p.Times.Distances <= 0 || p.Times.Cluster <= 0 {
+	if p.Times.Decompose <= 0 || p.Times.Embed <= 0 || p.Times.Cluster <= 0 {
 		t.Fatalf("timings not populated: %+v", p.Times)
 	}
 	if p.Times.Offline() > p.Times.Total() {
 		t.Fatal("offline must not exceed total")
 	}
-	if p.Distances.Rows() != c.Clean.Tags.Len() {
+	if p.Embedding.NumTags() != c.Clean.Tags.Len() {
+		t.Fatal("embedding size mismatch")
+	}
+	if p.Distances != nil {
+		t.Fatal("embedding path must not materialize the distance matrix")
+	}
+	// The lazy view materializes (and caches) on demand.
+	if p.DistanceMatrix().Rows() != c.Clean.Tags.Len() {
 		t.Fatal("distance matrix size mismatch")
+	}
+	if p.DistanceMatrix() != p.Distances {
+		t.Fatal("DistanceMatrix must cache")
 	}
 }
 
@@ -117,7 +127,7 @@ func TestBuildProgressReportsEveryStage(t *testing.T) {
 	if p == nil {
 		t.Fatal("nil pipeline")
 	}
-	want := []Stage{StageTensor, StageDecompose, StageDistances, StageCluster, StageIndex}
+	want := []Stage{StageTensor, StageDecompose, StageEmbed, StageCluster, StageIndex}
 	if len(starts) != len(want) || len(finishes) != len(want) {
 		t.Fatalf("starts=%v finishes=%v, want all of %v", starts, finishes, want)
 	}
@@ -175,9 +185,12 @@ func TestStageString(t *testing.T) {
 	names := map[Stage]string{
 		StageTensor:    "tensor",
 		StageDecompose: "decompose",
-		StageDistances: "distances",
+		StageEmbed:     "embed",
 		StageCluster:   "cluster",
 		StageIndex:     "index",
+	}
+	if StageDistances != StageEmbed {
+		t.Fatal("StageDistances must alias StageEmbed")
 	}
 	if len(names) != NumStages {
 		t.Fatalf("NumStages = %d, want %d", NumStages, len(names))

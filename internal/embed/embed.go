@@ -1,0 +1,262 @@
+// Package embed holds the embedding-first representation of purified tag
+// semantics. By Theorem 2, the purified tag distance D̂ij is a plain
+// Euclidean distance in the k₂-dimensional embedding E = Λ₂·Y⁽²⁾:
+//
+//	D̂ij = ‖Eᵢ − Eⱼ‖₂,  Eᵢ = (λ₁·Y⁽²⁾ᵢ₁, …, λ_{k₂}·Y⁽²⁾ᵢ_{k₂}).
+//
+// TagEmbedding is therefore all the offline pipeline needs to cluster,
+// persist and serve tag semantics: O(|T|·k₂) storage instead of the
+// O(|T|²) dense matrix, with D̂ reduced to a lazy view (Dist, NearestK,
+// PairwiseBlock) that is materialized only on demand.
+package embed
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/mat"
+	"repro/internal/topk"
+	"repro/internal/tucker"
+)
+
+// TagEmbedding is an immutable |T|×k₂ embedding of the tag vocabulary.
+// Row i is the Λ₂-scaled Y⁽²⁾ row of tag i. It is safe for concurrent
+// reads.
+type TagEmbedding struct {
+	m *mat.Matrix
+}
+
+// FromDecomposition builds the embedding E = Λ₂·Y⁽²⁾ from a Tucker
+// decomposition. Columns beyond len(Λ₂) are scaled by zero, matching the
+// Theorem 2 diagonal quadratic form, which sums only over the available
+// singular values.
+func FromDecomposition(d *tucker.Decomposition) *TagEmbedding {
+	rows, cols := d.Y2.Dims()
+	lambda := d.Lambda[1]
+	e := mat.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		src, dst := d.Y2.Row(i), e.Row(i)
+		for j := range dst {
+			if j < len(lambda) {
+				dst[j] = lambda[j] * src[j]
+			}
+		}
+	}
+	return &TagEmbedding{m: e}
+}
+
+// FromMatrix wraps an already-scaled embedding matrix (rows = tags)
+// without copying, e.g. one decoded from a v2 model file.
+func FromMatrix(m *mat.Matrix) *TagEmbedding {
+	if m == nil {
+		panic("embed: nil embedding matrix")
+	}
+	return &TagEmbedding{m: m}
+}
+
+// NumTags returns |T|, the number of embedded tags.
+func (e *TagEmbedding) NumTags() int { return e.m.Rows() }
+
+// Dim returns k₂, the embedding dimensionality.
+func (e *TagEmbedding) Dim() int { return e.m.Cols() }
+
+// Matrix returns the underlying |T|×k₂ matrix (not a copy).
+func (e *TagEmbedding) Matrix() *mat.Matrix { return e.m }
+
+// Row returns tag i's embedding vector (a view, not a copy).
+func (e *TagEmbedding) Row(i int) []float64 { return e.m.Row(i) }
+
+// MemoryBytes reports the embedding's storage footprint.
+func (e *TagEmbedding) MemoryBytes() int64 {
+	return 8 * int64(e.m.Rows()) * int64(e.m.Cols())
+}
+
+// Dist returns the purified tag distance D̂ij as the Euclidean distance
+// between embedding rows — Theorem 2 without the matrix.
+func (e *TagEmbedding) Dist(i, j int) float64 {
+	return math.Sqrt(e.sqDist(i, j))
+}
+
+func (e *TagEmbedding) sqDist(i, j int) float64 {
+	ri, rj := e.m.Row(i), e.m.Row(j)
+	var s float64
+	for k, v := range ri {
+		d := v - rj[k]
+		s += d * d
+	}
+	return s
+}
+
+// Neighbor is one entry of a nearest-neighbor list.
+type Neighbor struct {
+	// Tag is the neighbor's tag id.
+	Tag int
+	// Dist is the purified distance D̂ to the probe tag.
+	Dist float64
+}
+
+// NearestK returns the k tags closest to tag i (excluding i itself),
+// nearest first. Ties are broken by lower tag id, so the result is
+// deterministic. k ≤ 0 or k ≥ |T|−1 returns all other tags. Candidate
+// blocks are scanned in parallel, each keeping a bounded max-heap, so the
+// cost is O(|T|·k₂ + |T|·log k) work and O(k) memory per worker — never
+// a full row of D̂.
+func (e *TagEmbedding) NearestK(i, k int) []Neighbor {
+	n := e.NumTags()
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("embed: tag %d out of range [0,%d)", i, n))
+	}
+	if n <= 1 {
+		return nil
+	}
+	if k <= 0 || k > n-1 {
+		k = n - 1
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	// Below ~64k squared-distance ops the scan is cheaper inline.
+	if workers > 1 && n*e.Dim() < 1<<16 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+
+	heaps := make([][]Neighbor, 0, workers)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			h := topk.New(k, worseNeighbor)
+			for j := lo; j < hi; j++ {
+				if j == i {
+					continue
+				}
+				h.Offer(Neighbor{Tag: j, Dist: e.sqDist(i, j)})
+			}
+			mu.Lock()
+			heaps = append(heaps, h.Items())
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	// Merge the per-worker candidates. The top-k set under the strict
+	// total order (dist, id) is unique, so the partitioning does not
+	// affect the result.
+	var all []Neighbor
+	for _, h := range heaps {
+		all = append(all, h...)
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Dist != all[b].Dist {
+			return all[a].Dist < all[b].Dist
+		}
+		return all[a].Tag < all[b].Tag
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	for idx := range all {
+		all[idx].Dist = math.Sqrt(all[idx].Dist)
+	}
+	return all
+}
+
+// worseNeighbor orders eviction for the bounded selection: larger
+// distance first, ties by higher tag id — the strict total order that
+// makes the selected set unique.
+func worseNeighbor(a, b Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist > b.Dist
+	}
+	return a.Tag > b.Tag
+}
+
+// PairwiseBlock materializes rows [lo, hi) of the distance matrix D̂ as
+// an (hi−lo)×|T| block — the unit of work for out-of-core or sharded
+// consumers that stream D̂ without ever holding all of it.
+func (e *TagEmbedding) PairwiseBlock(lo, hi int) *mat.Matrix {
+	n := e.NumTags()
+	if lo < 0 || hi < lo || hi > n {
+		panic(fmt.Sprintf("embed: block [%d,%d) out of range [0,%d)", lo, hi, n))
+	}
+	out := mat.New(hi-lo, n)
+	for i := lo; i < hi; i++ {
+		row := out.Row(i - lo)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			row[j] = e.Dist(i, j)
+		}
+	}
+	return out
+}
+
+// Pairwise materializes the full |T|×|T| distance matrix. It exists for
+// consumers that genuinely need the dense view (the exact spectral path
+// and the paper's evaluation tables); production serving never calls it.
+func (e *TagEmbedding) Pairwise() *mat.Matrix {
+	out, err := e.PairwiseContext(context.Background())
+	if err != nil {
+		// Background contexts are never cancelled, so this is unreachable.
+		panic(err)
+	}
+	return out
+}
+
+// PairwiseContext is Pairwise with cooperative cancellation and blocked
+// parallel row computation: the upper triangle is split into contiguous
+// row blocks across GOMAXPROCS workers, and the context is checked
+// between rows.
+func (e *TagEmbedding) PairwiseContext(ctx context.Context) (*mat.Matrix, error) {
+	n := e.NumTags()
+	out := mat.New(n, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 1 && n*n*e.Dim() < 1<<18 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var wg sync.WaitGroup
+	// Rows are dealt round-robin so the triangular workload stays
+	// balanced (row i has n−i−1 pairs).
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				if ctx.Err() != nil {
+					return
+				}
+				for j := i + 1; j < n; j++ {
+					d := e.Dist(i, j)
+					out.Set(i, j, d)
+					out.Set(j, i, d)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

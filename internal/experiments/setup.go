@@ -113,6 +113,11 @@ func (s *Setup) Pipeline() *core.Pipeline {
 				MaxSweeps: s.Sweeps, Seed: uint64(s.Seed),
 			},
 			Spectral: s.SpectralOpts(),
+			// The evaluation reproduces the paper's exact pipeline —
+			// materialized D̂ plus Ng–Jordan–Weiss with local scaling and
+			// k-NN sparsification — not the embedding-first production
+			// default.
+			ExactSpectral: true,
 		})
 		if err != nil {
 			// Background contexts are never cancelled, so this is unreachable.

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/topk"
 )
 
 // Scored is one ranked result.
@@ -206,6 +208,9 @@ func (ix *Index) rank(qw map[int]float64, topN int) []Scored {
 			dots[p.doc] += w * p.weight
 		}
 	}
+	if topN > 0 && topN < len(dots) {
+		return ix.topK(dots, qnorm, topN)
+	}
 	out := make([]Scored, 0, len(dots))
 	for d, dot := range dots {
 		if ix.norms[d] == 0 {
@@ -213,15 +218,45 @@ func (ix *Index) rank(qw map[int]float64, topN int) []Scored {
 		}
 		out = append(out, Scored{Doc: d, Score: dot / (qnorm * ix.norms[d])})
 	}
+	sortScoredDesc(out)
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out
+}
+
+// sortScoredDesc orders results best-first: descending score, ties
+// broken by ascending document id for determinism.
+func sortScoredDesc(out []Scored) {
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].Score != out[b].Score {
 			return out[a].Score > out[b].Score
 		}
 		return out[a].Doc < out[b].Doc
 	})
-	if topN > 0 && len(out) > topN {
-		out = out[:topN]
+}
+
+// topK selects the k best results with a bounded heap instead of
+// sorting every scored document: O(D log k) for D matches, which is the
+// Limit > 0 serving path on large collections. Eviction order is lower
+// score, ties by higher doc id — a strict total order, so the selected
+// set is exactly the first k of the full descending sort regardless of
+// map iteration order.
+func (ix *Index) topK(dots map[int]float64, qnorm float64, k int) []Scored {
+	h := topk.New(k, func(a, b Scored) bool {
+		if a.Score != b.Score {
+			return a.Score < b.Score
+		}
+		return a.Doc > b.Doc
+	})
+	for d, dot := range dots {
+		if ix.norms[d] == 0 {
+			continue
+		}
+		h.Offer(Scored{Doc: d, Score: dot / (qnorm * ix.norms[d])})
 	}
+	out := h.Items()
+	sortScoredDesc(out)
 	return out
 }
 

@@ -1,27 +1,37 @@
 package cubelsi
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 
 	"repro/internal/codec"
+	"repro/internal/embed"
 	"repro/internal/tagging"
 )
 
-// Save serializes the engine's model — vocabularies, Tucker factors,
-// distance matrix, concept assignment, and index — so a separate
-// serving process can Load it and answer queries with bit-identical
-// rankings, without re-running the offline pipeline.
+// Save serializes the engine's model — vocabularies, the |T|×k₂ tag
+// embedding, decomposition statistics, concept assignment, and index —
+// so a separate serving process can Load it and answer queries with
+// bit-identical rankings, without re-running the offline pipeline.
+// Models are written in format v2, which carries no Tucker factor
+// matrices at all (serving needs none): file size is linear in the
+// vocabularies instead of quadratic. Loading a v1 model and saving it
+// again upgrades it in place.
 func (e *Engine) Save(w io.Writer) error {
+	if e.emb == nil {
+		return errors.New("cubelsi: model carries no tag embedding (legacy v1 file without a decomposition); rebuild it to save in the v2 format")
+	}
 	return codec.Write(w, &codec.Model{
 		Lowercase:   e.lowercase,
 		Assignments: e.stats.Assignments,
 		Users:       e.users,
 		Tags:        e.tags.Names(),
 		Resources:   e.resources.Names(),
-		Decomp:      e.decomp,
-		Distances:   e.distances,
+		CoreDims:    e.stats.CoreDims,
+		Fit:         e.stats.Fit,
+		Embedding:   e.emb.Matrix(),
 		Assign:      e.assign,
 		K:           e.k,
 		Index:       e.index,
@@ -64,19 +74,34 @@ func Load(r io.Reader) (*Engine, error) {
 		Resources:   len(m.Resources),
 		Assignments: m.Assignments,
 		Concepts:    m.K,
+		CoreDims:    m.CoreDims,
+		Fit:         m.Fit,
 	}
-	if m.Decomp != nil {
-		cj1, cj2, cj3 := m.Decomp.CoreDims()
-		st.CoreDims = [3]int{cj1, cj2, cj3}
-		st.Fit = m.Decomp.Fit
+
+	// Tag semantics, newest representation first: a v2 embedding as
+	// stored; a v1 file with a decomposition has its embedding derived
+	// (the in-place upgrade path); a v1 file without one falls back to
+	// serving from the dense matrix it shipped.
+	var emb *embed.TagEmbedding
+	var distances = m.Distances
+	switch {
+	case m.Embedding != nil:
+		emb = embed.FromMatrix(m.Embedding)
+	case m.Decomp != nil:
+		emb = embed.FromDecomposition(m.Decomp)
+		distances = nil
 	}
+	if emb != nil {
+		st.EmbeddingDim = emb.Dim()
+	}
+
 	return &Engine{
 		lowercase: m.Lowercase,
 		users:     m.Users,
 		tags:      tags,
 		resources: resources,
-		decomp:    m.Decomp,
-		distances: m.Distances,
+		emb:       emb,
+		distances: distances,
 		assign:    m.Assign,
 		k:         m.K,
 		index:     m.Index,
