@@ -3,13 +3,23 @@ GO ?= go
 # Preset for the tracked offline benchmark; CI smoke-tests with tiny.
 BENCH_PRESET ?= lastfm
 
-.PHONY: build test bench bench-smoke vet fmt fuzz
+.PHONY: build test bench bench-smoke vet fmt fuzz lint
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint mirrors the CI lint job (.golangci.yml); falls back to go vet
+# when golangci-lint is not installed locally.
+lint:
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run ./...; \
+	else \
+		echo "golangci-lint not installed; running go vet only"; \
+		$(GO) vet ./...; \
+	fi
 
 test: vet
 	$(GO) test -race ./...

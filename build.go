@@ -28,7 +28,7 @@ const (
 	// pipeline unconditionally materialized the O(|T|²) distance matrix.
 	//
 	// Deprecated: use StageEmbed.
-	StageDistances = core.StageDistances
+	StageDistances = core.StageDistances //nolint:staticcheck // deliberate re-export of the deprecated alias
 )
 
 // Progress is one build-progress notification: each stage reports once
@@ -106,6 +106,8 @@ type buildSettings struct {
 	cfg           Config
 	progress      ProgressFunc
 	exactSpectral bool
+	tuckerWorkers int
+	sketch        tucker.SketchOptions
 }
 
 // WithConfig replaces the default pipeline configuration.
@@ -127,6 +129,33 @@ func WithProgress(fn ProgressFunc) BuildOption {
 // paper-faithful reproduction runs.
 func WithExactSpectral() BuildOption {
 	return func(s *buildSettings) { s.exactSpectral = true }
+}
+
+// WithTuckerParallelism bounds the worker pool the ALS decomposition
+// fans its unfolding products, Gram products and QR steps across.
+// Zero (the default) uses one worker per logical CPU; 1 runs the sweep
+// serially. The factors are bit-identical for every worker count, so
+// this knob trades only wall-clock, never reproducibility.
+func WithTuckerParallelism(workers int) BuildOption {
+	return func(s *buildSettings) { s.tuckerWorkers = workers }
+}
+
+// WithSketch switches the ALS sweep's leading-left SVDs of large
+// unfoldings to a seeded randomized range finder (Halko–Martinsson–
+// Tropp): sketch with oversample extra columns and refine with
+// powerIters power iterations. Zero values pick the defaults (8 and 2).
+// The sketched decomposition is still deterministic in the build seed
+// but is a near-optimal approximation — prefer it for large corpora
+// where the exact Gram products dominate the offline build; leave it
+// off for paper-faithful reproduction runs.
+func WithSketch(oversample, powerIters int) BuildOption {
+	return func(s *buildSettings) {
+		s.sketch = tucker.SketchOptions{
+			Enabled:    true,
+			Oversample: oversample,
+			PowerIters: powerIters,
+		}
+	}
 }
 
 // Build runs the offline pipeline over the source corpus and returns a
@@ -175,6 +204,8 @@ func Build(ctx context.Context, src Source, opts ...BuildOption) (*Engine, error
 			J1: j1, J2: j2, J3: j3,
 			MaxSweeps: cfg.MaxSweeps,
 			Seed:      uint64(cfg.Seed),
+			Workers:   settings.tuckerWorkers,
+			Sketch:    settings.sketch,
 		},
 		Spectral: cluster.SpectralOptions{
 			Sigma: cfg.Sigma,

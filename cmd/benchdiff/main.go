@@ -1,0 +1,233 @@
+// Command benchdiff gates CI on the BENCH_offline.json artifact written
+// by cmd/benchoffline. It has two modes:
+//
+//	benchdiff compare -base base.json -head head.json [-threshold 0.25] [-min-ms 25]
+//	    Compare the decompose/build timings of a PR's benchmark run
+//	    against the merge-base run and fail (exit 1) when a tracked
+//	    metric regresses by more than threshold AND by more than min-ms
+//	    of absolute wall clock (the floor keeps sub-millisecond jitter on
+//	    tiny CI presets from tripping the gate).
+//
+//	benchdiff sizecheck -in BENCH_offline.json [-min-tags 5000] [-min-ratio 10]
+//	    Assert the v1/v2 model-size ratio of every size_scaling point at
+//	    or beyond min-tags stays at least min-ratio — the codec win that
+//	    PR 2 established, previously checked by an inline python heredoc
+//	    in the workflow.
+//
+// Exit codes: 0 pass, 1 gate violated, 2 usage or input error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// benchFile mirrors the subset of cmd/benchoffline's report that the
+// gates read. Unknown and missing fields are tolerated so the tool can
+// compare against artifacts from older revisions.
+type benchFile struct {
+	Build struct {
+		EmbeddingPath struct {
+			DecomposeMS float64 `json:"decompose_ms"`
+			TotalMS     float64 `json:"total_ms"`
+		} `json:"embedding_path"`
+	} `json:"build"`
+	Decompose struct {
+		Workers []struct {
+			Workers int     `json:"workers"`
+			Millis  float64 `json:"ms"`
+		} `json:"workers"`
+	} `json:"decompose"`
+	SizeScaling []struct {
+		Tags  int     `json:"tags"`
+		V1    int64   `json:"v1_bytes"`
+		V2    int64   `json:"v2_bytes"`
+		Ratio float64 `json:"v1_over_v2_ratio"`
+	} `json:"size_scaling"`
+}
+
+func readBench(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b benchFile
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// metric is one tracked timing, present when the producing revision
+// recorded it.
+type metric struct {
+	name string
+	ms   float64
+	ok   bool
+}
+
+// timings extracts the gated metrics from a benchmark file. Metrics the
+// revision didn't record (older formats) come back with ok=false and are
+// skipped by the comparison rather than failing it.
+func timings(b *benchFile) []metric {
+	ms := []metric{
+		{name: "build.embedding_path.decompose_ms", ms: b.Build.EmbeddingPath.DecomposeMS, ok: b.Build.EmbeddingPath.DecomposeMS > 0},
+		{name: "build.embedding_path.total_ms", ms: b.Build.EmbeddingPath.TotalMS, ok: b.Build.EmbeddingPath.TotalMS > 0},
+	}
+	for _, w := range b.Decompose.Workers {
+		ms = append(ms, metric{
+			name: fmt.Sprintf("decompose.workers[%d].ms", w.Workers),
+			ms:   w.Millis,
+			ok:   w.Millis > 0,
+		})
+	}
+	return ms
+}
+
+// row is one head metric matched (or not) against the baseline.
+type row struct {
+	name           string
+	baseMS, headMS float64
+	hasBase        bool
+	regressed      bool
+}
+
+// compare matches every head metric against the baseline and marks the
+// ones that regressed by more than threshold (fractional, e.g. 0.25)
+// AND more than minMS of absolute wall clock. Metrics absent from the
+// baseline (older artifact formats, freshly added metrics) come back
+// with hasBase=false and never regress.
+func compare(base, head *benchFile, threshold, minMS float64) []row {
+	baseline := make(map[string]float64)
+	for _, m := range timings(base) {
+		if m.ok {
+			baseline[m.name] = m.ms
+		}
+	}
+	var rows []row
+	for _, m := range timings(head) {
+		if !m.ok {
+			continue
+		}
+		b, seen := baseline[m.name]
+		rows = append(rows, row{
+			name: m.name, baseMS: b, headMS: m.ms, hasBase: seen,
+			regressed: seen && m.ms-b > threshold*b && m.ms-b > minMS,
+		})
+	}
+	return rows
+}
+
+// regressions filters a comparison down to the rows that tripped the gate.
+func regressions(rows []row) []row {
+	var out []row
+	for _, r := range rows {
+		if r.regressed {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// sizeViolations returns the size_scaling points at or beyond minTags
+// whose v1/v2 ratio dropped below minRatio.
+func sizeViolations(b *benchFile, minTags int, minRatio float64) []string {
+	var out []string
+	for _, p := range b.SizeScaling {
+		if p.Tags >= minTags && p.Ratio < minRatio {
+			out = append(out, fmt.Sprintf("|T|=%d: v1/v2 ratio %.1fx below required %.1fx (v1=%d v2=%d)",
+				p.Tags, p.Ratio, minRatio, p.V1, p.V2))
+		}
+	}
+	return out
+}
+
+func runCompare(args []string) int {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	basePath := fs.String("base", "", "baseline BENCH_offline.json (merge-base run)")
+	headPath := fs.String("head", "", "candidate BENCH_offline.json (PR run)")
+	threshold := fs.Float64("threshold", 0.25, "fractional regression that fails the gate")
+	minMS := fs.Float64("min-ms", 25, "absolute regression floor in milliseconds")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *basePath == "" || *headPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff compare: -base and -head are required")
+		return 2
+	}
+	base, err := readBench(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	head, err := readBench(*headPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+
+	rows := compare(base, head, *threshold, *minMS)
+	for _, r := range rows {
+		if r.hasBase {
+			fmt.Printf("%-40s base %10.1fms  head %10.1fms  (%+.1f%%)\n", r.name, r.baseMS, r.headMS, 100*(r.headMS-r.baseMS)/r.baseMS)
+		} else {
+			fmt.Printf("%-40s base          —  head %10.1fms  (new metric)\n", r.name, r.headMS)
+		}
+	}
+
+	regs := regressions(rows)
+	if len(regs) == 0 {
+		fmt.Printf("benchdiff: no regression beyond %.0f%% (+%.0fms floor)\n", *threshold*100, *minMS)
+		return 0
+	}
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "benchdiff: REGRESSION %s: %.1fms -> %.1fms (%+.1f%%)\n",
+			r.name, r.baseMS, r.headMS, 100*(r.headMS-r.baseMS)/r.baseMS)
+	}
+	return 1
+}
+
+func runSizecheck(args []string) int {
+	fs := flag.NewFlagSet("sizecheck", flag.ExitOnError)
+	in := fs.String("in", "BENCH_offline.json", "benchmark artifact to check")
+	minTags := fs.Int("min-tags", 5000, "apply the ratio floor at and beyond this tag count")
+	minRatio := fs.Float64("min-ratio", 10, "required v1/v2 model-size ratio")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	b, err := readBench(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	for _, p := range b.SizeScaling {
+		fmt.Printf("|T|=%d: v1=%d v2=%d ratio=%.1fx\n", p.Tags, p.V1, p.V2, p.Ratio)
+	}
+	violations := sizeViolations(b, *minTags, *minRatio)
+	if len(violations) == 0 {
+		fmt.Printf("benchdiff: v2 models stay >=%.1fx smaller at |T|>=%d\n", *minRatio, *minTags)
+		return 0
+	}
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s\n", v)
+	}
+	return 1
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff compare|sizecheck [flags]")
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "compare":
+		os.Exit(runCompare(os.Args[2:]))
+	case "sizecheck":
+		os.Exit(runSizecheck(os.Args[2:]))
+	default:
+		fmt.Fprintf(os.Stderr, "benchdiff: unknown mode %q (want compare or sizecheck)\n", os.Args[1])
+		os.Exit(2)
+	}
+}

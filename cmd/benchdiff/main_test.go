@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func parse(t *testing.T, s string) *benchFile {
+	t.Helper()
+	var b benchFile
+	if err := json.Unmarshal([]byte(s), &b); err != nil {
+		t.Fatal(err)
+	}
+	return &b
+}
+
+const baseJSON = `{
+  "build": {"embedding_path": {"decompose_ms": 1000, "total_ms": 1200}},
+  "decompose": {"workers": [{"workers": 1, "ms": 1000}, {"workers": 4, "ms": 300}]},
+  "size_scaling": [
+    {"tags": 1000, "v1_bytes": 800, "v2_bytes": 100, "v1_over_v2_ratio": 8},
+    {"tags": 5000, "v1_bytes": 4000, "v2_bytes": 100, "v1_over_v2_ratio": 40}
+  ]
+}`
+
+func TestCompareNoRegression(t *testing.T) {
+	base := parse(t, baseJSON)
+	head := parse(t, `{
+      "build": {"embedding_path": {"decompose_ms": 1100, "total_ms": 1190}},
+      "decompose": {"workers": [{"workers": 1, "ms": 1050}, {"workers": 4, "ms": 310}]}
+    }`)
+	if regs := regressions(compare(base, head, 0.25, 25)); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %+v", regs)
+	}
+}
+
+func TestCompareCatchesRegression(t *testing.T) {
+	base := parse(t, baseJSON)
+	head := parse(t, `{
+      "build": {"embedding_path": {"decompose_ms": 1600, "total_ms": 1210}},
+      "decompose": {"workers": [{"workers": 1, "ms": 1000}, {"workers": 4, "ms": 900}]}
+    }`)
+	regs := regressions(compare(base, head, 0.25, 25))
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions (decompose_ms and workers[4]), got %+v", regs)
+	}
+	if regs[0].name != "build.embedding_path.decompose_ms" {
+		t.Fatalf("first regression %q", regs[0].name)
+	}
+	if regs[1].name != "decompose.workers[4].ms" {
+		t.Fatalf("second regression %q", regs[1].name)
+	}
+}
+
+func TestCompareAbsoluteFloorSuppressesJitter(t *testing.T) {
+	// 10ms -> 18ms is an 80% regression but under the 25ms floor: tiny CI
+	// presets jitter at this scale, so the gate must stay quiet.
+	base := parse(t, `{"build": {"embedding_path": {"decompose_ms": 10, "total_ms": 12}}}`)
+	head := parse(t, `{"build": {"embedding_path": {"decompose_ms": 18, "total_ms": 20}}}`)
+	if regs := regressions(compare(base, head, 0.25, 25)); len(regs) != 0 {
+		t.Fatalf("floor failed to suppress jitter: %+v", regs)
+	}
+}
+
+func TestCompareToleratesOldBaseFormat(t *testing.T) {
+	// A merge-base from before the decompose section existed must not
+	// fail the gate on the new metrics.
+	base := parse(t, `{"build": {"embedding_path": {"decompose_ms": 1000, "total_ms": 1200}}}`)
+	head := parse(t, `{
+      "build": {"embedding_path": {"decompose_ms": 900, "total_ms": 1100}},
+      "decompose": {"workers": [{"workers": 1, "ms": 5000}]}
+    }`)
+	if regs := regressions(compare(base, head, 0.25, 25)); len(regs) != 0 {
+		t.Fatalf("new metric without baseline must be skipped: %+v", regs)
+	}
+}
+
+func TestSizeViolations(t *testing.T) {
+	b := parse(t, baseJSON)
+	// The 1000-tag point is below min-tags, so its 8x ratio is fine; the
+	// 5000-tag point holds 40x.
+	if v := sizeViolations(b, 5000, 10); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+	// Raising the floor above 40x must trip the 5000-tag point.
+	if v := sizeViolations(b, 5000, 50); len(v) != 1 {
+		t.Fatalf("want 1 violation, got %v", v)
+	}
+}

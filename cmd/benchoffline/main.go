@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -58,6 +59,34 @@ type buildReport struct {
 	Speedup float64 `json:"speedup,omitempty"`
 }
 
+// decomposeWorkerPoint is one timed ALS decomposition at a fixed worker
+// pool bound.
+type decomposeWorkerPoint struct {
+	Workers int     `json:"workers"`
+	Millis  float64 `json:"ms"`
+}
+
+// sketchPoint records the sketched-ALS run: wall clock plus the fit it
+// reached against the exact path's fit.
+type sketchPoint struct {
+	Millis  float64 `json:"ms"`
+	Fit     float64 `json:"fit"`
+	Speedup float64 `json:"speedup_vs_exact"`
+}
+
+// decomposeReport is the per-stage scaling record for the ALS Tucker
+// decomposition: the same exact decomposition timed at 1, 2 and
+// GOMAXPROCS workers (factors are bit-identical across the scan), plus
+// the sketched path at full parallelism.
+type decomposeReport struct {
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	ExactFit   float64                `json:"exact_fit"`
+	Workers    []decomposeWorkerPoint `json:"workers"`
+	// SpeedupMaxWorkers is ms(workers=1) / ms(workers=GOMAXPROCS).
+	SpeedupMaxWorkers float64      `json:"speedup_max_workers"`
+	Sketched          *sketchPoint `json:"sketched,omitempty"`
+}
+
 type queryReport struct {
 	Count  int     `json:"count"`
 	MeanUS float64 `json:"mean_us"`
@@ -81,16 +110,17 @@ type scalePoint struct {
 }
 
 type report struct {
-	GeneratedAt string       `json:"generated_at"`
-	Preset      string       `json:"preset"`
-	Users       int          `json:"users"`
-	Tags        int          `json:"tags"`
-	Resources   int          `json:"resources"`
-	Assignments int          `json:"assignments"`
-	Build       buildReport  `json:"build"`
-	Model       modelReport  `json:"model"`
-	Query       queryReport  `json:"query"`
-	SizeScaling []scalePoint `json:"size_scaling"`
+	GeneratedAt string          `json:"generated_at"`
+	Preset      string          `json:"preset"`
+	Users       int             `json:"users"`
+	Tags        int             `json:"tags"`
+	Resources   int             `json:"resources"`
+	Assignments int             `json:"assignments"`
+	Build       buildReport     `json:"build"`
+	Decompose   decomposeReport `json:"decompose"`
+	Model       modelReport     `json:"model"`
+	Query       queryReport     `json:"query"`
+	SizeScaling []scalePoint    `json:"size_scaling"`
 }
 
 func main() {
@@ -98,6 +128,8 @@ func main() {
 	out := flag.String("out", "BENCH_offline.json", "output JSON path")
 	scaleTags := flag.String("scale-tags", "1000,5000", "comma-separated tag counts for the size-scaling section")
 	skipExact := flag.Bool("skip-exact", false, "skip the exact-spectral comparison build")
+	skipDecomposeScan := flag.Bool("skip-decompose-scan", false, "skip the per-worker decompose scaling scan")
+	workers := flag.Int("workers", 0, "ALS worker pool bound for the headline builds (0 = all CPUs)")
 	numQueries := flag.Int("queries", 256, "query workload size")
 	flag.Parse()
 
@@ -127,6 +159,7 @@ func main() {
 		Tucker: tucker.Options{
 			J1: min(j1, st.Users), J2: j2, J3: min(j3, st.Resources),
 			MaxSweeps: 3, Seed: uint64(params.Seed),
+			Workers: *workers,
 		},
 		Spectral: cluster.SpectralOptions{K: k, Seed: params.Seed},
 	}
@@ -154,6 +187,10 @@ func main() {
 		}
 	}
 
+	if !*skipDecomposeScan {
+		rep.Decompose = scanDecompose(p, opts.Tucker)
+	}
+
 	// Model size: the real pipeline serialized the way each format's
 	// writer actually ships it — v2 is factor-free (embedding + summary
 	// stats), v1 carries the full decomposition plus the dense matrix.
@@ -178,7 +215,7 @@ func main() {
 		v1Model := *model
 		v1Model.Decomp = pe.Decomposition
 		v1Model.Distances = pe.Distances
-		rep.Model.V1Bytes = encodedSize(func(w io.Writer) error { return codec.WriteV1(w, &v1Model) })
+		rep.Model.V1Bytes = encodedSize(func(w io.Writer) error { return codec.WriteV1(w, &v1Model) }) //nolint:staticcheck // v1 writer measured intentionally
 		rep.Model.Ratio = ratio(rep.Model.V1Bytes, rep.Model.V2Bytes)
 	}
 
@@ -217,6 +254,58 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchoffline: wrote %s\n", *out)
 	os.Stdout.Write(data)
+}
+
+// scanDecompose re-runs the exact ALS decomposition of the already-built
+// tensor at worker bounds 1, 2 and GOMAXPROCS (the factors are
+// bit-identical across the scan — only wall clock moves), then the
+// sketched path at full parallelism, so the per-stage speedup is
+// recorded rather than claimed.
+func scanDecompose(p *core.Pipeline, tuck tucker.Options) decomposeReport {
+	maxW := runtime.GOMAXPROCS(0)
+	rep := decomposeReport{GOMAXPROCS: maxW}
+	counts := []int{1}
+	if maxW >= 2 {
+		counts = append(counts, 2)
+	}
+	if maxW > 2 {
+		counts = append(counts, maxW)
+	}
+	var exactMS float64
+	for _, w := range counts {
+		opts := tuck
+		opts.Workers = w
+		opts.Sketch = tucker.SketchOptions{}
+		fmt.Fprintf(os.Stderr, "benchoffline: decompose scan, workers=%d\n", w)
+		start := time.Now()
+		d, err := tucker.DecomposeContext(context.Background(), p.Tensor, opts)
+		if err != nil {
+			fatal(err)
+		}
+		ms := float64(time.Since(start).Nanoseconds()) / 1e6
+		rep.Workers = append(rep.Workers, decomposeWorkerPoint{Workers: w, Millis: ms})
+		rep.ExactFit = d.Fit
+		exactMS = ms // last entry runs at the widest pool
+	}
+	if exactMS > 0 {
+		rep.SpeedupMaxWorkers = rep.Workers[0].Millis / exactMS
+	}
+
+	sk := tuck
+	sk.Workers = maxW
+	sk.Sketch = tucker.SketchOptions{Enabled: true}
+	fmt.Fprintf(os.Stderr, "benchoffline: decompose scan, sketched (workers=%d)\n", maxW)
+	start := time.Now()
+	d, err := tucker.DecomposeContext(context.Background(), p.Tensor, sk)
+	if err != nil {
+		fatal(err)
+	}
+	ms := float64(time.Since(start).Nanoseconds()) / 1e6
+	rep.Sketched = &sketchPoint{Millis: ms, Fit: d.Fit}
+	if ms > 0 {
+		rep.Sketched.Speedup = exactMS / ms
+	}
+	return rep
 }
 
 // measureScale encodes a synthetic model with |T| = n in both formats
@@ -261,7 +350,7 @@ func measureScale(n, k2 int) scalePoint {
 		},
 	}
 	m.Distances = mat.New(n, n)
-	v1 := encodedSize(func(w io.Writer) error { return codec.WriteV1(w, m) })
+	v1 := encodedSize(func(w io.Writer) error { return codec.WriteV1(w, m) }) //nolint:staticcheck // v1 writer measured intentionally
 	return scalePoint{Tags: n, K2: k2, V1Bytes: v1, V2Bytes: v2, Ratio: ratio(v1, v2)}
 }
 

@@ -41,6 +41,10 @@ func main() {
 	minSupport := flag.Int("min-support", 5, "cleaning support threshold")
 	seed := flag.Int64("seed", 1, "random seed")
 	progress := flag.Bool("progress", false, "report pipeline stages on stderr")
+	workers := flag.Int("workers", 0, "ALS worker pool bound (0 = all CPUs, 1 = serial; factors are identical at any value)")
+	sketch := flag.Bool("sketch", false, "use the randomized range finder for large-mode SVDs (faster, near-optimal fit)")
+	sketchOversample := flag.Int("sketch-oversample", 0, "extra sketch columns beyond the core dimension (0 = default 8; implies -sketch)")
+	sketchPower := flag.Int("sketch-power", 0, "sketch power-iteration rounds (0 = default 2; implies -sketch)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -52,7 +56,14 @@ func main() {
 	case *load != "":
 		eng, err = cubelsi.LoadFile(*load)
 	case *data != "":
-		eng, err = buildEngine(ctx, *data, *ratio, *concepts, *minSupport, *seed, *progress)
+		eng, err = buildEngine(ctx, *data, buildFlags{
+			ratio: *ratio, concepts: *concepts, minSupport: *minSupport,
+			seed: *seed, progress: *progress,
+			workers: *workers,
+			// Tuning a sketch parameter is asking for the sketch.
+			sketch:           *sketch || *sketchOversample != 0 || *sketchPower != 0,
+			sketchOversample: *sketchOversample, sketchPower: *sketchPower,
+		})
 	default:
 		fmt.Fprintln(os.Stderr, "cubelsi: -data or -load is required")
 		flag.Usage()
@@ -100,15 +111,33 @@ func main() {
 	}
 }
 
-func buildEngine(ctx context.Context, data string, ratio float64, concepts, minSupport int, seed int64, progress bool) (*cubelsi.Engine, error) {
+type buildFlags struct {
+	ratio            float64
+	concepts         int
+	minSupport       int
+	seed             int64
+	progress         bool
+	workers          int
+	sketch           bool
+	sketchOversample int
+	sketchPower      int
+}
+
+func buildEngine(ctx context.Context, data string, bf buildFlags) (*cubelsi.Engine, error) {
 	cfg := cubelsi.DefaultConfig()
-	cfg.ReductionRatios = [3]float64{ratio, ratio, ratio}
-	cfg.Concepts = concepts
-	cfg.MinSupport = minSupport
-	cfg.Seed = seed
+	cfg.ReductionRatios = [3]float64{bf.ratio, bf.ratio, bf.ratio}
+	cfg.Concepts = bf.concepts
+	cfg.MinSupport = bf.minSupport
+	cfg.Seed = bf.seed
 
 	opts := []cubelsi.BuildOption{cubelsi.WithConfig(cfg)}
-	if progress {
+	if bf.workers != 0 {
+		opts = append(opts, cubelsi.WithTuckerParallelism(bf.workers))
+	}
+	if bf.sketch {
+		opts = append(opts, cubelsi.WithSketch(bf.sketchOversample, bf.sketchPower))
+	}
+	if bf.progress {
 		opts = append(opts, cubelsi.WithProgress(func(p cubelsi.Progress) {
 			if p.Done {
 				fmt.Fprintf(os.Stderr, "stage %-10s done in %v\n", p.Stage, p.Elapsed)

@@ -1,7 +1,12 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash"
 	"math"
+	"runtime"
 	"testing"
 
 	"repro/internal/cluster"
@@ -81,6 +86,55 @@ func TestGoldenParityEmbeddingVsExactSpectral(t *testing.T) {
 			if math.Abs(dm.At(i, j)-exact.Distances.At(i, j)) > 1e-9 {
 				t.Fatalf("D̂[%d,%d]: lazy %v vs exact %v", i, j, dm.At(i, j), exact.Distances.At(i, j))
 			}
+		}
+	}
+}
+
+// goldenFactorHash is the SHA-256 over the IEEE-754 bit patterns of
+// Y1‖Y2‖Y3‖Λ1‖Λ2‖Λ3‖Core for the paper example at J=(3,2,3), Seed=1, as
+// produced by the pre-parallelization seed implementation. The parallel
+// refactor must not move a single bit on the exact path.
+const goldenFactorHash = "1f58bccbe07f482449e7975e74ed0805c526a4406c5cc97d5d76dda491d16682"
+
+func hashFloats(h hash.Hash, vs []float64) {
+	var b [8]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		h.Write(b[:])
+	}
+}
+
+func factorHash(d *tucker.Decomposition) string {
+	h := sha256.New()
+	hashFloats(h, d.Y1.Data())
+	hashFloats(h, d.Y2.Data())
+	hashFloats(h, d.Y3.Data())
+	for _, lam := range d.Lambda {
+		hashFloats(h, lam)
+	}
+	hashFloats(h, d.Core.Data())
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestExactPathFactorsBitForBit pins the exact ALS path, at every worker
+// count, to the exact factors the seed implementation produced: the
+// parallel sweep partitions work across goroutines but never reorders a
+// floating-point accumulation, so the golden hash must survive both the
+// refactor and the workers knob.
+func TestExactPathFactorsBitForBit(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		// The golden bits assume no FMA contraction; other architectures
+		// may fuse multiply-adds and legitimately differ in low bits.
+		t.Skipf("golden float bits recorded on amd64, running on %s", runtime.GOARCH)
+	}
+	f := paperDataset().Tensor()
+	for _, workers := range []int{0, 1, 4} {
+		d := tucker.Decompose(f, tucker.Options{J1: 3, J2: 2, J3: 3, Seed: 1, Workers: workers})
+		if got := factorHash(d); got != goldenFactorHash {
+			t.Fatalf("workers=%d: factor hash %s, want golden %s", workers, got, goldenFactorHash)
+		}
+		if d.Fit != 0.68439980937267975 || d.Sweeps != 2 {
+			t.Fatalf("workers=%d: fit=%.17g sweeps=%d diverge from seed behavior", workers, d.Fit, d.Sweeps)
 		}
 	}
 }

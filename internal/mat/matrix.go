@@ -168,13 +168,18 @@ func (m *Matrix) T() *Matrix {
 }
 
 // Mul returns the matrix product a·b. Large products run row-parallel.
-func Mul(a, b *Matrix) *Matrix {
+func Mul(a, b *Matrix) *Matrix { return mulW(a, b, 0) }
+
+// mulW is Mul with an explicit worker bound. Each output row is owned by
+// exactly one worker and accumulated in the same k-ascending order as the
+// serial loop, so the product is bit-identical for every worker count.
+func mulW(a, b *Matrix, workers int) *Matrix {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("mat: Mul shape mismatch %d×%d · %d×%d", a.rows, a.cols, b.rows, b.cols))
 	}
 	c := New(a.rows, b.cols)
 	// ikj loop order: stream through rows of b for cache friendliness.
-	parallelFor(a.rows, a.rows*a.cols*b.cols, func(lo, hi int) {
+	parallelForW(a.rows, a.rows*a.cols*b.cols, workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a.data[i*a.cols : (i+1)*a.cols]
 			crow := c.data[i*c.cols : (i+1)*c.cols]
@@ -193,12 +198,16 @@ func Mul(a, b *Matrix) *Matrix {
 }
 
 // MulT returns a·bᵀ without forming bᵀ. Large products run row-parallel.
-func MulT(a, b *Matrix) *Matrix {
+func MulT(a, b *Matrix) *Matrix { return mulTW(a, b, 0) }
+
+// mulTW is MulT with an explicit worker bound; one Dot per output element
+// keeps the result bit-identical for every worker count.
+func mulTW(a, b *Matrix, workers int) *Matrix {
 	if a.cols != b.cols {
 		panic(fmt.Sprintf("mat: MulT shape mismatch %d×%d · (%d×%d)ᵀ", a.rows, a.cols, b.rows, b.cols))
 	}
 	c := New(a.rows, b.rows)
-	parallelFor(a.rows, a.rows*a.cols*b.rows, func(lo, hi int) {
+	parallelForW(a.rows, a.rows*a.cols*b.rows, workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a.data[i*a.cols : (i+1)*a.cols]
 			crow := c.data[i*c.cols : (i+1)*c.cols]
@@ -211,25 +220,40 @@ func MulT(a, b *Matrix) *Matrix {
 	return c
 }
 
-// TMul returns aᵀ·b without forming aᵀ.
-func TMul(a, b *Matrix) *Matrix {
+// TMul returns aᵀ·b without forming aᵀ. Large products run parallel over
+// the rows of the result.
+func TMul(a, b *Matrix) *Matrix { return tmulW(a, b, 0) }
+
+// TMulWorkers is TMul with an explicit worker bound (0 = GOMAXPROCS,
+// 1 = serial); the product is bit-identical for every worker count.
+func TMulWorkers(a, b *Matrix, workers int) *Matrix { return tmulW(a, b, workers) }
+
+// tmulW is TMul with an explicit worker bound. The loop nest is i-outer
+// (one output row per iteration) so workers own disjoint output rows,
+// while each element still accumulates over k in ascending order — the
+// exact summation sequence of the historical k-outer serial loop. The
+// result is therefore bit-identical to the serial product for every
+// worker count.
+func tmulW(a, b *Matrix, workers int) *Matrix {
 	if a.rows != b.rows {
 		panic(fmt.Sprintf("mat: TMul shape mismatch (%d×%d)ᵀ · %d×%d", a.rows, a.cols, b.rows, b.cols))
 	}
 	c := New(a.cols, b.cols)
-	for k := 0; k < a.rows; k++ {
-		arow := a.data[k*a.cols : (k+1)*a.cols]
-		brow := b.data[k*b.cols : (k+1)*b.cols]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
+	parallelForW(a.cols, a.rows*a.cols*b.cols, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			crow := c.data[i*c.cols : (i+1)*c.cols]
-			for j, bv := range brow {
-				crow[j] += av * bv
+			for k := 0; k < a.rows; k++ {
+				av := a.data[k*a.cols+i]
+				if av == 0 {
+					continue
+				}
+				brow := b.data[k*b.cols : (k+1)*b.cols]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 	return c
 }
 

@@ -90,13 +90,20 @@ func QRFactor(a *Matrix) *QR {
 // with reorthogonalization, replacing null columns by unit coordinate
 // vectors orthogonal to the previous columns so the result is always a
 // complete orthonormal set. It modifies a in place and returns it.
-func Orthonormalize(a *Matrix) *Matrix {
+func Orthonormalize(a *Matrix) *Matrix { return orthonormalizeW(a, 0) }
+
+// orthonormalizeW is Orthonormalize with an explicit worker bound for the
+// Cholesky-QR rounds (0 = GOMAXPROCS, 1 = serial). The factorization is
+// bit-identical for every worker count: the Gram product and triangular
+// solves assign disjoint outputs with unchanged per-element order, and
+// the Gram–Schmidt fallback is serial.
+func orthonormalizeW(a *Matrix, workers int) *Matrix {
 	m, n := a.Dims()
 	if m < n {
 		panic(fmt.Sprintf("mat: Orthonormalize requires rows ≥ cols, got %d×%d", m, n))
 	}
 	if m*n*n >= parallelThreshold {
-		if cholQR(a) && cholQR(a) {
+		if cholQR(a, workers) && cholQR(a, workers) {
 			return a
 		}
 	}
@@ -144,9 +151,9 @@ func Orthonormalize(a *Matrix) *Matrix {
 // A ← A·R⁻¹. Returns false (leaving a partially modified only in G, not
 // in A) when the Gram matrix is not safely positive definite; callers
 // fall back to Gram–Schmidt.
-func cholQR(a *Matrix) bool {
+func cholQR(a *Matrix, workers int) bool {
 	m, n := a.Dims()
-	g := TMul(a, a)
+	g := tmulW(a, a, workers)
 	// In-place Cholesky G = RᵀR (upper triangular R stored in g).
 	for j := 0; j < n; j++ {
 		d := g.At(j, j)
@@ -167,7 +174,7 @@ func cholQR(a *Matrix) bool {
 		}
 	}
 	// A ← A·R⁻¹ by forward substitution per row, parallel across rows.
-	parallelFor(m, m*n*n/2, func(lo, hi int) {
+	parallelForW(m, m*n*n/2, workers, func(lo, hi int) {
 		x := make([]float64, n)
 		for i := lo; i < hi; i++ {
 			row := a.Row(i)

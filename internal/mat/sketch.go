@@ -1,0 +1,98 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// SketchSpec configures the randomized range finder used by
+// SketchedLeftSVD (Halko, Martinsson, Tropp: "Finding Structure with
+// Randomness", 2011).
+type SketchSpec struct {
+	// Oversample is the number of extra sketch columns beyond the k
+	// wanted singular vectors; larger values tighten the approximation.
+	// Zero means 8.
+	Oversample int
+	// PowerIters is the number of (A·Aᵀ) power iterations applied to the
+	// sketch, each preceded by re-orthonormalization. Zero means 2 —
+	// enough to separate the flat noise spectra of social-tagging
+	// unfoldings. Negative disables power iteration entirely.
+	PowerIters int
+}
+
+func (s SketchSpec) oversample() int {
+	if s.Oversample == 0 {
+		return 8
+	}
+	return s.Oversample
+}
+
+func (s SketchSpec) powerIters() int {
+	if s.PowerIters == 0 {
+		return 2
+	}
+	if s.PowerIters < 0 {
+		return 0
+	}
+	return s.PowerIters
+}
+
+// SketchedLeftSVD computes an approximation to the k leading left
+// singular vectors and values of a via a seeded randomized range finder:
+// sketch Y = A·Ω with a Gaussian test matrix of k+Oversample columns,
+// refine the range with PowerIters rounds of Y ← A·(Aᵀ·Y) (orthonormalizing
+// between rounds), then solve the small projected problem exactly.
+//
+// Cost is O(m·n·l) per pass with l = k+Oversample, against the O(m²·n)
+// Gram products (plus a subspace iteration) of the exact LeftSVD — the
+// win grows with the larger side of a. All matrix products honor
+// opts.Workers, and the sketch is deterministic in opts.Seed: the same
+// seed and shape produce bit-identical results for every worker count.
+func SketchedLeftSVD(a *Matrix, k int, spec SketchSpec, opts SubspaceOptions) *SVD {
+	m, n := a.Dims()
+	minDim := m
+	if n < minDim {
+		minDim = n
+	}
+	if k <= 0 || k > minDim {
+		panic(fmt.Sprintf("mat: SketchedLeftSVD k=%d out of range for %d×%d", k, m, n))
+	}
+	l := k + spec.oversample()
+	if l > minDim {
+		l = minDim
+	}
+
+	// Seeded Gaussian test matrix Ω ∈ R^{n×l}.
+	rng := newSplitMix(opts.Seed ^ 0x5851f42d4c957f2d)
+	omega := New(n, l)
+	for i := 0; i < n; i++ {
+		for j := 0; j < l; j++ {
+			omega.Set(i, j, rng.normFloat())
+		}
+	}
+
+	// Range sketch with power refinement.
+	y := mulW(a, omega, opts.Workers) // m×l
+	for q := 0; q < spec.powerIters(); q++ {
+		orthonormalizeW(y, opts.Workers)
+		z := tmulW(a, y, opts.Workers) // n×l = Aᵀ·Y
+		y = mulW(a, z, opts.Workers)   // m×l = A·Aᵀ·Y
+	}
+	orthonormalizeW(y, opts.Workers) // Q: orthonormal range basis, m×l
+
+	// Project: B = Qᵀ·A is l×n; its left singular pairs lift back through
+	// Q. The l×l Gram of B is small, so the projected problem is exact.
+	b := tmulW(y, a, opts.Workers)
+	eig := symEigAuto(symMulTW(b, opts.Workers))
+	s := make([]float64, k)
+	ub := New(l, k)
+	for j := 0; j < k; j++ {
+		ev := eig.Values[j]
+		if ev < 0 {
+			ev = 0
+		}
+		s[j] = math.Sqrt(ev)
+		ub.SetCol(j, eig.Vectors.Col(j))
+	}
+	return &SVD{U: mulW(y, ub, opts.Workers), S: s}
+}

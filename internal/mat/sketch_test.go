@@ -1,0 +1,112 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// lowRankPlusNoise builds an m×n matrix with r dominant directions and a
+// small noise floor — the shape randomized range finders are built for.
+func lowRankPlusNoise(rng *rand.Rand, m, n, r int, noise float64) *Matrix {
+	u := Orthonormalize(randMatrix(rng, m, r))
+	v := Orthonormalize(randMatrix(rng, n, r))
+	a := New(m, n)
+	for t := 0; t < r; t++ {
+		s := float64(r - t)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				a.Add(i, j, s*u.At(i, t)*v.At(j, t))
+			}
+		}
+	}
+	for i := range a.Data() {
+		a.Data()[i] += noise * rng.NormFloat64()
+	}
+	return a
+}
+
+// TestSketchedLeftSVDMatchesThin checks the sketched singular values and
+// the captured subspace against the exact thin SVD.
+func TestSketchedLeftSVDMatchesThin(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	a := lowRankPlusNoise(rng, 60, 200, 8, 1e-3)
+	k := 6
+	exact := ThinSVD(a)
+	sk := SketchedLeftSVD(a, k, SketchSpec{}, SubspaceOptions{Seed: 9})
+
+	if len(sk.S) != k || sk.U.Cols() != k || sk.U.Rows() != 60 {
+		t.Fatalf("sketched SVD shape: U %d×%d, %d values", sk.U.Rows(), sk.U.Cols(), len(sk.S))
+	}
+	if !IsOrthonormal(sk.U, 1e-8) {
+		t.Fatal("sketched U not orthonormal")
+	}
+	for j := 0; j < k; j++ {
+		if rel := math.Abs(sk.S[j]-exact.S[j]) / exact.S[j]; rel > 1e-3 {
+			t.Fatalf("singular value %d: sketched %v vs exact %v (rel %v)", j, sk.S[j], exact.S[j], rel)
+		}
+	}
+	// Subspace agreement: the projection of each exact leading left
+	// vector onto the sketched basis must be near unit length.
+	for j := 0; j < k; j++ {
+		uj := exact.U.Col(j)
+		var captured float64
+		for c := 0; c < k; c++ {
+			d := Dot(uj, sk.U.Col(c))
+			captured += d * d
+		}
+		if captured < 1-1e-4 {
+			t.Fatalf("exact U[:,%d] only %v captured by sketched basis", j, captured)
+		}
+	}
+}
+
+// TestSketchedLeftSVDWorkerParity pins bit-identical results across
+// worker counts for the sketched factorization.
+func TestSketchedLeftSVDWorkerParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	a := lowRankPlusNoise(rng, 80, 300, 10, 1e-2)
+	serial := SketchedLeftSVD(a, 8, SketchSpec{}, SubspaceOptions{Seed: 3, Workers: 1})
+	parallel := SketchedLeftSVD(a, 8, SketchSpec{}, SubspaceOptions{Seed: 3, Workers: 4})
+	for i := range serial.U.Data() {
+		if serial.U.Data()[i] != parallel.U.Data()[i] {
+			t.Fatalf("sketched U diverges at %d across worker counts", i)
+		}
+	}
+	for i := range serial.S {
+		if serial.S[i] != parallel.S[i] {
+			t.Fatalf("sketched S[%d] diverges across worker counts", i)
+		}
+	}
+}
+
+// TestTMulWorkerParity pins the i-outer rewrite of TMul: identical bits
+// to the serial product at any worker bound, including the historical
+// k-outer accumulation order.
+func TestTMulWorkerParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	a := randMatrix(rng, 150, 120)
+	b := randMatrix(rng, 150, 90)
+
+	// Reference: the historical k-outer serial loop.
+	want := New(120, 90)
+	for k := 0; k < 150; k++ {
+		for i := 0; i < 120; i++ {
+			av := a.At(k, i)
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < 90; j++ {
+				want.Add(i, j, av*b.At(k, j))
+			}
+		}
+	}
+	for _, w := range []int{1, 3, 0} {
+		got := tmulW(a, b, w)
+		for i := range want.Data() {
+			if want.Data()[i] != got.Data()[i] {
+				t.Fatalf("workers=%d: TMul diverges from k-outer serial at %d", w, i)
+			}
+		}
+	}
+}

@@ -3,7 +3,6 @@ package mat
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
 )
 
@@ -128,7 +127,7 @@ func TruncatedSVD(a *Matrix, k int, opts SubspaceOptions) *SVD {
 			}
 			s[j] = math.Sqrt(ev)
 		}
-		v := TMul(a, u)
+		v := tmulW(a, u, opts.Workers)
 		for j := 0; j < k; j++ {
 			if s[j] > svdRankTol(s[0], m, n) {
 				for i := 0; i < n; i++ {
@@ -149,7 +148,7 @@ func TruncatedSVD(a *Matrix, k int, opts SubspaceOptions) *SVD {
 		}
 		s[j] = math.Sqrt(ev)
 	}
-	u := Mul(a, v)
+	u := mulW(a, v, opts.Workers)
 	for j := 0; j < k; j++ {
 		if s[j] > svdRankTol(s[0], m, n) {
 			for i := 0; i < m; i++ {
@@ -163,12 +162,16 @@ func TruncatedSVD(a *Matrix, k int, opts SubspaceOptions) *SVD {
 // SymMulT returns A·Aᵀ computing only the upper triangle and mirroring,
 // half the work of MulT for this symmetric product. Large products run
 // parallel with interleaved rows to balance the triangular workload.
-func SymMulT(a *Matrix) *Matrix {
+func SymMulT(a *Matrix) *Matrix { return symMulTW(a, 0) }
+
+// symMulTW is SymMulT with an explicit worker bound; one Dot per output
+// element keeps the product bit-identical for every worker count.
+func symMulTW(a *Matrix, maxWorkers int) *Matrix {
 	m, n := a.Dims()
 	g := New(m, m)
 	workers := 1
 	if m*m*n/2 >= parallelThreshold {
-		workers = runtime.GOMAXPROCS(0)
+		workers = Workers(maxWorkers)
 		if workers > m {
 			workers = m
 		}
@@ -219,7 +222,7 @@ func LeftSVD(a *Matrix, k int, opts SubspaceOptions) *SVD {
 		// Eigendecompose AAᵀ (m×m): eigenvectors are exactly U. Full
 		// decomposition when most of the spectrum is wanted, top-k
 		// subspace iteration on the explicit Gram otherwise.
-		eig := gramEig(SymMulT(a), k, opts)
+		eig := gramEig(symMulTW(a, opts.Workers), k, opts)
 		s := make([]float64, k)
 		u := New(m, k)
 		for j := 0; j < k; j++ {
@@ -233,7 +236,7 @@ func LeftSVD(a *Matrix, k int, opts SubspaceOptions) *SVD {
 		return &SVD{U: u, S: s}
 	case n < m && n <= gramLimit:
 		// Eigendecompose AᵀA (n×n), recover only the k needed U columns.
-		eig := gramEig(SymMulT(a.T()), k, opts)
+		eig := gramEig(symMulTW(a.T(), opts.Workers), k, opts)
 		s := make([]float64, k)
 		vk := New(n, k)
 		for j := 0; j < k; j++ {
@@ -244,7 +247,7 @@ func LeftSVD(a *Matrix, k int, opts SubspaceOptions) *SVD {
 			s[j] = math.Sqrt(ev)
 			vk.SetCol(j, eig.Vectors.Col(j))
 		}
-		u := Mul(a, vk)
+		u := mulW(a, vk, opts.Workers)
 		for j := 0; j < k; j++ {
 			if s[j] > svdRankTol(s[0], m, n) {
 				for i := 0; i < m; i++ {

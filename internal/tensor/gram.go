@@ -2,6 +2,7 @@ package tensor
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/mat"
 )
@@ -12,88 +13,125 @@ import (
 // This lets HOSVD initialization extract leading singular vectors of the
 // raw unfoldings without ever materializing them (the mode-2 unfolding of
 // the Last.fm-scale tensor would have ~10⁷ columns).
+//
+// The operator is safe for concurrent Apply calls — each call checks a
+// private scratch buffer out of a pool — so subspace iteration can fan
+// its block columns across a worker pool. Because one scratch buffer
+// spans the whole fiber space (~10⁷ cells for the Last.fm mode-2
+// unfolding), concurrent applies are bounded by a small semaphore
+// independent of the worker count: peak scratch memory is
+// maxGramScratch buffers, not one per worker.
 func UnfoldingGram(f *Sparse3, mode int) mat.Operator {
 	i1, i2, i3 := f.Dims()
-	op := &unfoldGramOp{f: f, mode: mode}
+	op := &unfoldGramOp{f: f, mode: mode, sem: make(chan struct{}, maxGramScratch)}
+	var scratchLen int
 	switch mode {
 	case 1:
 		op.dim = i1
-		op.scratch = make([]float64, i2*i3)
+		scratchLen = i2 * i3
 	case 2:
 		op.dim = i2
-		op.scratch = make([]float64, i1*i3)
+		scratchLen = i1 * i3
 	case 3:
 		op.dim = i3
-		op.scratch = make([]float64, i1*i2)
+		scratchLen = i1 * i2
 	default:
 		panic(fmt.Sprintf("tensor: invalid mode %d", mode))
+	}
+	op.pool.New = func() any {
+		return &gramScratch{buf: make([]float64, scratchLen)}
 	}
 	return op
 }
 
-type unfoldGramOp struct {
-	f       *Sparse3
-	mode    int
-	dim     int
-	scratch []float64
+// maxGramScratch caps how many fiber-space scratch buffers can be live
+// at once across concurrent Apply calls. The entry passes are cheap
+// relative to the dense factor work around them, so a small cap costs
+// little parallelism while keeping memory at a few buffers regardless
+// of GOMAXPROCS.
+const maxGramScratch = 4
+
+// gramScratch is the per-Apply workspace: a dense fiber-space buffer and
+// the list of cells touched by the last pass (so clearing is O(touched),
+// not O(fiber space)).
+type gramScratch struct {
+	buf     []float64
 	touched []int
 }
 
+type unfoldGramOp struct {
+	f    *Sparse3
+	mode int
+	dim  int
+	pool sync.Pool
+	// sem bounds concurrent applies so at most maxGramScratch scratch
+	// buffers exist at a time; excess callers block until one frees.
+	sem chan struct{}
+}
+
 func (o *unfoldGramOp) Dim() int { return o.dim }
+
+// ConcurrencySafe marks the operator safe for concurrent Apply calls.
+func (o *unfoldGramOp) ConcurrencySafe() bool { return true }
 
 // Apply computes y = F₍ₙ₎·(F₍ₙ₎ᵀ·x) in two passes over the entries,
 // clearing only the scratch cells it touched. The mode switch is hoisted
 // out of the per-entry loops: this operator runs hot during HOSVD
 // initialization.
 func (o *unfoldGramOp) Apply(x, y []float64) {
+	o.sem <- struct{}{}
+	defer func() { <-o.sem }()
+	s := o.pool.Get().(*gramScratch)
+	defer o.pool.Put(s)
 	entries := o.f.Entries()
 	_, i2, i3 := o.f.Dims()
-	o.touched = o.touched[:0]
+	scratch := s.buf
+	s.touched = s.touched[:0]
 	switch o.mode {
 	case 1:
 		for _, e := range entries {
 			c := e.J*i3 + e.K
-			if o.scratch[c] == 0 {
-				o.touched = append(o.touched, c)
+			if scratch[c] == 0 {
+				s.touched = append(s.touched, c)
 			}
-			o.scratch[c] += e.V * x[e.I]
+			scratch[c] += e.V * x[e.I]
 		}
 		for i := range y {
 			y[i] = 0
 		}
 		for _, e := range entries {
-			y[e.I] += e.V * o.scratch[e.J*i3+e.K]
+			y[e.I] += e.V * scratch[e.J*i3+e.K]
 		}
 	case 2:
 		for _, e := range entries {
 			c := e.I*i3 + e.K
-			if o.scratch[c] == 0 {
-				o.touched = append(o.touched, c)
+			if scratch[c] == 0 {
+				s.touched = append(s.touched, c)
 			}
-			o.scratch[c] += e.V * x[e.J]
+			scratch[c] += e.V * x[e.J]
 		}
 		for i := range y {
 			y[i] = 0
 		}
 		for _, e := range entries {
-			y[e.J] += e.V * o.scratch[e.I*i3+e.K]
+			y[e.J] += e.V * scratch[e.I*i3+e.K]
 		}
 	case 3:
 		for _, e := range entries {
 			c := e.I*i2 + e.J
-			if o.scratch[c] == 0 {
-				o.touched = append(o.touched, c)
+			if scratch[c] == 0 {
+				s.touched = append(s.touched, c)
 			}
-			o.scratch[c] += e.V * x[e.K]
+			scratch[c] += e.V * x[e.K]
 		}
 		for i := range y {
 			y[i] = 0
 		}
 		for _, e := range entries {
-			y[e.K] += e.V * o.scratch[e.I*i2+e.J]
+			y[e.K] += e.V * scratch[e.I*i2+e.J]
 		}
 	}
-	for _, c := range o.touched {
-		o.scratch[c] = 0
+	for _, c := range s.touched {
+		scratch[c] = 0
 	}
 }

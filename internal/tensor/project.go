@@ -2,7 +2,6 @@ package tensor
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"repro/internal/mat"
@@ -23,6 +22,16 @@ import (
 // The column ordering matches Dense3.Unfold, so results are directly
 // comparable with the dense oracle in tests.
 func ProjectedUnfold(f *Sparse3, mode int, ya, yb *mat.Matrix) *mat.Matrix {
+	return ProjectedUnfoldWorkers(f, mode, ya, yb, 0)
+}
+
+// ProjectedUnfoldWorkers is ProjectedUnfold with an explicit bound on the
+// worker pool that block-partitions the output rows (0 = one worker per
+// logical CPU, 1 = serial). Entries are bucketed by output row with a
+// deterministic counting sort and each row is accumulated by exactly one
+// worker in the same entry order as the serial loop, so the unfolding is
+// bit-identical for every worker count.
+func ProjectedUnfoldWorkers(f *Sparse3, mode int, ya, yb *mat.Matrix, workers int) *mat.Matrix {
 	i1, i2, i3 := f.Dims()
 	var rows int
 	var rowOf func(Entry) (row, ia, ib int)
@@ -67,7 +76,7 @@ func ProjectedUnfold(f *Sparse3, mode int, ya, yb *mat.Matrix) *mat.Matrix {
 		fill[r]++
 	}
 
-	parallelRows(rows, len(entries)*ja*jb, func(lo, hi int) {
+	parallelRows(rows, len(entries)*ja*jb, workers, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			dst := w.Row(r)
 			for _, idx := range order[starts[r]:starts[r+1]] {
@@ -80,10 +89,10 @@ func ProjectedUnfold(f *Sparse3, mode int, ya, yb *mat.Matrix) *mat.Matrix {
 	return w
 }
 
-// parallelRows splits [0, n) across GOMAXPROCS workers when cost (an
-// op-count estimate) warrants it.
-func parallelRows(n, cost int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
+// parallelRows splits [0, n) across a bounded worker pool when cost (an
+// op-count estimate) warrants it. maxWorkers ≤ 0 means GOMAXPROCS.
+func parallelRows(n, cost, maxWorkers int, fn func(lo, hi int)) {
+	workers := mat.Workers(maxWorkers)
 	if cost < 1<<18 || workers <= 1 || n < 2 {
 		fn(0, n)
 		return
@@ -134,10 +143,18 @@ func accumOuter(dst []float64, v float64, ra, rb []float64) {
 // then contracts mode 1, so the full projected tensor in original
 // coordinates is never formed.
 func Core(f *Sparse3, y1, y2, y3 *mat.Matrix) *Dense3 {
+	return CoreWorkers(f, y1, y2, y3, 0)
+}
+
+// CoreWorkers is Core with an explicit bound on the worker pool used for
+// the unfolding product and the mode-1 contraction (0 = one worker per
+// logical CPU, 1 = serial). The core is bit-identical for every worker
+// count.
+func CoreWorkers(f *Sparse3, y1, y2, y3 *mat.Matrix, workers int) *Dense3 {
 	i1, _, _ := f.Dims()
 	checkFactor("core", y1, i1)
-	w := ProjectedUnfold(f, 1, y2, y3) // I1 × (J2·J3)
-	s1 := mat.TMul(y1, w)              // J1 × (J2·J3)
+	w := ProjectedUnfoldWorkers(f, 1, y2, y3, workers) // I1 × (J2·J3)
+	s1 := mat.TMulWorkers(y1, w, workers)              // J1 × (J2·J3)
 	return FoldDense3(s1, 1, y1.Cols(), y2.Cols(), y3.Cols())
 }
 

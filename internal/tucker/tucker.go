@@ -7,16 +7,58 @@
 // and the per-mode singular values Λₙ of the final sweep. Λ₂ is the ALS
 // by-product that Theorem 2 uses to turn pairwise tag distances into a
 // diagonal quadratic form.
+//
+// The sweep is parallel: each mode-n unfolding product, Gram product and
+// QR step is block-partitioned across a bounded worker pool
+// (Options.Workers), and every worker count produces bit-identical
+// factors — parallel regions assign disjoint outputs without changing
+// per-element summation order. Options.Sketch additionally switches the
+// leading-left SVDs of large unfoldings to a seeded randomized range
+// finder; the exact path remains the deterministic default.
 package tucker
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/mat"
 	"repro/internal/tensor"
 )
+
+// ErrInvalidOptions tags option-validation failures. DecomposeContext
+// returns errors wrapping it; Decompose panics with them.
+var ErrInvalidOptions = errors.New("tucker: invalid options")
+
+// SketchOptions configures the randomized range-finder path of the ALS
+// sweep. When enabled, the leading-left SVD of each sufficiently wide
+// projected unfolding is replaced by a sketched one (Halko–Martinsson–
+// Tropp): O(rows·cols·(Jₙ+Oversample)) per pass instead of the
+// O(rows²·cols) Gram products of the exact path. The sketch is seeded
+// from Options.Seed, so sketched decompositions are deterministic too —
+// they just converge to a slightly different (near-optimal) fit.
+type SketchOptions struct {
+	// Enabled turns the sketched path on. The zero value keeps the exact
+	// seeded-deterministic SVDs everywhere.
+	Enabled bool
+	// Oversample is the number of sketch columns beyond Jₙ. Zero means 8.
+	Oversample int
+	// PowerIters is the number of power-iteration refinement rounds.
+	// Zero means 2; negative disables refinement.
+	PowerIters int
+	// MinColumns gates the sketch by unfolding width: modes whose
+	// projected unfolding has fewer columns keep the exact SVD (small
+	// dense problems are fast and more accurate). Zero means 512.
+	MinColumns int
+}
+
+func (s SketchOptions) minColumns() int {
+	if s.MinColumns == 0 {
+		return 512
+	}
+	return s.MinColumns
+}
 
 // Options configures Decompose.
 type Options struct {
@@ -31,6 +73,15 @@ type Options struct {
 	Tol float64
 	// Seed makes the decomposition deterministic.
 	Seed uint64
+	// Workers bounds the worker pool shared by the mode-n unfolding
+	// products, the Gram/QR steps inside subspace iteration, and the
+	// sketched range finder. Zero means one worker per logical CPU; 1
+	// runs the sweep serially. Factors are bit-identical for every
+	// worker count.
+	Workers int
+	// Sketch switches large-mode leading-left SVDs to the randomized
+	// range finder. The zero value keeps the exact path.
+	Sketch SketchOptions
 	// SkipHOSVDInit starts from random orthonormal factors instead of the
 	// HOSVD of the raw unfoldings. Mainly for tests and ablations.
 	SkipHOSVDInit bool
@@ -67,6 +118,8 @@ type Decomposition struct {
 	// sweep; Lambda[1] is the Λ₂ of Theorem 2. Indexed by mode-1 (0,1,2).
 	Lambda [3][]float64
 	// Fit is 1 − ‖F−F̂‖/‖F‖, the fraction of the tensor norm captured.
+	// On the sketched path it is an estimate built from the sketched
+	// singular values.
 	Fit float64
 	// Sweeps is the number of ALS sweeps performed.
 	Sweeps int
@@ -74,25 +127,54 @@ type Decomposition struct {
 
 // Decompose computes the truncated Tucker decomposition of f.
 //
-// Each sweep updates one mode at a time: with the other two factors
-// fixed, the optimal Y⁽ⁿ⁾ consists of the leading Jₙ left singular
-// vectors of the mode-n unfolding of F ×_{m≠n} Y⁽ᵐ⁾ᵀ. That projected
-// unfolding is assembled directly from the sparse entries, so the dense
-// tensor is never materialized.
+// Panic/error contract: Decompose is DecomposeContext under a background
+// context, which never cancels — so the only way the computation can
+// fail is invalid Options, and Decompose panics with that validation
+// error (it wraps ErrInvalidOptions) instead of returning it. Callers
+// that want errors instead of panics, or cancellation, use
+// DecomposeContext.
 func Decompose(f *tensor.Sparse3, opts Options) *Decomposition {
 	d, err := DecomposeContext(context.Background(), f, opts)
 	if err != nil {
-		// Background contexts are never cancelled, so this is unreachable.
+		// Background contexts are never cancelled, so err can only be an
+		// options-validation failure: surface it as the documented panic.
 		panic(err)
 	}
 	return d
 }
 
-// DecomposeContext is Decompose with cooperative cancellation: the
-// context is checked before every per-mode factor update, so a long ALS
-// run aborts within one mode update of cancellation and returns the
-// context's error.
+// validateOptions rejects option values the sweep cannot run with. It is
+// the single source of DecomposeContext's non-context errors.
+func validateOptions(opts Options) error {
+	name := [3]string{"J1", "J2", "J3"}
+	for i, j := range [3]int{opts.J1, opts.J2, opts.J3} {
+		if j <= 0 {
+			return fmt.Errorf("%w: %s must be positive, got %d", ErrInvalidOptions, name[i], j)
+		}
+	}
+	if opts.MaxSweeps < 0 {
+		return fmt.Errorf("%w: MaxSweeps must be non-negative, got %d", ErrInvalidOptions, opts.MaxSweeps)
+	}
+	if opts.Sketch.Oversample < 0 {
+		return fmt.Errorf("%w: Sketch.Oversample must be non-negative, got %d", ErrInvalidOptions, opts.Sketch.Oversample)
+	}
+	if opts.Sketch.MinColumns < 0 {
+		return fmt.Errorf("%w: Sketch.MinColumns must be non-negative, got %d", ErrInvalidOptions, opts.Sketch.MinColumns)
+	}
+	return nil
+}
+
+// DecomposeContext is Decompose with cooperative cancellation and an
+// error return instead of a panic: invalid Options come back wrapping
+// ErrInvalidOptions, and the context is checked before every per-mode
+// factor update — a long ALS run aborts within one mode update of
+// cancellation (parallel workers inside a mode update always run to
+// completion; they are bounded by one unfolding product or SVD) and
+// returns the context's error.
 func DecomposeContext(ctx context.Context, f *tensor.Sparse3, opts Options) (*Decomposition, error) {
+	if err := validateOptions(opts); err != nil {
+		return nil, err
+	}
 	i1, i2, i3 := f.Dims()
 	j1, j2, j3 := clampDims(opts, i1, i2, i3)
 	maxSweeps := opts.MaxSweeps
@@ -109,13 +191,13 @@ func DecomposeContext(ctx context.Context, f *tensor.Sparse3, opts Options) (*De
 	// converge slowly — and to machine precision they simply don't need
 	// to (each sweep refines the previous one anyway). Small problems
 	// bypass iteration entirely via exact dense paths inside LeftSVD.
-	sub := mat.SubspaceOptions{Seed: opts.Seed, MaxIter: 45, Tol: 1e-6}
+	sub := mat.SubspaceOptions{Seed: opts.Seed, MaxIter: 45, Tol: 1e-6, Workers: opts.Workers}
 
 	// Initial factors for modes 2 and 3 (mode 1 is computed first in the
 	// sweep and needs no initialization). Initialization only has to land
 	// in the right neighborhood — the ALS sweeps refine it — so the
 	// eigensolver runs with a loose budget here.
-	initSub := mat.SubspaceOptions{Seed: opts.Seed, MaxIter: 48, Tol: 1e-4}
+	initSub := mat.SubspaceOptions{Seed: opts.Seed, MaxIter: 48, Tol: 1e-4, Workers: opts.Workers}
 	var y2, y3 *mat.Matrix
 	if opts.SkipHOSVDInit {
 		y2 = randomOrthonormal(i2, j2, opts.Seed+1)
@@ -144,22 +226,22 @@ func DecomposeContext(ctx context.Context, f *tensor.Sparse3, opts Options) (*De
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		w1 := tensor.ProjectedUnfold(f, 1, y2, y3)
-		svd1 := leadingLeft(w1, j1, sub)
+		w1 := tensor.ProjectedUnfoldWorkers(f, 1, y2, y3, opts.Workers)
+		svd1 := leadingLeft(w1, j1, sub, opts.Sketch, sketchSeed(opts.Seed, 1, s))
 		y1, lambda[0] = svd1.U, svd1.S
 		// Mode 2.
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		w2 := tensor.ProjectedUnfold(f, 2, y1, y3)
-		svd2 := leadingLeft(w2, j2, sub)
+		w2 := tensor.ProjectedUnfoldWorkers(f, 2, y1, y3, opts.Workers)
+		svd2 := leadingLeft(w2, j2, sub, opts.Sketch, sketchSeed(opts.Seed, 2, s))
 		y2, lambda[1] = svd2.U, svd2.S
 		// Mode 3.
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		w3 := tensor.ProjectedUnfold(f, 3, y1, y2)
-		svd3 := leadingLeft(w3, j3, sub)
+		w3 := tensor.ProjectedUnfoldWorkers(f, 3, y1, y2, opts.Workers)
+		svd3 := leadingLeft(w3, j3, sub, opts.Sketch, sketchSeed(opts.Seed, 3, s))
 		y3, lambda[2] = svd3.U, svd3.S
 
 		// After the mode-3 update the captured energy is Σ Λ₃², since
@@ -187,7 +269,7 @@ func DecomposeContext(ctx context.Context, f *tensor.Sparse3, opts Options) (*De
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	core := tensor.Core(f, y1, y2, y3)
+	core := tensor.CoreWorkers(f, y1, y2, y3, opts.Workers)
 	return &Decomposition{
 		Core: core, Y1: y1, Y2: y2, Y3: y3,
 		Lambda: lambda, Fit: fit, Sweeps: sweeps,
@@ -195,18 +277,15 @@ func DecomposeContext(ctx context.Context, f *tensor.Sparse3, opts Options) (*De
 }
 
 func clampDims(opts Options, i1, i2, i3 int) (j1, j2, j3 int) {
-	c := func(j, max int, name string) int {
-		if j <= 0 {
-			panic(fmt.Sprintf("tucker: %s must be positive, got %d", name, j))
-		}
+	c := func(j, max int) int {
 		if j > max {
 			return max
 		}
 		return j
 	}
-	j1 = c(opts.J1, i1, "J1")
-	j2 = c(opts.J2, i2, "J2")
-	j3 = c(opts.J3, i3, "J3")
+	j1 = c(opts.J1, i1)
+	j2 = c(opts.J2, i2)
+	j3 = c(opts.J3, i3)
 	// Each Jₙ is further bounded by the rank bound of the projected
 	// unfolding (its column count is the product of the other two core
 	// dimensions). Iterate to a fixed point since the bounds interact.
@@ -228,6 +307,16 @@ func minInt(a, b int) int {
 	return b
 }
 
+// sketchSeed derives a per-(mode, sweep) seed for the randomized range
+// finder so successive sketches are independent while the whole sweep
+// stays deterministic in the user's seed.
+func sketchSeed(seed uint64, mode, sweep int) uint64 {
+	x := seed + uint64(mode)*0x9e3779b97f4a7c15 + uint64(sweep)*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // hosvdInit returns the leading j left singular vectors of the raw mode-n
 // unfolding, computed via subspace iteration on the sparse Gram operator.
 func hosvdInit(f *tensor.Sparse3, mode, j int, sub mat.SubspaceOptions) *mat.Matrix {
@@ -236,12 +325,21 @@ func hosvdInit(f *tensor.Sparse3, mode, j int, sub mat.SubspaceOptions) *mat.Mat
 	return eig.Vectors
 }
 
-// leadingLeft returns the leading j left singular vectors and values of w.
-func leadingLeft(w *mat.Matrix, j int, sub mat.SubspaceOptions) *mat.SVD {
+// leadingLeft returns the leading j left singular vectors and values of
+// w: exactly by default, or through the seeded randomized range finder
+// when the sketch is enabled and the unfolding is wide enough.
+func leadingLeft(w *mat.Matrix, j int, sub mat.SubspaceOptions, sk SketchOptions, seed uint64) *mat.SVD {
 	rows, cols := w.Dims()
 	maxK := minInt(rows, cols)
 	if j > maxK {
 		j = maxK
+	}
+	if sk.Enabled && cols >= sk.minColumns() {
+		skSub := sub
+		skSub.Seed = seed
+		return mat.SketchedLeftSVD(w, j, mat.SketchSpec{
+			Oversample: sk.Oversample, PowerIters: sk.PowerIters,
+		}, skSub)
 	}
 	return mat.LeftSVD(w, j, sub)
 }

@@ -97,7 +97,7 @@ func buildV1Bytes(t *testing.T, withDecomp bool) ([]byte, *core.Pipeline, *taggi
 		decomp = nil
 	}
 	var buf bytes.Buffer
-	if err := codec.WriteV1(&buf, &codec.Model{
+	if err := codec.WriteV1(&buf, &codec.Model{ //nolint:staticcheck // migration test exercises the legacy writer
 		Lowercase:   cfg.Lowercase,
 		Assignments: st.Assignments,
 		Users:       ds.Users.Names(),
