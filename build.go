@@ -2,10 +2,12 @@ package cubelsi
 
 import (
 	"context"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -108,6 +110,11 @@ type buildSettings struct {
 	exactSpectral bool
 	tuckerWorkers int
 	sketch        tucker.SketchOptions
+
+	// Incremental-lifecycle knobs, consumed by NewIndex and Index.Apply.
+	moveThreshold    float64
+	maxMovedFraction float64
+	prevModel        *Engine
 }
 
 // WithConfig replaces the default pipeline configuration.
@@ -158,6 +165,36 @@ func WithSketch(oversample, powerIters int) BuildOption {
 	}
 }
 
+// WithMoveThreshold tunes the incremental re-clustering of Index.Apply:
+// a tag is re-clustered when its embedding row moved (after Procrustes
+// alignment of the new embedding onto the previous one) by more than
+// this fraction of its previous norm. Zero keeps the default (0.02);
+// negative re-clusters every tag on every update. One-shot Build
+// ignores it.
+func WithMoveThreshold(t float64) BuildOption {
+	return func(s *buildSettings) { s.moveThreshold = t }
+}
+
+// WithMaxMovedFraction bounds the incremental path of Index.Apply: when
+// more than this fraction of tags moved beyond the threshold, the
+// update falls back to a full k-means re-clustering. Zero keeps the
+// default (0.25). One-shot Build ignores it.
+func WithMaxMovedFraction(f float64) BuildOption {
+	return func(s *buildSettings) { s.maxMovedFraction = f }
+}
+
+// WithPreviousModel warm-starts the initial NewIndex build from a
+// previously built or loaded engine (for example yesterday's model file
+// restored with LoadFile): the ALS sweep starts from the saved factor
+// matrices instead of cold, and the engine's concept labels carry over
+// for every tag that did not move. The engine must carry warm-start
+// factors (any built engine, or a model saved in format v3; pre-v3
+// loads without a decomposition cannot warm-start and make NewIndex
+// fail). One-shot Build ignores it.
+func WithPreviousModel(eng *Engine) BuildOption {
+	return func(s *buildSettings) { s.prevModel = eng }
+}
+
 // Build runs the offline pipeline over the source corpus and returns a
 // query-ready engine. The context is threaded through every stage —
 // including the ALS mode updates and the O(|T|²) distance loop — so
@@ -167,27 +204,43 @@ func Build(ctx context.Context, src Source, opts ...BuildOption) (*Engine, error
 	for _, o := range opts {
 		o(&settings)
 	}
-	cfg := settings.cfg
+	eng, _, err := buildPipeline(ctx, src, settings)
+	return eng, err
+}
 
+// cleanSource resolves and cleans the source corpus under the config's
+// cleaning options.
+func cleanSource(src Source, cfg Config) (*tagging.Dataset, error) {
+	raw, err := src.dataset()
+	if err != nil {
+		return nil, err
+	}
+	return cleanDataset(raw, cfg)
+}
+
+func cleanDataset(raw *tagging.Dataset, cfg Config) (*tagging.Dataset, error) {
+	// Validate here rather than in each caller: every build path (cold,
+	// warm-started, incremental Apply) funnels through this clean, and
+	// tucker.FromRatios panics on ratios below 1.
 	for _, c := range cfg.ReductionRatios {
 		if c < 1 {
 			return nil, fmt.Errorf("cubelsi: reduction ratio %v < 1", c)
 		}
-	}
-	raw, err := src.dataset()
-	if err != nil {
-		return nil, err
 	}
 	ds := tagging.Clean(raw, tagging.CleanOptions{
 		MinSupport:     cfg.MinSupport,
 		DropSystemTags: cfg.DropSystemTags,
 		Lowercase:      cfg.Lowercase,
 	})
-	st := ds.Stats()
-	if st.Assignments == 0 {
+	if ds.Stats().Assignments == 0 {
 		return nil, errors.New("cubelsi: no assignments survive cleaning; lower MinSupport or supply more data")
 	}
+	return ds, nil
+}
 
+// coreOptions maps the public configuration onto the pipeline options.
+func coreOptions(settings buildSettings, st tagging.Stats) core.Options {
+	cfg := settings.cfg
 	j1, j2, j3 := tucker.FromRatios(st.Users, st.Tags, st.Resources,
 		cfg.ReductionRatios[0], cfg.ReductionRatios[1], cfg.ReductionRatios[2])
 	if cfg.CoreDims[0] > 0 {
@@ -199,7 +252,7 @@ func Build(ctx context.Context, src Source, opts ...BuildOption) (*Engine, error
 	if cfg.CoreDims[2] > 0 {
 		j3 = cfg.CoreDims[2]
 	}
-	p, err := core.Build(ctx, ds, core.Options{
+	return core.Options{
 		Tucker: tucker.Options{
 			J1: j1, J2: j2, J3: j3,
 			MaxSweeps: cfg.MaxSweeps,
@@ -214,31 +267,73 @@ func Build(ctx context.Context, src Source, opts ...BuildOption) (*Engine, error
 		},
 		ExactSpectral: settings.exactSpectral,
 		Progress:      settings.progress,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("cubelsi: build: %w", err)
 	}
+}
 
+// buildPipeline is the shared cold-build path of Build and NewIndex: it
+// cleans the source, runs the offline pipeline, and returns both the
+// published engine and the pipeline it came from (the warm state future
+// incremental updates start from).
+func buildPipeline(ctx context.Context, src Source, settings buildSettings) (*Engine, *core.Pipeline, error) {
+	ds, err := cleanSource(src, settings.cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := core.Build(ctx, ds, coreOptions(settings, ds.Stats()))
+	if err != nil {
+		return nil, nil, fmt.Errorf("cubelsi: build: %w", err)
+	}
+	return engineFromPipeline(settings.cfg, p, 1), p, nil
+}
+
+// engineFromPipeline packages a built pipeline as a versioned immutable
+// engine snapshot.
+func engineFromPipeline(cfg Config, p *core.Pipeline, version uint64) *Engine {
+	st := p.DS.Stats()
 	cj1, cj2, cj3 := p.Decomposition.CoreDims()
 	return &Engine{
-		lowercase: cfg.Lowercase,
-		users:     p.DS.Users.Names(),
-		tags:      p.DS.Tags,
-		resources: p.DS.Resources,
-		emb:       p.Embedding,
-		assign:    p.Assign,
-		k:         p.K,
-		index:     p.Index,
+		lowercase:   cfg.Lowercase,
+		version:     version,
+		fingerprint: fingerprintDataset(p.DS),
+		warm:        &tucker.WarmStart{Y2: p.Decomposition.Y2, Y3: p.Decomposition.Y3},
+		users:       p.DS.Users.Names(),
+		tags:        p.DS.Tags,
+		resources:   p.DS.Resources,
+		emb:         p.Embedding,
+		assign:      p.Assign,
+		k:           p.K,
+		index:       p.Index,
 		stats: Stats{
 			Users: st.Users, Tags: st.Tags, Resources: st.Resources,
 			Assignments:  st.Assignments,
 			CoreDims:     [3]int{cj1, cj2, cj3},
 			Concepts:     p.K,
 			Fit:          p.Decomposition.Fit,
+			Sweeps:       p.Decomposition.Sweeps,
 			EmbeddingDim: p.Embedding.Dim(),
 		},
 		timings: p.Times,
-	}, nil
+	}
+}
+
+// fingerprintDataset hashes the cleaned corpus into a stable identity:
+// SHA-256 over the name triples in sorted order, so the fingerprint is
+// independent of id assignment and insertion order.
+func fingerprintDataset(ds *tagging.Dataset) [32]byte {
+	lines := make([]string, 0, len(ds.Assignments()))
+	for _, a := range ds.Assignments() {
+		lines = append(lines,
+			ds.Users.Name(a.User)+"\x00"+ds.Tags.Name(a.Tag)+"\x00"+ds.Resources.Name(a.Resource))
+	}
+	sort.Strings(lines)
+	h := sha256.New()
+	for _, l := range lines {
+		h.Write([]byte(l))
+		h.Write([]byte{'\n'})
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
 }
 
 // New builds an engine from in-memory assignments.

@@ -40,6 +40,10 @@ type benchFile struct {
 			Millis  float64 `json:"ms"`
 		} `json:"workers"`
 	} `json:"decompose"`
+	Update struct {
+		FullRebuildMS float64 `json:"full_rebuild_ms"`
+		WarmApplyMS   float64 `json:"warm_apply_ms"`
+	} `json:"update"`
 	SizeScaling []struct {
 		Tags  int     `json:"tags"`
 		V1    int64   `json:"v1_bytes"`
@@ -75,6 +79,8 @@ func timings(b *benchFile) []metric {
 	ms := []metric{
 		{name: "build.embedding_path.decompose_ms", ms: b.Build.EmbeddingPath.DecomposeMS, ok: b.Build.EmbeddingPath.DecomposeMS > 0},
 		{name: "build.embedding_path.total_ms", ms: b.Build.EmbeddingPath.TotalMS, ok: b.Build.EmbeddingPath.TotalMS > 0},
+		{name: "update.full_rebuild_ms", ms: b.Update.FullRebuildMS, ok: b.Update.FullRebuildMS > 0},
+		{name: "update.warm_apply_ms", ms: b.Update.WarmApplyMS, ok: b.Update.WarmApplyMS > 0},
 	}
 	for _, w := range b.Decompose.Workers {
 		ms = append(ms, metric{

@@ -75,6 +75,36 @@ func TestCompareToleratesOldBaseFormat(t *testing.T) {
 	}
 }
 
+func TestCompareGatesUpdateSection(t *testing.T) {
+	base := parse(t, `{
+      "update": {"full_rebuild_ms": 2000, "warm_apply_ms": 400}
+    }`)
+
+	// Within threshold: quiet.
+	head := parse(t, `{
+      "update": {"full_rebuild_ms": 2100, "warm_apply_ms": 420}
+    }`)
+	if regs := regressions(compare(base, head, 0.25, 25)); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %+v", regs)
+	}
+
+	// A warm Apply that slowed 3x must trip the gate just like a
+	// decompose regression would.
+	head = parse(t, `{
+      "update": {"full_rebuild_ms": 2000, "warm_apply_ms": 1200}
+    }`)
+	regs := regressions(compare(base, head, 0.25, 25))
+	if len(regs) != 1 || regs[0].name != "update.warm_apply_ms" {
+		t.Fatalf("want update.warm_apply_ms regression, got %+v", regs)
+	}
+
+	// Baselines predating the update section never fail on it.
+	old := parse(t, `{"build": {"embedding_path": {"decompose_ms": 1000, "total_ms": 1200}}}`)
+	if regs := regressions(compare(old, head, 0.25, 25)); len(regs) != 0 {
+		t.Fatalf("update metrics without baseline must be skipped: %+v", regs)
+	}
+}
+
 func TestSizeViolations(t *testing.T) {
 	b := parse(t, baseJSON)
 	// The 1000-tag point is below min-tags, so its 8x ratio is fine; the

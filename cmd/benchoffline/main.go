@@ -3,20 +3,26 @@
 // perf trajectory — build time, model size, query latency — is tracked
 // across PRs.
 //
-// Three sections are recorded:
+// Sections recorded:
 //
 //   - build: wall-clock of the embedding-first offline build vs the
 //     exact-spectral (seed) pipeline on a generated corpus, per stage.
+//   - decompose: the ALS decomposition timed across worker-pool sizes
+//     plus the sketched path.
+//   - update: the incremental lifecycle — warm-started Index.Apply of a
+//     ~1% assignment delta vs a cold full rebuild (sweep counts and
+//     wall clock; the CI perf gate tracks both timings).
 //   - query: online latency percentiles over a generated workload.
 //   - size_scaling: encoded model bytes of the v1 (quadratic, dense
-//     distance matrix) vs v2 (linear, |T|×k₂ embedding) formats at
+//     distance matrix) vs v2+ (linear, |T|×k₂ embedding) formats at
 //     growing tag-vocabulary sizes, measured through the real codec.
 //
 // Usage:
 //
 //	benchoffline [-preset tiny|delicious|bibsonomy|lastfm]
 //	             [-out BENCH_offline.json] [-scale-tags 1000,5000]
-//	             [-skip-exact] [-queries 256]
+//	             [-skip-exact] [-skip-update] [-update-delta 0.01]
+//	             [-queries 256]
 package main
 
 import (
@@ -32,12 +38,14 @@ import (
 	"strings"
 	"time"
 
+	"repro"
 	"repro/internal/cluster"
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/ir"
 	"repro/internal/mat"
+	"repro/internal/tagging"
 	"repro/internal/tensor"
 	"repro/internal/tucker"
 )
@@ -87,6 +95,32 @@ type decomposeReport struct {
 	Sketched          *sketchPoint `json:"sketched,omitempty"`
 }
 
+// updateReport records the incremental-lifecycle benchmark: a
+// warm-started Index.Apply of a small assignment delta versus a cold
+// full rebuild over the same merged corpus. The sweep counts are the
+// headline — the warm start must converge in measurably fewer ALS
+// sweeps — and the wall-clock ratio is what the CI perf gate tracks.
+type updateReport struct {
+	// Tags is the cleaned tag-vocabulary size the update ran at;
+	// DeltaAssignments is the applied delta size (~1% of the corpus);
+	// MoveThreshold is the re-cluster threshold the run used.
+	Tags             int     `json:"tags"`
+	DeltaAssignments int     `json:"delta_assignments"`
+	MoveThreshold    float64 `json:"move_threshold"`
+
+	FullRebuildMS     float64 `json:"full_rebuild_ms"`
+	FullRebuildSweeps int     `json:"full_rebuild_sweeps"`
+
+	WarmApplyMS     float64 `json:"warm_apply_ms"`
+	WarmApplySweeps int     `json:"warm_apply_sweeps"`
+	MovedTags       int     `json:"moved_tags"`
+	ReclusteredTags int     `json:"reclustered_tags"`
+	FullRecluster   bool    `json:"full_recluster"`
+
+	// SpeedupVsRebuild is full_rebuild_ms / warm_apply_ms.
+	SpeedupVsRebuild float64 `json:"speedup_vs_rebuild"`
+}
+
 type queryReport struct {
 	Count  int     `json:"count"`
 	MeanUS float64 `json:"mean_us"`
@@ -118,6 +152,7 @@ type report struct {
 	Assignments int             `json:"assignments"`
 	Build       buildReport     `json:"build"`
 	Decompose   decomposeReport `json:"decompose"`
+	Update      *updateReport   `json:"update,omitempty"`
 	Model       modelReport     `json:"model"`
 	Query       queryReport     `json:"query"`
 	SizeScaling []scalePoint    `json:"size_scaling"`
@@ -129,6 +164,9 @@ func main() {
 	scaleTags := flag.String("scale-tags", "1000,5000", "comma-separated tag counts for the size-scaling section")
 	skipExact := flag.Bool("skip-exact", false, "skip the exact-spectral comparison build")
 	skipDecomposeScan := flag.Bool("skip-decompose-scan", false, "skip the per-worker decompose scaling scan")
+	skipUpdate := flag.Bool("skip-update", false, "skip the incremental-update (warm-start vs rebuild) benchmark")
+	updateDelta := flag.Float64("update-delta", 0.01, "assignment fraction of the update-benchmark delta")
+	updateMove := flag.Float64("update-move-threshold", 0.25, "relative row-displacement threshold for the update benchmark's re-clustering (the synthetic corpora are noisier than real folksonomies, so this sits above the library default to keep the move-bounded path — the one the gate must track — engaged)")
 	workers := flag.Int("workers", 0, "ALS worker pool bound for the headline builds (0 = all CPUs)")
 	numQueries := flag.Int("queries", 256, "query workload size")
 	flag.Parse()
@@ -191,9 +229,16 @@ func main() {
 		rep.Decompose = scanDecompose(p, opts.Tucker)
 	}
 
+	if !*skipUpdate {
+		u := benchUpdate(corpus.Clean, opts, params.Seed, *updateDelta, *updateMove)
+		rep.Update = &u
+	}
+
 	// Model size: the real pipeline serialized the way each format's
-	// writer actually ships it — v2 is factor-free (embedding + summary
-	// stats), v1 carries the full decomposition plus the dense matrix.
+	// writer actually ships it — the current format carries the
+	// embedding, summary stats and the warm-start factors Engine.Save
+	// writes by default; v1 carries the full decomposition plus the
+	// dense matrix.
 	cj1, cj2, cj3 := p.Decomposition.CoreDims()
 	model := &codec.Model{
 		Lowercase:   true,
@@ -203,6 +248,7 @@ func main() {
 		Resources:   corpus.Clean.Resources.Names(),
 		CoreDims:    [3]int{cj1, cj2, cj3},
 		Fit:         p.Decomposition.Fit,
+		Warm:        &tucker.WarmStart{Y2: p.Decomposition.Y2, Y3: p.Decomposition.Y3},
 		Embedding:   p.Embedding.Matrix(),
 		Assign:      p.Assign,
 		K:           p.K,
@@ -211,8 +257,10 @@ func main() {
 	rep.Model.V2Bytes = encodedSize(func(w io.Writer) error { return codec.Write(w, model) })
 	if pe != nil {
 		// Reuse the exact build's already-materialized matrix — also the
-		// faithful v1 payload, since real v1 files shipped exactly it.
+		// faithful v1 payload, since real v1 files shipped exactly it
+		// (and no warm section: v1 predates it).
 		v1Model := *model
+		v1Model.Warm = nil
 		v1Model.Decomp = pe.Decomposition
 		v1Model.Distances = pe.Distances
 		rep.Model.V1Bytes = encodedSize(func(w io.Writer) error { return codec.WriteV1(w, &v1Model) }) //nolint:staticcheck // v1 writer measured intentionally
@@ -308,6 +356,86 @@ func scanDecompose(p *core.Pipeline, tuck tucker.Options) decomposeReport {
 	return rep
 }
 
+// benchUpdate measures the incremental lifecycle at the preset's scale:
+// hold back ~deltaFrac of the cleaned assignments, build an Index on
+// the rest, then time Apply-ing the holdback (warm-started ALS,
+// move-bounded re-clustering) against a cold Build over the merged
+// corpus. Both paths run with the library-default sweep budget so the
+// sweep counts are comparable. moveThr is passed through to
+// WithMoveThreshold (with a generous WithMaxMovedFraction) so the
+// benchmark exercises — and the CI gate therefore tracks — the
+// incremental re-clustering path, not just the full-k-means fallback.
+func benchUpdate(ds *tagging.Dataset, opts core.Options, seed int64, deltaFrac, moveThr float64) updateReport {
+	var all []cubelsi.Assignment
+	for _, a := range ds.Assignments() {
+		all = append(all, cubelsi.Assignment{
+			User:     ds.Users.Name(a.User),
+			Tag:      ds.Tags.Name(a.Tag),
+			Resource: ds.Resources.Name(a.Resource),
+		})
+	}
+	nd := int(float64(len(all)) * deltaFrac)
+	if nd < 1 {
+		nd = 1
+	}
+	base, delta := all[:len(all)-nd], all[len(all)-nd:]
+
+	// Mirror the scan's hyper-parameters, but on the public lifecycle
+	// API: the corpus is pre-cleaned, so cleaning is disabled, and the
+	// sweep budget stays at the library default (the tol-based stop is
+	// what the warm start accelerates).
+	cfg := cubelsi.DefaultConfig()
+	cfg.CoreDims = [3]int{opts.Tucker.J1, opts.Tucker.J2, opts.Tucker.J3}
+	cfg.Concepts = opts.Spectral.K
+	cfg.MinSupport = 0
+	cfg.DropSystemTags = false
+	cfg.Seed = seed
+
+	ctx := context.Background()
+	fmt.Fprintf(os.Stderr, "benchoffline: update benchmark, base build (|Y|=%d)\n", len(base))
+	idx, err := cubelsi.NewIndex(ctx, cubelsi.FromAssignments(base), cubelsi.WithConfig(cfg),
+		cubelsi.WithMoveThreshold(moveThr), cubelsi.WithMaxMovedFraction(0.6))
+	if err != nil {
+		fatal(err)
+	}
+	// Both sides are timed the same way — end-to-end wall clock around
+	// the public call — so the gated ratio includes Apply's own
+	// bookkeeping (log materialization, cleaning, fingerprinting), not
+	// just the pipeline stages the report itemizes.
+	fmt.Fprintf(os.Stderr, "benchoffline: update benchmark, warm Apply of %d assignments\n", nd)
+	start := time.Now()
+	urep, err := idx.Apply(ctx, cubelsi.Delta{Add: delta})
+	if err != nil {
+		fatal(err)
+	}
+	warmMS := float64(time.Since(start).Nanoseconds()) / 1e6
+
+	fmt.Fprintf(os.Stderr, "benchoffline: update benchmark, cold full rebuild\n")
+	start = time.Now()
+	full, err := cubelsi.Build(ctx, cubelsi.FromAssignments(all), cubelsi.WithConfig(cfg))
+	if err != nil {
+		fatal(err)
+	}
+	fullMS := float64(time.Since(start).Nanoseconds()) / 1e6
+
+	out := updateReport{
+		Tags:              full.Stats().Tags,
+		DeltaAssignments:  urep.AddedAssignments,
+		MoveThreshold:     moveThr,
+		FullRebuildMS:     fullMS,
+		FullRebuildSweeps: full.Stats().Sweeps,
+		WarmApplyMS:       warmMS,
+		WarmApplySweeps:   urep.Sweeps,
+		MovedTags:         urep.MovedTags,
+		ReclusteredTags:   urep.ReclusteredTags,
+		FullRecluster:     urep.FullRecluster,
+	}
+	if warmMS > 0 {
+		out.SpeedupVsRebuild = fullMS / warmMS
+	}
+	return out
+}
+
 // measureScale encodes a synthetic model with |T| = n in both formats
 // and reports the byte counts, shaped the way each writer actually
 // ships models: v2 is factor-free (8·n·k₂ embedding + summary stats),
@@ -321,12 +449,25 @@ func measureScale(n, k2 int) scalePoint {
 		tags[i] = "tag" + strconv.Itoa(i)
 	}
 	assign := make([]int, n)
+	// Mode proportions mirror the lastfm crawl (|U| ≈ 1.17·|T|,
+	// |R| ≈ 0.86·|T|, Table II) at reduction ratio 50.
+	users := (n * 117) / 100
+	resources := (n * 86) / 100
+	j1 := max(2, users/50)
+	j3 := max(2, resources/50)
+
 	m := &codec.Model{
 		Lowercase: true,
 		Users:     []string{"u0"},
 		Tags:      tags,
 		Resources: []string{"r0"},
 		CoreDims:  [3]int{0, k2, 0},
+		// Engine.Save ships the warm-start factors by default, so the
+		// tracked size includes them (resources is 1 in this synthetic
+		// vocabulary, so size Y3 by the realistic resource count instead
+		// — validation only constrains it on Read, and only bytes are
+		// measured here).
+		Warm:      &tucker.WarmStart{Y2: mat.New(n, k2), Y3: mat.New(resources, j3)},
 		Embedding: mat.New(n, k2),
 		Assign:    assign,
 		K:         1,
@@ -334,12 +475,7 @@ func measureScale(n, k2 int) scalePoint {
 	}
 	v2 := encodedSize(func(w io.Writer) error { return codec.Write(w, m) })
 
-	// The v1 decomposition at lastfm-like mode proportions
-	// (|U| ≈ 1.17·|T|, |R| ≈ 0.86·|T|, Table II) and reduction ratio 50.
-	users := (n * 117) / 100
-	resources := (n * 86) / 100
-	j1 := max(2, users/50)
-	j3 := max(2, resources/50)
+	m.Warm = nil // v1 predates the warm section
 	m.Decomp = &tucker.Decomposition{
 		Core: tensor.NewDense3(j1, k2, j3),
 		Y1:   mat.New(users, j1),

@@ -9,13 +9,24 @@
 //	cubelsi -data corpus.tsv -clusters
 //	cubelsi -data corpus.tsv -save model.clsi      # offline build
 //	cubelsi -load model.clsi -query "jazz"         # serve a saved model
-//	cubelsi -load old.model -save new.model        # upgrade v1 → v2 format
+//	cubelsi -load old.model -save new.model        # upgrade v1/v2 → v3 format
+//	cubelsi -data corpus.tsv -update delta.tsv -save model.clsi
+//	                                               # incremental: warm-start rebuild
+//
+// -update applies an assignment delta after the initial build through
+// the incremental Index lifecycle: lines of "user\ttag\tresource" are
+// added, lines prefixed with "-\t" are removed, and the rebuild
+// warm-starts from the initial factors (the update report — sweeps,
+// moved/re-clustered tags, timings — prints to stderr). Combined with
+// -warm-from model.clsi the initial build itself warm-starts from a
+// previously saved model.
 //
 // The offline build is cancellable with SIGINT/SIGTERM and, with
 // -progress, reports each Figure-1 stage as it runs.
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -45,25 +56,35 @@ func main() {
 	sketch := flag.Bool("sketch", false, "use the randomized range finder for large-mode SVDs (faster, near-optimal fit)")
 	sketchOversample := flag.Int("sketch-oversample", 0, "extra sketch columns beyond the core dimension (0 = default 8; implies -sketch)")
 	sketchPower := flag.Int("sketch-power", 0, "sketch power-iteration rounds (0 = default 2; implies -sketch)")
+	update := flag.String("update", "", "delta TSV to apply incrementally after the build (lines add, '-\\t'-prefixed lines remove; requires -data)")
+	warmFrom := flag.String("warm-from", "", "previously saved model to warm-start the initial build from (requires -data)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	bf := buildFlags{
+		ratio: *ratio, concepts: *concepts, minSupport: *minSupport,
+		seed: *seed, progress: *progress,
+		workers: *workers,
+		// Tuning a sketch parameter is asking for the sketch.
+		sketch:           *sketch || *sketchOversample != 0 || *sketchPower != 0,
+		sketchOversample: *sketchOversample, sketchPower: *sketchPower,
+		warmFrom: *warmFrom,
+	}
+
 	var eng *cubelsi.Engine
 	var err error
 	switch {
 	case *load != "":
+		if *update != "" || *warmFrom != "" {
+			fatal(fmt.Errorf("-update and -warm-from need a corpus; use -data instead of -load"))
+		}
 		eng, err = cubelsi.LoadFile(*load)
+	case *data != "" && *update != "":
+		eng, err = buildAndUpdate(ctx, *data, *update, bf)
 	case *data != "":
-		eng, err = buildEngine(ctx, *data, buildFlags{
-			ratio: *ratio, concepts: *concepts, minSupport: *minSupport,
-			seed: *seed, progress: *progress,
-			workers: *workers,
-			// Tuning a sketch parameter is asking for the sketch.
-			sketch:           *sketch || *sketchOversample != 0 || *sketchPower != 0,
-			sketchOversample: *sketchOversample, sketchPower: *sketchPower,
-		})
+		eng, err = buildEngine(ctx, *data, bf)
 	default:
 		fmt.Fprintln(os.Stderr, "cubelsi: -data or -load is required")
 		flag.Usage()
@@ -121,9 +142,10 @@ type buildFlags struct {
 	sketch           bool
 	sketchOversample int
 	sketchPower      int
+	warmFrom         string
 }
 
-func buildEngine(ctx context.Context, data string, bf buildFlags) (*cubelsi.Engine, error) {
+func (bf buildFlags) options() ([]cubelsi.BuildOption, error) {
 	cfg := cubelsi.DefaultConfig()
 	cfg.ReductionRatios = [3]float64{bf.ratio, bf.ratio, bf.ratio}
 	cfg.Concepts = bf.concepts
@@ -137,6 +159,13 @@ func buildEngine(ctx context.Context, data string, bf buildFlags) (*cubelsi.Engi
 	if bf.sketch {
 		opts = append(opts, cubelsi.WithSketch(bf.sketchOversample, bf.sketchPower))
 	}
+	if bf.warmFrom != "" {
+		prev, err := cubelsi.LoadFile(bf.warmFrom)
+		if err != nil {
+			return nil, fmt.Errorf("warm-from: %w", err)
+		}
+		opts = append(opts, cubelsi.WithPreviousModel(prev))
+	}
 	if bf.progress {
 		opts = append(opts, cubelsi.WithProgress(func(p cubelsi.Progress) {
 			if p.Done {
@@ -146,7 +175,90 @@ func buildEngine(ctx context.Context, data string, bf buildFlags) (*cubelsi.Engi
 			}
 		}))
 	}
+	return opts, nil
+}
+
+func buildEngine(ctx context.Context, data string, bf buildFlags) (*cubelsi.Engine, error) {
+	opts, err := bf.options()
+	if err != nil {
+		return nil, err
+	}
+	if bf.warmFrom != "" {
+		// A warm start runs through the Index lifecycle even one-shot.
+		idx, err := cubelsi.NewIndex(ctx, cubelsi.FromTSVFile(data), opts...)
+		if err != nil {
+			return nil, err
+		}
+		return idx.Snapshot(), nil
+	}
 	return cubelsi.Build(ctx, cubelsi.FromTSVFile(data), opts...)
+}
+
+// buildAndUpdate builds the index over the corpus, applies the delta
+// file through the warm-started incremental path, and returns the
+// published snapshot.
+func buildAndUpdate(ctx context.Context, data, update string, bf buildFlags) (*cubelsi.Engine, error) {
+	opts, err := bf.options()
+	if err != nil {
+		return nil, err
+	}
+	idx, err := cubelsi.NewIndex(ctx, cubelsi.FromTSVFile(data), opts...)
+	if err != nil {
+		return nil, err
+	}
+	delta, err := readDeltaTSV(update)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := idx.Apply(ctx, delta)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr,
+		"update: v%d  +%d/-%d assignments  %d sweeps (fit %.3f)  %d new / %d moved / %d re-clustered tags (full=%v)  %.1fms total (decompose %.1fms)\n",
+		rep.Version, rep.AddedAssignments, rep.RemovedAssignments, rep.Sweeps, rep.Fit,
+		rep.NewTags, rep.MovedTags, rep.ReclusteredTags, rep.FullRecluster, rep.TotalMS, rep.DecomposeMS)
+	return idx.Snapshot(), nil
+}
+
+// readDeltaTSV parses a delta file: "user\ttag\tresource" lines are
+// additions, lines prefixed with "-\t" are removals, blank lines and
+// #-comments are skipped.
+func readDeltaTSV(path string) (cubelsi.Delta, error) {
+	var d cubelsi.Delta
+	f, err := os.Open(path)
+	if err != nil {
+		return d, fmt.Errorf("delta: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r\n")
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		remove := false
+		if rest, ok := strings.CutPrefix(text, "-\t"); ok {
+			remove = true
+			text = rest
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) != 3 {
+			return d, fmt.Errorf("delta line %d: want 3 tab-separated fields, got %d", line, len(fields))
+		}
+		a := cubelsi.Assignment{User: fields[0], Tag: fields[1], Resource: fields[2]}
+		if remove {
+			d.Remove = append(d.Remove, a)
+		} else {
+			d.Add = append(d.Add, a)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return d, fmt.Errorf("delta: %w", err)
+	}
+	return d, nil
 }
 
 func splitTags(s string) []string {

@@ -1,6 +1,10 @@
 // Command cubelsiserve serves a CubeLSI model over HTTP: load a model
 // saved by `cubelsi -save` (or build one from a TSV corpus at startup)
-// and answer concurrent search queries as JSON.
+// and answer concurrent search queries as JSON. The serving model is a
+// versioned snapshot behind an atomic pointer, so it can be hot-swapped
+// under live traffic: corpus-backed servers (-data) fold assignment
+// deltas in through POST /update (warm-started incremental rebuild),
+// model-backed servers (-model) swap model files through POST /reload.
 //
 // Usage:
 //
@@ -10,11 +14,17 @@
 // Endpoints:
 //
 //	GET  /healthz                 liveness probe
-//	GET  /stats                   corpus and model statistics
+//	GET  /readyz                  readiness probe (503 until a model serves)
+//	GET  /stats                   corpus, model and lifecycle statistics
 //	GET  /search?q=a,b&n=10       search (also min_score=, concepts=)
 //	POST /search                  JSON query, or {"queries": [...]} batch
 //	GET  /related?tag=jazz&n=10   nearest tags by purified distance
 //	GET  /clusters                distilled concepts as tag groups
+//	POST /update                  apply {"add": [...], "remove": [...]} delta (-data servers)
+//	POST /reload                  hot-swap a model file (-model servers)
+//
+// Every error answers with the JSON envelope {"error": "..."} and an
+// appropriate status code — including 404/405 from unknown routes.
 package main
 
 import (
@@ -44,49 +54,53 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	var eng *cubelsi.Engine
-	var err error
+	var srv *server
 	switch {
 	case *model != "":
-		eng, err = cubelsi.LoadFile(*model)
+		eng, err := cubelsi.LoadFile(*model)
+		if err != nil {
+			fatal(err)
+		}
+		srv = newLifecycleServer(eng, nil, *model)
 	case *data != "":
 		cfg := cubelsi.DefaultConfig()
 		cfg.ReductionRatios = [3]float64{*ratio, *ratio, *ratio}
 		cfg.Concepts = *concepts
 		cfg.MinSupport = *minSupport
 		cfg.Seed = *seed
-		eng, err = cubelsi.Build(ctx, cubelsi.FromTSVFile(*data),
+		idx, err := cubelsi.NewIndex(ctx, cubelsi.FromTSVFile(*data),
 			cubelsi.WithConfig(cfg),
 			cubelsi.WithProgress(func(p cubelsi.Progress) {
 				if p.Done {
 					fmt.Fprintf(os.Stderr, "build: stage %-10s done in %v\n", p.Stage, p.Elapsed)
 				}
 			}))
+		if err != nil {
+			fatal(err)
+		}
+		srv = newLifecycleServer(nil, idx, "")
 	default:
 		fmt.Fprintln(os.Stderr, "cubelsiserve: -model or -data is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err != nil {
-		fatal(err)
-	}
 
-	st := eng.Stats()
-	fmt.Fprintf(os.Stderr, "serving %d resources / %d tags / %d concepts on %s\n",
-		st.Resources, st.Tags, st.Concepts, *addr)
+	st := srv.engine().Stats()
+	fmt.Fprintf(os.Stderr, "serving %d resources / %d tags / %d concepts (model v%d) on %s\n",
+		st.Resources, st.Tags, st.Concepts, srv.engine().Version(), *addr)
 
 	// Per-request timeouts: slow-loris headers, slow bodies and stuck
 	// writes all terminate instead of pinning a connection forever.
-	srv := &http.Server{
+	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(eng),
+		Handler:           srv,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
+	go func() { errCh <- httpSrv.ListenAndServe() }()
 
 	select {
 	case err := <-errCh:
@@ -95,7 +109,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		if err := srv.Shutdown(shutdownCtx); err != nil {
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			fatal(err)
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -1,43 +1,134 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
 )
 
-// maxSearchBody bounds POST /search request bodies. Oversized bodies are
-// rejected with 413 instead of being read to completion.
+// maxSearchBody bounds POST request bodies (search, update, reload).
+// Oversized bodies are rejected with 413 instead of being read to
+// completion.
 const maxSearchBody = 1 << 20 // 1 MiB
 
-// server wraps an immutable engine with the HTTP API. Engines are safe
-// for concurrent queries, so handlers need no locking.
+// server wraps the engine lifecycle with the HTTP API. The current
+// engine is always an immutable snapshot: request handlers load it once
+// and serve the whole request from it, so /update and /reload can swap
+// in a new model while /search traffic is in flight — no locks on the
+// read path, no torn state.
+//
+// Exactly one of two write paths is available per process: corpus-backed
+// servers (built with -data) own a cubelsi.Index — the index's own
+// atomic snapshot is the single source of truth, and POST /update goes
+// through Index.Apply (which serializes writers itself). Model-backed
+// servers (started with -model) hold the engine behind the server's own
+// atomic pointer and accept POST /reload to hot-swap a model file; the
+// mutex serializes reloads only.
 type server struct {
-	eng     *cubelsi.Engine
 	started time.Time
 	mux     *http.ServeMux
+	idx     *cubelsi.Index // non-nil when corpus-backed (-data)
+
+	mu        sync.Mutex // serializes /reload
+	modelPath string     // non-empty when model-backed (-model)
+	eng       atomic.Pointer[cubelsi.Engine]
 }
 
-// newServer builds the HTTP handler for an engine.
-func newServer(eng *cubelsi.Engine) *server {
-	s := &server{eng: eng, started: time.Now(), mux: http.NewServeMux()}
+// newServer builds the HTTP handler for a fixed engine snapshot with no
+// write path (tests, and the minimal embedded use).
+func newServer(eng *cubelsi.Engine) *server { return newLifecycleServer(eng, nil, "") }
+
+// newLifecycleServer builds the HTTP handler: idx enables POST /update,
+// modelPath enables POST /reload. A nil engine (with idx nil) starts
+// not-ready: /readyz and every query endpoint return 503 until an
+// engine is set.
+func newLifecycleServer(eng *cubelsi.Engine, idx *cubelsi.Index, modelPath string) *server {
+	s := &server{started: time.Now(), mux: http.NewServeMux(), idx: idx, modelPath: modelPath}
+	if eng != nil {
+		s.eng.Store(eng)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /search", s.handleSearchGet)
 	s.mux.HandleFunc("POST /search", s.handleSearchPost)
 	s.mux.HandleFunc("GET /related", s.handleRelated)
 	s.mux.HandleFunc("GET /clusters", s.handleClusters)
+	s.mux.HandleFunc("POST /update", s.handleUpdate)
+	s.mux.HandleFunc("POST /reload", s.handleReload)
 	return s
 }
 
+// engine returns the current snapshot, or nil before the first model is
+// ready. Corpus-backed servers read straight from the index, so there
+// is exactly one place the "current model" lives per backing mode.
+func (s *server) engine() *cubelsi.Engine {
+	if s.idx != nil {
+		return s.idx.Snapshot()
+	}
+	return s.eng.Load()
+}
+
+// notReady writes the 503 envelope and reports whether the caller must
+// bail.
+func (s *server) notReady(w http.ResponseWriter) bool {
+	if s.engine() != nil {
+		return false
+	}
+	writeError(w, http.StatusServiceUnavailable, "model not ready")
+	return true
+}
+
+// ServeHTTP dispatches through the mux but keeps the error envelope
+// consistent: the mux's own plain-text 404/405 bodies are replaced with
+// the JSON {"error": ...} shape every other path uses.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if _, pattern := s.mux.Handler(r); pattern == "" {
+		if allowed := s.allowedMethods(r.URL.Path); len(allowed) > 0 {
+			w.Header().Set("Allow", strings.Join(allowed, ", "))
+			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed for %s", r.Method, r.URL.Path)
+			return
+		}
+		writeError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
+		return
+	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// allowedMethods probes which methods the mux would accept for a path,
+// so an unmatched request can be classified 405-with-Allow vs 404.
+func (s *server) allowedMethods(path string) []string {
+	var out []string
+	for _, m := range []string{http.MethodGet, http.MethodPost} {
+		probe, err := http.NewRequest(m, path, nil)
+		if err != nil {
+			continue
+		}
+		if _, pattern := s.mux.Handler(probe); pattern != "" {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// extendDeadline lifts the server-wide read/write deadlines for one
+// long-running request (update/reload). Errors are ignored: recorders
+// and exotic ResponseWriters don't support deadlines, and the fallback
+// is simply the original timeout behavior.
+func extendDeadline(w http.ResponseWriter) {
+	rc := http.NewResponseController(w)
+	_ = rc.SetReadDeadline(time.Time{})
+	_ = rc.SetWriteDeadline(time.Time{})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -56,6 +147,19 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReadyz is the readiness probe, distinct from liveness: the
+// process can be healthy (accepting connections, able to report stats)
+// while no model is loaded yet — routers should not send it traffic.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.notReady(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ready",
+		"version": s.engine().Version(),
+	})
+}
+
 type statsResponse struct {
 	Users       int    `json:"users"`
 	Tags        int    `json:"tags"`
@@ -71,26 +175,151 @@ type statsResponse struct {
 	// matrix would cost).
 	EmbeddingBytes int64   `json:"embedding_bytes"`
 	Fit            float64 `json:"fit"`
-	UptimeSec      float64 `json:"uptime_seconds"`
+	// ModelVersion is the lifecycle counter of the serving snapshot; it
+	// increases with every applied update. SourceFingerprint identifies
+	// the cleaned corpus the snapshot was built from ("" when unknown).
+	ModelVersion      uint64  `json:"model_version"`
+	SourceFingerprint string  `json:"source_fingerprint,omitempty"`
+	UptimeSec         float64 `json:"uptime_seconds"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := s.eng.Stats()
+	if s.notReady(w) {
+		return
+	}
+	eng := s.engine()
+	st := eng.Stats()
 	embBytes := 8 * int64(st.Tags) * int64(st.EmbeddingDim)
 	if st.EmbeddingDim == 0 {
 		embBytes = 8 * int64(st.Tags) * int64(st.Tags)
 	}
 	writeJSON(w, http.StatusOK, statsResponse{
-		Users:          st.Users,
-		Tags:           st.Tags,
-		Resources:      st.Resources,
-		Assignments:    st.Assignments,
-		CoreDims:       st.CoreDims,
-		Concepts:       st.Concepts,
-		EmbeddingDim:   st.EmbeddingDim,
-		EmbeddingBytes: embBytes,
-		Fit:            st.Fit,
-		UptimeSec:      time.Since(s.started).Seconds(),
+		Users:             st.Users,
+		Tags:              st.Tags,
+		Resources:         st.Resources,
+		Assignments:       st.Assignments,
+		CoreDims:          st.CoreDims,
+		Concepts:          st.Concepts,
+		EmbeddingDim:      st.EmbeddingDim,
+		EmbeddingBytes:    embBytes,
+		Fit:               st.Fit,
+		ModelVersion:      eng.Version(),
+		SourceFingerprint: eng.SourceFingerprint(),
+		UptimeSec:         time.Since(s.started).Seconds(),
+	})
+}
+
+// handleUpdate applies an assignment delta to the corpus-backed index
+// and atomically swaps the new snapshot into serving. Model-backed
+// servers answer 409: they have no corpus of record to fold deltas
+// into — reload a new model file instead.
+func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if s.idx == nil {
+		writeError(w, http.StatusConflict, "server is model-backed; POST /reload a new model file instead")
+		return
+	}
+	if s.notReady(w) {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxSearchBody)
+	var delta cubelsi.Delta
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&delta); err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	if len(delta.Add) == 0 && len(delta.Remove) == 0 {
+		writeError(w, http.StatusBadRequest, "empty delta: provide add and/or remove assignments")
+		return
+	}
+
+	// A warm rebuild takes minutes at production corpus scales (and
+	// concurrent updates serialize behind Index.mu), so the server-wide
+	// write deadline would kill the connection mid-Apply and roll the
+	// update back. Lift it for this request only; search traffic keeps
+	// the tight deadline.
+	extendDeadline(w)
+
+	// Index.Apply serializes concurrent writers itself and publishes the
+	// new snapshot atomically; nothing to synchronize here.
+	rep, err := s.idx.Apply(r.Context(), delta)
+	if err != nil {
+		// A cancelled/expired request context is not the delta's fault —
+		// the log was rolled back and a retry can succeed. Keep 4xx for
+		// deltas the corpus actually rejects.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, http.StatusServiceUnavailable, "apply aborted: %v", err)
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, "apply: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// reloadRequest is the optional POST /reload body; an empty body
+// reloads the path the server was started with.
+type reloadRequest struct {
+	Model string `json:"model,omitempty"`
+}
+
+type reloadResponse struct {
+	Model        string `json:"model"`
+	ModelVersion uint64 `json:"model_version"`
+	Tags         int    `json:"tags"`
+	Resources    int    `json:"resources"`
+	Concepts     int    `json:"concepts"`
+}
+
+// handleReload hot-swaps the serving model from a file. Corpus-backed
+// servers answer 409: their corpus of record lives in the index, and a
+// file swap would silently fork it.
+func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.idx != nil {
+		writeError(w, http.StatusConflict, "server is corpus-backed; POST /update deltas instead")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxSearchBody)
+	var req reloadRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	// An absent body (plain io.EOF before any JSON) means "reload the
+	// current path"; a malformed body is still an error.
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeBodyError(w, err)
+		return
+	}
+	// Loading a large model file can outlast the server-wide write
+	// deadline; lift it for this request only (see handleUpdate).
+	extendDeadline(w)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// s.modelPath is written under s.mu, so the empty-body fallback must
+	// read it under the same lock.
+	path := req.Model
+	if path == "" {
+		path = s.modelPath
+	}
+	if path == "" {
+		writeError(w, http.StatusBadRequest, "no model path: start with -model or provide {\"model\": ...}")
+		return
+	}
+	eng, err := cubelsi.LoadFile(path)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "reload: %v", err)
+		return
+	}
+	s.modelPath = path
+	s.eng.Store(eng)
+	st := eng.Stats()
+	writeJSON(w, http.StatusOK, reloadResponse{
+		Model:        path,
+		ModelVersion: eng.Version(),
+		Tags:         st.Tags,
+		Resources:    st.Resources,
+		Concepts:     st.Concepts,
 	})
 }
 
@@ -104,6 +333,9 @@ type batchResponse struct {
 
 // handleSearchGet answers GET /search?q=jazz,sax&n=10&min_score=0.05&concepts=1,2.
 func (s *server) handleSearchGet(w http.ResponseWriter, r *http.Request) {
+	if s.notReady(w) {
+		return
+	}
 	params := r.URL.Query()
 	tags := splitList(params.Get("q"))
 	q := cubelsi.NewQuery(tags)
@@ -136,7 +368,7 @@ func (s *server) handleSearchGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing query parameter q or concepts")
 		return
 	}
-	writeJSON(w, http.StatusOK, searchResponse{Results: orEmpty(s.eng.Query(q))})
+	writeJSON(w, http.StatusOK, searchResponse{Results: orEmpty(s.engine().Query(q))})
 }
 
 // searchRequest is the POST /search body: either one query object or a
@@ -146,21 +378,32 @@ type searchRequest struct {
 	Queries []cubelsi.Query `json:"queries"`
 }
 
+// writeBodyError maps request-body decode failures onto the JSON error
+// envelope: 413 for oversized bodies, 400 for everything else.
+func writeBodyError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+}
+
 // handleSearchPost answers a single JSON query, or a batch — the batch
 // path fans out through Engine.SearchBatch, the amortized multi-query
-// entry point.
+// entry point. The engine snapshot is loaded once per request, so a
+// concurrent update or reload never splits a batch across two models.
 func (s *server) handleSearchPost(w http.ResponseWriter, r *http.Request) {
+	if s.notReady(w) {
+		return
+	}
+	eng := s.engine()
 	r.Body = http.MaxBytesReader(w, r.Body, maxSearchBody)
 	var req searchRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
-			return
-		}
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeBodyError(w, err)
 		return
 	}
 	if len(req.Queries) > 0 {
@@ -168,7 +411,7 @@ func (s *server) handleSearchPost(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "batch requests take options per query, not top-level")
 			return
 		}
-		batches := s.eng.SearchBatch(req.Queries)
+		batches := eng.SearchBatch(req.Queries)
 		for i := range batches {
 			batches[i] = orEmpty(batches[i])
 		}
@@ -179,7 +422,7 @@ func (s *server) handleSearchPost(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing tags or concepts")
 		return
 	}
-	writeJSON(w, http.StatusOK, searchResponse{Results: orEmpty(s.eng.Query(req.Query))})
+	writeJSON(w, http.StatusOK, searchResponse{Results: orEmpty(eng.Query(req.Query))})
 }
 
 type relatedResponse struct {
@@ -188,6 +431,9 @@ type relatedResponse struct {
 }
 
 func (s *server) handleRelated(w http.ResponseWriter, r *http.Request) {
+	if s.notReady(w) {
+		return
+	}
 	tag := r.URL.Query().Get("tag")
 	if tag == "" {
 		writeError(w, http.StatusBadRequest, "missing query parameter tag")
@@ -201,7 +447,7 @@ func (s *server) handleRelated(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	rel, err := s.eng.RelatedTags(tag, n)
+	rel, err := s.engine().RelatedTags(tag, n)
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
@@ -217,7 +463,10 @@ type clustersResponse struct {
 }
 
 func (s *server) handleClusters(w http.ResponseWriter, r *http.Request) {
-	clusters := s.eng.Clusters()
+	if s.notReady(w) {
+		return
+	}
+	clusters := s.engine().Clusters()
 	for i := range clusters {
 		if clusters[i] == nil {
 			clusters[i] = []string{}

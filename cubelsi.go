@@ -30,6 +30,17 @@
 //	results := eng.Query(cubelsi.NewQuery([]string{"jazz", "saxophone"},
 //		cubelsi.WithLimit(10), cubelsi.WithMinScore(0.05)))
 //	batches := eng.SearchBatch(queries)
+//
+// Growing corpora use the incremental lifecycle instead of one-shot
+// Build: an Index owns the assignment log and publishes immutable,
+// versioned Engine snapshots. Apply folds an assignment delta in — the
+// ALS decomposition warm-starts from the previous factor matrices and
+// only tags whose embedding rows moved are re-clustered — and swaps the
+// new snapshot in atomically under live queries:
+//
+//	idx, err := cubelsi.NewIndex(ctx, cubelsi.FromTSVFile("corpus.tsv"))
+//	report, err := idx.Apply(ctx, cubelsi.Delta{Add: newAssignments})
+//	eng := idx.Snapshot() // immutable; eng.Version() increments per Apply
 package cubelsi
 
 import (
@@ -42,6 +53,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/mat"
 	"repro/internal/tagging"
+	"repro/internal/tucker"
 )
 
 // Assignment is one tagging event: user annotated resource with tag.
@@ -115,17 +127,32 @@ type Stats struct {
 	Concepts int
 	// Fit is the fraction of the tensor norm the decomposition captured.
 	Fit float64
+	// Sweeps is the number of ALS sweeps the decomposition ran — the
+	// headline number warm-started updates improve. Zero for engines
+	// restored from pre-v3 model files, which did not record it.
+	Sweeps int
 	// EmbeddingDim is k₂, the dimensionality of the Theorem 2 tag
 	// embedding the engine serves distances from. Zero for legacy
 	// matrix-backed engines.
 	EmbeddingDim int
 }
 
-// Engine is an immutable search engine over one corpus, either freshly
-// built (Build) or deserialized from a saved model (Load). It is safe
-// for concurrent queries.
+// Engine is an immutable search engine over one corpus: a versioned
+// snapshot either freshly built (Build), published by an Index
+// (NewIndex / Index.Apply), or deserialized from a saved model (Load).
+// It is safe for concurrent queries and is never mutated after
+// construction — an Index swaps whole snapshots instead.
 type Engine struct {
 	lowercase bool
+
+	// version is the lifecycle counter of this snapshot (1 for a fresh
+	// build, +1 per Index.Apply); fingerprint identifies the cleaned
+	// source corpus; warm carries the ALS factor matrices future
+	// incremental rebuilds warm-start from (nil on engines restored from
+	// pre-v3 files).
+	version     uint64
+	fingerprint [32]byte
+	warm        *tucker.WarmStart
 
 	users     []string
 	tags      *tagging.Interner
@@ -147,6 +174,23 @@ type Engine struct {
 
 // Stats returns corpus and model statistics.
 func (e *Engine) Stats() Stats { return e.stats }
+
+// Version returns the engine's lifecycle counter: 1 for a fresh build,
+// incremented by every Index.Apply, and preserved across Save/Load
+// (zero only for engines restored from pre-v3 model files, which
+// predate versioning — Load normalizes those to 1).
+func (e *Engine) Version() uint64 { return e.version }
+
+// SourceFingerprint returns the hex SHA-256 fingerprint of the cleaned
+// source corpus the engine was built from, or "" when unknown (models
+// saved before format v3). Two engines with equal fingerprints were
+// built from identical cleaned assignment sets.
+func (e *Engine) SourceFingerprint() string {
+	if e.fingerprint == ([32]byte{}) {
+		return ""
+	}
+	return fmt.Sprintf("%x", e.fingerprint)
+}
 
 // Timings returns the wall-clock stage durations of the offline build.
 // Engines restored by Load report zero timings: they never ran the

@@ -1,0 +1,75 @@
+package cubelsi_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	cubelsi "repro"
+)
+
+// exampleCorpus returns a small two-community corpus: music tags on
+// music resources, code tags on code resources.
+func exampleCorpus() []cubelsi.Assignment {
+	var out []cubelsi.Assignment
+	add := func(u, t, r string) { out = append(out, cubelsi.Assignment{User: u, Tag: t, Resource: r}) }
+	music := []string{"audio", "mp3", "songs"}
+	code := []string{"code", "golang", "compiler"}
+	for ui := 0; ui < 6; ui++ {
+		mu, cu := fmt.Sprintf("mu%d", ui), fmt.Sprintf("cu%d", ui)
+		for ti := 0; ti < 2; ti++ {
+			for _, r := range []string{"m1", "m2", "m3", "m4"} {
+				add(mu, music[(ui+ti)%3], r)
+			}
+			for _, r := range []string{"c1", "c2", "c3", "c4"} {
+				add(cu, code[(ui+ti)%3], r)
+			}
+		}
+	}
+	return out
+}
+
+// ExampleIndex_Apply builds an updatable index, folds a new user's
+// assignments in with a warm-started incremental rebuild, and shows the
+// hot-swapped snapshot serving the merged corpus.
+func ExampleIndex_Apply() {
+	cfg := cubelsi.DefaultConfig()
+	cfg.ReductionRatios = [3]float64{2, 2, 2}
+	cfg.Concepts = 2
+	cfg.MinSupport = 3
+	cfg.Seed = 1
+
+	ctx := context.Background()
+	idx, err := cubelsi.NewIndex(ctx, cubelsi.FromAssignments(exampleCorpus()), cubelsi.WithConfig(cfg))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Readers hold immutable snapshots; Apply publishes new ones.
+	before := idx.Snapshot()
+
+	report, err := idx.Apply(ctx, cubelsi.Delta{
+		Add: []cubelsi.Assignment{
+			{User: "newbie", Tag: "golang", Resource: "c1"},
+			{User: "newbie", Tag: "compiler", Resource: "c1"},
+			{User: "newbie", Tag: "golang", Resource: "c4"},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	after := idx.Snapshot()
+	fmt.Printf("versions: %d -> %d\n", before.Version(), after.Version())
+	// The report also carries the warm-started ALS sweep count, the fit,
+	// how many tags moved/re-clustered, and per-stage timings.
+	fmt.Printf("applied %d assignments, warm-started rebuild ran: %v\n",
+		report.AddedAssignments, report.Sweeps > 0)
+
+	results := after.Query(cubelsi.NewQuery([]string{"golang"}, cubelsi.WithLimit(1)))
+	fmt.Printf("top golang hit: %s\n", results[0].Resource)
+	// Output:
+	// versions: 1 -> 2
+	// applied 3 assignments, warm-started rebuild ran: true
+	// top golang hit: c1
+}

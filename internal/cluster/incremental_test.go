@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// twoBlobs builds 2-D points in two well-separated groups.
+func twoBlobs() *mat.Matrix {
+	return mat.FromRows([][]float64{
+		{0, 0}, {0.1, 0}, {0, 0.1}, // cluster 0
+		{10, 10}, {10.1, 10}, {10, 10.1}, // cluster 1
+	})
+}
+
+func TestCentroidsAndAssignNearest(t *testing.T) {
+	points := twoBlobs()
+	assign := []int{0, 0, 0, 1, 1, 1}
+
+	centers, ok := Centroids(points, assign, 2, nil)
+	if !ok {
+		t.Fatal("every cluster has members")
+	}
+	if c := centers.Row(0); c[0] > 1 || c[1] > 1 {
+		t.Fatalf("centroid 0 = %v", c)
+	}
+	if c := centers.Row(1); c[0] < 9 || c[1] < 9 {
+		t.Fatalf("centroid 1 = %v", c)
+	}
+
+	// A "moved" point near blob 1 must re-assign to cluster 1, and only
+	// the listed rows may change.
+	moved := points.Clone()
+	moved.SetRow(2, []float64{9.9, 9.9})
+	got := append([]int(nil), assign...)
+	AssignNearest(moved, centers, []int{2}, got)
+	want := []int{0, 0, 1, 1, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("assign = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCentroidsSkipAndEmptyCluster(t *testing.T) {
+	points := twoBlobs()
+	assign := []int{0, 0, 0, 1, 1, 1}
+
+	// Skipping all of cluster 1's members leaves it empty: ok=false so
+	// callers fall back to a full re-clustering.
+	_, ok := Centroids(points, assign, 2, []bool{false, false, false, true, true, true})
+	if ok {
+		t.Fatal("want ok=false when a cluster loses every member")
+	}
+
+	// Out-of-range assignments (e.g. -1 for unassigned) are ignored, not
+	// fatal.
+	assign[3] = -1
+	centers, ok := Centroids(points, assign, 2, nil)
+	if !ok {
+		t.Fatal("remaining members keep cluster 1 alive")
+	}
+	if c := centers.Row(1); c[0] < 9 {
+		t.Fatalf("centroid 1 = %v", c)
+	}
+}
+
+// TestAssignNearestMatchesFullKMeansOnStablePartition pins the
+// incremental path to the full algorithm where they must agree: when the
+// partition is already a fixed point, assigning any row against the
+// implied centroids reproduces its existing label.
+func TestAssignNearestMatchesFullKMeansOnStablePartition(t *testing.T) {
+	points := twoBlobs()
+	km := KMeans(points, 2, KMeansOptions{Seed: 3})
+	centers, ok := Centroids(points, km.Assign, 2, nil)
+	if !ok {
+		t.Fatal("kmeans produced an empty cluster")
+	}
+	got := append([]int(nil), km.Assign...)
+	AssignNearest(points, centers, []int{0, 1, 2, 3, 4, 5}, got)
+	for i := range got {
+		if got[i] != km.Assign[i] {
+			t.Fatalf("row %d re-assigned from %d to %d on a stable partition", i, km.Assign[i], got[i])
+		}
+	}
+}

@@ -11,16 +11,23 @@
 // IEEE-754 bits, so a decoded model reproduces search rankings
 // bit-for-bit.
 //
+// Format v3 adds the model lifecycle header — a monotonically
+// increasing model version, a fingerprint of the source corpus, the ALS
+// sweep count — and an optional warm-start section carrying the mode-2
+// and mode-3 factor matrices, so a later incremental rebuild
+// (cubelsi.Index.Apply) can warm-start ALS from the saved factors
+// instead of starting cold.
+//
 // Format v2 stores tag semantics as the |T|×k₂ Theorem 2 embedding
 // E = Λ₂·Y⁽²⁾ and carries the decomposition's summary statistics
 // (core dimensions, fit) as scalar metadata, so serving models need no
 // factor matrices at all: files shrink from quadratic to linear in the
 // vocabularies (v1's Y⁽¹⁾ section alone was |U|×(|U|/c₁) — quadratic in
 // users at the paper's reduction ratios). Format v1 stored the dense
-// |T|×|T| distance matrix D̂ plus the full decomposition; Read still
-// accepts v1 streams (the loader derives the embedding from the stored
-// decomposition), and Write always emits v2 — so
-// `cubelsi -load old.model -save new.model` upgrades a file in place.
+// |T|×|T| distance matrix D̂ plus the full decomposition. Read still
+// accepts v1 and v2 streams (the v1 loader derives the embedding from
+// the stored decomposition), and Write always emits the current format —
+// so `cubelsi -load old.model -save new.model` upgrades a file in place.
 package codec
 
 import (
@@ -41,8 +48,12 @@ import (
 var Magic = [4]byte{'C', 'L', 'S', 'I'}
 
 // Version is the current format version, written by Write. Read accepts
-// VersionV1 streams as well.
-const Version uint32 = 2
+// VersionV2 and VersionV1 streams as well.
+const Version uint32 = 3
+
+// VersionV2 is the first linear-size format: tag semantics stored as
+// the |T|×k₂ embedding, no lifecycle header or warm-start section.
+const VersionV2 uint32 = 2
 
 // VersionV1 is the legacy quadratic format: tag semantics stored as the
 // dense |T|×|T| distance matrix.
@@ -97,11 +108,27 @@ type Model struct {
 	Users, Tags, Resources []string
 
 	// CoreDims and Fit summarize the Tucker decomposition the model was
-	// built from (serving statistics). In v2 they are stored as scalar
+	// built from (serving statistics). In v2+ they are stored as scalar
 	// metadata; reading a v1 stream derives them from its decomposition
 	// section.
 	CoreDims [3]int
 	Fit      float64
+
+	// ModelVersion is the lifecycle counter of the engine snapshot the
+	// model was saved from: 1 for a fresh build, incremented by every
+	// incremental update. Zero on v1/v2 streams, which predate it.
+	ModelVersion uint64
+	// Fingerprint identifies the cleaned source corpus the model was
+	// built from (SHA-256 over the sorted assignment triples). All-zero
+	// when unknown (v1/v2 streams).
+	Fingerprint [32]byte
+	// Sweeps is the number of ALS sweeps the decomposition ran. Zero on
+	// v2 streams; v1 streams recover it from the decomposition section.
+	Sweeps int
+	// Warm optionally carries the mode-2/mode-3 factor matrices of the
+	// decomposition, so a later incremental rebuild can warm-start ALS
+	// from them. v3 only; nil when absent.
+	Warm *tucker.WarmStart
 
 	// Decomp carries the full Tucker factors, core tensor, singular
 	// values, fit and sweep count. Serving models omit it (v2 writes the
@@ -123,13 +150,26 @@ type Model struct {
 	Index *ir.Index
 }
 
-// Write encodes the model to w in the current (v2) format: tag semantics
-// as the linear-size embedding. m.Embedding must be set.
+// Write encodes the model to w in the current (v3) format: tag semantics
+// as the linear-size embedding, plus the lifecycle header and, when
+// m.Warm is set, the warm-start factor section. m.Embedding must be set.
 func Write(w io.Writer, m *Model) error {
 	if m.Embedding == nil {
-		return fmt.Errorf("codec: write: model has no tag embedding (v2 requires one; see embed.FromDecomposition)")
+		return fmt.Errorf("codec: write: model has no tag embedding (v2+ requires one; see embed.FromDecomposition)")
 	}
 	return write(w, m, Version)
+}
+
+// WriteV2 encodes the model in the v2 format: the linear-size embedding
+// without the lifecycle header or warm-start factors.
+//
+// Deprecated: WriteV2 exists so tests and the fuzz corpus can produce
+// v2 streams; new models should always be written with Write.
+func WriteV2(w io.Writer, m *Model) error {
+	if m.Embedding == nil {
+		return fmt.Errorf("codec: write: model has no tag embedding (v2+ requires one; see embed.FromDecomposition)")
+	}
+	return write(w, m, VersionV2)
 }
 
 // WriteV1 encodes the model in the legacy quadratic v1 format, with tag
@@ -163,7 +203,15 @@ func write(w io.Writer, m *Model, version uint32) error {
 		}
 		e.f64(m.Fit)
 	}
+	if version >= Version {
+		e.u64(m.ModelVersion)
+		e.bytes(m.Fingerprint[:])
+		e.length(m.Sweeps)
+	}
 	e.decomposition(m.Decomp)
+	if version >= Version {
+		e.warmStart(m.Warm)
+	}
 	if version == VersionV1 {
 		e.matrix(m.Distances)
 	} else {
@@ -198,8 +246,8 @@ func Read(r io.Reader) (*Model, error) {
 		return nil, fmt.Errorf("codec: bad magic %q: not a CubeLSI model", magic[:])
 	}
 	version := d.u32()
-	if d.err == nil && version != Version && version != VersionV1 {
-		return nil, fmt.Errorf("codec: unsupported model version %d (want %d or %d)", version, Version, VersionV1)
+	if d.err == nil && version != Version && version != VersionV2 && version != VersionV1 {
+		return nil, fmt.Errorf("codec: unsupported model version %d (want %d, %d or %d)", version, Version, VersionV2, VersionV1)
 	}
 
 	m := &Model{}
@@ -216,7 +264,15 @@ func Read(r io.Reader) (*Model, error) {
 		}
 		m.Fit = d.f64()
 	}
+	if version >= Version {
+		m.ModelVersion = d.u64()
+		d.bytes(m.Fingerprint[:])
+		m.Sweeps = d.length()
+	}
 	m.Decomp = d.decomposition()
+	if version >= Version {
+		m.Warm = d.warmStart()
+	}
 	if version == VersionV1 {
 		m.Distances = d.matrix()
 		// v1 carried the statistics only inside the decomposition. Guard
@@ -226,6 +282,7 @@ func Read(r io.Reader) (*Model, error) {
 			cj1, cj2, cj3 := m.Decomp.CoreDims()
 			m.CoreDims = [3]int{cj1, cj2, cj3}
 			m.Fit = m.Decomp.Fit
+			m.Sweeps = m.Decomp.Sweeps
 		}
 	} else {
 		m.Embedding = d.matrix()
@@ -285,6 +342,17 @@ func (m *Model) validate() error {
 	}
 	if m.Decomp != nil && m.Decomp.Y2.Rows() != nTags {
 		return fmt.Errorf("codec: Y2 has %d rows for %d tags", m.Decomp.Y2.Rows(), nTags)
+	}
+	if m.Warm != nil {
+		if m.Warm.Y2 == nil || m.Warm.Y3 == nil {
+			return fmt.Errorf("codec: warm-start section missing a factor matrix")
+		}
+		if r := m.Warm.Y2.Rows(); r != nTags {
+			return fmt.Errorf("codec: warm-start Y2 has %d rows for %d tags", r, nTags)
+		}
+		if r := m.Warm.Y3.Rows(); r != len(m.Resources) {
+			return fmt.Errorf("codec: warm-start Y3 has %d rows for %d resources", r, len(m.Resources))
+		}
 	}
 	return nil
 }
@@ -381,6 +449,15 @@ func (e *encoder) decomposition(d *tucker.Decomposition) {
 	}
 	e.f64(d.Fit)
 	e.length(d.Sweeps)
+}
+
+func (e *encoder) warmStart(w *tucker.WarmStart) {
+	e.bool(w != nil && w.Y2 != nil && w.Y3 != nil)
+	if w == nil || w.Y2 == nil || w.Y3 == nil {
+		return
+	}
+	e.matrix(w.Y2)
+	e.matrix(w.Y3)
 }
 
 func (e *encoder) index(s *ir.IndexSnapshot) {
@@ -554,6 +631,16 @@ func (d *decoder) decomposition() *tucker.Decomposition {
 	dec.Fit = d.f64()
 	dec.Sweeps = d.length()
 	return dec
+}
+
+func (d *decoder) warmStart() *tucker.WarmStart {
+	if !d.bool() {
+		return nil
+	}
+	w := &tucker.WarmStart{}
+	w.Y2 = d.matrix()
+	w.Y3 = d.matrix()
+	return w
 }
 
 func (d *decoder) indexSnapshot() *ir.IndexSnapshot {

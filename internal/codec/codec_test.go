@@ -187,10 +187,12 @@ func TestReadV1Stream(t *testing.T) {
 }
 
 func TestV1FilesAreQuadraticV2Linear(t *testing.T) {
-	// The point of format v2: file size linear in the vocabularies
+	// The point of format v2+: file size linear in the vocabularies
 	// instead of quadratic. With the same sections populated, the byte
 	// gap is exactly the matrix-section difference (8·|T|² vs 8·|T|·k₂)
-	// minus v2's 32 bytes of scalar metadata (core dims + fit).
+	// minus the current format's 81 bytes of scalar overhead: core dims
+	// and fit (32) plus the v3 lifecycle header — model version (8),
+	// fingerprint (32), sweeps (8) and the warm-start flag (1).
 	m := buildModel(t)
 	var v1, v2 bytes.Buffer
 	if err := WriteV1(&v1, m); err != nil {
@@ -199,7 +201,7 @@ func TestV1FilesAreQuadraticV2Linear(t *testing.T) {
 	if err := Write(&v2, m); err != nil {
 		t.Fatal(err)
 	}
-	wantGap := 8*(len(m.Distances.Data())-len(m.Embedding.Data())) - 32
+	wantGap := 8*(len(m.Distances.Data())-len(m.Embedding.Data())) - 81
 	if gap := v1.Len() - v2.Len(); gap != wantGap {
 		t.Fatalf("v1 %d bytes, v2 %d bytes: gap %d, want %d", v1.Len(), v2.Len(), gap, wantGap)
 	}

@@ -8,26 +8,31 @@ import (
 
 // FuzzLoad proves the decode path fails fast — an error, never a panic,
 // a hang, or an unbounded allocation — on corrupt or truncated model
-// bytes, for both the v1 and v2 formats.
+// bytes, for the v1, v2 and v3 formats.
 func FuzzLoad(f *testing.F) {
-	// Seed with structurally valid v1 and v2 streams plus systematic
+	// Seed with structurally valid v1, v2 and v3 streams — the v3 seed
+	// carries the full lifecycle header and a warm-start factor section,
+	// so the new fields are fuzzed from day one — plus systematic
 	// truncations and a few classic corruptions, so the fuzzer starts
 	// from deep inside the format.
 	m := buildModel(f)
-	var v1, v2 bytes.Buffer
+	var v1, v2, v3 bytes.Buffer
 	if err := WriteV1(&v1, m); err != nil {
 		f.Fatal(err)
 	}
-	if err := Write(&v2, m); err != nil {
+	if err := WriteV2(&v2, m); err != nil { //nolint:staticcheck // fuzz corpus covers the legacy writer
 		f.Fatal(err)
 	}
-	for _, valid := range [][]byte{v1.Bytes(), v2.Bytes()} {
+	if err := Write(&v3, withLifecycle(m)); err != nil {
+		f.Fatal(err)
+	}
+	for _, valid := range [][]byte{v1.Bytes(), v2.Bytes(), v3.Bytes()} {
 		f.Add(valid)
 		for _, frac := range []int{2, 3, 5, 10, 100} {
 			f.Add(valid[:len(valid)/frac])
 		}
 		// Flip the version field.
-		for _, ver := range []uint32{0, 3, 1 << 30} {
+		for _, ver := range []uint32{0, Version + 1, 1 << 30} {
 			b := bytes.Clone(valid)
 			binary.LittleEndian.PutUint32(b[4:8], ver)
 			f.Add(b)

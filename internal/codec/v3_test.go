@@ -1,0 +1,118 @@
+package codec
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/tucker"
+)
+
+// withLifecycle populates the v3-only fields of a test model: version
+// counter, fingerprint, sweeps and the warm-start factor section.
+func withLifecycle(m *Model) *Model {
+	m.ModelVersion = 7
+	m.Fingerprint = sha256.Sum256([]byte("corpus"))
+	m.Sweeps = m.Decomp.Sweeps
+	m.Warm = &tucker.WarmStart{Y2: m.Decomp.Y2, Y3: m.Decomp.Y3}
+	return m
+}
+
+// TestRoundtripLifecycleHeader proves the v3 header and warm-start
+// section survive a write/read cycle bit-for-bit.
+func TestRoundtripLifecycleHeader(t *testing.T) {
+	m := withLifecycle(buildModel(t))
+	got := roundtrip(t, m)
+
+	if got.ModelVersion != m.ModelVersion {
+		t.Fatalf("model version %d, want %d", got.ModelVersion, m.ModelVersion)
+	}
+	if got.Fingerprint != m.Fingerprint {
+		t.Fatalf("fingerprint changed: %x vs %x", got.Fingerprint, m.Fingerprint)
+	}
+	if got.Sweeps != m.Sweeps || got.Sweeps == 0 {
+		t.Fatalf("sweeps %d, want %d (nonzero)", got.Sweeps, m.Sweeps)
+	}
+	if got.Warm == nil {
+		t.Fatal("warm-start section lost")
+	}
+	for name, pair := range map[string][2]*mat.Matrix{
+		"warm Y2": {got.Warm.Y2, m.Warm.Y2},
+		"warm Y3": {got.Warm.Y3, m.Warm.Y3},
+	} {
+		a, b := pair[0].Data(), pair[1].Data()
+		if len(a) != len(b) {
+			t.Fatalf("%s length %d vs %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Fatalf("%s not bit-identical at %d", name, i)
+			}
+		}
+	}
+}
+
+// TestReadV2Stream proves the current reader still accepts the previous
+// format: lifecycle fields default to zero, everything else decodes as
+// before.
+func TestReadV2Stream(t *testing.T) {
+	m := buildModel(t)
+	var buf bytes.Buffer
+	if err := WriteV2(&buf, m); err != nil { //nolint:staticcheck // migration test exercises the v2 writer
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ModelVersion != 0 || got.Fingerprint != [32]byte{} || got.Sweeps != 0 || got.Warm != nil {
+		t.Fatalf("v2 stream grew lifecycle fields: version=%d sweeps=%d warm=%v",
+			got.ModelVersion, got.Sweeps, got.Warm != nil)
+	}
+	if got.Embedding == nil || got.CoreDims != m.CoreDims {
+		t.Fatalf("v2 body lost: dims %v", got.CoreDims)
+	}
+	for i, v := range m.Embedding.Data() {
+		if math.Float64bits(got.Embedding.Data()[i]) != math.Float64bits(v) {
+			t.Fatalf("v2 embedding not bit-identical at %d", i)
+		}
+	}
+}
+
+// TestWarmStartShapeValidated: a warm section whose factor rows disagree
+// with the vocabularies must be rejected at read time.
+func TestWarmStartShapeValidated(t *testing.T) {
+	m := withLifecycle(buildModel(t))
+	m.Warm = &tucker.WarmStart{Y2: mat.New(1, 2), Y3: m.Decomp.Y3}
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil || !strings.Contains(err.Error(), "warm-start") {
+		t.Fatalf("err = %v, want warm-start shape error", err)
+	}
+
+	m = withLifecycle(buildModel(t))
+	m.Warm = &tucker.WarmStart{Y2: m.Decomp.Y2, Y3: mat.New(1, 2)}
+	buf.Reset()
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil || !strings.Contains(err.Error(), "warm-start") {
+		t.Fatalf("err = %v, want warm-start shape error", err)
+	}
+}
+
+// TestWarmStartHalfNilWrittenAsAbsent: an incomplete WarmStart value is
+// encoded as "no warm section", never as a torn one.
+func TestWarmStartHalfNilWrittenAsAbsent(t *testing.T) {
+	m := withLifecycle(buildModel(t))
+	m.Warm = &tucker.WarmStart{Y2: m.Decomp.Y2}
+	got := roundtrip(t, m)
+	if got.Warm != nil {
+		t.Fatal("half-populated warm start must decode as absent")
+	}
+}

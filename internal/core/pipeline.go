@@ -187,25 +187,7 @@ func (p *Pipeline) DistanceMatrix() *mat.Matrix {
 // stage.
 func Build(ctx context.Context, ds *tagging.Dataset, opts Options) (*Pipeline, error) {
 	p := &Pipeline{DS: ds}
-
-	run := func(stage Stage, f func() error) error {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		if opts.Progress != nil {
-			opts.Progress(Progress{Stage: stage})
-		}
-		start := time.Now()
-		if err := f(); err != nil {
-			return err
-		}
-		elapsed := time.Since(start)
-		p.Times.set(stage, elapsed)
-		if opts.Progress != nil {
-			opts.Progress(Progress{Stage: stage, Done: true, Elapsed: elapsed})
-		}
-		return nil
-	}
+	run := stageRunner(ctx, opts.Progress, &p.Times)
 
 	if err := run(StageTensor, func() error {
 		p.Tensor = ds.Tensor()
@@ -257,17 +239,47 @@ func Build(ctx context.Context, ds *tagging.Dataset, opts Options) (*Pipeline, e
 	}
 
 	if err := run(StageIndex, func() error {
-		docs := make([]map[int]int, ds.Resources.Len())
-		for r, tagCounts := range ds.ResourceTags() {
-			docs[r] = ir.MapToConcepts(tagCounts, p.Assign)
-		}
-		p.Index = ir.BuildIndex(docs, p.K)
+		p.Index = buildConceptIndex(ds, p.Assign, p.K)
 		return nil
 	}); err != nil {
 		return nil, err
 	}
 
 	return p, nil
+}
+
+// buildConceptIndex builds the bag-of-concepts tf-idf index over the
+// dataset's resources for a given concept partition.
+func buildConceptIndex(ds *tagging.Dataset, assign []int, k int) *ir.Index {
+	docs := make([]map[int]int, ds.Resources.Len())
+	for r, tagCounts := range ds.ResourceTags() {
+		docs[r] = ir.MapToConcepts(tagCounts, assign)
+	}
+	return ir.BuildIndex(docs, k)
+}
+
+// stageRunner returns the per-stage execution wrapper shared by Build
+// and Update: context check, progress notifications, and wall-clock
+// accounting into times.
+func stageRunner(ctx context.Context, progress ProgressFunc, times *Timings) func(Stage, func() error) error {
+	return func(stage Stage, f func() error) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if progress != nil {
+			progress(Progress{Stage: stage})
+		}
+		start := time.Now()
+		if err := f(); err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		times.set(stage, elapsed)
+		if progress != nil {
+			progress(Progress{Stage: stage, Done: true, Elapsed: elapsed})
+		}
+		return nil
+	}
 }
 
 // Query answers a tag query by mapping the tags to concepts and ranking

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/embed"
+	"repro/internal/tagging"
+	"repro/internal/tucker"
+)
+
+// prevState packages a built pipeline as the previous state of an
+// incremental update.
+func prevState(p *Pipeline) *PrevState {
+	return &PrevState{
+		TagNames:      p.DS.Tags.Names(),
+		ResourceNames: p.DS.Resources.Names(),
+		Warm:          &tucker.WarmStart{Y2: p.Decomposition.Y2, Y3: p.Decomposition.Y3},
+		Embedding:     p.Embedding,
+		Assign:        p.Assign,
+		K:             p.K,
+	}
+}
+
+func paperOptions() Options {
+	return Options{
+		Tucker:   tucker.Options{J1: 3, J2: 2, J3: 3, Seed: 1},
+		Spectral: cluster.SpectralOptions{Sigma: 1, K: 2, Seed: 5},
+	}
+}
+
+// TestUpdateMatchesFullRebuildOnPaperExample is the golden parity check
+// of the incremental path: applying a small delta through Update must
+// produce the same concept partition — and therefore bit-identical
+// rankings — as rebuilding from scratch over the merged dataset.
+func TestUpdateMatchesFullRebuildOnPaperExample(t *testing.T) {
+	base := paperDataset()
+	prev := mustBuild(t, base, paperOptions())
+
+	// The delta: one more user annotates r2 with folk and r3 with laptop.
+	updated := paperDataset()
+	updated.Add("u4", "folk", "r2")
+	updated.Add("u4", "laptop", "r3")
+
+	inc, st, err := Update(context.Background(), updated, prevState(prev), paperOptions(), UpdateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := mustBuild(t, updated, paperOptions())
+
+	if inc.K != full.K {
+		t.Fatalf("K: incremental %d, full %d", inc.K, full.K)
+	}
+	pa, pb := canonicalPartition(inc.Assign), canonicalPartition(full.Assign)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("partitions diverge: incremental %v, full %v", inc.Assign, full.Assign)
+		}
+	}
+	// Partition-equal models index the same counts: rankings must be
+	// bit-identical (tf-idf weights depend only on the partition and the
+	// dataset, never on the factor matrices).
+	for tag := 0; tag < updated.Tags.Len(); tag++ {
+		name := updated.Tags.Name(tag)
+		ra, rb := inc.Query([]string{name}, 0), full.Query([]string{name}, 0)
+		if len(ra) != len(rb) {
+			t.Fatalf("query %q: %d vs %d results", name, len(ra), len(rb))
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("query %q result %d: %+v vs %+v", name, i, ra[i], rb[i])
+			}
+		}
+	}
+	if st.Sweeps < 1 || st.Fit <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.FullRecluster && st.MovedTags == 0 {
+		t.Fatalf("full recluster without moved tags: %+v", st)
+	}
+}
+
+// communityDataset builds a two-community corpus (music and code tags,
+// disjoint resources) large enough that a one-user delta moves only a
+// small fraction of tag rows — the regime the incremental path targets.
+func communityDataset(extraUsers int) *tagging.Dataset {
+	ds := tagging.NewDataset()
+	music := []string{"audio", "mp3", "songs", "jazz"}
+	code := []string{"code", "golang", "compiler", "parser"}
+	for ui := 0; ui < 6; ui++ {
+		u := "mu" + string(rune('a'+ui))
+		for ti := 0; ti < 2; ti++ {
+			for _, r := range []string{"m1", "m2", "m3", "m4"} {
+				ds.Add(u, music[(ui+ti)%len(music)], r)
+			}
+		}
+		u = "cu" + string(rune('a'+ui))
+		for ti := 0; ti < 2; ti++ {
+			for _, r := range []string{"c1", "c2", "c3", "c4"} {
+				ds.Add(u, code[(ui+ti)%len(code)], r)
+			}
+		}
+	}
+	for e := 0; e < extraUsers; e++ {
+		u := "xu" + string(rune('a'+e))
+		ds.Add(u, "jazz", "m1")
+		ds.Add(u, "jazz", "m2")
+		ds.Add(u, "audio", "m1")
+	}
+	return ds
+}
+
+func communityOptions() Options {
+	return Options{
+		Tucker:   tucker.Options{J1: 6, J2: 4, J3: 4, Seed: 1},
+		Spectral: cluster.SpectralOptions{K: 2, Seed: 1},
+	}
+}
+
+// TestUpdateKeepsStableConceptLabels pins label stability: tags whose
+// embedding rows did not move beyond the threshold keep their previous
+// concept id verbatim — serving-visible ids must not be re-numbered by
+// an incremental update — and the incremental partition matches a full
+// rebuild.
+func TestUpdateKeepsStableConceptLabels(t *testing.T) {
+	prev := mustBuild(t, communityDataset(0), communityOptions())
+
+	updated := communityDataset(2)
+	// The delta reshapes the whole music community a little; a 0.1
+	// relative threshold keeps the barely-touched tags (and the entire
+	// code community, which only rotates) stable.
+	uopts := UpdateOptions{MoveThreshold: 0.1, MaxMovedFraction: 0.9}
+	inc, st, err := Update(context.Background(), updated, prevState(prev), communityOptions(), uopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FullRecluster {
+		t.Fatalf("small delta forced a full recluster: %+v", st)
+	}
+	if st.MovedTags >= updated.Tags.Len() {
+		t.Fatalf("every tag moved on a one-community delta: %+v", st)
+	}
+
+	// Recompute each tag's displacement the way Update does and assert
+	// the unmoved ones kept their labels.
+	thr := uopts.moveThreshold()
+	for i := 0; i < updated.Tags.Len(); i++ {
+		name := updated.Tags.Name(i)
+		pi, ok := prev.DS.Tags.Lookup(name)
+		if !ok {
+			continue
+		}
+		d := embed.CrossDist(inc.Embedding, i, prev.Embedding, pi)
+		scale := prev.Embedding.RowNorm(pi)
+		if d <= thr*scale && inc.Assign[i] != prev.Assign[pi] {
+			t.Fatalf("tag %q re-labeled %d → %d though it moved only %v (scale %v)",
+				name, prev.Assign[pi], inc.Assign[i], d, scale)
+		}
+	}
+
+	// And the incremental partition agrees with a cold rebuild.
+	full := mustBuild(t, updated, communityOptions())
+	pa, pb := canonicalPartition(inc.Assign), canonicalPartition(full.Assign)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("partitions diverge: incremental %v, full %v", inc.Assign, full.Assign)
+		}
+	}
+}
+
+// TestUpdateHandlesNewTagsAndResources proves vocabulary growth: a delta
+// introducing a brand-new tag and resource flows through the warm-start
+// alignment, lands in some concept, and becomes searchable.
+func TestUpdateHandlesNewTagsAndResources(t *testing.T) {
+	base := paperDataset()
+	prev := mustBuild(t, base, paperOptions())
+
+	updated := paperDataset()
+	// A new "netbook" tag co-occurring with laptop on a new resource.
+	updated.Add("u2", "netbook", "r4")
+	updated.Add("u3", "netbook", "r4")
+	updated.Add("u2", "laptop", "r4")
+
+	inc, st, err := Update(context.Background(), updated, prevState(prev), paperOptions(), UpdateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NewTags != 1 {
+		t.Fatalf("NewTags = %d, want 1", st.NewTags)
+	}
+	id, ok := updated.Tags.Lookup("netbook")
+	if !ok {
+		t.Fatal("netbook missing from updated vocabulary")
+	}
+	if inc.Assign[id] < 0 || inc.Assign[id] >= inc.K {
+		t.Fatalf("netbook assigned to concept %d outside [0,%d)", inc.Assign[id], inc.K)
+	}
+	res := inc.Query([]string{"netbook"}, 0)
+	if len(res) == 0 {
+		t.Fatal("new tag not searchable after update")
+	}
+	found := false
+	r4, _ := updated.Resources.Lookup("r4")
+	for _, r := range res {
+		if r.Doc == r4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("query netbook misses its own resource: %v", res)
+	}
+}
+
+// TestUpdateRejectsIncompletePrevState pins the error contract.
+func TestUpdateRejectsIncompletePrevState(t *testing.T) {
+	ds := paperDataset()
+	p := mustBuild(t, ds, paperOptions())
+	good := prevState(p)
+	for _, bad := range []*PrevState{
+		nil,
+		{},
+		{TagNames: good.TagNames, ResourceNames: good.ResourceNames, Warm: &tucker.WarmStart{Y2: p.Decomposition.Y2}, Embedding: good.Embedding, Assign: good.Assign, K: good.K},
+		{TagNames: good.TagNames, ResourceNames: good.ResourceNames, Warm: good.Warm, Embedding: good.Embedding, Assign: good.Assign[:1], K: good.K},
+	} {
+		if _, _, err := Update(context.Background(), ds, bad, paperOptions(), UpdateOptions{}); err == nil {
+			t.Fatalf("prev state %+v: want error", bad)
+		}
+	}
+}
+
+// TestUpdateMoveThresholdExtremes exercises both threshold extremes: a
+// negative threshold re-clusters everything (full fallback), a huge one
+// re-clusters nothing.
+func TestUpdateMoveThresholdExtremes(t *testing.T) {
+	base := paperDataset()
+	prev := mustBuild(t, base, paperOptions())
+	updated := paperDataset()
+	updated.Add("u4", "folk", "r2")
+
+	_, stAll, err := Update(context.Background(), updated, prevState(prev), paperOptions(),
+		UpdateOptions{MoveThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stAll.FullRecluster || stAll.MovedTags != updated.Tags.Len() {
+		t.Fatalf("negative threshold: %+v", stAll)
+	}
+
+	inc, stNone, err := Update(context.Background(), updated, prevState(prev), paperOptions(),
+		UpdateOptions{MoveThreshold: math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stNone.MovedTags != 0 || stNone.ReclusteredTags != 0 || stNone.FullRecluster {
+		t.Fatalf("infinite threshold: %+v", stNone)
+	}
+	for i := range inc.Assign {
+		pi, _ := prev.DS.Tags.Lookup(updated.Tags.Name(i))
+		if inc.Assign[i] != prev.Assign[pi] {
+			t.Fatalf("infinite threshold changed labels: %v vs %v", inc.Assign, prev.Assign)
+		}
+	}
+}
+
+// TestUpdateCancellation: a cancelled context aborts between stages.
+func TestUpdateCancellation(t *testing.T) {
+	base := paperDataset()
+	prev := mustBuild(t, base, paperOptions())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := Update(ctx, paperDataset(), prevState(prev), paperOptions(), UpdateOptions{}); err == nil {
+		t.Fatal("want context error")
+	}
+}

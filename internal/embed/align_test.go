@@ -1,0 +1,159 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// rotate2 returns a copy of e with every row rotated by theta in the
+// (0,1) plane and columns sign-flipped per flip — the exact ambiguity
+// class successive ALS runs exhibit.
+func rotate2(e *TagEmbedding, theta float64, flip []float64) *TagEmbedding {
+	n, k := e.m.Dims()
+	out := mat.New(n, k)
+	c, s := math.Cos(theta), math.Sin(theta)
+	for i := 0; i < n; i++ {
+		src, dst := e.m.Row(i), out.Row(i)
+		copy(dst, src)
+		dst[0] = c*src[0] - s*src[1]
+		dst[1] = s*src[0] + c*src[1]
+		for j := range dst {
+			dst[j] *= flip[j]
+		}
+	}
+	return FromMatrix(out)
+}
+
+func randomEmbedding(n, k int, seed int64) *TagEmbedding {
+	rng := rand.New(rand.NewSource(seed))
+	m := mat.New(n, k)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return FromMatrix(m)
+}
+
+// TestAlignToUndoesRotationAndSignFlips is the core property: an
+// embedding that differs from the reference only by an orthogonal
+// transform aligns back onto it exactly, so no tag appears moved.
+func TestAlignToUndoesRotationAndSignFlips(t *testing.T) {
+	ref := randomEmbedding(12, 4, 1)
+	rotated := rotate2(ref, 1.1, []float64{1, -1, -1, 1})
+
+	pairs := make([]RowPair, ref.NumTags())
+	for i := range pairs {
+		pairs[i] = RowPair{A: i, B: i}
+	}
+	aligned := rotated.AlignTo(ref, pairs)
+	for i := 0; i < ref.NumTags(); i++ {
+		if d := CrossDist(aligned, i, ref, i); d > 1e-9 {
+			t.Fatalf("row %d still displaced by %v after alignment", i, d)
+		}
+	}
+}
+
+// TestAlignToPreservesRealDisplacement proves alignment does not hide a
+// genuine move: one row displaced before the rotation stays displaced by
+// (approximately) the same amount after it.
+func TestAlignToPreservesRealDisplacement(t *testing.T) {
+	ref := randomEmbedding(30, 4, 2)
+	movedRow := 7
+	pre := ref.Matrix().Clone()
+	for j := 0; j < 4; j++ {
+		pre.Set(movedRow, j, pre.At(movedRow, j)+3)
+	}
+	rotated := rotate2(FromMatrix(pre), 0.7, []float64{-1, 1, -1, 1})
+
+	pairs := make([]RowPair, ref.NumTags())
+	for i := range pairs {
+		pairs[i] = RowPair{A: i, B: i}
+	}
+	aligned := rotated.AlignTo(ref, pairs)
+	want := math.Sqrt(4 * 9.0) // the injected displacement, ‖(3,3,3,3)‖
+	got := CrossDist(aligned, movedRow, ref, movedRow)
+	if math.Abs(got-want) > 0.2*want {
+		t.Fatalf("moved row displacement %v, want ≈ %v", got, want)
+	}
+	for i := 0; i < ref.NumTags(); i++ {
+		if i == movedRow {
+			continue
+		}
+		if d := CrossDist(aligned, i, ref, i); d > 0.15*want {
+			t.Fatalf("unmoved row %d displaced by %v after alignment", i, d)
+		}
+	}
+}
+
+// TestAlignToDimensionMismatch: alignment maps into the reference
+// dimensionality, in both directions.
+func TestAlignToDimensionMismatch(t *testing.T) {
+	ref := randomEmbedding(8, 3, 3)
+	wide := randomEmbedding(8, 5, 4)
+	pairs := []RowPair{{A: 0, B: 0}, {A: 1, B: 1}, {A: 2, B: 2}}
+
+	if got := wide.AlignTo(ref, pairs).Dim(); got != 3 {
+		t.Fatalf("wide→narrow alignment dim %d, want 3", got)
+	}
+	if got := ref.AlignTo(wide, pairs).Dim(); got != 5 {
+		t.Fatalf("narrow→wide alignment dim %d, want 5", got)
+	}
+	// No pairs: a zero map, not a crash.
+	if got := wide.AlignTo(ref, nil); got.Dim() != 3 || got.NumTags() != 8 {
+		t.Fatalf("empty-pair alignment %dx%d", got.NumTags(), got.Dim())
+	}
+}
+
+// TestAlignToRankDeficientPairsKeepsIsometry: when the matched rows
+// span fewer dimensions than the embedding, the Procrustes map is
+// completed to a full partial isometry — aligned rows keep their norms
+// instead of collapsing (which would flag every tag as moved).
+func TestAlignToRankDeficientPairsKeepsIsometry(t *testing.T) {
+	ref := randomEmbedding(10, 4, 5)
+	// Make the three PAIRED rows collinear: rank-1 overlap.
+	d := []float64{1, 2, -1, 0.5}
+	for _, i := range []int{0, 1, 2} {
+		for j := 0; j < 4; j++ {
+			ref.Matrix().Set(i, j, float64(i+1)*d[j])
+		}
+	}
+	rotated := rotate2(ref, 0.9, []float64{-1, 1, 1, -1})
+	pairs := []RowPair{{A: 0, B: 0}, {A: 1, B: 1}, {A: 2, B: 2}}
+
+	aligned := rotated.AlignTo(ref, pairs)
+	for i := 0; i < ref.NumTags(); i++ {
+		got, want := aligned.RowNorm(i), rotated.RowNorm(i)
+		if math.Abs(got-want) > 1e-9*math.Max(1, want) {
+			t.Fatalf("row %d norm shrank under rank-deficient alignment: %v -> %v", i, want, got)
+		}
+	}
+	// The paired (collinear) rows still align exactly.
+	for _, p := range pairs {
+		if dd := CrossDist(aligned, p.A, ref, p.B); dd > 1e-9 {
+			t.Fatalf("paired row %d displaced by %v", p.A, dd)
+		}
+	}
+}
+
+// TestCrossDistAndRowNorm pin the cross-embedding primitives.
+func TestCrossDistAndRowNorm(t *testing.T) {
+	a := FromMatrix(mat.FromRows([][]float64{{3, 4}}))
+	b := FromMatrix(mat.FromRows([][]float64{{0, 0, 0}}))
+	if got := a.RowNorm(0); got != 5 {
+		t.Fatalf("RowNorm = %v, want 5", got)
+	}
+	// Differing dims: missing components count as zero.
+	if got := CrossDist(a, 0, b, 0); got != 5 {
+		t.Fatalf("CrossDist = %v, want 5", got)
+	}
+	if got := CrossDist(b, 0, a, 0); got != 5 {
+		t.Fatalf("CrossDist (swapped) = %v, want 5", got)
+	}
+	if got := CrossDist(a, 0, a, 0); got != 0 {
+		t.Fatalf("self CrossDist = %v", got)
+	}
+}

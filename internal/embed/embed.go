@@ -91,6 +91,146 @@ func (e *TagEmbedding) sqDist(i, j int) float64 {
 	return s
 }
 
+// CrossDist returns the Euclidean distance between row i of a and row j
+// of b — the displacement of one tag between two embeddings. The
+// embeddings may have different dimensionalities (core ranks can change
+// between builds); missing trailing components count as zero, matching
+// the Theorem 2 quadratic form, which sums only the available terms.
+func CrossDist(a *TagEmbedding, i int, b *TagEmbedding, j int) float64 {
+	ra, rb := a.m.Row(i), b.m.Row(j)
+	if len(rb) > len(ra) {
+		ra, rb = rb, ra
+	}
+	var s float64
+	for k, v := range ra {
+		var w float64
+		if k < len(rb) {
+			w = rb[k]
+		}
+		d := v - w
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// RowNorm returns the Euclidean norm of tag i's embedding row — the
+// scale against which a row displacement is judged "moved".
+func (e *TagEmbedding) RowNorm(i int) float64 {
+	var s float64
+	for _, v := range e.m.Row(i) {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// RowPair matches a row of one embedding with a row of another — the
+// same tag under two different builds' id assignments.
+type RowPair struct{ A, B int }
+
+// AlignTo solves the orthogonal Procrustes problem between two builds'
+// embeddings: factor matrices are only defined up to column sign flips
+// and rotations within near-degenerate singular subspaces, so raw rows
+// of successive embeddings are not comparable. AlignTo finds the
+// orthogonal map Q = argmin Σ ‖EₐQ − Rᵦ‖² over the matched pairs (via
+// the SVD of EᵀR) and returns the embedding E·Q, rotated into ref's
+// frame: displacement of a tag between builds is then the Euclidean
+// distance between its aligned row and its ref row, immune to the
+// rotation ambiguity. When the two dimensionalities differ, Q maps into
+// ref's dimensionality and the alignment is least-squares rather than
+// exactly isometric.
+func (e *TagEmbedding) AlignTo(ref *TagEmbedding, pairs []RowPair) *TagEmbedding {
+	k, kr := e.Dim(), ref.Dim()
+	if k == 0 || kr == 0 {
+		return &TagEmbedding{m: mat.New(e.NumTags(), kr)}
+	}
+	m := mat.New(k, kr)
+	for _, p := range pairs {
+		ea, rb := e.Row(p.A), ref.Row(p.B)
+		for a, va := range ea {
+			row := m.Row(a)
+			for b, vb := range rb {
+				row[b] += va * vb
+			}
+		}
+	}
+	svd := mat.ThinSVD(m)
+	// ThinSVD zeroes the singular-vector columns of null singular values,
+	// which would make Q rank-deficient when the matched rows span fewer
+	// dimensions than the embeddings — and a norm-shrinking Q would
+	// overestimate every row's displacement. Complete the null directions
+	// to orthonormal bases (any completion is a Procrustes optimum; this
+	// one is deterministic) so Q is a partial isometry of full rank.
+	u := completeBasis(svd.U, svd.S)
+	v := completeBasis(svd.V, svd.S)
+	q := mat.MulT(u, v) // U·Vᵀ, the Procrustes optimum
+	return &TagEmbedding{m: mat.Mul(e.m, q)}
+}
+
+// completeBasis replaces the numerically unreliable columns of a
+// singular-vector matrix with a deterministic orthonormal completion
+// (Gram–Schmidt over the standard basis vectors). Columns belonging to
+// singular values below smax·1e-6 are treated as null: ThinSVD zeroes
+// the exactly-null ones, and the near-null ones are noise-derived (the
+// Gram-matrix route loses half the precision), so neither is a usable
+// direction — while any genuinely informative overlap direction sits
+// far above the cutoff.
+func completeBasis(b *mat.Matrix, s []float64) *mat.Matrix {
+	n, k := b.Dims()
+	var smax float64
+	for _, v := range s {
+		if v > smax {
+			smax = v
+		}
+	}
+	tol := smax * 1e-6
+	deficient := make([]int, 0, k)
+	for j := 0; j < k; j++ {
+		if j >= len(s) || s[j] <= tol {
+			deficient = append(deficient, j)
+		}
+	}
+	if len(deficient) == 0 {
+		return b
+	}
+	out := b.Clone()
+	col := make([]float64, n)
+	for _, j := range deficient {
+		for cand := 0; cand < n; cand++ {
+			for i := range col {
+				col[i] = 0
+			}
+			col[cand] = 1
+			// Orthogonalize against every other column (not-yet-completed
+			// deficient columns are zero, so they no-op here and later
+			// orthogonalize against this one — no candidate is reused).
+			for c := 0; c < k; c++ {
+				if c == j {
+					continue
+				}
+				var dot float64
+				for i := 0; i < n; i++ {
+					dot += col[i] * out.At(i, c)
+				}
+				for i := 0; i < n; i++ {
+					col[i] -= dot * out.At(i, c)
+				}
+			}
+			var norm float64
+			for _, v := range col {
+				norm += v * v
+			}
+			if norm > 1e-6 {
+				norm = math.Sqrt(norm)
+				for i := 0; i < n; i++ {
+					out.Set(i, j, col[i]/norm)
+				}
+				break
+			}
+		}
+	}
+	return out
+}
+
 // Neighbor is one entry of a nearest-neighbor list.
 type Neighbor struct {
 	// Tag is the neighbor's tag id.

@@ -60,6 +60,26 @@ func (s SketchOptions) minColumns() int {
 	return s.MinColumns
 }
 
+// WarmStart carries mode-2 and mode-3 factor matrices from a previous
+// decomposition, used as the initial factors of the ALS sweep instead of
+// the HOSVD initialization. A good warm start (for example, the factors
+// of the same corpus before a small assignment delta) lands the first
+// sweep near the fixed point, so the fit-improvement stopping rule
+// triggers after fewer sweeps than a cold start — the factors still
+// converge to the ALS fixed point of the *current* tensor; the warm
+// start is an accelerator, not an approximation.
+//
+// Rows must be pre-aligned to the current tensor's mode-2/mode-3 index
+// spaces by the caller (entities can appear, disappear or move between
+// builds). The matrices may have any shape: rows and columns are
+// truncated or padded as needed and the result is re-orthonormalized
+// before the first sweep.
+type WarmStart struct {
+	// Y2 seeds the mode-2 (tag) factor, Y3 the mode-3 (resource) factor.
+	// Mode 1 needs no seed: the sweep computes it first, from Y2 and Y3.
+	Y2, Y3 *mat.Matrix
+}
+
 // Options configures Decompose.
 type Options struct {
 	// J1, J2, J3 are the target core dimensions. The paper specifies them
@@ -85,6 +105,10 @@ type Options struct {
 	// SkipHOSVDInit starts from random orthonormal factors instead of the
 	// HOSVD of the raw unfoldings. Mainly for tests and ablations.
 	SkipHOSVDInit bool
+	// WarmStart, if non-nil, seeds the sweep with previous factor
+	// matrices instead of the HOSVD initialization (see WarmStart). Nil
+	// keeps the cold-start path bit-identical to previous releases.
+	WarmStart *WarmStart
 }
 
 // FromRatios returns core dimensions Jₙ = max(1, round(Iₙ/cₙ)) for a
@@ -161,6 +185,9 @@ func validateOptions(opts Options) error {
 	if opts.Sketch.MinColumns < 0 {
 		return fmt.Errorf("%w: Sketch.MinColumns must be non-negative, got %d", ErrInvalidOptions, opts.Sketch.MinColumns)
 	}
+	if opts.WarmStart != nil && (opts.WarmStart.Y2 == nil || opts.WarmStart.Y3 == nil) {
+		return fmt.Errorf("%w: WarmStart requires both Y2 and Y3", ErrInvalidOptions)
+	}
 	return nil
 }
 
@@ -199,7 +226,10 @@ func DecomposeContext(ctx context.Context, f *tensor.Sparse3, opts Options) (*De
 	// eigensolver runs with a loose budget here.
 	initSub := mat.SubspaceOptions{Seed: opts.Seed, MaxIter: 48, Tol: 1e-4, Workers: opts.Workers}
 	var y2, y3 *mat.Matrix
-	if opts.SkipHOSVDInit {
+	if opts.WarmStart != nil {
+		y2 = adaptFactor(opts.WarmStart.Y2, i2, j2, opts.Seed+1)
+		y3 = adaptFactor(opts.WarmStart.Y3, i3, j3, opts.Seed+2)
+	} else if opts.SkipHOSVDInit {
 		y2 = randomOrthonormal(i2, j2, opts.Seed+1)
 		y3 = randomOrthonormal(i3, j3, opts.Seed+2)
 	} else {
@@ -342,6 +372,36 @@ func leadingLeft(w *mat.Matrix, j int, sub mat.SubspaceOptions, sk SketchOptions
 		}, skSub)
 	}
 	return mat.LeftSVD(w, j, sub)
+}
+
+// adaptFactor reshapes a warm-start factor to the current mode dimension
+// and core rank: the overlapping block is copied, entities and columns
+// the previous factor does not cover are filled with small deterministic
+// pseudo-random noise (so no column is degenerate), and the result is
+// re-orthonormalized. The noise scale is far below the unit-norm signal
+// of the copied columns, so the warm subspace dominates the first sweep.
+func adaptFactor(src *mat.Matrix, rows, cols int, seed uint64) *mat.Matrix {
+	sr, sc := src.Dims()
+	out := mat.New(rows, cols)
+	state := seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	next := func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(state>>11)/(1<<53) - 0.5
+	}
+	const noise = 1e-3
+	for i := 0; i < rows; i++ {
+		dst := out.Row(i)
+		for j := 0; j < cols; j++ {
+			if i < sr && j < sc {
+				dst[j] = src.At(i, j)
+			} else {
+				dst[j] = noise * next()
+			}
+		}
+	}
+	return mat.Orthonormalize(out)
 }
 
 // randomOrthonormal returns an n×k matrix with orthonormal columns drawn

@@ -172,6 +172,88 @@ func TestLoadV1ModelUpgradesToEmbedding(t *testing.T) {
 	}
 }
 
+// TestLoadV2ModelGainsLifecycleDefaults proves the v2 → v3 migration
+// path: a model saved in the previous (v2) format loads with lifecycle
+// defaults — version normalized to 1, no fingerprint, no warm factors —
+// and re-saving upgrades it in place to v3 with identical rankings.
+func TestLoadV2ModelGainsLifecycleDefaults(t *testing.T) {
+	eng := buildCorpus(t)
+	var v2 bytes.Buffer
+	if err := codec.WriteV2(&v2, &codec.Model{ //nolint:staticcheck // migration test exercises the v2 writer
+		Lowercase:   true,
+		Assignments: eng.Stats().Assignments,
+		Users:       eng.users,
+		Tags:        eng.tags.Names(),
+		Resources:   eng.resources.Names(),
+		CoreDims:    eng.Stats().CoreDims,
+		Fit:         eng.Stats().Fit,
+		Embedding:   eng.emb.Matrix(),
+		Assign:      eng.assign,
+		K:           eng.k,
+		Index:       eng.index,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := Load(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Version() != 1 {
+		t.Fatalf("v2 model version %d, want normalized 1", loaded.Version())
+	}
+	if loaded.SourceFingerprint() != "" {
+		t.Fatalf("v2 model fingerprint %q, want unknown", loaded.SourceFingerprint())
+	}
+	if loaded.Stats().Sweeps != 0 {
+		t.Fatalf("v2 model sweeps %d, want 0 (not recorded)", loaded.Stats().Sweeps)
+	}
+
+	// Re-save upgrades to v3; rankings are unchanged.
+	var v3 bytes.Buffer
+	if err := loaded.Save(&v3); err != nil {
+		t.Fatal(err)
+	}
+	upgraded, err := Load(&v3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upgraded.Version() != 1 {
+		t.Fatalf("upgraded version %d, want 1", upgraded.Version())
+	}
+	for _, q := range [][]string{{"mp3"}, {"audio", "songs"}, {"code"}} {
+		a := loaded.Query(NewQuery(q))
+		b := upgraded.Query(NewQuery(q))
+		if len(a) != len(b) {
+			t.Fatalf("query %v: %d vs %d results", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %v result %d: %+v vs %+v", q, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestLoadV1ModelWarmStartsFromDecomposition: v1 files ship the full
+// decomposition, so the loaded engine can warm-start a NewIndex even
+// though v1 predates the warm-start section.
+func TestLoadV1ModelWarmStartsFromDecomposition(t *testing.T) {
+	v1Bytes, _, _ := buildV1Bytes(t, true)
+	legacy, err := Load(bytes.NewReader(v1Bytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := NewIndex(context.Background(), FromAssignments(corpus()),
+		WithConfig(testConfig()), WithPreviousModel(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.Snapshot().Version(); got != 2 {
+		t.Fatalf("warm-started version %d, want 2", got)
+	}
+}
+
 // TestRelatedTagsMatchesLegacyScan pins the heap-based RelatedTags to
 // the result a dense-matrix scan produces: a v1 model without a Tucker
 // section loads onto the matrix fallback (EmbeddingDim 0, Save refused),

@@ -9,43 +9,77 @@ import (
 	"repro/internal/codec"
 	"repro/internal/embed"
 	"repro/internal/tagging"
+	"repro/internal/tucker"
 )
+
+// SaveOption configures Save.
+type SaveOption func(*saveSettings)
+
+type saveSettings struct{ dropWarm bool }
+
+// WithoutWarmFactors omits the warm-start factor section from the
+// saved model: the file shrinks by roughly 8·(|T|·k₂ + |R|·j₃) bytes —
+// about half of a default lifecycle model — but the saved model can no
+// longer seed NewIndex(..., WithPreviousModel(...)) warm starts. Use it
+// for serving-only deployments that will never rebuild incrementally.
+func WithoutWarmFactors() SaveOption {
+	return func(s *saveSettings) { s.dropWarm = true }
+}
 
 // Save serializes the engine's model — vocabularies, the |T|×k₂ tag
 // embedding, decomposition statistics, concept assignment, and index —
 // so a separate serving process can Load it and answer queries with
 // bit-identical rankings, without re-running the offline pipeline.
-// Models are written in format v2, which carries no Tucker factor
-// matrices at all (serving needs none): file size is linear in the
-// vocabularies instead of quadratic. Loading a v1 model and saving it
-// again upgrades it in place.
-func (e *Engine) Save(w io.Writer) error {
+// Models are written in format v3: still linear in the vocabularies
+// (no dense matrices, no mode-1 factor), now carrying the lifecycle
+// header — model version, source fingerprint, sweep count — and, when
+// the engine has them, the mode-2/mode-3 factor matrices so a later
+// NewIndex(..., WithPreviousModel(eng)) can warm-start its rebuild
+// (drop them with WithoutWarmFactors). Loading a v1 or v2 model and
+// saving it again upgrades it in place.
+func (e *Engine) Save(w io.Writer, opts ...SaveOption) error {
 	if e.emb == nil {
-		return errors.New("cubelsi: model carries no tag embedding (legacy v1 file without a decomposition); rebuild it to save in the v2 format")
+		return errors.New("cubelsi: model carries no tag embedding (legacy v1 file without a decomposition); rebuild it to save in the current format")
+	}
+	var settings saveSettings
+	for _, o := range opts {
+		o(&settings)
+	}
+	warm := e.warm
+	if settings.dropWarm {
+		warm = nil
+	}
+	version := e.version
+	if version == 0 {
+		version = 1
 	}
 	return codec.Write(w, &codec.Model{
-		Lowercase:   e.lowercase,
-		Assignments: e.stats.Assignments,
-		Users:       e.users,
-		Tags:        e.tags.Names(),
-		Resources:   e.resources.Names(),
-		CoreDims:    e.stats.CoreDims,
-		Fit:         e.stats.Fit,
-		Embedding:   e.emb.Matrix(),
-		Assign:      e.assign,
-		K:           e.k,
-		Index:       e.index,
+		Lowercase:    e.lowercase,
+		Assignments:  e.stats.Assignments,
+		Users:        e.users,
+		Tags:         e.tags.Names(),
+		Resources:    e.resources.Names(),
+		CoreDims:     e.stats.CoreDims,
+		Fit:          e.stats.Fit,
+		ModelVersion: version,
+		Fingerprint:  e.fingerprint,
+		Sweeps:       e.stats.Sweeps,
+		Warm:         warm,
+		Embedding:    e.emb.Matrix(),
+		Assign:       e.assign,
+		K:            e.k,
+		Index:        e.index,
 	})
 }
 
 // SaveFile writes the model to path.
-func (e *Engine) SaveFile(path string) error {
+func (e *Engine) SaveFile(path string, opts ...SaveOption) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("cubelsi: %w", err)
 	}
 	defer f.Close()
-	if err := e.Save(f); err != nil {
+	if err := e.Save(f, opts...); err != nil {
 		return err
 	}
 	if err := f.Close(); err != nil {
@@ -76,9 +110,10 @@ func Load(r io.Reader) (*Engine, error) {
 		Concepts:    m.K,
 		CoreDims:    m.CoreDims,
 		Fit:         m.Fit,
+		Sweeps:      m.Sweeps,
 	}
 
-	// Tag semantics, newest representation first: a v2 embedding as
+	// Tag semantics, newest representation first: a v2+ embedding as
 	// stored; a v1 file with a decomposition has its embedding derived
 	// (the in-place upgrade path); a v1 file without one falls back to
 	// serving from the dense matrix it shipped.
@@ -95,17 +130,32 @@ func Load(r io.Reader) (*Engine, error) {
 		st.EmbeddingDim = emb.Dim()
 	}
 
+	// Lifecycle: pre-v3 files carry no version (normalize to 1) and no
+	// warm factors — except v1 files shipping a full decomposition,
+	// whose factors warm-start as well as freshly built ones.
+	version := m.ModelVersion
+	if version == 0 {
+		version = 1
+	}
+	warm := m.Warm
+	if warm == nil && m.Decomp != nil {
+		warm = &tucker.WarmStart{Y2: m.Decomp.Y2, Y3: m.Decomp.Y3}
+	}
+
 	return &Engine{
-		lowercase: m.Lowercase,
-		users:     m.Users,
-		tags:      tags,
-		resources: resources,
-		emb:       emb,
-		distances: distances,
-		assign:    m.Assign,
-		k:         m.K,
-		index:     m.Index,
-		stats:     st,
+		lowercase:   m.Lowercase,
+		version:     version,
+		fingerprint: m.Fingerprint,
+		warm:        warm,
+		users:       m.Users,
+		tags:        tags,
+		resources:   resources,
+		emb:         emb,
+		distances:   distances,
+		assign:      m.Assign,
+		k:           m.K,
+		index:       m.Index,
+		stats:       st,
 	}, nil
 }
 
