@@ -167,7 +167,10 @@ func TestSearchBatchMatchesSingleQueries(t *testing.T) {
 		NewQuery([]string{"golang", "compiler"}, WithLimit(3)),
 		NewQuery(nil, WithConcepts(0)),
 	}
-	batch := eng.SearchBatch(queries)
+	batch, err := eng.SearchBatch(queries)
+	if err != nil {
+		t.Fatalf("SearchBatch: %v", err)
+	}
 	if len(batch) != len(queries) {
 		t.Fatalf("batch has %d entries for %d queries", len(batch), len(queries))
 	}
@@ -182,8 +185,8 @@ func TestSearchBatchMatchesSingleQueries(t *testing.T) {
 			}
 		}
 	}
-	if out := eng.SearchBatch(nil); len(out) != 0 {
-		t.Fatalf("empty batch returned %v", out)
+	if out, err := eng.SearchBatch(nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty batch returned %v, %v", out, err)
 	}
 }
 

@@ -109,6 +109,7 @@ type buildSettings struct {
 	progress      ProgressFunc
 	exactSpectral bool
 	tuckerWorkers int
+	shards        int
 	sketch        tucker.SketchOptions
 
 	// Incremental-lifecycle knobs, consumed by NewIndex and Index.Apply.
@@ -145,6 +146,20 @@ func WithExactSpectral() BuildOption {
 // this knob trades only wall-clock, never reproducibility.
 func WithTuckerParallelism(workers int) BuildOption {
 	return func(s *buildSettings) { s.tuckerWorkers = workers }
+}
+
+// WithShards partitions the tag-row stages of the offline pipeline —
+// the mode-n unfolding products inside the ALS sweep, the Theorem 2
+// embedding projection, the k-means assignment scans, and the
+// incremental move-detection and re-assignment scans of Index.Apply —
+// into n contiguous row blocks, each processed as one bounded unit of
+// work. Shard results merge through deterministic reductions, so
+// partitions, rankings and (on the exact path) factors are bit-identical
+// at any shard count: like WithTuckerParallelism, the knob trades only
+// peak per-unit work and wall clock, never reproducibility. Zero or one
+// (the default) keeps the monolithic single-block build.
+func WithShards(n int) BuildOption {
+	return func(s *buildSettings) { s.shards = n }
 }
 
 // WithSketch switches the ALS sweep's leading-left SVDs of large
@@ -266,6 +281,7 @@ func coreOptions(settings buildSettings, st tagging.Stats) core.Options {
 			Seed:  cfg.Seed,
 		},
 		ExactSpectral: settings.exactSpectral,
+		Shards:        settings.shards,
 		Progress:      settings.progress,
 	}
 }

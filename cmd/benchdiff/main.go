@@ -2,11 +2,11 @@
 // by cmd/benchoffline. It has two modes:
 //
 //	benchdiff compare -base base.json -head head.json [-threshold 0.25] [-min-ms 25]
-//	    Compare the decompose/build timings of a PR's benchmark run
-//	    against the merge-base run and fail (exit 1) when a tracked
-//	    metric regresses by more than threshold AND by more than min-ms
-//	    of absolute wall clock (the floor keeps sub-millisecond jitter on
-//	    tiny CI presets from tripping the gate).
+//	    Compare the decompose/build/update/shard timings of a PR's
+//	    benchmark run against the merge-base run and fail (exit 1) when a
+//	    tracked metric regresses by more than threshold AND by more than
+//	    min-ms of absolute wall clock (the floor keeps sub-millisecond
+//	    jitter on tiny CI presets from tripping the gate).
 //
 //	benchdiff sizecheck -in BENCH_offline.json [-min-tags 5000] [-min-ratio 10]
 //	    Assert the v1/v2 model-size ratio of every size_scaling point at
@@ -40,6 +40,12 @@ type benchFile struct {
 			Millis  float64 `json:"ms"`
 		} `json:"workers"`
 	} `json:"decompose"`
+	Shard struct {
+		Points []struct {
+			Shards int     `json:"shards"`
+			Millis float64 `json:"ms"`
+		} `json:"shards"`
+	} `json:"shard"`
 	Update struct {
 		FullRebuildMS float64 `json:"full_rebuild_ms"`
 		WarmApplyMS   float64 `json:"warm_apply_ms"`
@@ -87,6 +93,13 @@ func timings(b *benchFile) []metric {
 			name: fmt.Sprintf("decompose.workers[%d].ms", w.Workers),
 			ms:   w.Millis,
 			ok:   w.Millis > 0,
+		})
+	}
+	for _, s := range b.Shard.Points {
+		ms = append(ms, metric{
+			name: fmt.Sprintf("shard.shards[%d].ms", s.Shards),
+			ms:   s.Millis,
+			ok:   s.Millis > 0,
 		})
 	}
 	return ms

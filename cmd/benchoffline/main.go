@@ -9,6 +9,10 @@
 //     exact-spectral (seed) pipeline on a generated corpus, per stage.
 //   - decompose: the ALS decomposition timed across worker-pool sizes
 //     plus the sketched path.
+//   - shard: the sharded tag-row stages (mode-2 unfolding product,
+//     embedding projection, concept k-means) timed at 1, 2 and 4
+//     shards, with a recomputed bit-identity check against the
+//     single-shard reference.
 //   - update: the incremental lifecycle — warm-started Index.Apply of a
 //     ~1% assignment delta vs a cold full rebuild (sweep counts and
 //     wall clock; the CI perf gate tracks both timings).
@@ -22,7 +26,7 @@
 //	benchoffline [-preset tiny|delicious|bibsonomy|lastfm]
 //	             [-out BENCH_offline.json] [-scale-tags 1000,5000]
 //	             [-skip-exact] [-skip-update] [-update-delta 0.01]
-//	             [-queries 256]
+//	             [-shards N] [-skip-shard-scan] [-queries 256]
 package main
 
 import (
@@ -43,6 +47,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/embed"
 	"repro/internal/ir"
 	"repro/internal/mat"
 	"repro/internal/tagging"
@@ -93,6 +98,30 @@ type decomposeReport struct {
 	// SpeedupMaxWorkers is ms(workers=1) / ms(workers=GOMAXPROCS).
 	SpeedupMaxWorkers float64      `json:"speedup_max_workers"`
 	Sketched          *sketchPoint `json:"sketched,omitempty"`
+}
+
+// shardScalePoint is one timed pass over the sharded tag-row stages —
+// a mode-2 projected unfolding product (the ALS sweep's unit), the
+// Theorem 2 embedding projection, and the concept k-means — at a fixed
+// shard count.
+type shardScalePoint struct {
+	Shards    int     `json:"shards"`
+	Millis    float64 `json:"ms"` // unfold + embed + cluster
+	UnfoldMS  float64 `json:"unfold_ms"`
+	EmbedMS   float64 `json:"embed_ms"`
+	ClusterMS float64 `json:"cluster_ms"`
+}
+
+// shardReport is the shard-scaling record: the same sharded stages timed
+// at 1, 2 and 4 shards. Partitions and embeddings are bit-identical
+// across the scan (ParityWithSingleShard records the check, recomputed
+// every run), so the points measure only how the work divides.
+type shardReport struct {
+	Points                []shardScalePoint `json:"shards"`
+	ParityWithSingleShard bool              `json:"parity_with_single_shard"`
+	// SpeedupMaxShards is ms(shards=1) / ms(shards=4) — above 1 only
+	// when the shard blocks actually run concurrently (multi-core).
+	SpeedupMaxShards float64 `json:"speedup_max_shards"`
 }
 
 // updateReport records the incremental-lifecycle benchmark: a
@@ -152,6 +181,7 @@ type report struct {
 	Assignments int             `json:"assignments"`
 	Build       buildReport     `json:"build"`
 	Decompose   decomposeReport `json:"decompose"`
+	Shard       *shardReport    `json:"shard,omitempty"`
 	Update      *updateReport   `json:"update,omitempty"`
 	Model       modelReport     `json:"model"`
 	Query       queryReport     `json:"query"`
@@ -164,6 +194,8 @@ func main() {
 	scaleTags := flag.String("scale-tags", "1000,5000", "comma-separated tag counts for the size-scaling section")
 	skipExact := flag.Bool("skip-exact", false, "skip the exact-spectral comparison build")
 	skipDecomposeScan := flag.Bool("skip-decompose-scan", false, "skip the per-worker decompose scaling scan")
+	skipShardScan := flag.Bool("skip-shard-scan", false, "skip the per-shard scaling scan of the tag-row stages")
+	shards := flag.Int("shards", 0, "shard count for the headline builds (0/1 = monolithic; results identical at any value)")
 	skipUpdate := flag.Bool("skip-update", false, "skip the incremental-update (warm-start vs rebuild) benchmark")
 	updateDelta := flag.Float64("update-delta", 0.01, "assignment fraction of the update-benchmark delta")
 	updateMove := flag.Float64("update-move-threshold", 0.25, "relative row-displacement threshold for the update benchmark's re-clustering (the synthetic corpora are noisier than real folksonomies, so this sits above the library default to keep the move-bounded path — the one the gate must track — engaged)")
@@ -200,6 +232,7 @@ func main() {
 			Workers: *workers,
 		},
 		Spectral: cluster.SpectralOptions{K: k, Seed: params.Seed},
+		Shards:   *shards,
 	}
 
 	fmt.Fprintf(os.Stderr, "benchoffline: embedding-first build (|T|=%d, k2=%d)\n", st.Tags, j2)
@@ -227,6 +260,11 @@ func main() {
 
 	if !*skipDecomposeScan {
 		rep.Decompose = scanDecompose(p, opts.Tucker)
+	}
+
+	if !*skipShardScan {
+		sh := scanShards(p, opts)
+		rep.Shard = &sh
 	}
 
 	if !*skipUpdate {
@@ -352,6 +390,71 @@ func scanDecompose(p *core.Pipeline, tuck tucker.Options) decomposeReport {
 	rep.Sketched = &sketchPoint{Millis: ms, Fit: d.Fit}
 	if ms > 0 {
 		rep.Sketched.Speedup = exactMS / ms
+	}
+	return rep
+}
+
+// scanShards re-runs the sharded tag-row stages of the already-built
+// pipeline — one mode-2 projected unfolding product (the per-sweep ALS
+// unit the shards bound), the Theorem 2 embedding projection, and the
+// concept k-means — at 1, 2 and 4 shards, asserting along the way that
+// every shard count reproduces the single-shard partition and embedding
+// bit for bit. The decomposition itself is not repeated: sharding
+// changes how the work divides, never what it computes, so the
+// interesting numbers are the per-stage times of the stages that shard.
+func scanShards(p *core.Pipeline, opts core.Options) shardReport {
+	rep := shardReport{ParityWithSingleShard: true}
+	var refEmb []float64
+	var refAssign []int
+	ms := func(start time.Time) float64 { return float64(time.Since(start).Nanoseconds()) / 1e6 }
+
+	for _, s := range []int{1, 2, 4} {
+		fmt.Fprintf(os.Stderr, "benchoffline: shard scan, shards=%d\n", s)
+		pt := shardScalePoint{Shards: s}
+
+		start := time.Now()
+		tensor.ProjectedUnfoldSharded(p.Tensor, 2, p.Decomposition.Y1, p.Decomposition.Y3, opts.Tucker.Workers, s)
+		pt.UnfoldMS = ms(start)
+
+		start = time.Now()
+		emb := embed.FromDecompositionSharded(p.Decomposition, s)
+		pt.EmbedMS = ms(start)
+
+		sOpts := opts.Spectral
+		sOpts.Shards = s
+		start = time.Now()
+		res := cluster.ConceptKMeans(emb.Matrix(), p.Decomposition.Lambda[1], sOpts)
+		pt.ClusterMS = ms(start)
+
+		pt.Millis = pt.UnfoldMS + pt.EmbedMS + pt.ClusterMS
+		rep.Points = append(rep.Points, pt)
+
+		if s == 1 {
+			refEmb = emb.Matrix().Data()
+			refAssign = res.Assign
+			continue
+		}
+		for i, v := range refEmb {
+			if emb.Matrix().Data()[i] != v {
+				rep.ParityWithSingleShard = false
+				break
+			}
+		}
+		for i, c := range refAssign {
+			if res.Assign[i] != c {
+				rep.ParityWithSingleShard = false
+				break
+			}
+		}
+	}
+	if !rep.ParityWithSingleShard {
+		// The contract is bit-identity; a divergence is a bug worth
+		// failing the benchmark loudly over, not just recording.
+		fatal(fmt.Errorf("shard scan: sharded stages diverged from the single-shard reference"))
+	}
+	last := rep.Points[len(rep.Points)-1]
+	if last.Millis > 0 {
+		rep.SpeedupMaxShards = rep.Points[0].Millis / last.Millis
 	}
 	return rep
 }

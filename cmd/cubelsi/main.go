@@ -53,6 +53,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	progress := flag.Bool("progress", false, "report pipeline stages on stderr")
 	workers := flag.Int("workers", 0, "ALS worker pool bound (0 = all CPUs, 1 = serial; factors are identical at any value)")
+	shards := flag.Int("shards", 0, "partition the tag-row pipeline stages into this many contiguous blocks (0/1 = monolithic; results are identical at any value)")
 	sketch := flag.Bool("sketch", false, "use the randomized range finder for large-mode SVDs (faster, near-optimal fit)")
 	sketchOversample := flag.Int("sketch-oversample", 0, "extra sketch columns beyond the core dimension (0 = default 8; implies -sketch)")
 	sketchPower := flag.Int("sketch-power", 0, "sketch power-iteration rounds (0 = default 2; implies -sketch)")
@@ -66,7 +67,7 @@ func main() {
 	bf := buildFlags{
 		ratio: *ratio, concepts: *concepts, minSupport: *minSupport,
 		seed: *seed, progress: *progress,
-		workers: *workers,
+		workers: *workers, shards: *shards,
 		// Tuning a sketch parameter is asking for the sketch.
 		sketch:           *sketch || *sketchOversample != 0 || *sketchPower != 0,
 		sketchOversample: *sketchOversample, sketchPower: *sketchPower,
@@ -139,6 +140,7 @@ type buildFlags struct {
 	seed             int64
 	progress         bool
 	workers          int
+	shards           int
 	sketch           bool
 	sketchOversample int
 	sketchPower      int
@@ -155,6 +157,9 @@ func (bf buildFlags) options() ([]cubelsi.BuildOption, error) {
 	opts := []cubelsi.BuildOption{cubelsi.WithConfig(cfg)}
 	if bf.workers != 0 {
 		opts = append(opts, cubelsi.WithTuckerParallelism(bf.workers))
+	}
+	if bf.shards > 1 {
+		opts = append(opts, cubelsi.WithShards(bf.shards))
 	}
 	if bf.sketch {
 		opts = append(opts, cubelsi.WithSketch(bf.sketchOversample, bf.sketchPower))

@@ -132,7 +132,10 @@ func TestServedBatchMatchesSearchBatch(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
 		t.Fatal(err)
 	}
-	want := built.SearchBatch(queries)
+	want, err := built.SearchBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got.Batches) != len(want) {
 		t.Fatalf("served %d batches, want %d", len(got.Batches), len(want))
 	}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -15,6 +16,22 @@ import (
 
 	"repro"
 )
+
+// logBatchPanics writes the recovery stack of every BatchError inside a
+// SearchBatch error to stderr — the diagnostic detail that must reach
+// the operator but not the HTTP client.
+func logBatchPanics(err error) {
+	errs := []error{err}
+	if joined, ok := err.(interface{ Unwrap() []error }); ok {
+		errs = joined.Unwrap()
+	}
+	for _, e := range errs {
+		var be *cubelsi.BatchError
+		if errors.As(e, &be) {
+			fmt.Fprintf(os.Stderr, "cubelsiserve: %v\n%s", be, be.Stack)
+		}
+	}
+}
 
 // maxSearchBody bounds POST request bodies (search, update, reload).
 // Oversized bodies are rejected with 413 instead of being read to
@@ -411,7 +428,17 @@ func (s *server) handleSearchPost(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "batch requests take options per query, not top-level")
 			return
 		}
-		batches := eng.SearchBatch(req.Queries)
+		batches, err := eng.SearchBatch(req.Queries)
+		if err != nil {
+			// A recovered per-query panic means the model (or the engine)
+			// is in a state the server cannot reason about: surface it as
+			// a server-side failure rather than a silently short batch,
+			// with the recovery stacks on stderr (clients get only the
+			// index/value summary).
+			logBatchPanics(err)
+			writeError(w, http.StatusInternalServerError, "batch failed: %v", err)
+			return
+		}
 		for i := range batches {
 			batches[i] = orEmpty(batches[i])
 		}

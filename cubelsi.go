@@ -29,7 +29,7 @@
 //
 //	results := eng.Query(cubelsi.NewQuery([]string{"jazz", "saxophone"},
 //		cubelsi.WithLimit(10), cubelsi.WithMinScore(0.05)))
-//	batches := eng.SearchBatch(queries)
+//	batches, err := eng.SearchBatch(queries)
 //
 // Growing corpora use the incremental lifecycle instead of one-shot
 // Build: an Index owns the assignment log and publishes immutable,
@@ -244,13 +244,21 @@ func (e *Engine) EmbeddingDim() int {
 // first. Membership in the top-n is decided by (distance, tag id) —
 // the same strict order on both the embedding and the legacy dense
 // path — and the returned list is then ordered by (distance, tag name)
-// for display. On embedding-backed engines the lookup is a blocked
-// parallel top-k selection over the embedding rows — O(|T|·k₂) work and
-// O(n) memory, never a scan of a dense matrix row.
+// for display. n is clamped once, before dispatching to a backend:
+// n ≤ 0 and n > |T|−1 both mean every other tag, so the two backends
+// cannot drift apart on the edge cases. On embedding-backed engines the
+// lookup is a blocked parallel top-k selection over the embedding rows
+// — O(|T|·k₂) work and O(n) memory, never a scan of a dense matrix row.
 func (e *Engine) RelatedTags(tag string, n int) ([]RelatedTag, error) {
 	id, err := e.tagID(tag)
 	if err != nil {
 		return nil, err
+	}
+	// One clamp for both backends: the request is normalized here so the
+	// embedding and legacy dense paths answer identical edge cases
+	// identically by construction.
+	if total := e.tags.Len() - 1; n <= 0 || n > total {
+		n = total
 	}
 	var nb []embed.Neighbor
 	if e.emb != nil {
@@ -269,7 +277,7 @@ func (e *Engine) RelatedTags(tag string, n int) ([]RelatedTag, error) {
 			}
 			return nb[a].Tag < nb[b].Tag
 		})
-		if n > 0 && len(nb) > n {
+		if len(nb) > n {
 			nb = nb[:n]
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"repro/internal/mat"
+	"repro/internal/shard"
 )
 
 // KMeansOptions configures KMeans.
@@ -21,6 +22,13 @@ type KMeansOptions struct {
 	Restarts int
 	// Seed makes the clustering deterministic.
 	Seed int64
+	// Shards partitions the Lloyd assignment step — the O(n·k·dim)
+	// dominant cost — into contiguous row blocks scanned as independent
+	// units of work (concurrently in-process; distributable in
+	// principle). The centroid update merges the shard assignments with
+	// a deterministic reduction in global row order, so the clustering
+	// is bit-identical at any shard count. ≤ 1 means one block.
+	Shards int
 }
 
 // KMeansResult is a hard assignment of points to k clusters.
@@ -53,7 +61,7 @@ func KMeans(points *mat.Matrix, k int, opts KMeansOptions) *KMeansResult {
 	var best *KMeansResult
 	for rs := 0; rs < restarts; rs++ {
 		rng := rand.New(rand.NewSource(opts.Seed + int64(rs)*7919))
-		res := kmeansOnce(points, k, maxIter, rng)
+		res := kmeansOnce(points, k, maxIter, opts.Shards, rng)
 		if best == nil || res.Inertia < best.Inertia {
 			best = res
 		}
@@ -62,30 +70,46 @@ func KMeans(points *mat.Matrix, k int, opts KMeansOptions) *KMeansResult {
 	return best
 }
 
-func kmeansOnce(points *mat.Matrix, k, maxIter int, rng *rand.Rand) *KMeansResult {
+func kmeansOnce(points *mat.Matrix, k, maxIter, shards int, rng *rand.Rand) *KMeansResult {
 	n, dim := points.Dims()
 	centers := seedPlusPlus(points, k, rng)
 	assign := make([]int, n)
 	dists := make([]float64, n)
+	plan := shard.Plan(n, shards)
+	blockChanged := make([]bool, len(plan))
 
 	for iter := 0; iter < maxIter; iter++ {
-		changed := false
-		// Assignment step.
-		for i := 0; i < n; i++ {
-			bi, bd := 0, math.Inf(1)
-			for c := 0; c < k; c++ {
-				d := sqDist(points.Row(i), centers.Row(c))
-				if d < bd {
-					bd, bi = d, c
-				}
-			}
-			if assign[i] != bi {
-				assign[i] = bi
-				changed = true
-			}
-			dists[i] = bd
+		// Assignment step, one shard block per unit of work. Each row's
+		// nearest centroid depends only on that row and the centers, and
+		// blocks write disjoint assign/dists entries, so the step is
+		// bit-identical at any shard count.
+		for b := range blockChanged {
+			blockChanged[b] = false
 		}
-		// Update step.
+		shard.ForEach(plan, func(b int, r shard.Range) {
+			for i := r.Lo; i < r.Hi; i++ {
+				bi, bd := 0, math.Inf(1)
+				for c := 0; c < k; c++ {
+					d := sqDist(points.Row(i), centers.Row(c))
+					if d < bd {
+						bd, bi = d, c
+					}
+				}
+				if assign[i] != bi {
+					assign[i] = bi
+					blockChanged[b] = true
+				}
+				dists[i] = bd
+			}
+		})
+		changed := false
+		for _, c := range blockChanged {
+			changed = changed || c
+		}
+		// Update step: merge the shard assignments into centroids with a
+		// deterministic reduction — accumulate in global row order, never
+		// in shard-arrival order, so the floating-point sums (and
+		// therefore the centroids) do not depend on the shard plan.
 		counts := make([]int, k)
 		next := mat.New(k, dim)
 		for i := 0; i < n; i++ {

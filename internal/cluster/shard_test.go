@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func randPoints(n, dim int, seed int64) *mat.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := mat.New(n, dim)
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64() + float64((i%5))*3
+		}
+	}
+	return m
+}
+
+// TestKMeansShardedBitIdentical pins the sharded Lloyd iteration to the
+// monolithic one: the assignment step shards, the centroid update
+// reduces in global row order, so assignments, centers and inertia must
+// not move a bit at any shard count.
+func TestKMeansShardedBitIdentical(t *testing.T) {
+	points := randPoints(143, 4, 7)
+	single := KMeans(points, 5, KMeansOptions{Seed: 3})
+	for _, shards := range []int{2, 4, 13, 143, 1000} {
+		sharded := KMeans(points, 5, KMeansOptions{Seed: 3, Shards: shards})
+		if sharded.Inertia != single.Inertia {
+			t.Fatalf("shards=%d: inertia %v, want %v", shards, sharded.Inertia, single.Inertia)
+		}
+		for i := range single.Assign {
+			if sharded.Assign[i] != single.Assign[i] {
+				t.Fatalf("shards=%d: assignment diverges at point %d", shards, i)
+			}
+		}
+		for i, v := range single.Centers.Data() {
+			if sharded.Centers.Data()[i] != v {
+				t.Fatalf("shards=%d: center element %d diverges", shards, i)
+			}
+		}
+	}
+}
+
+// TestConceptKMeansShardedBitIdentical covers the pipeline entry point,
+// including the auto-K spectrum rule, under sharding.
+func TestConceptKMeansShardedBitIdentical(t *testing.T) {
+	points := randPoints(80, 6, 11)
+	single := ConceptKMeans(points, nil, SpectralOptions{Seed: 5})
+	sharded := ConceptKMeans(points, nil, SpectralOptions{Seed: 5, Shards: 7})
+	if sharded.K != single.K {
+		t.Fatalf("K: sharded %d, single %d", sharded.K, single.K)
+	}
+	for i := range single.Assign {
+		if sharded.Assign[i] != single.Assign[i] {
+			t.Fatalf("assignment diverges at point %d", i)
+		}
+	}
+}
+
+// TestAssignNearestShardedMatches pins the sharded re-assignment of an
+// explicit row list to the serial one.
+func TestAssignNearestShardedMatches(t *testing.T) {
+	points := randPoints(97, 3, 13)
+	km := KMeans(points, 4, KMeansOptions{Seed: 1})
+	rows := make([]int, 0, 40)
+	for i := 0; i < 97; i += 3 {
+		rows = append(rows, i)
+	}
+	serial := append([]int(nil), km.Assign...)
+	AssignNearest(points, km.Centers, rows, serial)
+	for _, shards := range []int{2, 5, 97} {
+		sharded := append([]int(nil), km.Assign...)
+		AssignNearestSharded(points, km.Centers, rows, sharded, shards)
+		for i := range serial {
+			if sharded[i] != serial[i] {
+				t.Fatalf("shards=%d: assignment diverges at row %d", shards, i)
+			}
+		}
+	}
+}

@@ -37,6 +37,10 @@ type SpectralOptions struct {
 	// reliable but globally heteroscedastic; clustering the neighborhood
 	// graph uses exactly the reliable part.
 	KNN int
+	// Shards partitions the final k-means assignment scans into
+	// contiguous row blocks (see KMeansOptions.Shards). Clustering is
+	// bit-identical at any shard count; ≤ 1 means one block.
+	Shards int
 }
 
 // SpectralResult is the outcome of spectral clustering.
@@ -65,7 +69,7 @@ func Spectral(d *mat.Matrix, opts SpectralOptions) *SpectralResult {
 	if x == nil {
 		return res
 	}
-	km := KMeans(x, res.K, KMeansOptions{Seed: opts.Seed})
+	km := KMeans(x, res.K, KMeansOptions{Seed: opts.Seed, Shards: opts.Shards})
 	res.Assign = km.Assign
 	return res
 }

@@ -105,8 +105,41 @@ type Options struct {
 	// Theorem 2, O(|T|·K·k₂) per sweep instead of O(|T|²) + an
 	// eigendecomposition.
 	ExactSpectral bool
+	// Shards partitions the tag-row stages of the pipeline — the mode-n
+	// unfolding products inside the ALS sweep, the Theorem 2 embedding
+	// projection, the k-means assignment scans, and (on Update) the
+	// move-detection scan and re-assignment — into contiguous row blocks,
+	// each processed as one bounded unit of work. Shard results are
+	// merged with deterministic reductions (centroid sums in global row
+	// order, ordered block concatenation), so the exact path is
+	// bit-identical at any shard count — the same contract
+	// tucker.Options.Workers honors. Zero or one means one block.
+	// Unless Tucker.Shards or Spectral.Shards is set explicitly, both
+	// inherit this value.
+	Shards int
 	// Progress, if non-nil, observes each stage's start and finish.
 	Progress ProgressFunc
+}
+
+// shardedOptions returns copies of the Tucker and Spectral options with
+// the pipeline-level shard count inherited where the sub-option left it
+// unset, plus the effective pipeline shard count.
+func (o Options) shardedOptions() (tucker.Options, cluster.SpectralOptions) {
+	t, s := o.Tucker, o.Spectral
+	ps := o.Shards
+	if ps < 0 {
+		// Negative pipeline-level counts degrade to monolithic, like
+		// every shard.Plan consumer; only tucker.Options.Shards set
+		// directly rejects them.
+		ps = 0
+	}
+	if t.Shards == 0 {
+		t.Shards = ps
+	}
+	if s.Shards == 0 {
+		s.Shards = ps
+	}
+	return t, s
 }
 
 // Timings records wall-clock durations of the offline stages.
@@ -188,6 +221,7 @@ func (p *Pipeline) DistanceMatrix() *mat.Matrix {
 func Build(ctx context.Context, ds *tagging.Dataset, opts Options) (*Pipeline, error) {
 	p := &Pipeline{DS: ds}
 	run := stageRunner(ctx, opts.Progress, &p.Times)
+	tOpts, sOpts := opts.shardedOptions()
 
 	if err := run(StageTensor, func() error {
 		p.Tensor = ds.Tensor()
@@ -197,7 +231,7 @@ func Build(ctx context.Context, ds *tagging.Dataset, opts Options) (*Pipeline, e
 	}
 
 	if err := run(StageDecompose, func() error {
-		d, err := tucker.DecomposeContext(ctx, p.Tensor, opts.Tucker)
+		d, err := tucker.DecomposeContext(ctx, p.Tensor, tOpts)
 		if err != nil {
 			return err
 		}
@@ -208,7 +242,7 @@ func Build(ctx context.Context, ds *tagging.Dataset, opts Options) (*Pipeline, e
 	}
 
 	if err := run(StageEmbed, func() error {
-		p.Embedding = embed.FromDecomposition(p.Decomposition)
+		p.Embedding = embed.FromDecompositionSharded(p.Decomposition, opts.Shards)
 		if opts.ExactSpectral {
 			// The Theorem 1/2 structures (Σ = S₍₂₎S₍₂₎ᵀ) are only needed
 			// to materialize D̂; the embedding path never pays for them.
@@ -227,9 +261,9 @@ func Build(ctx context.Context, ds *tagging.Dataset, opts Options) (*Pipeline, e
 	if err := run(StageCluster, func() error {
 		var res *cluster.SpectralResult
 		if opts.ExactSpectral {
-			res = cluster.Spectral(p.Distances, opts.Spectral)
+			res = cluster.Spectral(p.Distances, sOpts)
 		} else {
-			res = cluster.ConceptKMeans(p.Embedding.Matrix(), p.Decomposition.Lambda[1], opts.Spectral)
+			res = cluster.ConceptKMeans(p.Embedding.Matrix(), p.Decomposition.Lambda[1], sOpts)
 		}
 		p.Assign = res.Assign
 		p.K = res.K

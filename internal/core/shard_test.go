@@ -1,0 +1,140 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// TestGoldenParityShardedBuild is the golden parity check for the
+// sharded offline pipeline, mirroring the embedding-vs-exact check in
+// parity_test.go: on the paper's running example, a build at any shard
+// count must reproduce the single-shard build bit for bit — identical
+// factor matrices (hash over the raw IEEE-754 bits), identical concept
+// partition (not just up to relabeling), and identical rankings with
+// exactly equal scores. Sharding partitions work; it must never move a
+// bit on the exact path.
+func TestGoldenParityShardedBuild(t *testing.T) {
+	ds := paperDataset()
+	opts := paperOptions()
+	single := mustBuild(t, ds, opts)
+
+	for _, shards := range []int{2, 3, 4, 7} {
+		sOpts := opts
+		sOpts.Shards = shards
+		sharded := mustBuild(t, ds, sOpts)
+
+		if got, want := factorHash(sharded.Decomposition), factorHash(single.Decomposition); got != want {
+			t.Fatalf("shards=%d: factor hash %s, want single-shard %s", shards, got, want)
+		}
+		if len(sharded.Embedding.Matrix().Data()) != len(single.Embedding.Matrix().Data()) {
+			t.Fatalf("shards=%d: embedding shape diverges", shards)
+		}
+		for i, v := range single.Embedding.Matrix().Data() {
+			if sharded.Embedding.Matrix().Data()[i] != v {
+				t.Fatalf("shards=%d: embedding element %d diverges", shards, i)
+			}
+		}
+		if sharded.K != single.K {
+			t.Fatalf("shards=%d: K = %d, want %d", shards, sharded.K, single.K)
+		}
+		for i := range single.Assign {
+			if sharded.Assign[i] != single.Assign[i] {
+				t.Fatalf("shards=%d: partitions diverge: %v vs %v", shards, sharded.Assign, single.Assign)
+			}
+		}
+		for tag := 0; tag < ds.Tags.Len(); tag++ {
+			name := ds.Tags.Name(tag)
+			ra, rb := sharded.Query([]string{name}, 0), single.Query([]string{name}, 0)
+			if len(ra) != len(rb) {
+				t.Fatalf("shards=%d query %q: %d vs %d results", shards, name, len(ra), len(rb))
+			}
+			for i := range ra {
+				if ra[i] != rb[i] {
+					t.Fatalf("shards=%d query %q result %d: %+v vs %+v", shards, name, i, ra[i], rb[i])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedBuildParityOnGeneratedCorpus widens the parity net beyond
+// the tiny paper example: a generated corpus with a few hundred tags,
+// built monolithic and at an uneven shard count, must agree on the
+// partition and the embedding bits (block boundaries that do not divide
+// the row count evenly are exactly where an off-by-one would hide).
+func TestShardedBuildParityOnGeneratedCorpus(t *testing.T) {
+	c := datagen.Generate(datagen.Tiny())
+	opts := Options{
+		Tucker:   paperOptions().Tucker,
+		Spectral: paperOptions().Spectral,
+	}
+	opts.Tucker.J1, opts.Tucker.J2, opts.Tucker.J3 = 8, 10, 8
+	opts.Tucker.Seed = 2
+	opts.Spectral.K = 12
+	opts.Spectral.Seed = 2
+
+	single := mustBuild(t, c.Clean, opts)
+	opts.Shards = 5
+	sharded := mustBuild(t, c.Clean, opts)
+
+	for i, v := range single.Embedding.Matrix().Data() {
+		if sharded.Embedding.Matrix().Data()[i] != v {
+			t.Fatalf("embedding element %d diverges at shards=5", i)
+		}
+	}
+	for i := range single.Assign {
+		if sharded.Assign[i] != single.Assign[i] {
+			t.Fatalf("partition diverges at tag %d: %d vs %d", i, sharded.Assign[i], single.Assign[i])
+		}
+	}
+}
+
+// TestShardedUpdateParity pins the incremental path: Update with a
+// sharded move-detection scan and re-assignment must reproduce the
+// single-shard Update exactly — same stats, same partition, same
+// rankings — on the paper example's delta.
+func TestShardedUpdateParity(t *testing.T) {
+	base := paperDataset()
+	prev := mustBuild(t, base, paperOptions())
+
+	updated := paperDataset()
+	updated.Add("u4", "folk", "r2")
+	updated.Add("u4", "laptop", "r3")
+
+	single, st1, err := Update(context.Background(), updated, prevState(prev), paperOptions(), UpdateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sOpts := paperOptions()
+	sOpts.Shards = 4
+	sharded, st4, err := Update(context.Background(), updated, prevState(prev), sOpts, UpdateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if *st1 != *st4 {
+		t.Fatalf("update stats diverge: single %+v, sharded %+v", st1, st4)
+	}
+	if sharded.K != single.K {
+		t.Fatalf("K diverges: %d vs %d", sharded.K, single.K)
+	}
+	for i := range single.Assign {
+		if sharded.Assign[i] != single.Assign[i] {
+			t.Fatalf("partitions diverge: %v vs %v", sharded.Assign, single.Assign)
+		}
+	}
+	for tag := 0; tag < updated.Tags.Len(); tag++ {
+		name := updated.Tags.Name(tag)
+		ra, rb := sharded.Query([]string{name}, 0), single.Query([]string{name}, 0)
+		if len(ra) != len(rb) {
+			t.Fatalf("query %q: %d vs %d results", name, len(ra), len(rb))
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("query %q result %d: %+v vs %+v", name, i, ra[i], rb[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package embed
+
+import (
+	"testing"
+
+	"repro/internal/shard"
+)
+
+// TestFromDecompositionShardedBitIdentical pins the sharded projection
+// to the monolithic one: every row of E = Λ₂·Y⁽²⁾ depends only on its
+// own Y⁽²⁾ row, so any shard plan must reproduce the same bits.
+func TestFromDecompositionShardedBitIdentical(t *testing.T) {
+	d := paperDecomposition(t)
+	single := FromDecomposition(d)
+	for _, shards := range []int{2, 3, 16} {
+		sharded := FromDecompositionSharded(d, shards)
+		if sharded.NumTags() != single.NumTags() || sharded.Dim() != single.Dim() {
+			t.Fatalf("shards=%d: shape diverges", shards)
+		}
+		for i, v := range single.Matrix().Data() {
+			if sharded.Matrix().Data()[i] != v {
+				t.Fatalf("shards=%d: element %d diverges", shards, i)
+			}
+		}
+	}
+}
+
+// TestNearestKBlockMergeMatchesNearestK is the shard-reduction parity
+// check: scanning each block of a shard plan with NearestKBlock and
+// reducing with MergeNeighbors must reproduce NearestK over the whole
+// vocabulary exactly — same tags, same distances, same order.
+func TestNearestKBlockMergeMatchesNearestK(t *testing.T) {
+	e := syntheticEmbedding(37, 5)
+	for _, shards := range []int{1, 2, 4, 9} {
+		plan := shard.Plan(e.NumTags(), shards)
+		for _, probe := range []int{0, 17, 36} {
+			for _, k := range []int{1, 5, 36, 0, 100} {
+				want := e.NearestK(probe, k)
+				lists := make([]BlockNeighbors, len(plan))
+				for bi, r := range plan {
+					lists[bi] = e.NearestKBlock(probe, k, r.Lo, r.Hi)
+				}
+				got := MergeNeighbors(k, lists...)
+				if len(got) != len(want) {
+					t.Fatalf("probe %d k=%d shards=%d: merged %d neighbors, want %d",
+						probe, k, shards, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("probe %d k=%d shards=%d rank %d: %+v vs %+v",
+							probe, k, shards, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNearestKBlockEdges(t *testing.T) {
+	e := syntheticEmbedding(10, 3)
+	// A block holding only the probe has no candidates.
+	if got := e.NearestKBlock(4, 3, 4, 5); got != nil {
+		t.Fatalf("probe-only block returned %v", got)
+	}
+	// An empty block has no candidates.
+	if got := e.NearestKBlock(4, 3, 7, 7); got != nil {
+		t.Fatalf("empty block returned %v", got)
+	}
+	// k ≤ 0 returns every candidate in the block.
+	if got := e.NearestKBlock(4, 0, 0, 10); len(got) != 9 {
+		t.Fatalf("k=0 returned %d candidates, want 9", len(got))
+	}
+	if got := e.NearestKBlock(0, -1, 5, 10); len(got) != 5 {
+		t.Fatalf("k=-1 over [5,10) returned %d candidates, want 5", len(got))
+	}
+	// Out-of-range blocks panic like PairwiseBlock does.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range block must panic")
+		}
+	}()
+	e.NearestKBlock(0, 1, 5, 11)
+}

@@ -164,7 +164,19 @@ func sortedTerms[V any](m map[int]V) []int {
 // score order (ties broken by document id for determinism). topN ≤ 0
 // returns every document with a positive score.
 func (ix *Index) Query(counts map[int]int, topN int) []Scored {
-	return ix.rank(ix.QueryWeights(counts), topN)
+	return ix.QueryMin(counts, topN, math.Inf(-1))
+}
+
+// QueryMin is Query with a score threshold applied before the topN
+// truncation: documents scoring below minScore (strictly — a document at
+// exactly minScore is kept) never enter the bounded selection heap, so
+// the result is the topN best documents at or above the threshold.
+// Applying a threshold after truncating would instead undershoot topN
+// whenever the selection and filter disagree; threading it into the heap
+// keeps the two composable by construction and skips the heap work for
+// below-threshold documents.
+func (ix *Index) QueryMin(counts map[int]int, topN int, minScore float64) []Scored {
+	return ix.rank(ix.QueryWeights(counts), topN, minScore)
 }
 
 // QueryFloat is Query over fractional term counts (soft concept mapping).
@@ -187,10 +199,10 @@ func (ix *Index) QueryFloat(counts map[int]float64, topN int) []Scored {
 			qw[t] = w
 		}
 	}
-	return ix.rank(qw, topN)
+	return ix.rank(qw, topN, math.Inf(-1))
 }
 
-func (ix *Index) rank(qw map[int]float64, topN int) []Scored {
+func (ix *Index) rank(qw map[int]float64, topN int, minScore float64) []Scored {
 	if len(qw) == 0 {
 		return nil
 	}
@@ -209,14 +221,18 @@ func (ix *Index) rank(qw map[int]float64, topN int) []Scored {
 		}
 	}
 	if topN > 0 && topN < len(dots) {
-		return ix.topK(dots, qnorm, topN)
+		return ix.topK(dots, qnorm, topN, minScore)
 	}
 	out := make([]Scored, 0, len(dots))
 	for d, dot := range dots {
 		if ix.norms[d] == 0 {
 			continue
 		}
-		out = append(out, Scored{Doc: d, Score: dot / (qnorm * ix.norms[d])})
+		score := dot / (qnorm * ix.norms[d])
+		if score < minScore {
+			continue
+		}
+		out = append(out, Scored{Doc: d, Score: score})
 	}
 	sortScoredDesc(out)
 	if topN > 0 && len(out) > topN {
@@ -236,13 +252,15 @@ func sortScoredDesc(out []Scored) {
 	})
 }
 
-// topK selects the k best results with a bounded heap instead of
-// sorting every scored document: O(D log k) for D matches, which is the
-// Limit > 0 serving path on large collections. Eviction order is lower
-// score, ties by higher doc id — a strict total order, so the selected
-// set is exactly the first k of the full descending sort regardless of
-// map iteration order.
-func (ix *Index) topK(dots map[int]float64, qnorm float64, k int) []Scored {
+// topK selects the k best results at or above minScore with a bounded
+// heap instead of sorting every scored document: O(D log k) for D
+// matches, which is the Limit > 0 serving path on large collections.
+// Eviction order is lower score, ties by higher doc id — a strict total
+// order, so the selected set is exactly the first k of the full
+// descending sort regardless of map iteration order. The threshold is
+// applied before a document enters the heap, so the k slots are spent
+// only on documents a MinScore filter would keep.
+func (ix *Index) topK(dots map[int]float64, qnorm float64, k int, minScore float64) []Scored {
 	h := topk.New(k, func(a, b Scored) bool {
 		if a.Score != b.Score {
 			return a.Score < b.Score
@@ -253,7 +271,11 @@ func (ix *Index) topK(dots map[int]float64, qnorm float64, k int) []Scored {
 		if ix.norms[d] == 0 {
 			continue
 		}
-		h.Offer(Scored{Doc: d, Score: dot / (qnorm * ix.norms[d])})
+		score := dot / (qnorm * ix.norms[d])
+		if score < minScore {
+			continue
+		}
+		h.Offer(Scored{Doc: d, Score: score})
 	}
 	out := h.Items()
 	sortScoredDesc(out)

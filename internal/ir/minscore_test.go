@@ -1,0 +1,91 @@
+package ir
+
+import (
+	"math"
+	"testing"
+)
+
+// gradedIndex builds a collection whose term-0 query scores are strictly
+// graded: documents mix term 0 and term 1 in different proportions, plus
+// term-1-only documents that keep every idf positive.
+func gradedIndex(docs int) *Index {
+	collection := make([]map[int]int, 0, docs+4)
+	for d := 0; d < docs; d++ {
+		collection = append(collection, map[int]int{0: docs - d, 1: d + 1})
+	}
+	for d := 0; d < 4; d++ {
+		collection = append(collection, map[int]int{1: 3})
+	}
+	return BuildIndex(collection, 2)
+}
+
+// TestQueryMinAppliesThresholdBeforeTruncation is the index-level
+// regression for the Limit/MinScore undershoot: the threshold must be
+// applied inside the bounded heap, so the topN slots are spent only on
+// documents at or above it — QueryMin(counts, n, s) equals "filter the
+// full ranking by s, then take the first n" for every n and s.
+func TestQueryMinAppliesThresholdBeforeTruncation(t *testing.T) {
+	ix := gradedIndex(20)
+	counts := map[int]int{0: 1}
+
+	full := ix.Query(counts, 0)
+	if len(full) < 15 {
+		t.Fatalf("graded collection too small: %d matches", len(full))
+	}
+	for i := 1; i < len(full); i++ {
+		if full[i].Score > full[i-1].Score {
+			t.Fatal("full ranking not sorted")
+		}
+	}
+
+	for _, topN := range []int{1, 5, 10, 0} {
+		for _, cut := range []int{1, 5, 10, 15, len(full)} {
+			minScore := full[cut-1].Score
+			var oracle []Scored
+			for _, s := range full {
+				if s.Score >= minScore {
+					oracle = append(oracle, s)
+				}
+			}
+			if topN > 0 && len(oracle) > topN {
+				oracle = oracle[:topN]
+			}
+			got := ix.QueryMin(counts, topN, minScore)
+			if len(got) != len(oracle) {
+				t.Fatalf("topN=%d cut=%d: %d results, want %d", topN, cut, len(got), len(oracle))
+			}
+			for i := range oracle {
+				if got[i] != oracle[i] {
+					t.Fatalf("topN=%d cut=%d result %d: %+v, want %+v", topN, cut, i, got[i], oracle[i])
+				}
+			}
+		}
+	}
+
+	// A document scoring exactly minScore is kept (the filter is
+	// strictly-below), on both the heap and the full-sort paths.
+	exact := full[4].Score
+	if got := ix.QueryMin(counts, 5, exact); len(got) == 0 || got[len(got)-1].Score != exact {
+		t.Fatalf("boundary document dropped: %+v", got)
+	}
+	if got := ix.QueryMin(counts, 0, exact); got[len(got)-1].Score != exact {
+		t.Fatalf("boundary document dropped on full path: %+v", got)
+	}
+
+	// An unreachable threshold yields no results rather than an error.
+	if got := ix.QueryMin(counts, 10, 2); len(got) != 0 {
+		t.Fatalf("impossible threshold returned %v", got)
+	}
+
+	// Query is QueryMin without a threshold.
+	plain := ix.Query(counts, 7)
+	thresh := ix.QueryMin(counts, 7, math.Inf(-1))
+	if len(plain) != len(thresh) {
+		t.Fatalf("Query/QueryMin diverge: %d vs %d", len(plain), len(thresh))
+	}
+	for i := range plain {
+		if plain[i] != thresh[i] {
+			t.Fatalf("Query/QueryMin diverge at %d", i)
+		}
+	}
+}

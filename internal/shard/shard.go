@@ -1,0 +1,73 @@
+// Package shard plans the row partitioning the sharded offline pipeline
+// is built on: a vocabulary of n rows is split into at most s contiguous
+// blocks whose sizes differ by at most one. A block is the bounded unit
+// of work every sharded stage operates on — the embedding projection
+// writes one block of rows, the k-means assignment step scans one block,
+// the mode-n unfolding product accumulates one block — so a build over a
+// million-tag vocabulary decomposes into units one worker (or, later,
+// one machine) can hold.
+//
+// Sharding never changes results: blocks are disjoint, each row's
+// computation is independent of its block, and every cross-row reduction
+// (centroid sums, top-k merges) is performed in a deterministic order
+// that does not depend on the block boundaries. The exact pipeline is
+// therefore bit-identical at any shard count — the same contract
+// tucker.Options.Workers honors for the worker pool.
+package shard
+
+import "sync"
+
+// Range is one contiguous block of rows [Lo, Hi).
+type Range struct{ Lo, Hi int }
+
+// Len returns the number of rows in the block.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Plan partitions [0, n) into min(s, n) contiguous blocks whose sizes
+// differ by at most one (earlier blocks take the remainder). s ≤ 1 — and
+// any n the plan cannot split — yields a single block; n ≤ 0 yields no
+// blocks. The plan is deterministic in (n, s).
+func Plan(n, s int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if s < 1 {
+		s = 1
+	}
+	if s > n {
+		s = n
+	}
+	out := make([]Range, s)
+	base, rem := n/s, n%s
+	lo := 0
+	for i := range out {
+		size := base
+		if i < rem {
+			size++
+		}
+		out[i] = Range{Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	return out
+}
+
+// ForEach runs fn once per block — fn receives the block's index in the
+// plan and its range — concurrently when there is more than one block.
+// Callers must write only to block-disjoint state (or synchronize
+// themselves); under that contract the results are independent of
+// scheduling and bit-identical to a serial loop over the blocks.
+func ForEach(rs []Range, fn func(i int, r Range)) {
+	if len(rs) == 1 {
+		fn(0, rs[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for i, r := range rs {
+		wg.Add(1)
+		go func(i int, r Range) {
+			defer wg.Done()
+			fn(i, r)
+		}(i, r)
+	}
+	wg.Wait()
+}

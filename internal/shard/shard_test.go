@@ -1,0 +1,71 @@
+package shard
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPlanPartitionsExactly(t *testing.T) {
+	cases := []struct {
+		n, s   int
+		blocks int
+	}{
+		{0, 4, 0},
+		{-3, 4, 0},
+		{1, 1, 1},
+		{1, 8, 1},
+		{10, 0, 1},
+		{10, -2, 1},
+		{10, 1, 1},
+		{10, 3, 3},
+		{10, 10, 10},
+		{10, 25, 10},
+		{1000, 7, 7},
+	}
+	for _, tc := range cases {
+		plan := Plan(tc.n, tc.s)
+		if len(plan) != tc.blocks {
+			t.Fatalf("Plan(%d,%d): %d blocks, want %d", tc.n, tc.s, len(plan), tc.blocks)
+		}
+		lo := 0
+		for i, r := range plan {
+			if r.Lo != lo {
+				t.Fatalf("Plan(%d,%d) block %d: Lo=%d, want %d (gap or overlap)", tc.n, tc.s, i, r.Lo, lo)
+			}
+			if r.Len() < 1 {
+				t.Fatalf("Plan(%d,%d) block %d empty: %+v", tc.n, tc.s, i, r)
+			}
+			lo = r.Hi
+		}
+		if tc.blocks > 0 && lo != tc.n {
+			t.Fatalf("Plan(%d,%d) covers [0,%d), want [0,%d)", tc.n, tc.s, lo, tc.n)
+		}
+		// Balanced: sizes differ by at most one, larger blocks first.
+		for i := 1; i < len(plan); i++ {
+			if plan[i].Len() > plan[i-1].Len() {
+				t.Fatalf("Plan(%d,%d): block %d larger than block %d", tc.n, tc.s, i, i-1)
+			}
+			if plan[0].Len()-plan[i].Len() > 1 {
+				t.Fatalf("Plan(%d,%d): block sizes differ by more than one", tc.n, tc.s)
+			}
+		}
+	}
+}
+
+func TestForEachCoversEveryBlockOnce(t *testing.T) {
+	plan := Plan(103, 8)
+	var rows atomic.Int64
+	seen := make([]atomic.Int32, len(plan))
+	ForEach(plan, func(i int, r Range) {
+		seen[i].Add(1)
+		rows.Add(int64(r.Len()))
+	})
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("block %d ran %d times", i, seen[i].Load())
+		}
+	}
+	if rows.Load() != 103 {
+		t.Fatalf("blocks covered %d rows, want 103", rows.Load())
+	}
+}

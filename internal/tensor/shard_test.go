@@ -1,0 +1,92 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/shard"
+)
+
+func randFactor(rng *rand.Rand, rows, cols int) *mat.Matrix {
+	m := mat.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+// TestProjectedUnfoldShardedBitIdentical pins the sharded unfolding
+// product to the monolithic one at every mode: blocks own disjoint
+// output rows and accumulate entries in the same serial order, so no
+// (workers, shards) combination may move a bit.
+func TestProjectedUnfoldShardedBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := randSparse(rng, 9, 14, 11, 160)
+	factors := [4]*mat.Matrix{
+		nil,
+		randFactor(rng, 9, 3),
+		randFactor(rng, 14, 4),
+		randFactor(rng, 11, 2),
+	}
+	for mode := 1; mode <= 3; mode++ {
+		var ya, yb *mat.Matrix
+		switch mode {
+		case 1:
+			ya, yb = factors[2], factors[3]
+		case 2:
+			ya, yb = factors[1], factors[3]
+		case 3:
+			ya, yb = factors[1], factors[2]
+		}
+		want := ProjectedUnfold(f, mode, ya, yb)
+		for _, shards := range []int{2, 3, 5, 50} {
+			for _, workers := range []int{1, 4} {
+				got := ProjectedUnfoldSharded(f, mode, ya, yb, workers, shards)
+				for i, v := range want.Data() {
+					if got.Data()[i] != v {
+						t.Fatalf("mode %d shards=%d workers=%d: element %d diverges",
+							mode, shards, workers, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestProjectedUnfoldBlockStitches proves the standalone block is the
+// distributable unit: computing each block of a shard plan independently
+// and stitching them together reproduces the monolithic unfolding bit
+// for bit.
+func TestProjectedUnfoldBlockStitches(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	f := randSparse(rng, 7, 13, 8, 120)
+	ya, yb := randFactor(rng, 7, 3), randFactor(rng, 8, 4)
+	want := ProjectedUnfold(f, 2, ya, yb)
+
+	for _, shards := range []int{1, 4, 6} {
+		for _, r := range shard.Plan(13, shards) {
+			block := ProjectedUnfoldBlock(f, 2, ya, yb, r.Lo, r.Hi, 1)
+			if block.Rows() != r.Len() || block.Cols() != want.Cols() {
+				t.Fatalf("block [%d,%d): shape %dx%d", r.Lo, r.Hi, block.Rows(), block.Cols())
+			}
+			for i := 0; i < block.Rows(); i++ {
+				for j := 0; j < block.Cols(); j++ {
+					if block.At(i, j) != want.At(r.Lo+i, j) {
+						t.Fatalf("block [%d,%d) element (%d,%d) diverges", r.Lo, r.Hi, i, j)
+					}
+				}
+			}
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range block must panic")
+		}
+	}()
+	ProjectedUnfoldBlock(f, 2, ya, yb, 5, 14, 1)
+}

@@ -99,6 +99,13 @@ type Options struct {
 	// runs the sweep serially. Factors are bit-identical for every
 	// worker count.
 	Workers int
+	// Shards additionally partitions each mode-n unfolding product into
+	// contiguous row blocks processed one block at a time — the bounded
+	// unit of work of sharded offline builds (tensor.ProjectedUnfoldBlock
+	// is the standalone form a multi-machine sweep would distribute).
+	// Factors are bit-identical for every shard count. Zero or one means
+	// one block; negative is invalid.
+	Shards int
 	// Sketch switches large-mode leading-left SVDs to the randomized
 	// range finder. The zero value keeps the exact path.
 	Sketch SketchOptions
@@ -179,6 +186,9 @@ func validateOptions(opts Options) error {
 	if opts.MaxSweeps < 0 {
 		return fmt.Errorf("%w: MaxSweeps must be non-negative, got %d", ErrInvalidOptions, opts.MaxSweeps)
 	}
+	if opts.Shards < 0 {
+		return fmt.Errorf("%w: Shards must be non-negative, got %d", ErrInvalidOptions, opts.Shards)
+	}
 	if opts.Sketch.Oversample < 0 {
 		return fmt.Errorf("%w: Sketch.Oversample must be non-negative, got %d", ErrInvalidOptions, opts.Sketch.Oversample)
 	}
@@ -256,21 +266,21 @@ func DecomposeContext(ctx context.Context, f *tensor.Sparse3, opts Options) (*De
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		w1 := tensor.ProjectedUnfoldWorkers(f, 1, y2, y3, opts.Workers)
+		w1 := tensor.ProjectedUnfoldSharded(f, 1, y2, y3, opts.Workers, opts.Shards)
 		svd1 := leadingLeft(w1, j1, sub, opts.Sketch, sketchSeed(opts.Seed, 1, s))
 		y1, lambda[0] = svd1.U, svd1.S
 		// Mode 2.
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		w2 := tensor.ProjectedUnfoldWorkers(f, 2, y1, y3, opts.Workers)
+		w2 := tensor.ProjectedUnfoldSharded(f, 2, y1, y3, opts.Workers, opts.Shards)
 		svd2 := leadingLeft(w2, j2, sub, opts.Sketch, sketchSeed(opts.Seed, 2, s))
 		y2, lambda[1] = svd2.U, svd2.S
 		// Mode 3.
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		w3 := tensor.ProjectedUnfoldWorkers(f, 3, y1, y2, opts.Workers)
+		w3 := tensor.ProjectedUnfoldSharded(f, 3, y1, y2, opts.Workers, opts.Shards)
 		svd3 := leadingLeft(w3, j3, sub, opts.Sketch, sketchSeed(opts.Seed, 3, s))
 		y3, lambda[2] = svd3.U, svd3.S
 

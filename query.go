@@ -1,12 +1,34 @@
 package cubelsi
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 
 	"repro/internal/ir"
 )
+
+// BatchError reports one recovered SearchBatch query panic: which query
+// faulted, the panic value, and the goroutine stack captured at
+// recovery — the piece an operator needs to locate the corrupted model
+// or engine bug behind it. Error prints only the index and value (safe
+// to surface to clients); the stack is on the struct for server-side
+// logs.
+type BatchError struct {
+	// Query is the index of the panicking query in the batch.
+	Query int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker goroutine's stack at the recovery point.
+	Stack []byte
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("cubelsi: batch query %d panicked: %v", e.Query, e.Value)
+}
 
 // Query is one search request: tag keywords plus ranking options. The
 // zero value with only Tags set ranks every matching resource.
@@ -54,7 +76,11 @@ func NewQuery(tags []string, opts ...QueryOption) Query {
 // Query answers one search request: the tags are case-folded the same
 // way the vocabulary was, mapped to distilled concepts (plus any
 // explicitly listed concept ids), and resources are ranked by cosine
-// similarity in concept space (Equation 4).
+// similarity in concept space (Equation 4). When both Limit and
+// MinScore are set, the threshold is applied inside the ranking's
+// bounded heap before the truncation, so the result is the Limit best
+// resources at or above MinScore — whenever at least Limit resources
+// pass the threshold, exactly Limit come back.
 func (e *Engine) Query(q Query) []Result {
 	counts := make(map[int]int, len(q.Tags))
 	for _, name := range q.Tags {
@@ -71,12 +97,9 @@ func (e *Engine) Query(q Query) []Result {
 			concepts[c]++
 		}
 	}
-	scored := e.index.Query(concepts, q.Limit)
+	scored := e.index.QueryMin(concepts, q.Limit, q.MinScore)
 	out := make([]Result, 0, len(scored))
 	for _, s := range scored {
-		if s.Score < q.MinScore {
-			continue
-		}
 		out = append(out, Result{Resource: e.resources.Name(s.Doc), Score: s.Score})
 	}
 	return out
@@ -87,17 +110,33 @@ func (e *Engine) Query(q Query) []Result {
 // identical to issuing each Query individually — the engine is
 // immutable, so batching only amortizes scheduling, never changes
 // rankings.
-func (e *Engine) SearchBatch(queries []Query) [][]Result {
+//
+// A query whose evaluation panics (a corrupted model, an engine bug)
+// no longer kills the process mid-batch: the panic is recovered in the
+// worker, the query's slot comes back nil, every other query still
+// completes, and the joined error carries one *BatchError per failed
+// query — index, panic value, and the goroutine stack captured at
+// recovery. The error is nil when every query succeeded.
+func (e *Engine) SearchBatch(queries []Query) ([][]Result, error) {
 	out := make([][]Result, len(queries))
+	errs := make([]error, len(queries))
+	runOne := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = &BatchError{Query: i, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		out[i] = e.Query(queries[i])
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(queries) {
 		workers = len(queries)
 	}
 	if workers <= 1 {
-		for i, q := range queries {
-			out[i] = e.Query(q)
+		for i := range queries {
+			runOne(i)
 		}
-		return out
+		return out, errors.Join(errs...)
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -106,7 +145,7 @@ func (e *Engine) SearchBatch(queries []Query) [][]Result {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				out[i] = e.Query(queries[i])
+				runOne(i)
 			}
 		}()
 	}
@@ -115,7 +154,7 @@ func (e *Engine) SearchBatch(queries []Query) [][]Result {
 	}
 	close(jobs)
 	wg.Wait()
-	return out
+	return out, errors.Join(errs...)
 }
 
 // Search answers a tag-keyword query with up to topN resources.

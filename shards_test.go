@@ -1,0 +1,74 @@
+package cubelsi
+
+import (
+	"context"
+	"testing"
+)
+
+// TestWithShardsBitIdenticalEngine pins the public contract of
+// WithShards: a sharded build serves exactly what the monolithic build
+// serves — same stats, same concept partition, same rankings with equal
+// scores — and the incremental lifecycle accepts the option the same
+// way.
+func TestWithShardsBitIdenticalEngine(t *testing.T) {
+	single := buildCorpus(t)
+	sharded := buildCorpus(t, WithConfig(testConfig()), WithShards(4))
+
+	if single.Stats() != sharded.Stats() {
+		t.Fatalf("stats diverge: %+v vs %+v", single.Stats(), sharded.Stats())
+	}
+	for _, tag := range single.Tags() {
+		a, err := single.ConceptOf(tag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := sharded.ConceptOf(tag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("tag %q: concept %d vs %d", tag, a, b)
+		}
+		ra := single.Query(NewQuery([]string{tag}))
+		rb := sharded.Query(NewQuery([]string{tag}))
+		if len(ra) != len(rb) {
+			t.Fatalf("query %q: %d vs %d results", tag, len(ra), len(rb))
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("query %q result %d: %+v vs %+v", tag, i, ra[i], rb[i])
+			}
+		}
+	}
+
+	// The lifecycle path honors the option too: a sharded Apply must
+	// publish the same rankings as a monolithic one.
+	ctx := context.Background()
+	mk := func(opts ...BuildOption) *Engine {
+		t.Helper()
+		idx, err := NewIndex(ctx, FromAssignments(corpus()), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := idx.Apply(ctx, Delta{Add: []Assignment{
+			{User: "zz", Tag: "audio", Resource: "m1"},
+			{User: "zz", Tag: "mp3", Resource: "m2"},
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		return idx.Snapshot()
+	}
+	e1 := mk(WithConfig(testConfig()))
+	e4 := mk(WithConfig(testConfig()), WithShards(4))
+	for _, tag := range e1.Tags() {
+		ra, rb := e1.Query(NewQuery([]string{tag})), e4.Query(NewQuery([]string{tag}))
+		if len(ra) != len(rb) {
+			t.Fatalf("lifecycle query %q: %d vs %d results", tag, len(ra), len(rb))
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("lifecycle query %q result %d: %+v vs %+v", tag, i, ra[i], rb[i])
+			}
+		}
+	}
+}

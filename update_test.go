@@ -228,11 +228,11 @@ func TestIndexConcurrentSearchAndApply(t *testing.T) {
 						return
 					}
 				}
-				batches := eng.SearchBatch([]Query{
+				batches, err := eng.SearchBatch([]Query{
 					NewQuery([]string{"audio"}),
 					NewQuery([]string{"golang"}),
 				})
-				if len(batches) != 2 {
+				if err != nil || len(batches) != 2 {
 					t.Error("torn batch")
 					return
 				}
