@@ -3,7 +3,7 @@ GO ?= go
 # Preset for the tracked offline benchmark; CI smoke-tests with tiny.
 BENCH_PRESET ?= lastfm
 
-.PHONY: build test bench bench-smoke vet fmt fuzz lint
+.PHONY: build test bench bench-smoke vet fmt fuzz lint e2e-distrib
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,12 @@ bench:
 # bench-smoke is the CI-sized version: tiny preset, same artifact.
 bench-smoke:
 	$(GO) run ./cmd/benchoffline -preset tiny -scale-tags 1000,5000 -out BENCH_offline.json
+
+# e2e-distrib runs the coordinator against two real cubelsiworker
+# processes and asserts the distributed model file is byte-identical to
+# the in-process one.
+e2e-distrib:
+	./scripts/e2e_distrib.sh
 
 # fuzz exercises the model-decode fuzz target briefly.
 fuzz:

@@ -46,6 +46,12 @@ type benchFile struct {
 			Millis float64 `json:"ms"`
 		} `json:"shards"`
 	} `json:"shard"`
+	Distrib struct {
+		Points []struct {
+			Workers int     `json:"workers"`
+			Millis  float64 `json:"ms"`
+		} `json:"workers"`
+	} `json:"distrib"`
 	Update struct {
 		FullRebuildMS float64 `json:"full_rebuild_ms"`
 		WarmApplyMS   float64 `json:"warm_apply_ms"`
@@ -100,6 +106,13 @@ func timings(b *benchFile) []metric {
 			name: fmt.Sprintf("shard.shards[%d].ms", s.Shards),
 			ms:   s.Millis,
 			ok:   s.Millis > 0,
+		})
+	}
+	for _, d := range b.Distrib.Points {
+		ms = append(ms, metric{
+			name: fmt.Sprintf("distrib.workers[%d].ms", d.Workers),
+			ms:   d.Millis,
+			ok:   d.Millis > 0,
 		})
 	}
 	return ms

@@ -135,6 +135,36 @@ func TestCompareGatesShardSection(t *testing.T) {
 	}
 }
 
+func TestCompareGatesDistribSection(t *testing.T) {
+	base := parse(t, `{
+      "distrib": {"workers": [{"workers": 1, "ms": 800}, {"workers": 2, "ms": 450}]}
+    }`)
+
+	// Within threshold: quiet.
+	head := parse(t, `{
+      "distrib": {"workers": [{"workers": 1, "ms": 820}, {"workers": 2, "ms": 470}]}
+    }`)
+	if regs := regressions(compare(base, head, 0.25, 25)); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %+v", regs)
+	}
+
+	// A 2-worker remote build that slowed past threshold+floor trips the
+	// gate like any other timing.
+	head = parse(t, `{
+      "distrib": {"workers": [{"workers": 1, "ms": 800}, {"workers": 2, "ms": 700}]}
+    }`)
+	regs := regressions(compare(base, head, 0.25, 25))
+	if len(regs) != 1 || regs[0].name != "distrib.workers[2].ms" {
+		t.Fatalf("want distrib.workers[2].ms regression, got %+v", regs)
+	}
+
+	// Baselines predating the distrib section never fail on it.
+	old := parse(t, `{"build": {"embedding_path": {"decompose_ms": 1000, "total_ms": 1200}}}`)
+	if regs := regressions(compare(old, head, 0.25, 25)); len(regs) != 0 {
+		t.Fatalf("distrib metrics without baseline must be skipped: %+v", regs)
+	}
+}
+
 func TestSizeViolations(t *testing.T) {
 	b := parse(t, baseJSON)
 	// The 1000-tag point is below min-tags, so its 8x ratio is fine; the

@@ -16,6 +16,9 @@
 //   - update: the incremental lifecycle — warm-started Index.Apply of a
 //     ~1% assignment delta vs a cold full rebuild (sweep counts and
 //     wall clock; the CI perf gate tracks both timings).
+//   - distrib: the full offline build fanned out to 1 and 2 in-process
+//     cubelsiworker instances over loopback HTTP, with a recomputed
+//     bit-identity check against the in-process build.
 //   - query: online latency percentiles over a generated workload.
 //   - size_scaling: encoded model bytes of the v1 (quadratic, dense
 //     distance matrix) vs v2+ (linear, |T|×k₂ embedding) formats at
@@ -26,7 +29,7 @@
 //	benchoffline [-preset tiny|delicious|bibsonomy|lastfm]
 //	             [-out BENCH_offline.json] [-scale-tags 1000,5000]
 //	             [-skip-exact] [-skip-update] [-update-delta 0.01]
-//	             [-shards N] [-skip-shard-scan] [-queries 256]
+//	             [-shards N] [-skip-shard-scan] [-skip-distrib] [-queries 256]
 package main
 
 import (
@@ -35,6 +38,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
@@ -47,6 +52,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/distrib"
 	"repro/internal/embed"
 	"repro/internal/ir"
 	"repro/internal/mat"
@@ -150,6 +156,23 @@ type updateReport struct {
 	SpeedupVsRebuild float64 `json:"speedup_vs_rebuild"`
 }
 
+// distribWorkerPoint is one timed offline build fanned out to a fixed
+// number of in-process worker instances over loopback HTTP.
+type distribWorkerPoint struct {
+	Workers int     `json:"workers"`
+	Millis  float64 `json:"ms"`
+}
+
+// distribReport is the distributed-build record: the same build run
+// against 1 and 2 cubelsiworker instances. The remote plan is
+// bit-identical to the in-process build at any worker count
+// (ParityWithInProcess records the check, recomputed every run), so the
+// points measure protocol and transfer overhead at this corpus scale.
+type distribReport struct {
+	Points              []distribWorkerPoint `json:"workers"`
+	ParityWithInProcess bool                 `json:"parity_with_in_process"`
+}
+
 type queryReport struct {
 	Count  int     `json:"count"`
 	MeanUS float64 `json:"mean_us"`
@@ -182,6 +205,7 @@ type report struct {
 	Build       buildReport     `json:"build"`
 	Decompose   decomposeReport `json:"decompose"`
 	Shard       *shardReport    `json:"shard,omitempty"`
+	Distrib     *distribReport  `json:"distrib,omitempty"`
 	Update      *updateReport   `json:"update,omitempty"`
 	Model       modelReport     `json:"model"`
 	Query       queryReport     `json:"query"`
@@ -195,6 +219,7 @@ func main() {
 	skipExact := flag.Bool("skip-exact", false, "skip the exact-spectral comparison build")
 	skipDecomposeScan := flag.Bool("skip-decompose-scan", false, "skip the per-worker decompose scaling scan")
 	skipShardScan := flag.Bool("skip-shard-scan", false, "skip the per-shard scaling scan of the tag-row stages")
+	skipDistrib := flag.Bool("skip-distrib", false, "skip the distributed-build (in-process worker fleet) benchmark")
 	shards := flag.Int("shards", 0, "shard count for the headline builds (0/1 = monolithic; results identical at any value)")
 	skipUpdate := flag.Bool("skip-update", false, "skip the incremental-update (warm-start vs rebuild) benchmark")
 	updateDelta := flag.Float64("update-delta", 0.01, "assignment fraction of the update-benchmark delta")
@@ -202,6 +227,13 @@ func main() {
 	workers := flag.Int("workers", 0, "ALS worker pool bound for the headline builds (0 = all CPUs)")
 	numQueries := flag.Int("queries", 256, "query workload size")
 	flag.Parse()
+
+	if *shards < 0 {
+		fatal(fmt.Errorf("-shards must be non-negative, got %d", *shards))
+	}
+	if *workers < 0 {
+		fatal(fmt.Errorf("-workers must be non-negative, got %d", *workers))
+	}
 
 	params, err := presetParams(*preset)
 	if err != nil {
@@ -265,6 +297,11 @@ func main() {
 	if !*skipShardScan {
 		sh := scanShards(p, opts)
 		rep.Shard = &sh
+	}
+
+	if !*skipDistrib {
+		d := scanDistrib(p, corpus.Clean, opts)
+		rep.Distrib = &d
 	}
 
 	if !*skipUpdate {
@@ -455,6 +492,68 @@ func scanShards(p *core.Pipeline, opts core.Options) shardReport {
 	last := rep.Points[len(rep.Points)-1]
 	if last.Millis > 0 {
 		rep.SpeedupMaxShards = rep.Points[0].Millis / last.Millis
+	}
+	return rep
+}
+
+// scanDistrib re-runs the whole offline build with the distributable
+// stages fanned out to 1 and then 2 in-process cubelsiworker instances
+// over loopback HTTP, asserting that each run reproduces the in-process
+// pipeline bit for bit (the coordinator reduces blocks in global row
+// order, so worker count never changes what is computed — only where).
+// The points therefore measure pure protocol and transfer overhead at
+// this corpus scale.
+func scanDistrib(p *core.Pipeline, ds *tagging.Dataset, opts core.Options) distribReport {
+	rep := distribReport{ParityWithInProcess: true}
+	for _, n := range []int{1, 2} {
+		fmt.Fprintf(os.Stderr, "benchoffline: distrib scan, workers=%d\n", n)
+		endpoints := make([]string, n)
+		servers := make([]*httptest.Server, n)
+		for i := range endpoints {
+			servers[i] = httptest.NewServer(distrib.NewWorker(distrib.WorkerOptions{}).Handler())
+			endpoints[i] = servers[i].URL
+		}
+		c, err := distrib.NewCoordinator(endpoints, distrib.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		ropts := opts
+		ropts.Remote = c
+		if ropts.Shards <= 1 {
+			ropts.Shards = 2 * n // at least one block per worker
+		}
+		start := time.Now()
+		rp, err := core.Build(context.Background(), ds, ropts)
+		for _, srv := range servers {
+			srv.Close()
+		}
+		if err != nil {
+			fatal(err)
+		}
+		rep.Points = append(rep.Points, distribWorkerPoint{
+			Workers: n,
+			Millis:  float64(time.Since(start).Nanoseconds()) / 1e6,
+		})
+
+		g, w := rp.Embedding.Matrix().Data(), p.Embedding.Matrix().Data()
+		if len(g) != len(w) || rp.K != p.K || len(rp.Assign) != len(p.Assign) {
+			rep.ParityWithInProcess = false
+		}
+		for i := 0; rep.ParityWithInProcess && i < len(g); i++ {
+			if math.Float64bits(g[i]) != math.Float64bits(w[i]) {
+				rep.ParityWithInProcess = false
+			}
+		}
+		for i := 0; rep.ParityWithInProcess && i < len(p.Assign); i++ {
+			if rp.Assign[i] != p.Assign[i] {
+				rep.ParityWithInProcess = false
+			}
+		}
+		if !rep.ParityWithInProcess {
+			// Same contract as the shard scan: bit-identity is the product,
+			// so a divergence fails the benchmark loudly.
+			fatal(fmt.Errorf("distrib scan: remote build at %d workers diverged from the in-process build", n))
+		}
 	}
 	return rep
 }

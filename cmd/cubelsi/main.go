@@ -12,6 +12,8 @@
 //	cubelsi -load old.model -save new.model        # upgrade v1/v2 → v3 format
 //	cubelsi -data corpus.tsv -update delta.tsv -save model.clsi
 //	                                               # incremental: warm-start rebuild
+//	cubelsi -data corpus.tsv -save model.clsi -workers-addr host1:9090,host2:9090
+//	                                               # distributed build on cubelsiworker fleet
 //
 // -update applies an assignment delta after the initial build through
 // the incremental Index lifecycle: lines of "user\ttag\tresource" are
@@ -54,6 +56,7 @@ func main() {
 	progress := flag.Bool("progress", false, "report pipeline stages on stderr")
 	workers := flag.Int("workers", 0, "ALS worker pool bound (0 = all CPUs, 1 = serial; factors are identical at any value)")
 	shards := flag.Int("shards", 0, "partition the tag-row pipeline stages into this many contiguous blocks (0/1 = monolithic; results are identical at any value)")
+	workersAddr := flag.String("workers-addr", "", "comma-separated cubelsiworker endpoints to fan the offline build out to (results are bit-identical to the in-process build)")
 	sketch := flag.Bool("sketch", false, "use the randomized range finder for large-mode SVDs (faster, near-optimal fit)")
 	sketchOversample := flag.Int("sketch-oversample", 0, "extra sketch columns beyond the core dimension (0 = default 8; implies -sketch)")
 	sketchPower := flag.Int("sketch-power", 0, "sketch power-iteration rounds (0 = default 2; implies -sketch)")
@@ -67,7 +70,7 @@ func main() {
 	bf := buildFlags{
 		ratio: *ratio, concepts: *concepts, minSupport: *minSupport,
 		seed: *seed, progress: *progress,
-		workers: *workers, shards: *shards,
+		workers: *workers, shards: *shards, workersAddr: *workersAddr,
 		// Tuning a sketch parameter is asking for the sketch.
 		sketch:           *sketch || *sketchOversample != 0 || *sketchPower != 0,
 		sketchOversample: *sketchOversample, sketchPower: *sketchPower,
@@ -141,6 +144,7 @@ type buildFlags struct {
 	progress         bool
 	workers          int
 	shards           int
+	workersAddr      string
 	sketch           bool
 	sketchOversample int
 	sketchPower      int
@@ -155,11 +159,17 @@ func (bf buildFlags) options() ([]cubelsi.BuildOption, error) {
 	cfg.Seed = bf.seed
 
 	opts := []cubelsi.BuildOption{cubelsi.WithConfig(cfg)}
+	// Negative values flow into the options so the build fails up front
+	// with the library's wrapped ErrInvalidOptions instead of being
+	// silently clamped here.
 	if bf.workers != 0 {
 		opts = append(opts, cubelsi.WithTuckerParallelism(bf.workers))
 	}
-	if bf.shards > 1 {
+	if bf.shards != 0 {
 		opts = append(opts, cubelsi.WithShards(bf.shards))
+	}
+	if bf.workersAddr != "" {
+		opts = append(opts, cubelsi.WithRemoteWorkers(splitTags(bf.workersAddr)...))
 	}
 	if bf.sketch {
 		opts = append(opts, cubelsi.WithSketch(bf.sketchOversample, bf.sketchPower))

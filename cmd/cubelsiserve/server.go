@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/httpx"
 )
 
 // logBatchPanics writes the recovery stack of every BatchError inside a
@@ -53,7 +54,7 @@ const maxSearchBody = 1 << 20 // 1 MiB
 // mutex serializes reloads only.
 type server struct {
 	started time.Time
-	mux     *http.ServeMux
+	mux     *httpx.Mux
 	idx     *cubelsi.Index // non-nil when corpus-backed (-data)
 
 	mu        sync.Mutex // serializes /reload
@@ -70,7 +71,7 @@ func newServer(eng *cubelsi.Engine) *server { return newLifecycleServer(eng, nil
 // not-ready: /readyz and every query endpoint return 503 until an
 // engine is set.
 func newLifecycleServer(eng *cubelsi.Engine, idx *cubelsi.Index, modelPath string) *server {
-	s := &server{started: time.Now(), mux: http.NewServeMux(), idx: idx, modelPath: modelPath}
+	s := &server{started: time.Now(), mux: httpx.NewMux(), idx: idx, modelPath: modelPath}
 	if eng != nil {
 		s.eng.Store(eng)
 	}
@@ -106,36 +107,12 @@ func (s *server) notReady(w http.ResponseWriter) bool {
 	return true
 }
 
-// ServeHTTP dispatches through the mux but keeps the error envelope
-// consistent: the mux's own plain-text 404/405 bodies are replaced with
-// the JSON {"error": ...} shape every other path uses.
+// ServeHTTP dispatches through the shared httpx mux, which keeps the
+// error envelope consistent: unmatched requests come back as JSON 404s,
+// or JSON 405s with an Allow header when the path exists under another
+// method — the same shape every handler here writes.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if _, pattern := s.mux.Handler(r); pattern == "" {
-		if allowed := s.allowedMethods(r.URL.Path); len(allowed) > 0 {
-			w.Header().Set("Allow", strings.Join(allowed, ", "))
-			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed for %s", r.Method, r.URL.Path)
-			return
-		}
-		writeError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
-		return
-	}
 	s.mux.ServeHTTP(w, r)
-}
-
-// allowedMethods probes which methods the mux would accept for a path,
-// so an unmatched request can be classified 405-with-Allow vs 404.
-func (s *server) allowedMethods(path string) []string {
-	var out []string
-	for _, m := range []string{http.MethodGet, http.MethodPost} {
-		probe, err := http.NewRequest(m, path, nil)
-		if err != nil {
-			continue
-		}
-		if _, pattern := s.mux.Handler(probe); pattern != "" {
-			out = append(out, m)
-		}
-	}
-	return out
 }
 
 // extendDeadline lifts the server-wide read/write deadlines for one
@@ -149,15 +126,11 @@ func extendDeadline(w http.ResponseWriter) {
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	httpx.WriteJSON(w, status, v)
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+	httpx.WriteError(w, status, format, args...)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -398,12 +371,7 @@ type searchRequest struct {
 // writeBodyError maps request-body decode failures onto the JSON error
 // envelope: 413 for oversized bodies, 400 for everything else.
 func writeBodyError(w http.ResponseWriter, err error) {
-	var tooBig *http.MaxBytesError
-	if errors.As(err, &tooBig) {
-		writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
-		return
-	}
-	writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	httpx.WriteBodyError(w, err)
 }
 
 // handleSearchPost answers a single JSON query, or a batch — the batch

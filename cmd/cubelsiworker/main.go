@@ -1,0 +1,88 @@
+// Command cubelsiworker serves the distributed-build worker protocol of
+// internal/distrib: a build coordinator (cubelsi -workers-addr, or any
+// program using cubelsi.WithRemoteWorkers) pushes content-addressed
+// payloads and dispatches block computations — projected mode-n
+// unfolding blocks of the ALS sweep, Theorem 2 embedding-projection
+// blocks, and Lloyd assignment scans. Results are bit-identical to the
+// coordinator computing the block itself, so adding or removing workers
+// never changes a build's output.
+//
+// Workers are stateless between builds: the payload store is an LRU
+// bounded by -max-state-mb, and a worker that restarts mid-build is
+// simply re-pushed what it is missing.
+//
+// Usage:
+//
+//	cubelsiworker [-addr :9090] [-max-state-mb 1024]
+//
+// Endpoints:
+//
+//	GET  /healthz          liveness probe
+//	POST /v1/state/{key}   ingest a content-addressed payload
+//	POST /v1/exec          run one block computation
+//
+// Every error answers with the JSON envelope {"error": "..."} and an
+// appropriate status code — including 404/405 from unknown routes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/distrib"
+)
+
+func main() {
+	addr := flag.String("addr", ":9090", "listen address")
+	maxStateMB := flag.Int64("max-state-mb", 1024, "payload store budget in MiB (LRU eviction past it)")
+	flag.Parse()
+	if *maxStateMB <= 0 {
+		fmt.Fprintf(os.Stderr, "cubelsiworker: -max-state-mb must be positive, got %d\n", *maxStateMB)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	worker := distrib.NewWorker(distrib.WorkerOptions{MaxStateBytes: *maxStateMB << 20})
+	fmt.Fprintf(os.Stderr, "cubelsiworker: serving on %s (state budget %d MiB)\n", *addr, *maxStateMB)
+
+	// Long ReadTimeout/WriteTimeout: tensor payloads and unfolding blocks
+	// are large, and exec requests legitimately compute for a while. The
+	// header timeout still sheds slow-loris connections.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           worker.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       5 * time.Minute,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fatal(err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "cubelsiworker: %v\n", err)
+	os.Exit(1)
+}

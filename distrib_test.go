@@ -1,0 +1,171 @@
+package cubelsi
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/distrib"
+)
+
+// TestParallelismOptionValidation pins the boundary behavior of the
+// parallelism knobs: zero, one and above-row-count values build (and
+// serve identically to the monolithic build), while negative values are
+// rejected up front with an error wrapping ErrInvalidOptions instead of
+// being silently clamped.
+func TestParallelismOptionValidation(t *testing.T) {
+	baseline := buildCorpus(t)
+	ok := []struct {
+		name string
+		opt  BuildOption
+	}{
+		{"shards=0", WithShards(0)},
+		{"shards=1", WithShards(1)},
+		{"shards>rows", WithShards(10_000)},
+		{"workers=0", WithTuckerParallelism(0)},
+		{"workers=1", WithTuckerParallelism(1)},
+		{"workers>rows", WithTuckerParallelism(10_000)},
+	}
+	for _, tc := range ok {
+		eng := buildCorpus(t, WithConfig(testConfig()), tc.opt)
+		if eng.Stats() != baseline.Stats() {
+			t.Fatalf("%s: stats diverge: %+v vs %+v", tc.name, eng.Stats(), baseline.Stats())
+		}
+	}
+
+	bad := []struct {
+		name string
+		opt  BuildOption
+		frag string
+	}{
+		{"shards=-1", WithShards(-1), "WithShards(-1)"},
+		{"shards=-7", WithShards(-7), "WithShards(-7)"},
+		{"workers=-1", WithTuckerParallelism(-1), "WithTuckerParallelism(-1)"},
+		{"no endpoints", WithRemoteWorkers(), "WithRemoteWorkers"},
+		{"blank endpoints", WithRemoteWorkers("", "  "), "WithRemoteWorkers"},
+	}
+	ctx := context.Background()
+	for _, tc := range bad {
+		_, err := Build(ctx, FromAssignments(corpus()), WithConfig(testConfig()), tc.opt)
+		if !errors.Is(err, ErrInvalidOptions) {
+			t.Fatalf("%s: Build error = %v, want ErrInvalidOptions", tc.name, err)
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Fatalf("%s: error %q does not name the option", tc.name, err)
+		}
+		if _, err := NewIndex(ctx, FromAssignments(corpus()), WithConfig(testConfig()), tc.opt); !errors.Is(err, ErrInvalidOptions) {
+			t.Fatalf("%s: NewIndex error = %v, want ErrInvalidOptions", tc.name, err)
+		}
+	}
+
+	// The first invalid option wins even when followed by a valid one.
+	if _, err := Build(ctx, FromAssignments(corpus()), WithShards(-1), WithShards(2)); !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("error = %v, want ErrInvalidOptions", err)
+	}
+}
+
+// startTestWorkers launches n in-process cubelsiworker handlers.
+func startTestWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	endpoints := make([]string, n)
+	for i := range endpoints {
+		srv := httptest.NewServer(distrib.NewWorker(distrib.WorkerOptions{}).Handler())
+		t.Cleanup(srv.Close)
+		endpoints[i] = srv.URL
+	}
+	return endpoints
+}
+
+// TestWithRemoteWorkersBitIdenticalEngine pins the public distributed
+// contract: a build fanned out to remote workers serves exactly what the
+// in-process build serves — same stats, same concept partition, same
+// rankings with equal scores — at one, two and three workers, and the
+// incremental lifecycle accepts the option the same way.
+func TestWithRemoteWorkersBitIdenticalEngine(t *testing.T) {
+	local := buildCorpus(t)
+	for _, n := range []int{1, 2, 3} {
+		remote := buildCorpus(t, WithConfig(testConfig()), WithRemoteWorkers(startTestWorkers(t, n)...))
+		if local.Stats() != remote.Stats() {
+			t.Fatalf("%d workers: stats diverge: %+v vs %+v", n, local.Stats(), remote.Stats())
+		}
+		for _, tag := range local.Tags() {
+			a, err := local.ConceptOf(tag)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := remote.ConceptOf(tag)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("%d workers: tag %q: concept %d vs %d", n, tag, a, b)
+			}
+			ra, rb := local.Query(NewQuery([]string{tag})), remote.Query(NewQuery([]string{tag}))
+			if len(ra) != len(rb) {
+				t.Fatalf("%d workers: query %q: %d vs %d results", n, tag, len(ra), len(rb))
+			}
+			for i := range ra {
+				if ra[i] != rb[i] {
+					t.Fatalf("%d workers: query %q result %d: %+v vs %+v", n, tag, i, ra[i], rb[i])
+				}
+			}
+		}
+	}
+
+	// The lifecycle path honors the option too: a distributed Apply must
+	// publish the same rankings as an in-process one.
+	ctx := context.Background()
+	mk := func(opts ...BuildOption) *Engine {
+		t.Helper()
+		idx, err := NewIndex(ctx, FromAssignments(corpus()), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := idx.Apply(ctx, Delta{Add: []Assignment{
+			{User: "zz", Tag: "audio", Resource: "m1"},
+			{User: "zz", Tag: "mp3", Resource: "m2"},
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		return idx.Snapshot()
+	}
+	e1 := mk(WithConfig(testConfig()))
+	e2 := mk(WithConfig(testConfig()), WithRemoteWorkers(startTestWorkers(t, 2)...))
+	for _, tag := range e1.Tags() {
+		ra, rb := e1.Query(NewQuery([]string{tag})), e2.Query(NewQuery([]string{tag}))
+		if len(ra) != len(rb) {
+			t.Fatalf("lifecycle query %q: %d vs %d results", tag, len(ra), len(rb))
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("lifecycle query %q result %d: %+v vs %+v", tag, i, ra[i], rb[i])
+			}
+		}
+	}
+}
+
+// TestRemoteBuildSurvivesUnreachableWorkers points the build at
+// endpoints nothing listens on: every block falls back to the local
+// computation and the engine still comes out bit-identical.
+func TestRemoteBuildSurvivesUnreachableWorkers(t *testing.T) {
+	local := buildCorpus(t)
+	// Reserve a port and close it so nothing is listening there.
+	srv := httptest.NewServer(nil)
+	dead := srv.URL
+	srv.Close()
+
+	remote := buildCorpus(t, WithConfig(testConfig()), WithRemoteWorkers(dead))
+	if local.Stats() != remote.Stats() {
+		t.Fatalf("stats diverge: %+v vs %+v", local.Stats(), remote.Stats())
+	}
+	for _, tag := range local.Tags() {
+		ra, rb := local.Query(NewQuery([]string{tag})), remote.Query(NewQuery([]string{tag}))
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("query %q result %d: %+v vs %+v", tag, i, ra[i], rb[i])
+			}
+		}
+	}
+}

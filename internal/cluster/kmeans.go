@@ -29,6 +29,45 @@ type KMeansOptions struct {
 	// a deterministic reduction in global row order, so the clustering
 	// is bit-identical at any shard count. ≤ 1 means one block.
 	Shards int
+	// Assigner, if non-nil, computes each Lloyd assignment block in place
+	// of the in-process scan — the distributed-build hook. An
+	// implementation must return exactly what ScanBlock returns (the
+	// nearest-centroid scan is deterministic, so this is well-defined); a
+	// block whose remote scan fails falls back to the local one, which is
+	// bit-identical, so Assigner errors never change the clustering.
+	Assigner Assigner
+}
+
+// Assigner computes one Lloyd assignment block on behalf of KMeans: the
+// nearest-centroid index and squared distance for rows [lo, hi) of
+// points, block-relative. Implementations must match ScanBlock bit for
+// bit — it is the contract the distributed coordinator honors by running
+// the identical scan remotely.
+type Assigner interface {
+	AssignBlock(points, centers *mat.Matrix, lo, hi int) ([]int, []float64, error)
+}
+
+// ScanBlock is the in-process Lloyd assignment block: for each row in
+// [lo, hi) of points, the index of the nearest center (lowest index wins
+// ties, via the strict < comparison) and the squared distance to it,
+// indexed block-relative. It is both the local unit of work of the
+// sharded assignment step and the reference behavior remote Assigners
+// must reproduce.
+func ScanBlock(points, centers *mat.Matrix, lo, hi int) ([]int, []float64) {
+	k := centers.Rows()
+	idx := make([]int, hi-lo)
+	sq := make([]float64, hi-lo)
+	for i := lo; i < hi; i++ {
+		bi, bd := 0, math.Inf(1)
+		for c := 0; c < k; c++ {
+			d := sqDist(points.Row(i), centers.Row(c))
+			if d < bd {
+				bd, bi = d, c
+			}
+		}
+		idx[i-lo], sq[i-lo] = bi, bd
+	}
+	return idx, sq
 }
 
 // KMeansResult is a hard assignment of points to k clusters.
@@ -61,7 +100,7 @@ func KMeans(points *mat.Matrix, k int, opts KMeansOptions) *KMeansResult {
 	var best *KMeansResult
 	for rs := 0; rs < restarts; rs++ {
 		rng := rand.New(rand.NewSource(opts.Seed + int64(rs)*7919))
-		res := kmeansOnce(points, k, maxIter, opts.Shards, rng)
+		res := kmeansOnce(points, k, maxIter, opts.Shards, opts.Assigner, rng)
 		if best == nil || res.Inertia < best.Inertia {
 			best = res
 		}
@@ -70,7 +109,7 @@ func KMeans(points *mat.Matrix, k int, opts KMeansOptions) *KMeansResult {
 	return best
 }
 
-func kmeansOnce(points *mat.Matrix, k, maxIter, shards int, rng *rand.Rand) *KMeansResult {
+func kmeansOnce(points *mat.Matrix, k, maxIter, shards int, asg Assigner, rng *rand.Rand) *KMeansResult {
 	n, dim := points.Dims()
 	centers := seedPlusPlus(points, k, rng)
 	assign := make([]int, n)
@@ -82,24 +121,19 @@ func kmeansOnce(points *mat.Matrix, k, maxIter, shards int, rng *rand.Rand) *KMe
 		// Assignment step, one shard block per unit of work. Each row's
 		// nearest centroid depends only on that row and the centers, and
 		// blocks write disjoint assign/dists entries, so the step is
-		// bit-identical at any shard count.
+		// bit-identical at any shard count — with or without a remote
+		// Assigner, whose contract (and local fallback) is ScanBlock.
 		for b := range blockChanged {
 			blockChanged[b] = false
 		}
 		shard.ForEach(plan, func(b int, r shard.Range) {
+			idx, sq := scanBlockWith(asg, points, centers, r.Lo, r.Hi)
 			for i := r.Lo; i < r.Hi; i++ {
-				bi, bd := 0, math.Inf(1)
-				for c := 0; c < k; c++ {
-					d := sqDist(points.Row(i), centers.Row(c))
-					if d < bd {
-						bd, bi = d, c
-					}
-				}
-				if assign[i] != bi {
-					assign[i] = bi
+				if assign[i] != idx[i-r.Lo] {
+					assign[i] = idx[i-r.Lo]
 					blockChanged[b] = true
 				}
-				dists[i] = bd
+				dists[i] = sq[i-r.Lo]
 			}
 		})
 		changed := false
@@ -144,6 +178,19 @@ func kmeansOnce(points *mat.Matrix, k, maxIter, shards int, rng *rand.Rand) *KMe
 		inertia += sqDist(points.Row(i), centers.Row(assign[i]))
 	}
 	return &KMeansResult{Assign: assign, Centers: centers, Inertia: inertia}
+}
+
+// scanBlockWith runs one assignment block through the configured
+// Assigner, falling back to the bit-identical local scan when none is
+// set, the remote scan fails, or its result has the wrong shape.
+func scanBlockWith(asg Assigner, points, centers *mat.Matrix, lo, hi int) ([]int, []float64) {
+	if asg != nil {
+		idx, sq, err := asg.AssignBlock(points, centers, lo, hi)
+		if err == nil && len(idx) == hi-lo && len(sq) == hi-lo {
+			return idx, sq
+		}
+	}
+	return ScanBlock(points, centers, lo, hi)
 }
 
 // seedPlusPlus picks k initial centers with the k-means++ D² weighting.

@@ -41,6 +41,10 @@ type SpectralOptions struct {
 	// contiguous row blocks (see KMeansOptions.Shards). Clustering is
 	// bit-identical at any shard count; ≤ 1 means one block.
 	Shards int
+	// Assigner, if non-nil, is passed through to the final k-means (see
+	// KMeansOptions.Assigner) — the distributed-build hook for the Lloyd
+	// assignment scans.
+	Assigner Assigner
 }
 
 // SpectralResult is the outcome of spectral clustering.
@@ -69,7 +73,7 @@ func Spectral(d *mat.Matrix, opts SpectralOptions) *SpectralResult {
 	if x == nil {
 		return res
 	}
-	km := KMeans(x, res.K, KMeansOptions{Seed: opts.Seed, Shards: opts.Shards})
+	km := KMeans(x, res.K, KMeansOptions{Seed: opts.Seed, Shards: opts.Shards, Assigner: opts.Assigner})
 	res.Assign = km.Assign
 	return res
 }

@@ -1,0 +1,168 @@
+package codec
+
+// Standalone frames for the distributed-build data plane. The
+// coordinator/worker protocol of internal/distrib ships factor
+// matrices, the sparse tensor, and block results as binary payloads
+// using exactly the framing the model file uses — length-prefixed
+// little-endian sections with float64 values as raw IEEE-754 bits — so
+// a matrix decoded on a worker is bit-for-bit the matrix the
+// coordinator encoded, and the bit-identity contract of the sharded
+// pipeline survives the network hop. Each frame is self-delimiting;
+// callers may concatenate several on one stream.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// EncodeMatrix writes m as one self-delimiting frame (rows, cols, data).
+func EncodeMatrix(w io.Writer, m *mat.Matrix) error {
+	if m == nil {
+		return fmt.Errorf("codec: encode: nil matrix")
+	}
+	return encodeFrame(w, func(e *encoder) { e.matrix(m) })
+}
+
+// DecodeMatrix reads one matrix frame from r.
+func DecodeMatrix(r io.Reader) (*mat.Matrix, error) {
+	var m *mat.Matrix
+	err := decodeFrame(r, func(d *decoder) { m = d.matrix() })
+	return m, err
+}
+
+// EncodeFloats writes vs as one length-prefixed frame of raw IEEE-754
+// bits.
+func EncodeFloats(w io.Writer, vs []float64) error {
+	return encodeFrame(w, func(e *encoder) { e.f64s(vs) })
+}
+
+// DecodeFloats reads one float-vector frame from r.
+func DecodeFloats(r io.Reader) ([]float64, error) {
+	var vs []float64
+	err := decodeFrame(r, func(d *decoder) { vs = d.f64s() })
+	return vs, err
+}
+
+// EncodeInts writes vs as one length-prefixed frame of 64-bit values.
+func EncodeInts(w io.Writer, vs []int) error {
+	return encodeFrame(w, func(e *encoder) {
+		e.length(len(vs))
+		for _, v := range vs {
+			e.i64(int64(v))
+		}
+	})
+}
+
+// DecodeInts reads one int-vector frame from r.
+func DecodeInts(r io.Reader) ([]int, error) {
+	var vs []int
+	err := decodeFrame(r, func(d *decoder) {
+		n := d.length()
+		if d.err != nil {
+			return
+		}
+		vs = make([]int, 0, capCap(n))
+		for i := 0; i < n && d.err == nil; i++ {
+			vs = append(vs, int(d.i64()))
+		}
+	})
+	return vs, err
+}
+
+// EncodeSparse3 writes f as one frame: dimensions, entry count, then the
+// (i, j, k, v) coordinates in stored order. The order is preserved, so a
+// decoded tensor enumerates entries exactly as the original does — the
+// property the deterministic unfolding accumulation depends on.
+func EncodeSparse3(w io.Writer, f *tensor.Sparse3) error {
+	if f == nil {
+		return fmt.Errorf("codec: encode: nil tensor")
+	}
+	return encodeFrame(w, func(e *encoder) {
+		i1, i2, i3 := f.Dims()
+		e.length(i1)
+		e.length(i2)
+		e.length(i3)
+		entries := f.Entries()
+		e.length(len(entries))
+		for _, ent := range entries {
+			e.i64(int64(ent.I))
+			e.i64(int64(ent.J))
+			e.i64(int64(ent.K))
+			e.f64(ent.V)
+		}
+	})
+}
+
+// DecodeSparse3 reads one sparse-tensor frame from r. The decoded
+// tensor's entries are re-canonicalized through Build, which is a no-op
+// re-sort for the already-sorted entries every built tensor ships.
+func DecodeSparse3(r io.Reader) (*tensor.Sparse3, error) {
+	var f *tensor.Sparse3
+	err := decodeFrame(r, func(d *decoder) {
+		i1 := d.length()
+		i2 := d.length()
+		i3 := d.length()
+		n := d.length()
+		if d.err != nil {
+			return
+		}
+		if _, ok := checkedProduct(i1, i2, i3); !ok {
+			d.err = fmt.Errorf("tensor dimensions %d×%d×%d overflow", i1, i2, i3)
+			return
+		}
+		f = tensor.NewSparse3(i1, i2, i3)
+		for e := 0; e < n && d.err == nil; e++ {
+			i, j, k := int(d.i64()), int(d.i64()), int(d.i64())
+			v := d.f64()
+			if d.err != nil {
+				return
+			}
+			if i < 0 || i >= i1 || j < 0 || j >= i2 || k < 0 || k >= i3 {
+				d.err = fmt.Errorf("tensor entry (%d,%d,%d) out of bounds %d×%d×%d", i, j, k, i1, i2, i3)
+				return
+			}
+			f.Append(i, j, k, v)
+		}
+		f.Build()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// encodeFrame runs one encoder body against a buffered writer, mapping
+// the sticky error to the caller.
+func encodeFrame(w io.Writer, fill func(*encoder)) error {
+	bw := bufio.NewWriter(w)
+	e := &encoder{w: bw}
+	fill(e)
+	if e.err != nil {
+		return fmt.Errorf("codec: encode: %w", e.err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("codec: encode: %w", err)
+	}
+	return nil
+}
+
+// decodeFrame runs one decoder body, mapping the sticky error to the
+// caller. The reader is wrapped in a bufio.Reader sized to read exactly
+// as the frame demands; callers concatenating frames should pass a
+// *bufio.Reader themselves to avoid read-ahead loss.
+func decodeFrame(r io.Reader, fill func(*decoder)) error {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	d := &decoder{r: br}
+	fill(d)
+	if d.err != nil {
+		return fmt.Errorf("codec: decode: %w", d.err)
+	}
+	return nil
+}

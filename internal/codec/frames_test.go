@@ -1,0 +1,122 @@
+package codec
+
+import (
+	"bufio"
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+func TestMatrixFrameRoundtripBitForBit(t *testing.T) {
+	m := mat.New(3, 2)
+	vals := []float64{1.5, -0, math.Pi, 1e-300, -2.25, math.MaxFloat64}
+	copy(m.Data(), vals)
+
+	var buf bytes.Buffer
+	if err := EncodeMatrix(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMatrix(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, c := got.Dims(); r != 3 || c != 2 {
+		t.Fatalf("decoded dims %d×%d", r, c)
+	}
+	for i, v := range got.Data() {
+		if math.Float64bits(v) != math.Float64bits(vals[i]) {
+			t.Fatalf("element %d: bits %x != %x", i, math.Float64bits(v), math.Float64bits(vals[i]))
+		}
+	}
+
+	if err := EncodeMatrix(&buf, nil); err == nil {
+		t.Fatal("nil matrix must not encode")
+	}
+}
+
+func TestFloatsAndIntsFramesConcatenated(t *testing.T) {
+	ints := []int{3, -1, 0, 1 << 40}
+	floats := []float64{0.5, -3.75}
+
+	var buf bytes.Buffer
+	if err := EncodeInts(&buf, ints); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeFloats(&buf, floats); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two frames on one stream must decode through one shared reader.
+	br := bufio.NewReader(&buf)
+	gotInts, err := DecodeInts(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFloats, err := DecodeFloats(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotInts) != len(ints) {
+		t.Fatalf("ints length %d", len(gotInts))
+	}
+	for i, v := range gotInts {
+		if v != ints[i] {
+			t.Fatalf("ints[%d] = %d, want %d", i, v, ints[i])
+		}
+	}
+	for i, v := range gotFloats {
+		if math.Float64bits(v) != math.Float64bits(floats[i]) {
+			t.Fatalf("floats[%d] = %v, want %v", i, v, floats[i])
+		}
+	}
+}
+
+func TestSparse3FrameRoundtripPreservesEntries(t *testing.T) {
+	f := tensor.NewSparse3(2, 3, 4)
+	f.Append(1, 2, 3, 1.0)
+	f.Append(0, 0, 0, 0.25)
+	f.Append(1, 0, 2, -1.5)
+	f.Build()
+
+	var buf bytes.Buffer
+	if err := EncodeSparse3(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSparse3(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i1, i2, i3 := got.Dims()
+	if i1 != 2 || i2 != 3 || i3 != 4 {
+		t.Fatalf("decoded dims %d×%d×%d", i1, i2, i3)
+	}
+	a, b := f.Entries(), got.Entries()
+	if len(a) != len(b) {
+		t.Fatalf("entry counts %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSparse3FrameRejectsCorruptEntries(t *testing.T) {
+	f := tensor.NewSparse3(2, 2, 2)
+	f.Append(1, 1, 1, 1)
+	f.Build()
+	var buf bytes.Buffer
+	if err := EncodeSparse3(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	// Truncated stream.
+	if _, err := DecodeSparse3(bytes.NewReader(buf.Bytes()[:buf.Len()-4])); err == nil {
+		t.Fatal("truncated tensor frame must not decode")
+	}
+	if err := EncodeSparse3(&buf, nil); err == nil {
+		t.Fatal("nil tensor must not encode")
+	}
+}

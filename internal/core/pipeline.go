@@ -90,6 +90,20 @@ type Progress struct {
 // synchronously from the build goroutine and must not block.
 type ProgressFunc func(Progress)
 
+// RemoteExec fans the block-parallel stages of a build out to remote
+// workers: the projected mode-n unfoldings of the ALS sweep (the Unfold
+// method doubles as tucker.Unfolder), the Theorem 2 embedding
+// projection, and the Lloyd assignment scans of concept clustering.
+// Implementations must be bit-identical to the in-process sharded path —
+// internal/distrib's Coordinator is the production one, and it
+// additionally guarantees that worker failures degrade to local
+// computation rather than failed builds.
+type RemoteExec interface {
+	Unfold(ctx context.Context, f *tensor.Sparse3, mode int, ya, yb *mat.Matrix, workers, shards int) (*mat.Matrix, error)
+	ProjectEmbedding(ctx context.Context, d *tucker.Decomposition, shards int) (*mat.Matrix, error)
+	AssignBlock(ctx context.Context, points, centers *mat.Matrix, lo, hi int) ([]int, []float64, error)
+}
+
 // Options configures the offline pipeline.
 type Options struct {
 	// Tucker carries the core dimensions (or use ratios via
@@ -119,6 +133,52 @@ type Options struct {
 	Shards int
 	// Progress, if non-nil, observes each stage's start and finish.
 	Progress ProgressFunc
+	// Remote, if non-nil, executes the sharded block computations on
+	// remote workers (see RemoteExec). The build's output is bit-identical
+	// with or without it.
+	Remote RemoteExec
+}
+
+// applyRemote threads the remote executor into the per-stage options;
+// the Lloyd assignment hook is bound to the build context since
+// cluster.Assigner carries none.
+func applyRemote(ctx context.Context, o Options, t *tucker.Options, s *cluster.SpectralOptions) {
+	if o.Remote == nil {
+		return
+	}
+	t.Unfolder = o.Remote
+	s.Assigner = boundAssigner{ctx: ctx, remote: o.Remote}
+}
+
+// boundAssigner adapts RemoteExec's context-taking AssignBlock to
+// cluster.Assigner.
+type boundAssigner struct {
+	ctx    context.Context
+	remote RemoteExec
+}
+
+func (b boundAssigner) AssignBlock(points, centers *mat.Matrix, lo, hi int) ([]int, []float64, error) {
+	return b.remote.AssignBlock(b.ctx, points, centers, lo, hi)
+}
+
+// buildEmbedding computes the Theorem 2 embedding, remotely when a
+// RemoteExec is configured and in-process otherwise. A remote failure
+// short of cancellation falls back to the bit-identical local
+// projection.
+func buildEmbedding(ctx context.Context, remote RemoteExec, d *tucker.Decomposition, shards int) (*embed.TagEmbedding, error) {
+	if remote != nil {
+		m, err := remote.ProjectEmbedding(ctx, d, shards)
+		if err == nil && m != nil {
+			wr, wc := d.Y2.Dims()
+			if r, c := m.Dims(); r == wr && c == wc {
+				return embed.FromMatrix(m), nil
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return embed.FromDecompositionSharded(d, shards), nil
 }
 
 // shardedOptions returns copies of the Tucker and Spectral options with
@@ -222,6 +282,7 @@ func Build(ctx context.Context, ds *tagging.Dataset, opts Options) (*Pipeline, e
 	p := &Pipeline{DS: ds}
 	run := stageRunner(ctx, opts.Progress, &p.Times)
 	tOpts, sOpts := opts.shardedOptions()
+	applyRemote(ctx, opts, &tOpts, &sOpts)
 
 	if err := run(StageTensor, func() error {
 		p.Tensor = ds.Tensor()
@@ -242,7 +303,11 @@ func Build(ctx context.Context, ds *tagging.Dataset, opts Options) (*Pipeline, e
 	}
 
 	if err := run(StageEmbed, func() error {
-		p.Embedding = embed.FromDecompositionSharded(p.Decomposition, opts.Shards)
+		emb, err := buildEmbedding(ctx, opts.Remote, p.Decomposition, opts.Shards)
+		if err != nil {
+			return err
+		}
+		p.Embedding = emb
 		if opts.ExactSpectral {
 			// The Theorem 1/2 structures (Σ = S₍₂₎S₍₂₎ᵀ) are only needed
 			// to materialize D̂; the embedding path never pays for them.

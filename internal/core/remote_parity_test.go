@@ -1,0 +1,147 @@
+package core
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/distrib"
+	"repro/internal/tucker"
+)
+
+// remoteCoordinator spins up n in-process workers and a coordinator over
+// them, torn down with the test.
+func remoteCoordinator(t *testing.T, n int) *distrib.Coordinator {
+	t.Helper()
+	endpoints := make([]string, n)
+	for i := range endpoints {
+		srv := httptest.NewServer(distrib.NewWorker(distrib.WorkerOptions{}).Handler())
+		t.Cleanup(srv.Close)
+		endpoints[i] = srv.URL
+	}
+	c, err := distrib.NewCoordinator(endpoints, distrib.Options{Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestRemoteBuildFactorsBitForBit extends the golden-hash contract to
+// the distributed plan: a build whose unfoldings, embedding projection
+// and assignment scans run on remote workers must reproduce the seed
+// implementation's factors bit for bit at any worker count, and the
+// whole pipeline (embedding, partition, rankings) must equal the
+// in-process build exactly.
+func TestRemoteBuildFactorsBitForBit(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("golden float bits recorded on amd64, running on %s", runtime.GOARCH)
+	}
+	ds := paperDataset()
+	opts := Options{
+		Tucker:   tucker.Options{J1: 3, J2: 2, J3: 3, Seed: 1},
+		Spectral: cluster.SpectralOptions{Sigma: 1, K: 2, Seed: 5},
+	}
+	local := mustBuild(t, ds, opts)
+	if got := factorHash(local.Decomposition); got != goldenFactorHash {
+		t.Fatalf("local factor hash %s, want golden %s", got, goldenFactorHash)
+	}
+
+	for _, workers := range []int{1, 2, 3} {
+		ropts := opts
+		ropts.Remote = remoteCoordinator(t, workers)
+		ropts.Shards = 3
+		remote, err := Build(context.Background(), ds, ropts)
+		if err != nil {
+			t.Fatalf("%d workers: %v", workers, err)
+		}
+		if got := factorHash(remote.Decomposition); got != goldenFactorHash {
+			t.Fatalf("%d workers: factor hash %s, want golden %s", workers, got, goldenFactorHash)
+		}
+		assertPipelinesIdentical(t, remote, local)
+	}
+}
+
+// TestRemoteBuildSurvivesWorkerDeath is the chaos variant: one of two
+// workers dies after serving a couple of block requests mid-sweep; the
+// coordinator must reassign its blocks and the finished build must still
+// be bit-identical to the in-process one.
+func TestRemoteBuildSurvivesWorkerDeath(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("golden float bits recorded on amd64, running on %s", runtime.GOARCH)
+	}
+	ds := paperDataset()
+	opts := Options{
+		Tucker:   tucker.Options{J1: 3, J2: 2, J3: 3, Seed: 1},
+		Spectral: cluster.SpectralOptions{Sigma: 1, K: 2, Seed: 5},
+	}
+	local := mustBuild(t, ds, opts)
+
+	stable := httptest.NewServer(distrib.NewWorker(distrib.WorkerOptions{}).Handler())
+	defer stable.Close()
+	var execs atomic.Int64
+	var dead atomic.Bool
+	doomed := distrib.NewWorker(distrib.WorkerOptions{})
+	doomedSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if dead.Load() {
+			http.Error(w, "killed", http.StatusServiceUnavailable)
+			return
+		}
+		if r.URL.Path == "/v1/exec" && execs.Add(1) > 2 {
+			dead.Store(true)
+			http.Error(w, "killed", http.StatusServiceUnavailable)
+			return
+		}
+		doomed.Handler().ServeHTTP(w, r)
+	}))
+	defer doomedSrv.Close()
+
+	c, err := distrib.NewCoordinator([]string{stable.URL, doomedSrv.URL}, distrib.Options{
+		Timeout: 30 * time.Second, Retries: 1, Backoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ropts := opts
+	ropts.Remote = c
+	ropts.Shards = 4
+	remote, err := Build(context.Background(), ds, ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := factorHash(remote.Decomposition); got != goldenFactorHash {
+		t.Fatalf("factor hash after worker death %s, want golden %s", got, goldenFactorHash)
+	}
+	assertPipelinesIdentical(t, remote, local)
+	if !dead.Load() {
+		t.Fatal("the doomed worker was never exercised")
+	}
+}
+
+// assertPipelinesIdentical checks the serving-visible state of two
+// builds is exactly equal: embedding bits, concept partition and count.
+func assertPipelinesIdentical(t *testing.T, got, want *Pipeline) {
+	t.Helper()
+	g, w := got.Embedding.Matrix().Data(), want.Embedding.Matrix().Data()
+	if len(g) != len(w) {
+		t.Fatalf("embedding sizes %d vs %d", len(g), len(w))
+	}
+	for i := range g {
+		if math.Float64bits(g[i]) != math.Float64bits(w[i]) {
+			t.Fatalf("embedding element %d: %v vs %v", i, g[i], w[i])
+		}
+	}
+	if got.K != want.K {
+		t.Fatalf("K %d vs %d", got.K, want.K)
+	}
+	for i := range want.Assign {
+		if got.Assign[i] != want.Assign[i] {
+			t.Fatalf("assignment %d: %d vs %d", i, got.Assign[i], want.Assign[i])
+		}
+	}
+}

@@ -99,6 +99,7 @@ func Update(ctx context.Context, ds *tagging.Dataset, prev *PrevState, opts Opti
 	st := &UpdateStats{}
 	run := stageRunner(ctx, opts.Progress, &p.Times)
 	tOpts, sOpts := opts.shardedOptions()
+	applyRemote(ctx, opts, &tOpts, &sOpts)
 
 	if err := run(StageTensor, func() error {
 		p.Tensor = ds.Tensor()
@@ -135,7 +136,11 @@ func Update(ctx context.Context, ds *tagging.Dataset, prev *PrevState, opts Opti
 	var moved []int
 	var prevOf []int // new tag id → previous tag id, -1 when unseen
 	if err := run(StageEmbed, func() error {
-		p.Embedding = embed.FromDecompositionSharded(p.Decomposition, opts.Shards)
+		emb, err := buildEmbedding(ctx, opts.Remote, p.Decomposition, opts.Shards)
+		if err != nil {
+			return err
+		}
+		p.Embedding = emb
 		thr := uopts.moveThreshold()
 		n := p.Embedding.NumTags()
 

@@ -1,0 +1,577 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/embed"
+	"repro/internal/mat"
+	"repro/internal/shard"
+	"repro/internal/tensor"
+	"repro/internal/tucker"
+)
+
+// Options configures a Coordinator's robustness envelope.
+type Options struct {
+	// Timeout bounds each HTTP request (push, exec, health probe). Zero
+	// means 60 s.
+	Timeout time.Duration
+	// Retries is how many times a failed request to one worker is retried
+	// before the block moves to the next worker. Zero means 2; negative
+	// disables retries.
+	Retries int
+	// Backoff is the base delay between retries, doubling per attempt.
+	// Zero means 100 ms.
+	Backoff time.Duration
+	// Client overrides the HTTP client (tests inject httptest clients).
+	Client *http.Client
+}
+
+func (o Options) timeout() time.Duration {
+	if o.Timeout <= 0 {
+		return 60 * time.Second
+	}
+	return o.Timeout
+}
+
+func (o Options) retries() int {
+	if o.Retries == 0 {
+		return 2
+	}
+	if o.Retries < 0 {
+		return 0
+	}
+	return o.Retries
+}
+
+func (o Options) backoff() time.Duration {
+	if o.Backoff <= 0 {
+		return 100 * time.Millisecond
+	}
+	return o.Backoff
+}
+
+// remoteWorker is the coordinator's view of one worker process.
+type remoteWorker struct {
+	url string
+
+	mu      sync.Mutex
+	pushed  map[string]bool // state keys this worker is believed to hold
+	healthy bool
+}
+
+func (w *remoteWorker) hasState(key string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.pushed[key]
+}
+
+func (w *remoteWorker) markState(key string, ok bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if ok {
+		w.pushed[key] = true
+	} else {
+		delete(w.pushed, key)
+	}
+}
+
+func (w *remoteWorker) isHealthy() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.healthy
+}
+
+func (w *remoteWorker) setHealthy(ok bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.healthy = ok
+	if !ok {
+		// A worker that dropped out may have restarted empty: forget what
+		// it was pushed so a comeback re-pushes from scratch (the 409
+		// path would also recover, this just skips a round-trip).
+		w.pushed = make(map[string]bool)
+	}
+}
+
+// statePayload is one encoded, content-addressed payload.
+type statePayload struct {
+	key  string
+	body []byte
+}
+
+// Coordinator fans build blocks out to worker processes. It implements
+// the three remote hooks of the build pipeline (tucker.Unfolder, the
+// embedding projection, and the Lloyd assignment scan) with results
+// bit-identical to the in-process path; see the package comment for the
+// failure model.
+type Coordinator struct {
+	opts    Options
+	workers []*remoteWorker
+	client  *http.Client
+	rr      atomic.Uint64 // round-robin cursor for single-block ops
+
+	cacheMu  sync.Mutex
+	encCache map[any]statePayload
+	encOrder []any
+}
+
+// encCacheCap bounds the payload-encoding cache. Factor matrices churn
+// every sweep, so stale entries dominate quickly; the cache only needs
+// to cover the payloads of the stages currently in flight.
+const encCacheCap = 32
+
+// NewCoordinator returns a Coordinator over the given worker base URLs
+// (for example "http://10.0.0.7:9090"; a missing scheme defaults to
+// http). All workers start out presumed healthy; the first failed
+// request demotes.
+func NewCoordinator(endpoints []string, opts Options) (*Coordinator, error) {
+	var ws []*remoteWorker
+	for _, ep := range endpoints {
+		ep = strings.TrimSpace(ep)
+		if ep == "" {
+			continue
+		}
+		if !strings.Contains(ep, "://") {
+			ep = "http://" + ep
+		}
+		ws = append(ws, &remoteWorker{
+			url:     strings.TrimRight(ep, "/"),
+			pushed:  make(map[string]bool),
+			healthy: true,
+		})
+	}
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("distrib: no worker endpoints")
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &Coordinator{
+		opts:     opts,
+		workers:  ws,
+		client:   client,
+		encCache: make(map[any]statePayload),
+	}, nil
+}
+
+// NumWorkers returns how many workers the coordinator addresses.
+func (c *Coordinator) NumWorkers() int { return len(c.workers) }
+
+// Ping health-checks every worker, marking each healthy or not, and
+// returns the number that answered. An error means none did.
+func (c *Coordinator) Ping(ctx context.Context) (int, error) {
+	var healthy int
+	var firstErr error
+	for _, w := range c.workers {
+		if err := c.ping(ctx, w); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("distrib: worker %s: %w", w.url, err)
+			}
+			continue
+		}
+		healthy++
+	}
+	if healthy == 0 {
+		return 0, firstErr
+	}
+	return healthy, nil
+}
+
+func (c *Coordinator) ping(ctx context.Context, w *remoteWorker) error {
+	rctx, cancel := context.WithTimeout(ctx, c.opts.timeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, w.url+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		w.setHealthy(false)
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		w.setHealthy(false)
+		return fmt.Errorf("healthz status %d", resp.StatusCode)
+	}
+	w.setHealthy(true)
+	return nil
+}
+
+// Unfold implements tucker.Unfolder: the projected mode-n unfolding with
+// its row blocks computed on remote workers and stitched in global row
+// order. Blocks a worker cannot produce fall back to the in-process
+// computation, so the result (bit-identical either way) is returned for
+// every failure short of context cancellation.
+func (c *Coordinator) Unfold(ctx context.Context, f *tensor.Sparse3, mode int, ya, yb *mat.Matrix, workers, shards int) (*mat.Matrix, error) {
+	i1, i2, i3 := f.Dims()
+	var rows int
+	switch mode {
+	case 1:
+		rows = i1
+	case 2:
+		rows = i2
+	case 3:
+		rows = i3
+	default:
+		return nil, fmt.Errorf("distrib: invalid mode %d", mode)
+	}
+	out := mat.New(rows, ya.Cols()*yb.Cols())
+
+	ft, err := c.encoded(f)
+	if err != nil {
+		return nil, err
+	}
+	pa, err := c.encoded(ya)
+	if err != nil {
+		return nil, err
+	}
+	pb, err := c.encoded(yb)
+	if err != nil {
+		return nil, err
+	}
+	states := map[string]statePayload{roleTensor: ft, roleYA: pa, roleYB: pb}
+
+	c.forEachBlock(ctx, shard.Plan(rows, shards), func(b int, r shard.Range) {
+		req := execRequest{Op: opUnfold, Mode: mode, Lo: r.Lo, Hi: r.Hi, Workers: workers}
+		block := c.matrixBlock(ctx, b, req, states, r.Hi-r.Lo, out.Cols(), func() *mat.Matrix {
+			return tensor.ProjectedUnfoldBlock(f, mode, ya, yb, r.Lo, r.Hi, workers)
+		})
+		stitchRows(out, block, r.Lo)
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ProjectEmbedding computes the Theorem 2 embedding E = Λ₂·Y⁽²⁾ with its
+// row blocks computed on remote workers, bit-identical to
+// embed.FromDecompositionSharded at any worker count.
+func (c *Coordinator) ProjectEmbedding(ctx context.Context, d *tucker.Decomposition, shards int) (*mat.Matrix, error) {
+	rows, cols := d.Y2.Dims()
+	out := mat.New(rows, cols)
+	src := projSrc{y2: d.Y2, lambda: d.Lambda[1]}
+	ps, err := c.encoded(src)
+	if err != nil {
+		return nil, err
+	}
+	states := map[string]statePayload{roleProj: ps}
+
+	c.forEachBlock(ctx, shard.Plan(rows, shards), func(b int, r shard.Range) {
+		req := execRequest{Op: opProject, Lo: r.Lo, Hi: r.Hi}
+		block := c.matrixBlock(ctx, b, req, states, r.Hi-r.Lo, cols, func() *mat.Matrix {
+			return embed.ProjectRowsBlock(d.Y2, d.Lambda[1], r.Lo, r.Hi)
+		})
+		stitchRows(out, block, r.Lo)
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AssignBlock computes one Lloyd assignment block on a remote worker.
+// Unlike Unfold and ProjectEmbedding it returns remote failures as
+// errors: the k-means loop already falls back to the bit-identical local
+// scan, and it owns the fan-out across blocks.
+func (c *Coordinator) AssignBlock(ctx context.Context, points, centers *mat.Matrix, lo, hi int) ([]int, []float64, error) {
+	pp, err := c.encoded(points)
+	if err != nil {
+		return nil, nil, err
+	}
+	pc, err := c.encoded(centers)
+	if err != nil {
+		return nil, nil, err
+	}
+	states := map[string]statePayload{rolePoints: pp, roleCenters: pc}
+	req := execRequest{Op: opAssign, Lo: lo, Hi: hi}
+	body, err := c.runBlock(ctx, int(c.rr.Add(1)), req, states)
+	if err != nil {
+		return nil, nil, err
+	}
+	idx, sq, err := readAssignResult(bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(idx) != hi-lo || len(sq) != hi-lo {
+		return nil, nil, fmt.Errorf("distrib: assign block [%d,%d): got %d/%d results", lo, hi, len(idx), len(sq))
+	}
+	return idx, sq, nil
+}
+
+// forEachBlock runs fn for every block of plan, concurrently when there
+// is more than one. fn must write disjoint outputs (blocks do).
+func (c *Coordinator) forEachBlock(ctx context.Context, plan []shard.Range, fn func(b int, r shard.Range)) {
+	if len(plan) == 1 {
+		fn(0, plan[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for b, r := range plan {
+		wg.Add(1)
+		go func(b int, r shard.Range) {
+			defer wg.Done()
+			fn(b, r)
+		}(b, r)
+	}
+	wg.Wait()
+}
+
+// matrixBlock fetches one matrix-valued block from the workers, falling
+// back to the local computation when every remote attempt fails or the
+// response does not decode to the expected shape.
+func (c *Coordinator) matrixBlock(ctx context.Context, b int, req execRequest, states map[string]statePayload, wantRows, wantCols int, local func() *mat.Matrix) *mat.Matrix {
+	body, err := c.runBlock(ctx, b, req, states)
+	if err == nil {
+		block, derr := codec.DecodeMatrix(bytes.NewReader(body))
+		if derr == nil {
+			if r, cc := block.Dims(); r == wantRows && cc == wantCols {
+				return block
+			}
+		}
+	}
+	if ctx.Err() != nil {
+		// The caller surfaces the cancellation; the zero block is never
+		// observed.
+		return mat.New(wantRows, wantCols)
+	}
+	return local()
+}
+
+// stitchRows copies a standalone block into rows [lo, lo+block.Rows())
+// of dst — the deterministic global-row-order reduction.
+func stitchRows(dst, block *mat.Matrix, lo int) {
+	for r := 0; r < block.Rows(); r++ {
+		copy(dst.Row(lo+r), block.Row(r))
+	}
+}
+
+// runBlock executes one block request against the worker fleet: it
+// starts at the block's assigned worker (block index modulo the healthy
+// fleet, so a sweep's blocks spread evenly), retries each worker with
+// backoff, demotes workers that keep failing, and moves the block to
+// the next survivor — the reassignment path a killed worker exercises.
+// It returns the raw response body, or an error once every candidate is
+// exhausted.
+func (c *Coordinator) runBlock(ctx context.Context, b int, req execRequest, states map[string]statePayload) ([]byte, error) {
+	order := c.healthyWorkers(ctx)
+	if len(order) == 0 {
+		return nil, fmt.Errorf("distrib: no healthy workers")
+	}
+	start := b % len(order)
+	var lastErr error
+	for i := 0; i < len(order); i++ {
+		w := order[(start+i)%len(order)]
+		body, err := c.tryWorker(ctx, w, req, states)
+		if err == nil {
+			return body, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		w.setHealthy(false)
+	}
+	return nil, fmt.Errorf("distrib: all workers failed: %w", lastErr)
+}
+
+// healthyWorkers snapshots the healthy fleet; when it is empty, every
+// worker is re-probed once (a restarted worker rejoins here) before
+// giving up.
+func (c *Coordinator) healthyWorkers(ctx context.Context) []*remoteWorker {
+	snapshot := func() []*remoteWorker {
+		var out []*remoteWorker
+		for _, w := range c.workers {
+			if w.isHealthy() {
+				out = append(out, w)
+			}
+		}
+		return out
+	}
+	if ws := snapshot(); len(ws) > 0 {
+		return ws
+	}
+	for _, w := range c.workers {
+		_ = c.ping(ctx, w)
+	}
+	return snapshot()
+}
+
+// tryWorker runs one block request against one worker, with bounded
+// retries, exponential backoff, push-on-demand of missing state, and a
+// per-request timeout.
+func (c *Coordinator) tryWorker(ctx context.Context, w *remoteWorker, req execRequest, states map[string]statePayload) ([]byte, error) {
+	keys := make(map[string]string, len(states))
+	for role, p := range states {
+		keys[role] = p.key
+	}
+	req.States = keys
+
+	attempts := 1 + c.opts.retries()
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			backoff := c.opts.backoff() << (a - 1)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		if err := c.pushStates(ctx, w, states); err != nil {
+			lastErr = err
+			continue
+		}
+		body, missing, err := c.exec(ctx, w, req)
+		if err == nil {
+			return body, nil
+		}
+		lastErr = err
+		if len(missing) > 0 {
+			// The worker lost state (restart or eviction): forget the keys
+			// so the next attempt re-pushes them. Not a worker failure.
+			for _, k := range missing {
+				w.markState(k, false)
+			}
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, lastErr
+}
+
+// pushStates uploads any payloads the worker is not known to hold.
+func (c *Coordinator) pushStates(ctx context.Context, w *remoteWorker, states map[string]statePayload) error {
+	for _, p := range states {
+		if w.hasState(p.key) {
+			continue
+		}
+		if err := c.pushState(ctx, w, p); err != nil {
+			return err
+		}
+		w.markState(p.key, true)
+	}
+	return nil
+}
+
+func (c *Coordinator) pushState(ctx context.Context, w *remoteWorker, p statePayload) error {
+	rctx, cancel := context.WithTimeout(ctx, c.opts.timeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, w.url+"/v1/state/"+p.key, bytes.NewReader(p.body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("push %s: status %d", p.key[:12], resp.StatusCode)
+	}
+	return nil
+}
+
+// exec posts one exec request. A 409 returns the missing state keys so
+// the caller can re-push and retry.
+func (c *Coordinator) exec(ctx context.Context, w *remoteWorker, req execRequest) (body []byte, missing []string, err error) {
+	payload, err := jsonBody(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	rctx, cancel := context.WithTimeout(ctx, c.opts.timeout())
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(rctx, http.MethodPost, w.url+"/v1/exec", bytes.NewReader(payload))
+	if err != nil {
+		return nil, nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(hreq)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusConflict {
+		io.Copy(io.Discard, resp.Body)
+		if h := resp.Header.Get(missingStateHeader); h != "" {
+			missing = strings.Split(h, ",")
+		}
+		return nil, missing, fmt.Errorf("worker missing state")
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, nil, fmt.Errorf("exec status %d", resp.StatusCode)
+	}
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	return body, nil, nil
+}
+
+// encoded returns the content-addressed payload for a state value,
+// caching by identity: the tensor and each factor matrix are encoded
+// once per value even though every block request references them.
+func (c *Coordinator) encoded(v any) (statePayload, error) {
+	key := cacheKeyOf(v)
+	c.cacheMu.Lock()
+	if p, ok := c.encCache[key]; ok {
+		c.cacheMu.Unlock()
+		return p, nil
+	}
+	c.cacheMu.Unlock()
+
+	body, err := encodePayload(v)
+	if err != nil {
+		return statePayload{}, err
+	}
+	p := statePayload{key: stateKey(body), body: body}
+
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	if existing, ok := c.encCache[key]; ok {
+		return existing, nil
+	}
+	c.encCache[key] = p
+	c.encOrder = append(c.encOrder, key)
+	for len(c.encOrder) > encCacheCap {
+		oldest := c.encOrder[0]
+		c.encOrder = c.encOrder[1:]
+		delete(c.encCache, oldest)
+	}
+	return p, nil
+}
+
+// projCacheKey keys projSrc payloads by the identity of their factor
+// matrix; the distinct type keeps them from colliding with the same
+// matrix pushed as a plain matrix payload.
+type projCacheKey struct{ y2 *mat.Matrix }
+
+// cacheKeyOf maps a state value to a comparable identity for the
+// encoding cache (projSrc itself holds a slice and cannot be a map key).
+func cacheKeyOf(v any) any {
+	if p, ok := v.(projSrc); ok {
+		return projCacheKey{y2: p.y2}
+	}
+	return v
+}
+
+func jsonBody(req execRequest) ([]byte, error) {
+	return json.Marshal(req)
+}

@@ -1,0 +1,293 @@
+package distrib
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/embed"
+	"repro/internal/mat"
+	"repro/internal/tensor"
+	"repro/internal/tucker"
+)
+
+// testRNG is a tiny deterministic generator so fixtures are stable.
+type testRNG struct{ state uint64 }
+
+func (r *testRNG) next() float64 {
+	r.state ^= r.state << 13
+	r.state ^= r.state >> 7
+	r.state ^= r.state << 17
+	return float64(r.state>>11)/(1<<53) - 0.5
+}
+
+func randMatrix(rows, cols int, seed uint64) *mat.Matrix {
+	rng := &testRNG{state: seed*0x9e3779b97f4a7c15 + 1}
+	m := mat.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = rng.next()
+		}
+	}
+	return m
+}
+
+func randTensor(i1, i2, i3, nnz int, seed uint64) *tensor.Sparse3 {
+	rng := &testRNG{state: seed*0xbf58476d1ce4e5b9 + 1}
+	f := tensor.NewSparse3(i1, i2, i3)
+	for e := 0; e < nnz; e++ {
+		i := int((rng.next() + 0.5) * float64(i1))
+		j := int((rng.next() + 0.5) * float64(i2))
+		k := int((rng.next() + 0.5) * float64(i3))
+		if i >= i1 {
+			i = i1 - 1
+		}
+		if j >= i2 {
+			j = i2 - 1
+		}
+		if k >= i3 {
+			k = i3 - 1
+		}
+		f.Append(i, j, k, rng.next()*3)
+	}
+	f.Build()
+	return f
+}
+
+func bitEqual(t *testing.T, got, want *mat.Matrix, label string) {
+	t.Helper()
+	gr, gc := got.Dims()
+	wr, wc := want.Dims()
+	if gr != wr || gc != wc {
+		t.Fatalf("%s: dims %d×%d, want %d×%d", label, gr, gc, wr, wc)
+	}
+	g, w := got.Data(), want.Data()
+	for i := range g {
+		if math.Float64bits(g[i]) != math.Float64bits(w[i]) {
+			t.Fatalf("%s: element %d differs: %v vs %v", label, i, g[i], w[i])
+		}
+	}
+}
+
+// startWorkers launches n worker processes on httptest servers and a
+// coordinator over them.
+func startWorkers(t *testing.T, n int, opts Options) (*Coordinator, []*httptest.Server) {
+	t.Helper()
+	servers := make([]*httptest.Server, n)
+	endpoints := make([]string, n)
+	for i := range servers {
+		servers[i] = httptest.NewServer(NewWorker(WorkerOptions{}).Handler())
+		t.Cleanup(servers[i].Close)
+		endpoints[i] = servers[i].URL
+	}
+	c, err := NewCoordinator(endpoints, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, servers
+}
+
+func TestNewCoordinatorRejectsEmpty(t *testing.T) {
+	if _, err := NewCoordinator(nil, Options{}); err == nil {
+		t.Fatal("no endpoints must be rejected")
+	}
+	if _, err := NewCoordinator([]string{" ", ""}, Options{}); err == nil {
+		t.Fatal("blank endpoints must be rejected")
+	}
+}
+
+func TestUnfoldParityAcrossWorkerCounts(t *testing.T) {
+	f := randTensor(12, 10, 8, 90, 7)
+	y1 := randMatrix(12, 3, 1)
+	y2 := randMatrix(10, 4, 2)
+	y3 := randMatrix(8, 2, 3)
+	factors := [4][2]*mat.Matrix{{}, {y2, y3}, {y1, y3}, {y1, y2}}
+
+	for _, workers := range []int{1, 2, 3} {
+		c, _ := startWorkers(t, workers, Options{Timeout: 10 * time.Second})
+		for mode := 1; mode <= 3; mode++ {
+			ya, yb := factors[mode][0], factors[mode][1]
+			want := tensor.ProjectedUnfoldSharded(f, mode, ya, yb, 1, 1)
+			for _, shards := range []int{1, 2, 5} {
+				got, err := c.Unfold(context.Background(), f, mode, ya, yb, 1, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bitEqual(t, got, want, "unfold")
+			}
+		}
+	}
+}
+
+func TestProjectEmbeddingParity(t *testing.T) {
+	d := &tucker.Decomposition{Y2: randMatrix(17, 5, 9)}
+	d.Lambda[1] = []float64{3.5, 2.25, 1.125} // shorter than k₂: trailing columns zero
+
+	want := embed.FromDecompositionSharded(d, 3).Matrix()
+	for _, workers := range []int{1, 2, 3} {
+		c, _ := startWorkers(t, workers, Options{Timeout: 10 * time.Second})
+		got, err := c.ProjectEmbedding(context.Background(), d, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitEqual(t, got, want, "project")
+	}
+}
+
+func TestAssignBlockParity(t *testing.T) {
+	points := randMatrix(23, 4, 11)
+	centers := randMatrix(5, 4, 12)
+	wantIdx, wantSq := cluster.ScanBlock(points, centers, 3, 19)
+
+	c, _ := startWorkers(t, 2, Options{Timeout: 10 * time.Second})
+	idx, sq, err := c.AssignBlock(context.Background(), points, centers, 3, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantIdx {
+		if idx[i] != wantIdx[i] {
+			t.Fatalf("assign index %d: %d vs %d", i, idx[i], wantIdx[i])
+		}
+		if math.Float64bits(sq[i]) != math.Float64bits(wantSq[i]) {
+			t.Fatalf("assign distance %d: %v vs %v", i, sq[i], wantSq[i])
+		}
+	}
+}
+
+// TestWorkerKilledMidSweepReassigns kills one of two workers after it
+// has served a couple of blocks; the coordinator must reassign its
+// remaining blocks to the survivor and still produce the bit-identical
+// unfolding.
+func TestWorkerKilledMidSweepReassigns(t *testing.T) {
+	f := randTensor(24, 10, 8, 120, 21)
+	y2 := randMatrix(10, 4, 2)
+	y3 := randMatrix(8, 2, 3)
+	want := tensor.ProjectedUnfoldSharded(f, 1, y2, y3, 1, 1)
+
+	healthy := httptest.NewServer(NewWorker(WorkerOptions{}).Handler())
+	defer healthy.Close()
+
+	var execs atomic.Int64
+	var dead atomic.Bool
+	flaky := NewWorker(WorkerOptions{})
+	flakySrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if dead.Load() {
+			http.Error(w, "killed", http.StatusServiceUnavailable)
+			return
+		}
+		if r.URL.Path == "/v1/exec" && execs.Add(1) > 2 {
+			dead.Store(true)
+			http.Error(w, "killed", http.StatusServiceUnavailable)
+			return
+		}
+		flaky.Handler().ServeHTTP(w, r)
+	}))
+	defer flakySrv.Close()
+
+	c, err := NewCoordinator([]string{healthy.URL, flakySrv.URL}, Options{
+		Timeout: 5 * time.Second, Retries: 1, Backoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Unfold(context.Background(), f, 1, y2, y3, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitEqual(t, got, want, "unfold after worker death")
+	if !dead.Load() {
+		t.Fatal("flaky worker was never exercised")
+	}
+}
+
+// TestWorkerRestartRecoversViaRepush simulates a worker that restarts
+// empty between two sweeps: the coordinator believes its state is
+// pushed, gets 409 + X-Missing-State, re-pushes, and the second sweep
+// still succeeds remotely.
+func TestWorkerRestartRecoversViaRepush(t *testing.T) {
+	f := randTensor(15, 9, 7, 70, 31)
+	y2 := randMatrix(9, 3, 4)
+	y3 := randMatrix(7, 2, 5)
+	want := tensor.ProjectedUnfoldSharded(f, 1, y2, y3, 1, 1)
+
+	var current atomic.Pointer[Worker]
+	current.Store(NewWorker(WorkerOptions{}))
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		current.Load().Handler().ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c, err := NewCoordinator([]string{srv.URL}, Options{
+		Timeout: 5 * time.Second, Retries: 2, Backoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	got, err := c.Unfold(ctx, f, 1, y2, y3, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitEqual(t, got, want, "first sweep")
+
+	// "Restart" the worker with an empty store.
+	current.Store(NewWorker(WorkerOptions{}))
+
+	got, err = c.Unfold(ctx, f, 1, y2, y3, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitEqual(t, got, want, "sweep after restart")
+	if current.Load().StateCount() == 0 {
+		t.Fatal("restarted worker never received re-pushed state")
+	}
+}
+
+// TestSlowWorkerFallsBackLocally exercises the per-request timeout: a
+// worker that hangs past the deadline is demoted and its blocks are
+// computed locally, so the build still finishes with the exact result.
+func TestSlowWorkerFallsBackLocally(t *testing.T) {
+	f := randTensor(10, 8, 6, 50, 41)
+	y2 := randMatrix(8, 3, 6)
+	y3 := randMatrix(6, 2, 7)
+	want := tensor.ProjectedUnfoldSharded(f, 1, y2, y3, 1, 1)
+
+	stall := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-stall
+	}))
+	// Unblock the stalled handlers before Close waits on them.
+	defer srv.Close()
+	defer close(stall)
+
+	c, err := NewCoordinator([]string{srv.URL}, Options{
+		Timeout: 50 * time.Millisecond, Retries: 0, Backoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Unfold(context.Background(), f, 1, y2, y3, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitEqual(t, got, want, "unfold with hung worker")
+}
+
+func TestPingReportsHealth(t *testing.T) {
+	c, servers := startWorkers(t, 2, Options{Timeout: 2 * time.Second})
+	n, err := c.Ping(context.Background())
+	if err != nil || n != 2 {
+		t.Fatalf("ping = %d, %v; want 2 healthy", n, err)
+	}
+	servers[0].Close()
+	servers[1].Close()
+	if _, err := c.Ping(context.Background()); err == nil {
+		t.Fatal("ping with every worker down must error")
+	}
+}

@@ -1,0 +1,181 @@
+// Package distrib distributes the three block-parallel stages of an
+// offline CubeLSI build — the projected mode-n unfolding products of the
+// ALS sweep, the Theorem 2 embedding projection, and the Lloyd
+// assignment scans of concept clustering — across worker processes over
+// HTTP.
+//
+// The protocol has a JSON control plane and a binary data plane. State
+// payloads (the sparse tensor, factor matrices, the embedding source)
+// are content-addressed: the coordinator pushes each payload to
+// POST /v1/state/{key}, where key is the hex SHA-256 of the body, and
+// exec requests (POST /v1/exec) reference payloads by key. A worker that
+// is missing a referenced payload — it restarted, or evicted it —
+// answers 409 with the missing keys in the X-Missing-State header, and
+// the coordinator re-pushes and retries; workers are therefore
+// stateless-recoverable. Payload bodies and block results use the
+// internal/codec binary frames, which carry float64 values as raw
+// IEEE-754 bits, so the block a worker returns is bit-for-bit the block
+// the in-process shard path computes — and because blocks of any shard
+// plan stitch to the monolithic result (see tensor.ProjectedUnfoldBlock,
+// embed.ProjectRowsBlock, cluster.ScanBlock), a distributed build is
+// bit-identical to a local one at any worker count.
+//
+// The Coordinator is robust to worker failure: per-request timeouts with
+// bounded retry/backoff, health probing, reassignment of a failed
+// worker's blocks to survivors, and — when every worker is gone — a
+// local fallback that computes the block in-process. Remote errors slow
+// a build down; they never change its output or fail it.
+package distrib
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"repro/internal/codec"
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// Payload kinds, the first byte of every state body.
+const (
+	kindSparse3 byte = 1 // one sparse-tensor frame
+	kindMatrix  byte = 2 // one matrix frame
+	kindProjSrc byte = 3 // one matrix frame (Y⁽²⁾) + one float frame (Λ₂)
+)
+
+// Exec ops.
+const (
+	opUnfold  = "unfold"  // tensor.ProjectedUnfoldBlock
+	opProject = "project" // embed.ProjectRowsBlock
+	opAssign  = "assign"  // cluster.ScanBlock
+)
+
+// State roles referenced by exec requests.
+const (
+	roleTensor  = "tensor"
+	roleYA      = "ya"
+	roleYB      = "yb"
+	roleProj    = "proj"
+	rolePoints  = "points"
+	roleCenters = "centers"
+)
+
+// missingStateHeader names the header a 409 response lists missing
+// state keys in (comma-separated).
+const missingStateHeader = "X-Missing-State"
+
+// execRequest is the JSON control-plane body of POST /v1/exec. Lo and Hi
+// bound the block in the op's global row space; Workers bounds the
+// worker-local thread pool (0 = all CPUs). States maps role names to
+// content-addressed payload keys.
+type execRequest struct {
+	Op      string            `json:"op"`
+	Mode    int               `json:"mode,omitempty"`
+	Lo      int               `json:"lo"`
+	Hi      int               `json:"hi"`
+	Workers int               `json:"workers,omitempty"`
+	States  map[string]string `json:"states"`
+}
+
+// projSrc is the embedding-projection source: the mode-2 factor and its
+// singular values, the two inputs of embed.ProjectRowsBlock.
+type projSrc struct {
+	y2     *mat.Matrix
+	lambda []float64
+}
+
+// encodePayload renders a state value as a kind-tagged binary body.
+func encodePayload(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	switch p := v.(type) {
+	case *tensor.Sparse3:
+		buf.WriteByte(kindSparse3)
+		if err := codec.EncodeSparse3(&buf, p); err != nil {
+			return nil, err
+		}
+	case *mat.Matrix:
+		buf.WriteByte(kindMatrix)
+		if err := codec.EncodeMatrix(&buf, p); err != nil {
+			return nil, err
+		}
+	case projSrc:
+		buf.WriteByte(kindProjSrc)
+		if err := codec.EncodeMatrix(&buf, p.y2); err != nil {
+			return nil, err
+		}
+		if err := codec.EncodeFloats(&buf, p.lambda); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("distrib: unsupported payload type %T", v)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodePayload parses a kind-tagged state body back into its value and
+// reports an approximate in-memory size for the worker store's budget.
+func decodePayload(body []byte) (v any, size int64, err error) {
+	if len(body) == 0 {
+		return nil, 0, fmt.Errorf("distrib: empty payload")
+	}
+	r := bufio.NewReader(bytes.NewReader(body[1:]))
+	switch body[0] {
+	case kindSparse3:
+		f, err := codec.DecodeSparse3(r)
+		if err != nil {
+			return nil, 0, err
+		}
+		return f, int64(len(body)), nil
+	case kindMatrix:
+		m, err := codec.DecodeMatrix(r)
+		if err != nil {
+			return nil, 0, err
+		}
+		return m, int64(len(body)), nil
+	case kindProjSrc:
+		y2, err := codec.DecodeMatrix(r)
+		if err != nil {
+			return nil, 0, err
+		}
+		lambda, err := codec.DecodeFloats(r)
+		if err != nil {
+			return nil, 0, err
+		}
+		return projSrc{y2: y2, lambda: lambda}, int64(len(body)), nil
+	default:
+		return nil, 0, fmt.Errorf("distrib: unknown payload kind %d", body[0])
+	}
+}
+
+// stateKey is the content address of an encoded payload body.
+func stateKey(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
+}
+
+// writeAssignResult streams a Lloyd block result as two concatenated
+// frames: the nearest-center indices, then the squared distances.
+func writeAssignResult(w io.Writer, idx []int, sq []float64) error {
+	if err := codec.EncodeInts(w, idx); err != nil {
+		return err
+	}
+	return codec.EncodeFloats(w, sq)
+}
+
+// readAssignResult decodes the two frames of an assign response.
+func readAssignResult(r io.Reader) ([]int, []float64, error) {
+	br := bufio.NewReader(r)
+	idx, err := codec.DecodeInts(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	sq, err := codec.DecodeFloats(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	return idx, sq, nil
+}

@@ -1,0 +1,274 @@
+package distrib
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/codec"
+	"repro/internal/embed"
+	"repro/internal/httpx"
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// WorkerOptions configures a Worker.
+type WorkerOptions struct {
+	// MaxStateBytes bounds the decoded-payload store; pushing past the
+	// budget evicts least-recently-used payloads (the coordinator
+	// re-pushes on demand). Zero means 1 GiB.
+	MaxStateBytes int64
+	// MaxBodyBytes bounds a single request body. Zero means 1 GiB.
+	MaxBodyBytes int64
+}
+
+func (o WorkerOptions) maxStateBytes() int64 {
+	if o.MaxStateBytes <= 0 {
+		return 1 << 30
+	}
+	return o.MaxStateBytes
+}
+
+func (o WorkerOptions) maxBodyBytes() int64 {
+	if o.MaxBodyBytes <= 0 {
+		return 1 << 30
+	}
+	return o.MaxBodyBytes
+}
+
+// Worker executes block computations on behalf of a build coordinator.
+// It holds a bounded content-addressed store of decoded payloads and a
+// handler implementing the protocol of this package; it is safe for
+// concurrent requests.
+type Worker struct {
+	opts WorkerOptions
+	mux  *httpx.Mux
+
+	mu    sync.Mutex
+	store map[string]*stateEntry
+	lru   *list.List // front = most recently used; values are *stateEntry
+	bytes int64
+}
+
+// stateEntry is one decoded payload in the worker store.
+type stateEntry struct {
+	key  string
+	v    any
+	size int64
+	elem *list.Element
+}
+
+// NewWorker returns a Worker serving the coordinator protocol.
+func NewWorker(opts WorkerOptions) *Worker {
+	w := &Worker{
+		opts:  opts,
+		mux:   httpx.NewMux(),
+		store: make(map[string]*stateEntry),
+		lru:   list.New(),
+	}
+	w.mux.HandleFunc("GET /healthz", w.handleHealthz)
+	w.mux.HandleFunc("POST /v1/state/{key}", w.handleState)
+	w.mux.HandleFunc("POST /v1/exec", w.handleExec)
+	return w
+}
+
+// Handler returns the worker's HTTP handler.
+func (w *Worker) Handler() http.Handler { return w.mux }
+
+func (w *Worker) handleHealthz(rw http.ResponseWriter, r *http.Request) {
+	httpx.WriteJSON(rw, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleState ingests one content-addressed payload. The key must be the
+// SHA-256 of the body — a mismatch means corruption in transit and is
+// rejected, so the store only ever holds payloads that decode to exactly
+// what the coordinator encoded.
+func (w *Worker) handleState(rw http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	body, err := io.ReadAll(http.MaxBytesReader(rw, r.Body, w.opts.maxBodyBytes()))
+	if err != nil {
+		httpx.WriteBodyError(rw, err)
+		return
+	}
+	if got := stateKey(body); got != key {
+		httpx.WriteError(rw, http.StatusBadRequest, "payload hash %s does not match key %s", got, key)
+		return
+	}
+	v, size, err := decodePayload(body)
+	if err != nil {
+		httpx.WriteError(rw, http.StatusBadRequest, "bad payload: %v", err)
+		return
+	}
+	w.put(key, v, size)
+	httpx.WriteJSON(rw, http.StatusOK, map[string]string{"status": "stored", "key": key})
+}
+
+// handleExec runs one block computation against stored payloads and
+// streams the binary result. Missing payloads yield 409 with the keys in
+// X-Missing-State so the coordinator can re-push and retry.
+func (w *Worker) handleExec(rw http.ResponseWriter, r *http.Request) {
+	var req execRequest
+	body := http.MaxBytesReader(rw, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		httpx.WriteBodyError(rw, err)
+		return
+	}
+	roles, err := rolesFor(req.Op)
+	if err != nil {
+		httpx.WriteError(rw, http.StatusBadRequest, "%v", err)
+		return
+	}
+	states := make(map[string]any, len(roles))
+	var missing []string
+	for _, role := range roles {
+		key, ok := req.States[role]
+		if !ok || key == "" {
+			httpx.WriteError(rw, http.StatusBadRequest, "op %s requires state %q", req.Op, role)
+			return
+		}
+		if v, ok := w.get(key); ok {
+			states[role] = v
+		} else {
+			missing = append(missing, key)
+		}
+	}
+	if len(missing) > 0 {
+		rw.Header().Set(missingStateHeader, strings.Join(missing, ","))
+		httpx.WriteError(rw, http.StatusConflict, "missing state: %s", strings.Join(missing, ", "))
+		return
+	}
+
+	res, err := w.exec(req, states)
+	if err != nil {
+		httpx.WriteError(rw, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	rw.WriteHeader(http.StatusOK)
+	_ = res(rw) // the status line is already on the wire
+}
+
+// rolesFor lists the state roles an op dereferences.
+func rolesFor(op string) ([]string, error) {
+	switch op {
+	case opUnfold:
+		return []string{roleTensor, roleYA, roleYB}, nil
+	case opProject:
+		return []string{roleProj}, nil
+	case opAssign:
+		return []string{rolePoints, roleCenters}, nil
+	default:
+		return nil, fmt.Errorf("unknown op %q", op)
+	}
+}
+
+// exec validates and runs one block computation, returning a writer for
+// its binary result. Every computation is exactly the in-process block
+// form — the bit-identity contract of the protocol.
+func (w *Worker) exec(req execRequest, states map[string]any) (func(io.Writer) error, error) {
+	if req.Lo < 0 || req.Hi < req.Lo {
+		return nil, fmt.Errorf("bad block [%d,%d)", req.Lo, req.Hi)
+	}
+	switch req.Op {
+	case opUnfold:
+		f, ok := states[roleTensor].(*tensor.Sparse3)
+		if !ok {
+			return nil, fmt.Errorf("state %q is not a tensor", roleTensor)
+		}
+		ya, ok := states[roleYA].(*mat.Matrix)
+		if !ok {
+			return nil, fmt.Errorf("state %q is not a matrix", roleYA)
+		}
+		yb, ok := states[roleYB].(*mat.Matrix)
+		if !ok {
+			return nil, fmt.Errorf("state %q is not a matrix", roleYB)
+		}
+		if req.Mode < 1 || req.Mode > 3 {
+			return nil, fmt.Errorf("bad mode %d", req.Mode)
+		}
+		i1, i2, i3 := f.Dims()
+		rows := [4]int{0, i1, i2, i3}[req.Mode]
+		if req.Hi > rows {
+			return nil, fmt.Errorf("block [%d,%d) out of range [0,%d)", req.Lo, req.Hi, rows)
+		}
+		block := tensor.ProjectedUnfoldBlock(f, req.Mode, ya, yb, req.Lo, req.Hi, req.Workers)
+		return func(out io.Writer) error { return codec.EncodeMatrix(out, block) }, nil
+
+	case opProject:
+		src, ok := states[roleProj].(projSrc)
+		if !ok {
+			return nil, fmt.Errorf("state %q is not a projection source", roleProj)
+		}
+		if req.Hi > src.y2.Rows() {
+			return nil, fmt.Errorf("block [%d,%d) out of range [0,%d)", req.Lo, req.Hi, src.y2.Rows())
+		}
+		block := embed.ProjectRowsBlock(src.y2, src.lambda, req.Lo, req.Hi)
+		return func(out io.Writer) error { return codec.EncodeMatrix(out, block) }, nil
+
+	case opAssign:
+		points, ok := states[rolePoints].(*mat.Matrix)
+		if !ok {
+			return nil, fmt.Errorf("state %q is not a matrix", rolePoints)
+		}
+		centers, ok := states[roleCenters].(*mat.Matrix)
+		if !ok {
+			return nil, fmt.Errorf("state %q is not a matrix", roleCenters)
+		}
+		if req.Hi > points.Rows() {
+			return nil, fmt.Errorf("block [%d,%d) out of range [0,%d)", req.Lo, req.Hi, points.Rows())
+		}
+		if points.Cols() != centers.Cols() {
+			return nil, fmt.Errorf("points have %d columns, centers %d", points.Cols(), centers.Cols())
+		}
+		idx, sq := cluster.ScanBlock(points, centers, req.Lo, req.Hi)
+		return func(out io.Writer) error { return writeAssignResult(out, idx, sq) }, nil
+	}
+	return nil, fmt.Errorf("unknown op %q", req.Op)
+}
+
+// put stores a decoded payload, evicting least-recently-used entries
+// past the byte budget. A payload larger than the whole budget is still
+// stored (alone) — refusing it would deadlock the build it serves.
+func (w *Worker) put(key string, v any, size int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if e, ok := w.store[key]; ok {
+		w.lru.MoveToFront(e.elem)
+		return
+	}
+	e := &stateEntry{key: key, v: v, size: size}
+	e.elem = w.lru.PushFront(e)
+	w.store[key] = e
+	w.bytes += size
+	for w.bytes > w.opts.maxStateBytes() && w.lru.Len() > 1 {
+		oldest := w.lru.Back().Value.(*stateEntry)
+		w.lru.Remove(oldest.elem)
+		delete(w.store, oldest.key)
+		w.bytes -= oldest.size
+	}
+}
+
+// get fetches a payload and marks it recently used.
+func (w *Worker) get(key string) (any, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	e, ok := w.store[key]
+	if !ok {
+		return nil, false
+	}
+	w.lru.MoveToFront(e.elem)
+	return e.v, true
+}
+
+// StateCount reports how many payloads the store currently holds
+// (diagnostics and tests).
+func (w *Worker) StateCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.store)
+}

@@ -57,9 +57,30 @@ func FromDecompositionSharded(d *tucker.Decomposition, shards int) *TagEmbedding
 // E = Λ₂·Y⁽²⁾ into the matching rows of dst — the per-shard unit of the
 // embedding projection. dst must have the decomposition's Y⁽²⁾ shape.
 func ProjectRows(d *tucker.Decomposition, dst *mat.Matrix, lo, hi int) {
-	lambda := d.Lambda[1]
+	projectInto(d.Y2, d.Lambda[1], dst, 0, lo, hi)
+}
+
+// ProjectRowsBlock returns rows [lo, hi) of E = Λ₂·Y⁽²⁾ as a standalone
+// (hi−lo)×k₂ block — the worker-side unit of the distributed embedding
+// projection. It takes the raw mode-2 factor and singular values so a
+// worker reconstructs nothing but the two payloads it was sent; stitching
+// the blocks of any partition reproduces FromDecomposition bit for bit
+// (each row depends only on its own Y⁽²⁾ row and Λ₂).
+func ProjectRowsBlock(y2 *mat.Matrix, lambda []float64, lo, hi int) *mat.Matrix {
+	n := y2.Rows()
+	if lo < 0 || hi < lo || hi > n {
+		panic(fmt.Sprintf("embed: block [%d,%d) out of range [0,%d)", lo, hi, n))
+	}
+	out := mat.New(hi-lo, y2.Cols())
+	projectInto(y2, lambda, out, -lo, lo, hi)
+	return out
+}
+
+// projectInto scales rows [lo, hi) of y2 by lambda into dst rows
+// [lo+shift, hi+shift); columns beyond len(lambda) are zero.
+func projectInto(y2 *mat.Matrix, lambda []float64, dst *mat.Matrix, shift, lo, hi int) {
 	for i := lo; i < hi; i++ {
-		src, out := d.Y2.Row(i), dst.Row(i)
+		src, out := y2.Row(i), dst.Row(i+shift)
 		for j := range out {
 			if j < len(lambda) {
 				out[j] = lambda[j] * src[j]

@@ -56,6 +56,42 @@ func TestNearestKBlockMergeMatchesNearestK(t *testing.T) {
 	}
 }
 
+// TestMergeNeighborsDuplicateScoreTieBreak pins the reduction's tie
+// handling when equal squared distances straddle shard boundaries: the
+// merged order must break every tie by lower tag id — including at the
+// k-th slot, where the tie decides who survives truncation — and the
+// sqrt must land after selection, on the survivors only.
+func TestMergeNeighborsDuplicateScoreTieBreak(t *testing.T) {
+	blockA := BlockNeighbors{{Tag: 5, Dist: 4}, {Tag: 1, Dist: 9}}
+	blockB := BlockNeighbors{{Tag: 2, Dist: 4}, {Tag: 0, Dist: 9}}
+
+	got := MergeNeighbors(3, blockA, blockB)
+	// Tags 2 and 5 tie at squared distance 4 across the boundary; tags 0
+	// and 1 tie at 9 with only one slot left, so tag 0 survives the cut.
+	want := []Neighbor{{Tag: 2, Dist: 2}, {Tag: 5, Dist: 2}, {Tag: 0, Dist: 3}}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d neighbors, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// k ≤ 0 keeps everyone, same order, and the merge must not depend on
+	// which block contributed which entry.
+	all := MergeNeighbors(0, blockB, blockA)
+	wantAll := []Neighbor{{Tag: 2, Dist: 2}, {Tag: 5, Dist: 2}, {Tag: 0, Dist: 3}, {Tag: 1, Dist: 3}}
+	if len(all) != len(wantAll) {
+		t.Fatalf("k=0 merged %d neighbors, want %d", len(all), len(wantAll))
+	}
+	for i := range wantAll {
+		if all[i] != wantAll[i] {
+			t.Fatalf("k=0 rank %d: %+v, want %+v", i, all[i], wantAll[i])
+		}
+	}
+}
+
 func TestNearestKBlockEdges(t *testing.T) {
 	e := syntheticEmbedding(10, 3)
 	// A block holding only the probe has no candidates.

@@ -1,0 +1,91 @@
+package httpx
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func decodeErr(t *testing.T, rec *httptest.ResponseRecorder) string {
+	t.Helper()
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("body %q is not JSON: %v", rec.Body.String(), err)
+	}
+	return body["error"]
+}
+
+func TestMuxEnvelope(t *testing.T) {
+	m := NewMux()
+	m.HandleFunc("GET /ping", func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	m.HandleFunc("POST /exec", func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, http.StatusOK, map[string]string{"status": "ran"})
+	})
+
+	cases := []struct {
+		method, path string
+		status       int
+		allow        string
+	}{
+		{http.MethodGet, "/ping", http.StatusOK, ""},
+		{http.MethodPost, "/exec", http.StatusOK, ""},
+		{http.MethodGet, "/nope", http.StatusNotFound, ""},
+		{http.MethodPost, "/ping", http.StatusMethodNotAllowed, "GET"},
+		{http.MethodGet, "/exec", http.StatusMethodNotAllowed, "POST"},
+		{http.MethodDelete, "/ping", http.StatusMethodNotAllowed, "GET"},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		m.ServeHTTP(rec, httptest.NewRequest(tc.method, tc.path, nil))
+		if rec.Code != tc.status {
+			t.Fatalf("%s %s: status %d, want %d", tc.method, tc.path, rec.Code, tc.status)
+		}
+		if got := rec.Header().Get("Allow"); got != tc.allow {
+			t.Fatalf("%s %s: Allow %q, want %q", tc.method, tc.path, got, tc.allow)
+		}
+		if tc.status >= 400 {
+			if msg := decodeErr(t, rec); msg == "" {
+				t.Fatalf("%s %s: missing error envelope", tc.method, tc.path)
+			}
+		}
+	}
+}
+
+func TestWriteError(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteError(rec, http.StatusBadRequest, "bad %s: %d", "thing", 7)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if msg := decodeErr(t, rec); msg != "bad thing: 7" {
+		t.Fatalf("error = %q", msg)
+	}
+}
+
+func TestWriteBodyError(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteBodyError(rec, &http.MaxBytesError{Limit: 42})
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status = %d", rec.Code)
+	}
+	if msg := decodeErr(t, rec); !strings.Contains(msg, "42") {
+		t.Fatalf("oversized body: error = %q", msg)
+	}
+
+	rec = httptest.NewRecorder()
+	WriteBodyError(rec, errors.New("unexpected EOF"))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed body: status = %d", rec.Code)
+	}
+	if msg := decodeErr(t, rec); !strings.Contains(msg, "unexpected EOF") {
+		t.Fatalf("malformed body: error = %q", msg)
+	}
+}

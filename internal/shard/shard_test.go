@@ -52,6 +52,45 @@ func TestPlanPartitionsExactly(t *testing.T) {
 	}
 }
 
+// TestPlanPropertySweep checks the plan invariants over the whole small
+// (n, s) grid rather than hand-picked points: exact disjoint cover of
+// [0, n), min(s, n) blocks (one block for s ≤ 1, none for n ≤ 0), sizes
+// within one of each other with the remainder up front, and determinism
+// in (n, s).
+func TestPlanPropertySweep(t *testing.T) {
+	for n := -2; n <= 64; n++ {
+		for s := -2; s <= 70; s++ {
+			plan := Plan(n, s)
+			want := 0
+			if n > 0 {
+				want = max(1, min(s, n))
+			}
+			if len(plan) != want {
+				t.Fatalf("Plan(%d,%d): %d blocks, want %d", n, s, len(plan), want)
+			}
+			lo := 0
+			for i, r := range plan {
+				if r.Lo != lo || r.Len() < 1 {
+					t.Fatalf("Plan(%d,%d) block %d: %+v (prev end %d)", n, s, i, r, lo)
+				}
+				if d := plan[0].Len() - r.Len(); d < 0 || d > 1 {
+					t.Fatalf("Plan(%d,%d) block %d: size %d vs first %d", n, s, i, r.Len(), plan[0].Len())
+				}
+				lo = r.Hi
+			}
+			if len(plan) > 0 && lo != n {
+				t.Fatalf("Plan(%d,%d) covers [0,%d), want [0,%d)", n, s, lo, n)
+			}
+			again := Plan(n, s)
+			for i := range plan {
+				if again[i] != plan[i] {
+					t.Fatalf("Plan(%d,%d) not deterministic at block %d", n, s, i)
+				}
+			}
+		}
+	}
+}
+
 func TestForEachCoversEveryBlockOnce(t *testing.T) {
 	plan := Plan(103, 8)
 	var rows atomic.Int64

@@ -31,6 +31,16 @@ import (
 // returns errors wrapping it; Decompose panics with them.
 var ErrInvalidOptions = errors.New("tucker: invalid options")
 
+// Unfolder computes projected mode-n unfoldings on behalf of the ALS
+// sweep — the hook a distributed build uses to fan the dominant cost of
+// each sweep out to remote workers. An implementation must return
+// exactly what tensor.ProjectedUnfoldSharded(f, mode, ya, yb, workers,
+// shards) returns, bit for bit: the sweep's factors (and the golden-hash
+// parity contract) depend on it. An error aborts the decomposition.
+type Unfolder interface {
+	Unfold(ctx context.Context, f *tensor.Sparse3, mode int, ya, yb *mat.Matrix, workers, shards int) (*mat.Matrix, error)
+}
+
 // SketchOptions configures the randomized range-finder path of the ALS
 // sweep. When enabled, the leading-left SVD of each sufficiently wide
 // projected unfolding is replaced by a sketched one (Halko–Martinsson–
@@ -116,6 +126,11 @@ type Options struct {
 	// matrices instead of the HOSVD initialization (see WarmStart). Nil
 	// keeps the cold-start path bit-identical to previous releases.
 	WarmStart *WarmStart
+	// Unfolder, if non-nil, computes the sweep's projected unfoldings in
+	// place of tensor.ProjectedUnfoldSharded — the distributed-build hook.
+	// Implementations must be bit-identical to the local computation (see
+	// Unfolder). Nil keeps everything in-process.
+	Unfolder Unfolder
 }
 
 // FromRatios returns core dimensions Jₙ = max(1, round(Iₙ/cₙ)) for a
@@ -266,21 +281,30 @@ func DecomposeContext(ctx context.Context, f *tensor.Sparse3, opts Options) (*De
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		w1 := tensor.ProjectedUnfoldSharded(f, 1, y2, y3, opts.Workers, opts.Shards)
+		w1, err := unfold(ctx, f, 1, y2, y3, opts)
+		if err != nil {
+			return nil, err
+		}
 		svd1 := leadingLeft(w1, j1, sub, opts.Sketch, sketchSeed(opts.Seed, 1, s))
 		y1, lambda[0] = svd1.U, svd1.S
 		// Mode 2.
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		w2 := tensor.ProjectedUnfoldSharded(f, 2, y1, y3, opts.Workers, opts.Shards)
+		w2, err := unfold(ctx, f, 2, y1, y3, opts)
+		if err != nil {
+			return nil, err
+		}
 		svd2 := leadingLeft(w2, j2, sub, opts.Sketch, sketchSeed(opts.Seed, 2, s))
 		y2, lambda[1] = svd2.U, svd2.S
 		// Mode 3.
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		w3 := tensor.ProjectedUnfoldSharded(f, 3, y1, y2, opts.Workers, opts.Shards)
+		w3, err := unfold(ctx, f, 3, y1, y2, opts)
+		if err != nil {
+			return nil, err
+		}
 		svd3 := leadingLeft(w3, j3, sub, opts.Sketch, sketchSeed(opts.Seed, 3, s))
 		y3, lambda[2] = svd3.U, svd3.S
 
@@ -345,6 +369,15 @@ func minInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// unfold computes one projected mode-n unfolding, through the
+// distributed hook when one is configured and locally otherwise.
+func unfold(ctx context.Context, f *tensor.Sparse3, mode int, ya, yb *mat.Matrix, opts Options) (*mat.Matrix, error) {
+	if opts.Unfolder != nil {
+		return opts.Unfolder.Unfold(ctx, f, mode, ya, yb, opts.Workers, opts.Shards)
+	}
+	return tensor.ProjectedUnfoldSharded(f, mode, ya, yb, opts.Workers, opts.Shards), nil
 }
 
 // sketchSeed derives a per-(mode, sweep) seed for the randomized range

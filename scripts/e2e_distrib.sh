@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# End-to-end check of the distributed offline build: two real
+# cubelsiworker processes serve a coordinator-driven build of the
+# paper's running example, and the resulting model file must be
+# byte-identical to the one the in-process build writes — the same
+# bit-identity contract the golden factor hash pins in
+# internal/core/parity_test.go, here crossing real process and socket
+# boundaries.
+#
+# Usage: scripts/e2e_distrib.sh [port1 [port2]]
+set -eu
+
+PORT1=${1:-19171}
+PORT2=${2:-19172}
+WORK=$(mktemp -d)
+PIDS=""
+
+cleanup() {
+	for pid in $PIDS; do
+		kill "$pid" 2>/dev/null || true
+	done
+	rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "e2e-distrib: building binaries"
+go build -o "$WORK/cubelsi" ./cmd/cubelsi
+go build -o "$WORK/cubelsiworker" ./cmd/cubelsiworker
+
+# The paper's running example (Figure 1): every assignment survives
+# cleaning at -min-support 1.
+cat >"$WORK/corpus.tsv" <<'EOF'
+u1	folk	r1
+u1	folk	r2
+u2	folk	r2
+u3	folk	r2
+u1	people	r1
+u2	laptop	r3
+u3	laptop	r3
+EOF
+
+"$WORK/cubelsiworker" -addr "127.0.0.1:$PORT1" &
+PIDS="$PIDS $!"
+"$WORK/cubelsiworker" -addr "127.0.0.1:$PORT2" &
+PIDS="$PIDS $!"
+
+for port in "$PORT1" "$PORT2"; do
+	for _ in $(seq 1 50); do
+		if curl -sf "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; then
+			continue 2
+		fi
+		sleep 0.1
+	done
+	echo "e2e-distrib: worker on port $port never became healthy" >&2
+	exit 1
+done
+echo "e2e-distrib: 2 workers healthy on ports $PORT1 $PORT2"
+
+BUILD_FLAGS="-min-support 1 -ratio 2 -concepts 2 -seed 1"
+
+echo "e2e-distrib: in-process build"
+# shellcheck disable=SC2086
+"$WORK/cubelsi" -data "$WORK/corpus.tsv" $BUILD_FLAGS -save "$WORK/local.clsi"
+
+echo "e2e-distrib: distributed build across both workers"
+# shellcheck disable=SC2086
+"$WORK/cubelsi" -data "$WORK/corpus.tsv" $BUILD_FLAGS -shards 4 \
+	-workers-addr "127.0.0.1:$PORT1,127.0.0.1:$PORT2" -save "$WORK/remote.clsi"
+
+if ! cmp "$WORK/local.clsi" "$WORK/remote.clsi"; then
+	echo "e2e-distrib: FAIL: remote model differs from the in-process model" >&2
+	exit 1
+fi
+
+# The served rankings must match too, straight from the saved models.
+"$WORK/cubelsi" -load "$WORK/local.clsi" -query folk >"$WORK/local.out"
+"$WORK/cubelsi" -load "$WORK/remote.clsi" -query folk >"$WORK/remote.out"
+if ! diff "$WORK/local.out" "$WORK/remote.out"; then
+	echo "e2e-distrib: FAIL: query results diverge" >&2
+	exit 1
+fi
+
+echo "e2e-distrib: PASS: distributed model byte-identical to in-process model"

@@ -88,6 +88,9 @@ func NewIndex(ctx context.Context, src Source, opts ...BuildOption) (*Index, err
 	for _, o := range opts {
 		o(&settings)
 	}
+	if settings.err != nil {
+		return nil, settings.err
+	}
 	if settings.exactSpectral {
 		// The exact-spectral path exists for one-shot paper-fidelity
 		// reproduction; incremental updates re-cluster with k-means on the
