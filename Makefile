@@ -31,9 +31,11 @@ bench:
 	$(GO) test -run='^$$' -bench='NearestK|Pairwise1k|QueryTop10|QueryFullSort|EngineBuild|EngineSearch' -benchmem ./internal/embed/ ./internal/ir/ .
 	$(GO) run ./cmd/benchoffline -preset $(BENCH_PRESET) -out BENCH_offline.json
 
-# bench-smoke is the CI-sized version: tiny preset, same artifact.
+# bench-smoke is the CI-sized version: tiny preset, same artifact. The
+# ANN section is skipped — it generates 10⁴/10⁵-tag corpora, minutes of
+# work that belongs in the full `make bench` run.
 bench-smoke:
-	$(GO) run ./cmd/benchoffline -preset tiny -scale-tags 1000,5000 -out BENCH_offline.json
+	$(GO) run ./cmd/benchoffline -preset tiny -scale-tags 1000,5000 -skip-ann -out BENCH_offline.json
 
 # e2e-distrib runs the coordinator against two real cubelsiworker
 # processes and asserts the distributed model file is byte-identical to

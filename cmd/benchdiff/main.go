@@ -2,11 +2,14 @@
 // by cmd/benchoffline. It has two modes:
 //
 //	benchdiff compare -base base.json -head head.json [-threshold 0.25] [-min-ms 25]
-//	    Compare the decompose/build/update/shard timings of a PR's
+//	    Compare the decompose/build/update/shard/ann timings of a PR's
 //	    benchmark run against the merge-base run and fail (exit 1) when a
 //	    tracked metric regresses by more than threshold AND by more than
 //	    min-ms of absolute wall clock (the floor keeps sub-millisecond
-//	    jitter on tiny CI presets from tripping the gate).
+//	    jitter on tiny CI presets from tripping the gate; ANN latency
+//	    metrics carry their own 1ms floor since their p99s sit below the
+//	    default). The ann section's recall@10 points gate on an absolute
+//	    drop beyond 0.01 instead — for them, lower is the regression.
 //
 //	benchdiff sizecheck -in BENCH_offline.json [-min-tags 5000] [-min-ratio 10]
 //	    Assert the v1/v2 model-size ratio of every size_scaling point at
@@ -56,6 +59,16 @@ type benchFile struct {
 		FullRebuildMS float64 `json:"full_rebuild_ms"`
 		WarmApplyMS   float64 `json:"warm_apply_ms"`
 	} `json:"update"`
+	Ann struct {
+		Points []struct {
+			Tags   int     `json:"tags"`
+			P99    float64 `json:"p99_ms"`
+			Recall float64 `json:"recall_at_10"`
+		} `json:"tags"`
+		Mmap struct {
+			MappedLoadMS float64 `json:"mapped_load_ms"`
+		} `json:"mmap"`
+	} `json:"ann"`
 	SizeScaling []struct {
 		Tags  int     `json:"tags"`
 		V1    int64   `json:"v1_bytes"`
@@ -76,12 +89,19 @@ func readBench(path string) (*benchFile, error) {
 	return &b, nil
 }
 
-// metric is one tracked timing, present when the producing revision
-// recorded it.
+// metric is one tracked measurement, present when the producing
+// revision recorded it. Most metrics are timings; recall marks a
+// quality metric gated on an absolute drop instead (lower is worse, so
+// the threshold/floor pair doesn't apply). floorMS, when set, replaces
+// the CLI's -min-ms jitter floor for this metric: ANN latencies sit in
+// single-digit milliseconds where the default 25ms floor would mask any
+// regression.
 type metric struct {
-	name string
-	ms   float64
-	ok   bool
+	name    string
+	ms      float64
+	ok      bool
+	recall  bool
+	floorMS float64
 }
 
 // timings extracts the gated metrics from a benchmark file. Metrics the
@@ -115,6 +135,23 @@ func timings(b *benchFile) []metric {
 			ok:   d.Millis > 0,
 		})
 	}
+	for _, p := range b.Ann.Points {
+		ms = append(ms, metric{
+			name:    fmt.Sprintf("ann.tags[%d].p99_ms", p.Tags),
+			ms:      p.P99,
+			ok:      p.P99 > 0,
+			floorMS: 1,
+		})
+		ms = append(ms, metric{
+			name:   fmt.Sprintf("ann.tags[%d].recall_at_10", p.Tags),
+			ms:     p.Recall,
+			ok:     p.Recall > 0,
+			recall: true,
+		})
+	}
+	if v := b.Ann.Mmap.MappedLoadMS; v > 0 {
+		ms = append(ms, metric{name: "ann.mmap.mapped_load_ms", ms: v, ok: true, floorMS: 1})
+	}
 	return ms
 }
 
@@ -123,14 +160,19 @@ type row struct {
 	name           string
 	baseMS, headMS float64
 	hasBase        bool
+	recall         bool
 	regressed      bool
 }
 
 // compare matches every head metric against the baseline and marks the
 // ones that regressed by more than threshold (fractional, e.g. 0.25)
-// AND more than minMS of absolute wall clock. Metrics absent from the
-// baseline (older artifact formats, freshly added metrics) come back
-// with hasBase=false and never regress.
+// AND more than the jitter floor of absolute wall clock (the metric's
+// own floorMS when it declares one, the CLI's minMS otherwise). Recall
+// metrics gate the other way: lower is worse, and an absolute drop
+// beyond 0.01 regresses regardless of threshold — approximate serving
+// that silently loses recall is a quality bug, not noise. Metrics
+// absent from the baseline (older artifact formats, freshly added
+// metrics) come back with hasBase=false and never regress.
 func compare(base, head *benchFile, threshold, minMS float64) []row {
 	baseline := make(map[string]float64)
 	for _, m := range timings(base) {
@@ -144,9 +186,19 @@ func compare(base, head *benchFile, threshold, minMS float64) []row {
 			continue
 		}
 		b, seen := baseline[m.name]
+		var regressed bool
+		if m.recall {
+			regressed = seen && b-m.ms > 0.01
+		} else {
+			floor := minMS
+			if m.floorMS > 0 {
+				floor = m.floorMS
+			}
+			regressed = seen && m.ms-b > threshold*b && m.ms-b > floor
+		}
 		rows = append(rows, row{
 			name: m.name, baseMS: b, headMS: m.ms, hasBase: seen,
-			regressed: seen && m.ms-b > threshold*b && m.ms-b > minMS,
+			recall: m.recall, regressed: regressed,
 		})
 	}
 	return rows
@@ -202,9 +254,14 @@ func runCompare(args []string) int {
 
 	rows := compare(base, head, *threshold, *minMS)
 	for _, r := range rows {
-		if r.hasBase {
+		switch {
+		case r.recall && r.hasBase:
+			fmt.Printf("%-40s base %10.3f    head %10.3f  \n", r.name, r.baseMS, r.headMS)
+		case r.recall:
+			fmt.Printf("%-40s base          —  head %10.3f    (new metric)\n", r.name, r.headMS)
+		case r.hasBase:
 			fmt.Printf("%-40s base %10.1fms  head %10.1fms  (%+.1f%%)\n", r.name, r.baseMS, r.headMS, 100*(r.headMS-r.baseMS)/r.baseMS)
-		} else {
+		default:
 			fmt.Printf("%-40s base          —  head %10.1fms  (new metric)\n", r.name, r.headMS)
 		}
 	}
@@ -215,6 +272,11 @@ func runCompare(args []string) int {
 		return 0
 	}
 	for _, r := range regs {
+		if r.recall {
+			fmt.Fprintf(os.Stderr, "benchdiff: REGRESSION %s: %.3f -> %.3f (recall dropped)\n",
+				r.name, r.baseMS, r.headMS)
+			continue
+		}
 		fmt.Fprintf(os.Stderr, "benchdiff: REGRESSION %s: %.1fms -> %.1fms (%+.1f%%)\n",
 			r.name, r.baseMS, r.headMS, 100*(r.headMS-r.baseMS)/r.baseMS)
 	}

@@ -165,6 +165,67 @@ func TestCompareGatesDistribSection(t *testing.T) {
 	}
 }
 
+func TestCompareGatesAnnSection(t *testing.T) {
+	base := parse(t, `{
+      "ann": {
+        "tags": [
+          {"tags": 10000, "p99_ms": 0.8, "recall_at_10": 0.98},
+          {"tags": 100000, "p99_ms": 4.0, "recall_at_10": 0.97}
+        ],
+        "mmap": {"mapped_load_ms": 2.0}
+      }
+    }`)
+
+	// Within threshold and recall tolerance: quiet.
+	head := parse(t, `{
+      "ann": {
+        "tags": [
+          {"tags": 10000, "p99_ms": 0.9, "recall_at_10": 0.975},
+          {"tags": 100000, "p99_ms": 4.4, "recall_at_10": 0.972}
+        ],
+        "mmap": {"mapped_load_ms": 2.2}
+      }
+    }`)
+	if regs := regressions(compare(base, head, 0.25, 25)); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %+v", regs)
+	}
+
+	// A p99 that tripled must trip the gate despite sitting far below the
+	// CLI's 25ms jitter floor — ANN metrics carry their own 1ms floor.
+	head = parse(t, `{
+      "ann": {"tags": [{"tags": 100000, "p99_ms": 12.0, "recall_at_10": 0.97}]}
+    }`)
+	regs := regressions(compare(base, head, 0.25, 25))
+	if len(regs) != 1 || regs[0].name != "ann.tags[100000].p99_ms" {
+		t.Fatalf("want ann.tags[100000].p99_ms regression, got %+v", regs)
+	}
+
+	// Recall gates the other way: a faster head that lost recall beyond
+	// the 0.01 tolerance is a regression even though every timing improved.
+	head = parse(t, `{
+      "ann": {"tags": [{"tags": 100000, "p99_ms": 1.0, "recall_at_10": 0.90}]}
+    }`)
+	regs = regressions(compare(base, head, 0.25, 25))
+	if len(regs) != 1 || regs[0].name != "ann.tags[100000].recall_at_10" {
+		t.Fatalf("want ann.tags[100000].recall_at_10 regression, got %+v", regs)
+	}
+
+	// The mapped-load timing is gated with the same 1ms floor.
+	head = parse(t, `{
+      "ann": {"mmap": {"mapped_load_ms": 9.0}}
+    }`)
+	regs = regressions(compare(base, head, 0.25, 25))
+	if len(regs) != 1 || regs[0].name != "ann.mmap.mapped_load_ms" {
+		t.Fatalf("want ann.mmap.mapped_load_ms regression, got %+v", regs)
+	}
+
+	// Baselines predating the ann section never fail on it.
+	old := parse(t, `{"build": {"embedding_path": {"decompose_ms": 1000, "total_ms": 1200}}}`)
+	if regs := regressions(compare(old, head, 0.25, 25)); len(regs) != 0 {
+		t.Fatalf("ann metrics without baseline must be skipped: %+v", regs)
+	}
+}
+
 func TestSizeViolations(t *testing.T) {
 	b := parse(t, baseJSON)
 	// The 1000-tag point is below min-tags, so its 8x ratio is fine; the

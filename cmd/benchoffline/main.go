@@ -19,6 +19,10 @@
 //   - distrib: the full offline build fanned out to 1 and 2 in-process
 //     cubelsiworker instances over loopback HTTP, with a recomputed
 //     bit-identity check against the in-process build.
+//   - ann: sublinear RelatedTags serving — the IVF index vs the exact
+//     scan at the tags10k and tags100k vocabulary scales (p99 at the
+//     smallest nprobe reaching recall@10 ≥ 0.95), plus heap-decoded v3
+//     vs memory-mapped v4 model loading at serving scale.
 //   - query: online latency percentiles over a generated workload.
 //   - size_scaling: encoded model bytes of the v1 (quadratic, dense
 //     distance matrix) vs v2+ (linear, |T|×k₂ embedding) formats at
@@ -26,10 +30,11 @@
 //
 // Usage:
 //
-//	benchoffline [-preset tiny|delicious|bibsonomy|lastfm]
+//	benchoffline [-preset tiny|delicious|bibsonomy|lastfm|tags10k|tags100k]
 //	             [-out BENCH_offline.json] [-scale-tags 1000,5000]
 //	             [-skip-exact] [-skip-update] [-update-delta 0.01]
-//	             [-shards N] [-skip-shard-scan] [-skip-distrib] [-queries 256]
+//	             [-shards N] [-skip-shard-scan] [-skip-distrib] [-skip-ann]
+//	             [-queries 256]
 package main
 
 import (
@@ -207,6 +212,7 @@ type report struct {
 	Shard       *shardReport    `json:"shard,omitempty"`
 	Distrib     *distribReport  `json:"distrib,omitempty"`
 	Update      *updateReport   `json:"update,omitempty"`
+	Ann         *annReport      `json:"ann,omitempty"`
 	Model       modelReport     `json:"model"`
 	Query       queryReport     `json:"query"`
 	SizeScaling []scalePoint    `json:"size_scaling"`
@@ -222,6 +228,7 @@ func main() {
 	skipDistrib := flag.Bool("skip-distrib", false, "skip the distributed-build (in-process worker fleet) benchmark")
 	shards := flag.Int("shards", 0, "shard count for the headline builds (0/1 = monolithic; results identical at any value)")
 	skipUpdate := flag.Bool("skip-update", false, "skip the incremental-update (warm-start vs rebuild) benchmark")
+	skipANN := flag.Bool("skip-ann", false, "skip the ANN serving benchmark (IVF vs exact at the tags10k/tags100k scales, plus the mmap load comparison)")
 	updateDelta := flag.Float64("update-delta", 0.01, "assignment fraction of the update-benchmark delta")
 	updateMove := flag.Float64("update-move-threshold", 0.25, "relative row-displacement threshold for the update benchmark's re-clustering (the synthetic corpora are noisier than real folksonomies, so this sits above the library default to keep the move-bounded path — the one the gate must track — engaged)")
 	workers := flag.Int("workers", 0, "ALS worker pool bound for the headline builds (0 = all CPUs)")
@@ -307,6 +314,15 @@ func main() {
 	if !*skipUpdate {
 		u := benchUpdate(corpus.Clean, opts, params.Seed, *updateDelta, *updateMove)
 		rep.Update = &u
+	}
+
+	// The ANN section runs at its own fixed scales (the tags10k and
+	// tags100k presets) regardless of -preset: sublinear serving only
+	// shows up at vocabulary widths the paper-analogue corpora never
+	// reach.
+	if !*skipANN {
+		a := benchANN()
+		rep.Ann = &a
 	}
 
 	// Model size: the real pipeline serialized the way each format's
@@ -752,6 +768,10 @@ func presetParams(name string) (datagen.Params, error) {
 		return datagen.BibsonomyLike(), nil
 	case "lastfm":
 		return datagen.LastFMLike(), nil
+	case "tags10k":
+		return datagen.Tags10K(), nil
+	case "tags100k":
+		return datagen.Tags100K(), nil
 	default:
 		return datagen.Params{}, fmt.Errorf("unknown preset %q", name)
 	}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"repro"
+)
+
+// annTestServer saves the test engine with an int8 section and starts a
+// model-backed server configured to mmap the file and serve /related
+// through the IVF index in exact-parity configuration (full probing,
+// full rerank).
+func annTestServer(t *testing.T) (built *cubelsi.Engine, ts *httptest.Server) {
+	t.Helper()
+	built, _ = buildTestEngine(t)
+	path := filepath.Join(t.TempDir(), "ann.clsi")
+	if err := built.SaveFile(path, cubelsi.WithInt8Embedding()); err != nil {
+		t.Fatal(err)
+	}
+	srv := newLifecycleServer(nil, nil, path)
+	srv.mmap = true
+	srv.ann = true
+	srv.annProbe = built.Concepts()
+	srv.annRerank = 1 << 16
+	eng, err := srv.loadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.eng.Store(eng)
+	ts = httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return built, ts
+}
+
+func TestStatsReportsANNAndMapping(t *testing.T) {
+	_, ts := annTestServer(t)
+	var st statsResponse
+	if resp := getJSON(t, ts, "/stats", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !st.AnnEnabled {
+		t.Fatal("ann_enabled = false on an ANN server")
+	}
+	if st.Nprobe < 1 {
+		t.Fatalf("nprobe = %d", st.Nprobe)
+	}
+	if st.Quantization != "int8" {
+		t.Fatalf("quantization = %q, want int8", st.Quantization)
+	}
+	// model_mapped is platform-dependent (the unix mmap path vs the
+	// read-into-heap fallback), so only assert it is reported coherently
+	// with the engine rather than pinning a value.
+}
+
+func TestStatsOnExactServerReportsANNOff(t *testing.T) {
+	_, loaded := buildTestEngine(t)
+	ts := httptest.NewServer(newServer(loaded))
+	defer ts.Close()
+	var st statsResponse
+	getJSON(t, ts, "/stats", &st)
+	if st.AnnEnabled || st.Nprobe != 0 || st.ModelMapped {
+		t.Fatalf("exact heap server reports %+v", st)
+	}
+	if st.Quantization != "none" {
+		t.Fatalf("quantization = %q, want none", st.Quantization)
+	}
+}
+
+// TestServedANNRelatedMatchesExact: the parity-configured ANN server
+// must answer /related identically to the in-process exact engine, and
+// the nprobe query parameter (including out-of-range values, which
+// clamp server-side) must not break that.
+func TestServedANNRelatedMatchesExact(t *testing.T) {
+	built, ts := annTestServer(t)
+	for _, tag := range built.Tags() {
+		want, err := built.RelatedTags(tag, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, query := range []string{"", "&nprobe=999999"} {
+			var got relatedResponse
+			resp := getJSON(t, ts, "/related?tag="+tag+"&n=10"+query, &got)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("tag %q %q: status %d", tag, query, resp.StatusCode)
+			}
+			if len(got.Related) != len(want) {
+				t.Fatalf("tag %q %q: served %d related, in-process %d", tag, query, len(got.Related), len(want))
+			}
+			for i := range want {
+				if got.Related[i] != want[i] {
+					t.Fatalf("tag %q %q result %d: served %+v, exact %+v", tag, query, i, got.Related[i], want[i])
+				}
+			}
+		}
+	}
+	// A below-range nprobe clamps to probing a single list: still a valid
+	// 200 answer, just (possibly) shallower than the exact scan.
+	var got relatedResponse
+	if resp := getJSON(t, ts, "/related?tag=audio&n=10&nprobe=-3", &got); resp.StatusCode != http.StatusOK {
+		t.Fatalf("clamped nprobe: status %d", resp.StatusCode)
+	}
+	if len(got.Related) == 0 {
+		t.Fatal("single-list probe returned nothing for a tag with same-list neighbors")
+	}
+	// Malformed nprobe is a 400, same envelope as bad n.
+	if resp := getJSON(t, ts, "/related?tag=audio&nprobe=x", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad nprobe: status %d", resp.StatusCode)
+	}
+}
+
+// TestReloadKeepsServingOptions: a /reload on an ANN+mmap server must
+// come back with ANN and the mapping still on — the options belong to
+// the server, not the engine instance.
+func TestReloadKeepsServingOptions(t *testing.T) {
+	_, ts := annTestServer(t)
+	resp, err := ts.Client().Post(ts.URL+"/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload status %d", resp.StatusCode)
+	}
+	var st statsResponse
+	getJSON(t, ts, "/stats", &st)
+	if !st.AnnEnabled {
+		t.Fatal("reload dropped ANN serving")
+	}
+	if st.Quantization != "int8" {
+		t.Fatalf("reload dropped the quantized section: %q", st.Quantization)
+	}
+}

@@ -8,8 +8,13 @@
 //
 // Usage:
 //
-//	cubelsiserve -model model.clsi [-addr :8080]
+//	cubelsiserve -model model.clsi [-addr :8080] [-mmap] [-ann] [-ann-nprobe N] [-ann-rerank C]
 //	cubelsiserve -data corpus.tsv [-concepts 40] [-addr :8080]
+//
+// -mmap memory-maps the model file instead of decoding it onto the heap
+// (a v4 model opens in milliseconds at any size); -ann serves /related
+// through the IVF approximate index over the model's concept centroids.
+// Both stick across /reload.
 //
 // Endpoints:
 //
@@ -18,7 +23,7 @@
 //	GET  /stats                   corpus, model and lifecycle statistics
 //	GET  /search?q=a,b&n=10       search (also min_score=, concepts=)
 //	POST /search                  JSON query, or {"queries": [...]} batch
-//	GET  /related?tag=jazz&n=10   nearest tags by purified distance
+//	GET  /related?tag=jazz&n=10   nearest tags by purified distance (also nprobe=)
 //	GET  /clusters                distilled concepts as tag groups
 //	POST /update                  apply {"add": [...], "remove": [...]} delta (-data servers)
 //	POST /reload                  hot-swap a model file (-model servers)
@@ -45,6 +50,10 @@ func main() {
 	model := flag.String("model", "", "model file saved by cubelsi -save")
 	data := flag.String("data", "", "TSV corpus to build from when no -model is given")
 	addr := flag.String("addr", ":8080", "listen address")
+	mmap := flag.Bool("mmap", false, "memory-map the model file instead of decoding it onto the heap (v4 models open in milliseconds; applies to -model and every /reload)")
+	ann := flag.Bool("ann", false, "serve /related through the IVF ANN index instead of the exact scan (model-backed servers)")
+	annNprobe := flag.Int("ann-nprobe", 0, "inverted lists probed per ANN query (0 = √lists; /related?nprobe= overrides per request)")
+	annRerank := flag.Int("ann-rerank", 0, "candidate depth kept before the exact rerank (0 = result size)")
 	concepts := flag.Int("concepts", 0, "concept count when building (0 = automatic)")
 	ratio := flag.Float64("ratio", 50, "Tucker reduction ratio when building")
 	minSupport := flag.Int("min-support", 5, "cleaning support threshold when building")
@@ -57,11 +66,16 @@ func main() {
 	var srv *server
 	switch {
 	case *model != "":
-		eng, err := cubelsi.LoadFile(*model)
+		srv = newLifecycleServer(nil, nil, *model)
+		srv.mmap = *mmap
+		srv.ann = *ann || *annNprobe > 0 || *annRerank > 0
+		srv.annProbe = *annNprobe
+		srv.annRerank = *annRerank
+		eng, err := srv.loadModel(*model)
 		if err != nil {
 			fatal(err)
 		}
-		srv = newLifecycleServer(eng, nil, *model)
+		srv.eng.Store(eng)
 	case *data != "":
 		cfg := cubelsi.DefaultConfig()
 		cfg.ReductionRatios = [3]float64{*ratio, *ratio, *ratio}

@@ -60,6 +60,13 @@ type server struct {
 	mu        sync.Mutex // serializes /reload
 	modelPath string     // non-empty when model-backed (-model)
 	eng       atomic.Pointer[cubelsi.Engine]
+
+	// Serving options re-applied on every model load (initial and each
+	// /reload). Set once before the first load; model-backed only.
+	mmap      bool // load through a memory mapping (cubelsi.WithMapped)
+	ann       bool // serve /related through the IVF index (Engine.WithANN)
+	annProbe  int  // inverted lists probed per query (0 = √lists)
+	annRerank int  // candidate depth before exact rerank (0 = result size)
 }
 
 // newServer builds the HTTP handler for a fixed engine snapshot with no
@@ -85,6 +92,31 @@ func newLifecycleServer(eng *cubelsi.Engine, idx *cubelsi.Index, modelPath strin
 	s.mux.HandleFunc("POST /update", s.handleUpdate)
 	s.mux.HandleFunc("POST /reload", s.handleReload)
 	return s
+}
+
+// loadModel loads a model file with the server's serving options: the
+// memory-mapped load path when -mmap is set, wrapped in an IVF ANN
+// index when -ann is. Used for the startup load and every /reload, so
+// a hot-swapped model keeps the serving configuration it was started
+// with.
+func (s *server) loadModel(path string) (*cubelsi.Engine, error) {
+	var opts []cubelsi.LoadOption
+	if s.mmap {
+		opts = append(opts, cubelsi.WithMapped())
+	}
+	eng, err := cubelsi.LoadFile(path, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if s.ann {
+		annEng, err := eng.WithANN(s.annProbe, s.annRerank)
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		eng = annEng
+	}
+	return eng, nil
 }
 
 // engine returns the current snapshot, or nil before the first model is
@@ -171,6 +203,16 @@ type statsResponse struct {
 	ModelVersion      uint64  `json:"model_version"`
 	SourceFingerprint string  `json:"source_fingerprint,omitempty"`
 	UptimeSec         float64 `json:"uptime_seconds"`
+	// AnnEnabled reports whether /related serves through the IVF index;
+	// Nprobe is the effective lists-probed default (0 when ANN is off,
+	// overridable per request with /related?nprobe=). Quantization names
+	// the quantized embedding view the model carries ("int8", "float16"
+	// or "none"); ModelMapped whether the model file is memory-mapped
+	// rather than heap-decoded.
+	AnnEnabled   bool   `json:"ann_enabled"`
+	Nprobe       int    `json:"nprobe"`
+	Quantization string `json:"quantization"`
+	ModelMapped  bool   `json:"model_mapped"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -196,6 +238,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ModelVersion:      eng.Version(),
 		SourceFingerprint: eng.SourceFingerprint(),
 		UptimeSec:         time.Since(s.started).Seconds(),
+		AnnEnabled:        eng.ANNEnabled(),
+		Nprobe:            eng.ANNProbe(),
+		Quantization:      eng.Quantization(),
+		ModelMapped:       eng.Mapped(),
 	})
 }
 
@@ -296,12 +342,17 @@ func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "no model path: start with -model or provide {\"model\": ...}")
 		return
 	}
-	eng, err := cubelsi.LoadFile(path)
+	eng, err := s.loadModel(path)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "reload: %v", err)
 		return
 	}
 	s.modelPath = path
+	// The displaced engine is NOT closed here: in-flight requests may
+	// still be serving from its snapshot, and unmapping a live engine's
+	// file would fault them. Its mapping (if any) is reclaimed by the
+	// runtime finalizer once the last request drains and the engine is
+	// collected.
 	s.eng.Store(eng)
 	st := eng.Stats()
 	writeJSON(w, http.StatusOK, reloadResponse{
@@ -442,7 +493,22 @@ func (s *server) handleRelated(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	rel, err := s.engine().RelatedTags(tag, n)
+	eng := s.engine()
+	// Optional per-request ANN probe depth, clamped server-side to
+	// [1, lists]; ignored (after validation) when ANN is off, so clients
+	// can send it unconditionally.
+	nprobe := 0
+	if v := r.URL.Query().Get("nprobe"); v != "" {
+		np, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad nprobe: %v", err)
+			return
+		}
+		if lists := eng.ANNLists(); lists > 0 {
+			nprobe = min(max(np, 1), lists)
+		}
+	}
+	rel, err := eng.RelatedTagsProbe(tag, n, nprobe)
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return

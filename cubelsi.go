@@ -48,10 +48,12 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/embed"
 	"repro/internal/ir"
 	"repro/internal/mat"
+	"repro/internal/quant"
 	"repro/internal/tagging"
 	"repro/internal/tucker"
 )
@@ -168,6 +170,22 @@ type Engine struct {
 	k         int
 	index     *ir.Index
 
+	// ann is the optional IVF index over emb (WithANN); annProbe and
+	// annRerank are its configured query defaults.
+	ann       *embed.IVF
+	annProbe  int
+	annRerank int
+
+	// quant8 / quant16 are the quantized embedding views a v4 model
+	// carried (at most one is used: int8 wins when both are present).
+	// They feed ANN candidate generation and lossless re-saves only.
+	quant8  *quant.Int8
+	quant16 *quant.Float16
+
+	// mapped owns the model-file memory mapping of an engine opened with
+	// LoadMapped / WithMapped; nil for heap-decoded engines.
+	mapped *codec.Mapping
+
 	stats   Stats
 	timings core.Timings
 }
@@ -248,8 +266,15 @@ func (e *Engine) EmbeddingDim() int {
 // n ≤ 0 and n > |T|−1 both mean every other tag, so the two backends
 // cannot drift apart on the edge cases. On embedding-backed engines the
 // lookup is a blocked parallel top-k selection over the embedding rows
-// — O(|T|·k₂) work and O(n) memory, never a scan of a dense matrix row.
+// — O(|T|·k₂) work and O(n) memory, never a scan of a dense matrix row
+// — unless the engine was derived with WithANN, in which case only the
+// configured number of IVF lists is probed (sublinear in |T|, with
+// recall governed by the nprobe/rerank knobs).
 func (e *Engine) RelatedTags(tag string, n int) ([]RelatedTag, error) {
+	return e.relatedTags(tag, n, e.annProbe)
+}
+
+func (e *Engine) relatedTags(tag string, n, nprobe int) ([]RelatedTag, error) {
 	id, err := e.tagID(tag)
 	if err != nil {
 		return nil, err
@@ -261,9 +286,12 @@ func (e *Engine) RelatedTags(tag string, n int) ([]RelatedTag, error) {
 		n = total
 	}
 	var nb []embed.Neighbor
-	if e.emb != nil {
+	switch {
+	case e.ann != nil:
+		nb = e.ann.NearestK(id, n, nprobe, e.annRerank)
+	case e.emb != nil:
 		nb = e.emb.NearestK(id, n)
-	} else {
+	default:
 		nb = make([]embed.Neighbor, 0, e.tags.Len()-1)
 		for j := 0; j < e.tags.Len(); j++ {
 			if j == id {

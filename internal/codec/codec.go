@@ -11,6 +11,16 @@
 // IEEE-754 bits, so a decoded model reproduces search rankings
 // bit-for-bit.
 //
+// Format v4 switches to an 8-byte-aligned section layout that a reader
+// can decode zero-copy from a memory-mapped file (ReadMapped): numeric
+// payloads are aliased in place instead of streamed, so a serving
+// replica opens a multi-hundred-megabyte model in milliseconds and
+// shares its pages with every other replica on the machine. v4 also
+// carries optional quantized views of the embedding — int8 with a
+// per-dimension affine (scale, zero-point) pair, and IEEE-754 float16 —
+// that feed ANN candidate generation only; exact ranking always uses
+// the full-precision rows.
+//
 // Format v3 adds the model lifecycle header — a monotonically
 // increasing model version, a fingerprint of the source corpus, the ALS
 // sweep count — and an optional warm-start section carrying the mode-2
@@ -40,6 +50,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/mat"
+	"repro/internal/quant"
 	"repro/internal/tensor"
 	"repro/internal/tucker"
 )
@@ -48,8 +59,13 @@ import (
 var Magic = [4]byte{'C', 'L', 'S', 'I'}
 
 // Version is the current format version, written by Write. Read accepts
-// VersionV2 and VersionV1 streams as well.
-const Version uint32 = 3
+// VersionV3, VersionV2 and VersionV1 streams as well.
+const Version uint32 = 4
+
+// VersionV3 is the last streaming format: v2 plus the lifecycle header
+// and the optional warm-start factor section, without the v4 aligned
+// layout or quantized embedding sections.
+const VersionV3 uint32 = 3
 
 // VersionV2 is the first linear-size format: tag semantics stored as
 // the |T|×k₂ embedding, no lifecycle header or warm-start section.
@@ -148,16 +164,42 @@ type Model struct {
 	K      int
 	// Index is the bag-of-concepts tf-idf index over the resources.
 	Index *ir.Index
+
+	// Quant8 and Quant16 are the optional quantized views of the
+	// embedding (v4 sections, written when set). They feed ANN candidate
+	// generation only; exact ranking uses Embedding.
+	Quant8  *quant.Int8
+	Quant16 *quant.Float16
+
+	// Mapped is the live memory mapping this model's numeric payloads
+	// alias when it was opened with ReadMapped; nil for models decoded
+	// onto the heap. The model (and anything sharing its slices) must not
+	// be used after Mapped.Close.
+	Mapped *Mapping
 }
 
-// Write encodes the model to w in the current (v3) format: tag semantics
-// as the linear-size embedding, plus the lifecycle header and, when
-// m.Warm is set, the warm-start factor section. m.Embedding must be set.
+// Write encodes the model to w in the current (v4) format: the aligned
+// mappable layout, with the quantized embedding sections included when
+// m.Quant8 / m.Quant16 are set. m.Embedding must be set.
 func Write(w io.Writer, m *Model) error {
 	if m.Embedding == nil {
 		return fmt.Errorf("codec: write: model has no tag embedding (v2+ requires one; see embed.FromDecomposition)")
 	}
-	return write(w, m, Version)
+	return writeV4(w, m)
+}
+
+// WriteV3 encodes the model in the v3 streaming format: the linear-size
+// embedding plus the lifecycle header and warm-start factors, without
+// the v4 aligned layout or quantized sections.
+//
+// Deprecated: WriteV3 exists so tests, migration tooling and the fuzz
+// corpus can produce v3 streams; new models should always be written
+// with Write.
+func WriteV3(w io.Writer, m *Model) error {
+	if m.Embedding == nil {
+		return fmt.Errorf("codec: write: model has no tag embedding (v2+ requires one; see embed.FromDecomposition)")
+	}
+	return write(w, m, VersionV3)
 }
 
 // WriteV2 encodes the model in the v2 format: the linear-size embedding
@@ -203,13 +245,13 @@ func write(w io.Writer, m *Model, version uint32) error {
 		}
 		e.f64(m.Fit)
 	}
-	if version >= Version {
+	if version >= VersionV3 {
 		e.u64(m.ModelVersion)
 		e.bytes(m.Fingerprint[:])
 		e.length(m.Sweeps)
 	}
 	e.decomposition(m.Decomp)
-	if version >= Version {
+	if version >= VersionV3 {
 		e.warmStart(m.Warm)
 	}
 	if version == VersionV1 {
@@ -236,9 +278,26 @@ func write(w io.Writer, m *Model, version uint32) error {
 }
 
 // Read decodes a model from r and validates its cross-section shape
-// invariants.
+// invariants. v4 streams are buffered whole and decoded with the
+// aligned-layout parser (the same one ReadMapped uses on a mapping);
+// v1–v3 streams go through the legacy streaming decoder.
 func Read(r io.Reader) (*Model, error) {
-	d := &decoder{r: bufio.NewReader(r)}
+	br := bufio.NewReader(r)
+	if head, err := br.Peek(8); err == nil &&
+		[4]byte(head[:4]) == Magic &&
+		binary.LittleEndian.Uint32(head[4:8]) == Version {
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("codec: read: %w", err)
+		}
+		return parseV4(data)
+	}
+	return readStream(br)
+}
+
+// readStream decodes a v1–v3 model from the legacy streaming layout.
+func readStream(br *bufio.Reader) (*Model, error) {
+	d := &decoder{r: br}
 
 	var magic [4]byte
 	d.bytes(magic[:])
@@ -246,8 +305,8 @@ func Read(r io.Reader) (*Model, error) {
 		return nil, fmt.Errorf("codec: bad magic %q: not a CubeLSI model", magic[:])
 	}
 	version := d.u32()
-	if d.err == nil && version != Version && version != VersionV2 && version != VersionV1 {
-		return nil, fmt.Errorf("codec: unsupported model version %d (want %d, %d or %d)", version, Version, VersionV2, VersionV1)
+	if d.err == nil && version != VersionV3 && version != VersionV2 && version != VersionV1 {
+		return nil, fmt.Errorf("codec: unsupported model version %d (want %d, %d, %d or %d)", version, Version, VersionV3, VersionV2, VersionV1)
 	}
 
 	m := &Model{}
@@ -264,13 +323,13 @@ func Read(r io.Reader) (*Model, error) {
 		}
 		m.Fit = d.f64()
 	}
-	if version >= Version {
+	if version >= VersionV3 {
 		m.ModelVersion = d.u64()
 		d.bytes(m.Fingerprint[:])
 		m.Sweeps = d.length()
 	}
 	m.Decomp = d.decomposition()
-	if version >= Version {
+	if version >= VersionV3 {
 		m.Warm = d.warmStart()
 	}
 	if version == VersionV1 {
@@ -352,6 +411,22 @@ func (m *Model) validate() error {
 		}
 		if r := m.Warm.Y3.Rows(); r != len(m.Resources) {
 			return fmt.Errorf("codec: warm-start Y3 has %d rows for %d resources", r, len(m.Resources))
+		}
+	}
+	if m.Quant8 != nil {
+		if err := m.Quant8.Validate(); err != nil {
+			return fmt.Errorf("codec: %w", err)
+		}
+		if _, c := m.Embedding.Dims(); m.Quant8.Rows != nTags || m.Quant8.Cols != c {
+			return fmt.Errorf("codec: int8 section is %d×%d for a %d×%d embedding", m.Quant8.Rows, m.Quant8.Cols, nTags, c)
+		}
+	}
+	if m.Quant16 != nil {
+		if err := m.Quant16.Validate(); err != nil {
+			return fmt.Errorf("codec: %w", err)
+		}
+		if _, c := m.Embedding.Dims(); m.Quant16.Rows != nTags || m.Quant16.Cols != c {
+			return fmt.Errorf("codec: float16 section is %d×%d for a %d×%d embedding", m.Quant16.Rows, m.Quant16.Cols, nTags, c)
 		}
 	}
 	return nil

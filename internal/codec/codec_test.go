@@ -189,16 +189,19 @@ func TestReadV1Stream(t *testing.T) {
 func TestV1FilesAreQuadraticV2Linear(t *testing.T) {
 	// The point of format v2+: file size linear in the vocabularies
 	// instead of quadratic. With the same sections populated, the byte
-	// gap is exactly the matrix-section difference (8·|T|² vs 8·|T|·k₂)
-	// minus the current format's 81 bytes of scalar overhead: core dims
-	// and fit (32) plus the v3 lifecycle header — model version (8),
-	// fingerprint (32), sweeps (8) and the warm-start flag (1).
+	// gap of the streaming layouts is exactly the matrix-section
+	// difference (8·|T|² vs 8·|T|·k₂) minus the v3 stream's 81 bytes of
+	// scalar overhead: core dims and fit (32) plus the lifecycle header —
+	// model version (8), fingerprint (32), sweeps (8) and the warm-start
+	// flag (1). (v4 adds alignment padding, so the exact-gap arithmetic
+	// is pinned on the v3 stream; the production-shape inequality below
+	// covers the current format.)
 	m := buildModel(t)
 	var v1, v2 bytes.Buffer
 	if err := WriteV1(&v1, m); err != nil {
 		t.Fatal(err)
 	}
-	if err := Write(&v2, m); err != nil {
+	if err := WriteV3(&v2, m); err != nil {
 		t.Fatal(err)
 	}
 	wantGap := 8*(len(m.Distances.Data())-len(m.Embedding.Data())) - 81

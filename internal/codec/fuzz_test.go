@@ -4,17 +4,21 @@ import (
 	"bytes"
 	"encoding/binary"
 	"testing"
+
+	"repro/internal/quant"
 )
 
 // FuzzLoad proves the decode path fails fast — an error, never a panic,
 // a hang, or an unbounded allocation — on corrupt or truncated model
-// bytes, for the v1, v2 and v3 formats.
+// bytes, for the v1–v4 formats (both decoders: the streaming one and
+// the v4 aligned-layout parser ReadMapped shares).
 func FuzzLoad(f *testing.F) {
-	// Seed with structurally valid v1, v2 and v3 streams — the v3 seed
+	// Seed with structurally valid streams of every format — the v3 seed
 	// carries the full lifecycle header and a warm-start factor section,
-	// so the new fields are fuzzed from day one — plus systematic
-	// truncations and a few classic corruptions, so the fuzzer starts
-	// from deep inside the format.
+	// and the v4 seeds cover the mapped layout with each quantized
+	// section combination — plus systematic truncations and a few
+	// classic corruptions, so the fuzzer starts from deep inside the
+	// format.
 	m := buildModel(f)
 	var v1, v2, v3 bytes.Buffer
 	if err := WriteV1(&v1, m); err != nil {
@@ -23,10 +27,26 @@ func FuzzLoad(f *testing.F) {
 	if err := WriteV2(&v2, m); err != nil { //nolint:staticcheck // fuzz corpus covers the legacy writer
 		f.Fatal(err)
 	}
-	if err := Write(&v3, withLifecycle(m)); err != nil {
+	if err := WriteV3(&v3, withLifecycle(m)); err != nil { //nolint:staticcheck // fuzz corpus covers the legacy writer
 		f.Fatal(err)
 	}
-	for _, valid := range [][]byte{v1.Bytes(), v2.Bytes(), v3.Bytes()} {
+	v4Variants := [][2]bool{{false, false}, {true, false}, {false, true}, {true, true}}
+	v4Seeds := make([][]byte, 0, len(v4Variants))
+	for _, variant := range v4Variants {
+		qm := withLifecycle(buildModel(f))
+		if variant[0] {
+			qm.Quant8 = quant.QuantizeInt8(qm.Embedding)
+		}
+		if variant[1] {
+			qm.Quant16 = quant.QuantizeFloat16(qm.Embedding)
+		}
+		var v4 bytes.Buffer
+		if err := Write(&v4, qm); err != nil {
+			f.Fatal(err)
+		}
+		v4Seeds = append(v4Seeds, v4.Bytes())
+	}
+	for _, valid := range append([][]byte{v1.Bytes(), v2.Bytes(), v3.Bytes()}, v4Seeds...) {
 		f.Add(valid)
 		for _, frac := range []int{2, 3, 5, 10, 100} {
 			f.Add(valid[:len(valid)/frac])

@@ -1,0 +1,101 @@
+package codec
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+)
+
+// Mapping is a read-only view of a model file, memory-mapped where the
+// platform supports it (read into the heap otherwise). A v4 model
+// decoded from a mapping aliases its numeric payloads, so Close must
+// not be called while the model (or an engine built on it) is in use; a
+// finalizer releases leaked mappings.
+type Mapping struct {
+	data    []byte
+	mapped  bool
+	release func() error
+	once    sync.Once
+	err     error
+}
+
+// Mapped reports whether the view is an actual memory mapping (false on
+// the read-into-heap fallback).
+func (mp *Mapping) Mapped() bool { return mp != nil && mp.mapped }
+
+// Size returns the byte length of the view.
+func (mp *Mapping) Size() int64 {
+	if mp == nil {
+		return 0
+	}
+	return int64(len(mp.data))
+}
+
+// Close releases the mapping. It is idempotent; only the first call
+// does work.
+func (mp *Mapping) Close() error {
+	if mp == nil {
+		return nil
+	}
+	mp.once.Do(func() {
+		runtime.SetFinalizer(mp, nil)
+		if mp.release != nil {
+			mp.err = mp.release()
+		}
+		mp.data = nil
+	})
+	return mp.err
+}
+
+// openMapping maps path read-only (or reads it into the heap on
+// platforms without mmap support).
+func openMapping(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("codec: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("codec: %w", err)
+	}
+	data, release, mapped, err := mmapFile(f, st.Size())
+	if err != nil {
+		return nil, fmt.Errorf("codec: mmap %s: %w", path, err)
+	}
+	mp := &Mapping{data: data, mapped: mapped, release: release}
+	runtime.SetFinalizer(mp, func(mp *Mapping) { mp.Close() })
+	return mp, nil
+}
+
+// ReadMapped opens a model file through a memory mapping: a v4 file is
+// parsed zero-copy against the mapped bytes — milliseconds for any
+// model size, with the page cache shared across replicas — and the
+// returned model's Mapped field owns the mapping. v1–v3 files are
+// decoded onto the heap as usual (the mapping is released before
+// returning) so callers can point ReadMapped at any model vintage.
+func ReadMapped(path string) (*Model, error) {
+	mp, err := openMapping(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(mp.data) >= 8 &&
+		[4]byte(mp.data[:4]) == Magic &&
+		uint32(mp.data[4])|uint32(mp.data[5])<<8|uint32(mp.data[6])<<16|uint32(mp.data[7])<<24 == Version {
+		m, err := parseV4(mp.data)
+		if err != nil {
+			mp.Close()
+			return nil, err
+		}
+		m.Mapped = mp
+		return m, nil
+	}
+	defer mp.Close()
+	m, err := Read(bytes.NewReader(mp.data))
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}

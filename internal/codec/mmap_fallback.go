@@ -1,0 +1,19 @@
+//go:build !unix
+
+package codec
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without a usable mmap syscall reads the file
+// into the heap; callers see the same []byte contract, just without
+// shared pages.
+func mmapFile(f *os.File, size int64) (data []byte, release func() error, mapped bool, err error) {
+	data, err = io.ReadAll(f)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return data, nil, false, nil
+}

@@ -1,0 +1,26 @@
+//go:build unix
+
+package codec
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps f read-only. The returned release func unmaps; the file
+// descriptor itself may be closed as soon as mmapFile returns. Empty
+// files yield an empty heap view (zero-length mappings are invalid).
+func mmapFile(f *os.File, size int64) (data []byte, release func() error, mapped bool, err error) {
+	if size == 0 {
+		return nil, nil, false, nil
+	}
+	if size < 0 || size != int64(int(size)) {
+		return nil, nil, false, fmt.Errorf("file size %d out of mappable range", size)
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, true, nil
+}

@@ -1,0 +1,238 @@
+package codec
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/quant"
+)
+
+// withQuant attaches both quantized views of the embedding to a model.
+func withQuant(m *Model) *Model {
+	m.Quant8 = quant.QuantizeInt8(m.Embedding)
+	m.Quant16 = quant.QuantizeFloat16(m.Embedding)
+	return m
+}
+
+func eqF64Bits(t *testing.T, name string, a, b []float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s length %d vs %d", name, len(a), len(b))
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("%s not bit-identical at %d", name, i)
+		}
+	}
+}
+
+func eqModels(t *testing.T, got, want *Model) {
+	t.Helper()
+	if got.Lowercase != want.Lowercase || got.Assignments != want.Assignments ||
+		got.K != want.K || got.CoreDims != want.CoreDims ||
+		got.ModelVersion != want.ModelVersion || got.Fingerprint != want.Fingerprint ||
+		got.Sweeps != want.Sweeps {
+		t.Fatal("scalar sections changed across the v4 roundtrip")
+	}
+	for _, pair := range [][2][]string{{got.Users, want.Users}, {got.Tags, want.Tags}, {got.Resources, want.Resources}} {
+		if len(pair[0]) != len(pair[1]) {
+			t.Fatalf("vocabulary length %d vs %d", len(pair[0]), len(pair[1]))
+		}
+		for i := range pair[0] {
+			if pair[0][i] != pair[1][i] {
+				t.Fatalf("vocabulary[%d]: %q vs %q", i, pair[0][i], pair[1][i])
+			}
+		}
+	}
+	eqF64Bits(t, "embedding", got.Embedding.Data(), want.Embedding.Data())
+	for i, c := range want.Assign {
+		if got.Assign[i] != c {
+			t.Fatalf("assign[%d] = %d, want %d", i, got.Assign[i], c)
+		}
+	}
+	if (got.Quant8 == nil) != (want.Quant8 == nil) || (got.Quant16 == nil) != (want.Quant16 == nil) {
+		t.Fatal("quantized sections lost or invented")
+	}
+	if want.Quant8 != nil {
+		if got.Quant8.Rows != want.Quant8.Rows || got.Quant8.Cols != want.Quant8.Cols {
+			t.Fatal("int8 shape changed")
+		}
+		eqF64Bits(t, "int8 scale", got.Quant8.Scale, want.Quant8.Scale)
+		eqF64Bits(t, "int8 zero", got.Quant8.Zero, want.Quant8.Zero)
+		for i, c := range want.Quant8.Codes {
+			if got.Quant8.Codes[i] != c {
+				t.Fatalf("int8 code %d changed", i)
+			}
+		}
+	}
+	if want.Quant16 != nil {
+		for i, b := range want.Quant16.Bits {
+			if got.Quant16.Bits[i] != b {
+				t.Fatalf("float16 bits %d changed", i)
+			}
+		}
+	}
+}
+
+func TestV4RoundtripQuantSections(t *testing.T) {
+	m := withQuant(withLifecycle(buildModel(t)))
+	got := roundtrip(t, m)
+	eqModels(t, got, m)
+	if got.Warm == nil {
+		t.Fatal("warm-start section lost in v4")
+	}
+}
+
+func TestV4RoundtripSingleQuantSection(t *testing.T) {
+	m8 := withLifecycle(buildModel(t))
+	m8.Quant8 = quant.QuantizeInt8(m8.Embedding)
+	eqModels(t, roundtrip(t, m8), m8)
+
+	m16 := withLifecycle(buildModel(t))
+	m16.Quant16 = quant.QuantizeFloat16(m16.Embedding)
+	eqModels(t, roundtrip(t, m16), m16)
+}
+
+func writeTempModel(t *testing.T, m *Model, write func(*bytes.Buffer) error) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.clsi")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadMappedMatchesRead(t *testing.T) {
+	m := withQuant(withLifecycle(buildModel(t)))
+	path := writeTempModel(t, m, func(b *bytes.Buffer) error { return Write(b, m) })
+
+	mapped, err := ReadMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqModels(t, mapped, m)
+	if runtime.GOOS == "linux" && (mapped.Mapped == nil || !mapped.Mapped.Mapped()) {
+		t.Fatal("v4 model on linux did not come back memory-mapped")
+	}
+
+	// Vocabulary strings must survive the mapping's release: the parser
+	// copies the blob to the heap exactly so closed mappings can't leave
+	// dangling tag names behind.
+	tags := mapped.Tags
+	if err := mapped.Mapped.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mapped.Mapped.Close(); err != nil {
+		t.Fatal("second Close must be a no-op, got", err)
+	}
+	for i, want := range m.Tags {
+		if tags[i] != want {
+			t.Fatalf("tag %d corrupted after Close: %q", i, tags[i])
+		}
+	}
+}
+
+func TestReadMappedAcceptsLegacyStreams(t *testing.T) {
+	m := withLifecycle(buildModel(t))
+	path := writeTempModel(t, m, func(b *bytes.Buffer) error { return WriteV3(b, m) }) //nolint:staticcheck // migration coverage
+	got, err := ReadMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mapped != nil {
+		t.Fatal("legacy stream must decode onto the heap, not hold a mapping")
+	}
+	eqF64Bits(t, "legacy embedding", got.Embedding.Data(), m.Embedding.Data())
+}
+
+func TestReadMappedMissingFile(t *testing.T) {
+	if _, err := ReadMapped(filepath.Join(t.TempDir(), "nope.clsi")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestV4UnalignedBufferFallsBack(t *testing.T) {
+	// parseV4 runs over whatever buffer Read handed it; if the payloads
+	// land unaligned (holding a shifted copy) the element-wise fallback
+	// must produce the identical model.
+	m := withQuant(withLifecycle(buildModel(t)))
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	shifted := make([]byte, buf.Len()+1)
+	copy(shifted[1:], buf.Bytes())
+	got, err := parseV4(shifted[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqModels(t, got, m)
+}
+
+func TestV4TruncatedFailsFast(t *testing.T) {
+	m := withQuant(withLifecycle(buildModel(t)))
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, frac := range []int{1, 2, 3, 5, 10, 50} {
+		cut := full[:len(full)*frac/51]
+		if _, err := Read(bytes.NewReader(cut)); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", len(cut))
+		}
+	}
+}
+
+func TestV4CorruptVocabOffsetsRejected(t *testing.T) {
+	m := withLifecycle(buildModel(t))
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// The users vocabulary's offset table starts right after the fixed
+	// header (magic 4 + version 4 + flags 1 + lowercase 1 + assignments 8
+	// + count 8 + pad to 8 = offset 32). Make the first cumulative offset
+	// non-zero.
+	b[32] = 0xff
+	if _, err := Read(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "vocabulary") {
+		t.Fatalf("err = %v, want vocabulary offset error", err)
+	}
+}
+
+func TestUpgradeOldFormatsToV4(t *testing.T) {
+	// The in-place upgrade path: load any vintage, write with Write,
+	// read back — rankings-relevant sections bit-identical throughout.
+	orig := withLifecycle(buildModel(t))
+	for name, write := range map[string]func(*bytes.Buffer) error{
+		"v1": func(b *bytes.Buffer) error { return WriteV1(b, orig) },
+		"v2": func(b *bytes.Buffer) error { return WriteV2(b, orig) }, //nolint:staticcheck // migration coverage
+		"v3": func(b *bytes.Buffer) error { return WriteV3(b, orig) }, //nolint:staticcheck // migration coverage
+	} {
+		var old bytes.Buffer
+		if err := write(&old); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		loaded, err := Read(&old)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if loaded.Embedding == nil {
+			// v1 models upgrade by deriving the embedding before re-saving;
+			// the codec-level test just skips the dense-only shape.
+			continue
+		}
+		upgraded := roundtrip(t, loaded)
+		eqF64Bits(t, name+" embedding", upgraded.Embedding.Data(), loaded.Embedding.Data())
+	}
+}

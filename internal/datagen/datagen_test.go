@@ -204,3 +204,50 @@ func TestValidatePanics(t *testing.T) {
 	}()
 	Generate(p)
 }
+
+// TestTags10KPresetScale generates the tags10k ANN-bench corpus and
+// checks the cleaned vocabulary lands on its ~10⁴-tag target. (Measured:
+// 10820 tags in under a second, so a unit test can afford the run.)
+func TestTags10KPresetScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping corpus generation in -short mode")
+	}
+	p := Tags10K()
+	if p.Name != "tags10k" {
+		t.Fatalf("preset name = %q", p.Name)
+	}
+	c := Generate(p)
+	st := c.Clean.Stats()
+	if st.Tags < 9000 || st.Tags > 13000 {
+		t.Fatalf("tags10k cleaned vocabulary = %d tags, want ~10⁴", st.Tags)
+	}
+	if st.Users == 0 || st.Resources == 0 || st.Assignments == 0 {
+		t.Fatalf("degenerate corpus: %+v", st)
+	}
+}
+
+// TestTags100KPresetShape checks the tags100k parameters without paying
+// for generation (≈40s and ~2.3M raw assignments — bench-only scale;
+// measured cleaned vocabulary: 113076 tags). The vocabulary ceiling
+// Categories·ConceptsPerCategory·WordsPerConcept must clear 10⁵ and the
+// assignment budget must keep mean tag support above the cleaning
+// threshold, or the long tail would be stripped.
+func TestTags100KPresetShape(t *testing.T) {
+	p := Tags100K()
+	if p.Name != "tags100k" {
+		t.Fatalf("preset name = %q", p.Name)
+	}
+	words := p.Categories * p.ConceptsPerCategory * p.WordsPerConcept
+	if words < 100000 {
+		t.Fatalf("vocabulary ceiling %d < 10⁵", words)
+	}
+	if perWord := float64(p.Assignments) / float64(words); perWord < 10 {
+		t.Fatalf("mean assignments per word %.1f too low to survive cleaning", perWord)
+	}
+	// Both bench presets must stay out of the paper-analogue set.
+	for _, q := range Presets() {
+		if q.Name == p.Name || q.Name == "tags10k" {
+			t.Fatalf("bench preset %q leaked into Presets()", q.Name)
+		}
+	}
+}

@@ -124,7 +124,14 @@ func (e *TagEmbedding) Dist(i, j int) float64 {
 }
 
 func (e *TagEmbedding) sqDist(i, j int) float64 {
-	ri, rj := e.m.Row(i), e.m.Row(j)
+	return sqDistRows(e.m.Row(i), e.m.Row(j))
+}
+
+// sqDistRows is the hot inner kernel of every scan: squared Euclidean
+// distance between two equal-length rows. Reslicing rj to len(ri) lets
+// the compiler drop the per-element bounds check inside the loop.
+func sqDistRows(ri, rj []float64) float64 {
+	rj = rj[:len(ri)]
 	var s float64
 	for k, v := range ri {
 		d := v - rj[k]
@@ -350,11 +357,16 @@ func (e *TagEmbedding) NearestK(i, k int) []Neighbor {
 // excluding i itself, as squared distances in heap order.
 func (e *TagEmbedding) scanNearestSq(i, k, lo, hi int) []Neighbor {
 	h := topk.New(k, worseNeighbor)
+	// Hoist the probe row and the backing array out of the loop so the
+	// inner scan indexes flat data instead of re-deriving row views.
+	ri := e.m.Row(i)
+	cols := e.m.Cols()
+	data := e.m.Data()
 	for j := lo; j < hi; j++ {
 		if j == i {
 			continue
 		}
-		h.Offer(Neighbor{Tag: j, Dist: e.sqDist(i, j)})
+		h.Offer(Neighbor{Tag: j, Dist: sqDistRows(ri, data[j*cols:(j+1)*cols])})
 	}
 	return h.Items()
 }

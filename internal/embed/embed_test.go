@@ -190,6 +190,27 @@ func TestMemoryBytes(t *testing.T) {
 	}
 }
 
+// BenchmarkNearestK pins the hot exact-scan loop (sqDistRows over the
+// flat backing array) at serving scale, k=10.
+func BenchmarkNearestK(b *testing.B) {
+	e := syntheticEmbedding(20000, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.NearestK(i%20000, 10)
+	}
+}
+
+func BenchmarkSqDistRows(b *testing.B) {
+	e := syntheticEmbedding(2, 64)
+	ri, rj := e.Row(0), e.Row(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += sqDistRows(ri, rj)
+	}
+}
+
+var sink float64
+
 func BenchmarkNearestK10(b *testing.B) {
 	e := syntheticEmbedding(5000, 64)
 	b.ResetTimer()

@@ -1,0 +1,215 @@
+package embed
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/quant"
+)
+
+// syntheticCentroids derives a deterministic coarse quantizer by
+// averaging strided row groups — shaped like the k-means centroids the
+// pipeline reuses, without depending on the cluster package.
+func syntheticCentroids(e *TagEmbedding, k int) *mat.Matrix {
+	c := mat.New(k, e.Dim())
+	counts := make([]int, k)
+	for i := 0; i < e.NumTags(); i++ {
+		g := i % k
+		row := c.Row(g)
+		for j, v := range e.Row(i) {
+			row[j] += v
+		}
+		counts[g]++
+	}
+	for g := 0; g < k; g++ {
+		if counts[g] == 0 {
+			continue
+		}
+		row := c.Row(g)
+		for j := range row {
+			row[j] /= float64(counts[g])
+		}
+	}
+	return c
+}
+
+func TestIVFExactRerankMatchesNearestKBitIdentical(t *testing.T) {
+	e := syntheticEmbedding(500, 16)
+	ivf, err := NewIVF(e, syntheticCentroids(e, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 7, 10, 499, 0, 600} {
+		for _, i := range []int{0, 3, 250, 499} {
+			want := e.NearestK(i, k)
+			got := ivf.NearestK(i, k, ivf.Lists(), ExactRerank)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("tag %d k %d: IVF full-probe exact-rerank differs from NearestK", i, k)
+			}
+		}
+	}
+}
+
+func TestIVFExactRerankMatchesNearestKOnPaperExample(t *testing.T) {
+	e := FromDecomposition(paperDecomposition(t))
+	ivf, err := NewIVF(e, syntheticCentroids(e, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < e.NumTags(); i++ {
+		want := e.NearestK(i, 0)
+		got := ivf.NearestK(i, 0, ivf.Lists(), ExactRerank)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("tag %d: IVF parity mode differs from NearestK on the paper example", i)
+		}
+	}
+}
+
+func TestIVFQuantizedScorerNeverChangesRankingWithRerank(t *testing.T) {
+	// The golden quantization contract: a quantized candidate scorer may
+	// only affect which tags become candidates, never how survivors are
+	// ranked — with full probing and full rerank the result must stay
+	// bit-identical to the exact scan.
+	e := syntheticEmbedding(400, 12)
+	centers := syntheticCentroids(e, 10)
+	base, err := NewIVF(e, centers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scorer := range []Scorer{
+		quant.QuantizeInt8(e.Matrix()),
+		quant.QuantizeFloat16(e.Matrix()),
+	} {
+		ivf := base.WithScorer(scorer)
+		for _, i := range []int{0, 57, 399} {
+			want := e.NearestK(i, 10)
+			got := ivf.NearestK(i, 10, ivf.Lists(), ExactRerank)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("tag %d: quantized candidates changed the reranked result", i)
+			}
+		}
+	}
+}
+
+func TestIVFRerankedDistancesAreExact(t *testing.T) {
+	// Even at partial nprobe, every returned distance must be the exact
+	// full-precision D̂, not a quantized approximation.
+	e := syntheticEmbedding(300, 8)
+	ivf, err := NewIVF(e, syntheticCentroids(e, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivf = ivf.WithScorer(quant.QuantizeInt8(e.Matrix()))
+	for _, nb := range ivf.NearestK(5, 10, 3, 50) {
+		want := e.Dist(5, nb.Tag)
+		if nb.Dist != want {
+			t.Fatalf("tag %d: distance %v is not the exact %v", nb.Tag, nb.Dist, want)
+		}
+	}
+}
+
+func TestIVFRecallImprovesWithProbes(t *testing.T) {
+	e := syntheticEmbedding(1000, 16)
+	ivf, err := NewIVF(e, syntheticCentroids(e, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := []int{1, 100, 345, 678, 999}
+	r1 := ivf.Recall(probes, 10, 1, 0)
+	rAll := ivf.Recall(probes, 10, ivf.Lists(), 0)
+	if rAll != 1 {
+		t.Fatalf("full probing recall = %v, want 1", rAll)
+	}
+	if r1 > rAll {
+		t.Fatalf("recall decreased with more probes: %v > %v", r1, rAll)
+	}
+}
+
+func TestIVFEdgeCases(t *testing.T) {
+	e := syntheticEmbedding(50, 4)
+	ivf, err := NewIVF(e, syntheticCentroids(e, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// nprobe out of range clamps; k out of range returns all others.
+	if got := ivf.NearestK(0, 0, 1000, ExactRerank); len(got) != 49 {
+		t.Fatalf("len = %d, want 49", len(got))
+	}
+	// Default probe kicks in for nprobe <= 0.
+	if got := ivf.NearestK(0, 5, -3, 0); len(got) == 0 {
+		t.Fatal("default-probe query returned nothing")
+	}
+	if p := ivf.DefaultProbe(); p < 1 || p > ivf.Lists() {
+		t.Fatalf("DefaultProbe = %d out of [1,%d]", p, ivf.Lists())
+	}
+	sizes := ivf.ListSizes()
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 50 {
+		t.Fatalf("list sizes sum to %d, want 50", total)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range probe tag did not panic")
+		}
+	}()
+	ivf.NearestK(50, 1, 1, 0)
+}
+
+func TestIVFSingleton(t *testing.T) {
+	e := syntheticEmbedding(1, 4)
+	ivf, err := NewIVF(e, syntheticCentroids(e, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ivf.NearestK(0, 3, 1, 0); got != nil {
+		t.Fatalf("singleton returned %v", got)
+	}
+}
+
+func TestNewIVFRejectsBadInputs(t *testing.T) {
+	e := syntheticEmbedding(10, 4)
+	if _, err := NewIVF(nil, mat.New(2, 4)); err == nil {
+		t.Fatal("nil embedding accepted")
+	}
+	if _, err := NewIVF(e, nil); err == nil {
+		t.Fatal("nil centroids accepted")
+	}
+	if _, err := NewIVF(e, mat.New(0, 4)); err == nil {
+		t.Fatal("zero centroids accepted")
+	}
+	if _, err := NewIVF(e, mat.New(2, 5)); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func BenchmarkIVFNearestK(b *testing.B) {
+	e := syntheticEmbedding(20000, 64)
+	ivf, err := NewIVF(e, syntheticCentroids(e, 140))
+	if err != nil {
+		b.Fatal(err)
+	}
+	nprobe := ivf.DefaultProbe()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ivf.NearestK(i%20000, 10, nprobe, 100)
+	}
+}
+
+func TestIVFRecallEmptyProbes(t *testing.T) {
+	e := syntheticEmbedding(10, 4)
+	ivf, err := NewIVF(e, syntheticCentroids(e, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := ivf.Recall(nil, 10, 1, 0); r != 1 {
+		t.Fatalf("empty probes recall = %v", r)
+	}
+	if r := ivf.Recall([]int{3}, 10, ivf.Lists(), 0); math.Abs(r-1) > 0 {
+		t.Fatalf("full-probe recall = %v, want 1", r)
+	}
+}

@@ -1,0 +1,280 @@
+// Package quant provides lossy compressed views of the tag embedding for
+// the ANN candidate stage: an int8 code matrix with per-dimension affine
+// (scale, zero-point) dequantization, and an IEEE-754 half-precision
+// (float16) matrix. Both cost a fraction of the float64 rows — 1/8 and
+// 1/4 respectively — and both expose the same SqDist candidate scorer.
+//
+// Quantized distances are approximations and feed candidate generation
+// only; any ranking that must match the exact scan bit for bit reranks
+// its candidates against the full-precision rows (see embed.IVF).
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Int8 is a row-major int8 quantization of a rows×cols matrix with one
+// affine (scale, zero-point) pair per column: dimensions of the Theorem 2
+// embedding are scaled by distinct singular values, so a per-matrix range
+// would waste almost the whole code book on the leading dimension.
+//
+// A value v in column j encodes as round((v − Zero[j]) / Scale[j]) − 128,
+// clamped to [−128, 127], and decodes as Zero[j] + Scale[j]·(code + 128).
+type Int8 struct {
+	Rows, Cols int
+	// Scale and Zero hold the per-column dequantization parameters.
+	// Scale[j] is 0 for constant columns, which decode exactly to Zero[j].
+	Scale, Zero []float64
+	// Codes is the row-major code matrix.
+	Codes []int8
+}
+
+// QuantizeInt8 builds the int8 view of m with per-column affine ranges.
+func QuantizeInt8(m *mat.Matrix) *Int8 {
+	rows, cols := m.Dims()
+	q := &Int8{
+		Rows:  rows,
+		Cols:  cols,
+		Scale: make([]float64, cols),
+		Zero:  make([]float64, cols),
+		Codes: make([]int8, rows*cols),
+	}
+	if rows == 0 || cols == 0 {
+		return q
+	}
+	lo := make([]float64, cols)
+	hi := make([]float64, cols)
+	copy(lo, m.Row(0))
+	copy(hi, m.Row(0))
+	for i := 1; i < rows; i++ {
+		for j, v := range m.Row(i) {
+			if v < lo[j] {
+				lo[j] = v
+			}
+			if v > hi[j] {
+				hi[j] = v
+			}
+		}
+	}
+	for j := 0; j < cols; j++ {
+		q.Zero[j] = lo[j]
+		if hi[j] > lo[j] {
+			q.Scale[j] = (hi[j] - lo[j]) / 255
+		}
+	}
+	for i := 0; i < rows; i++ {
+		row := m.Row(i)
+		out := q.Codes[i*cols : (i+1)*cols]
+		for j, v := range row {
+			out[j] = q.encode(j, v)
+		}
+	}
+	return q
+}
+
+func (q *Int8) encode(j int, v float64) int8 {
+	if q.Scale[j] == 0 {
+		return -128
+	}
+	c := math.Round((v-q.Zero[j])/q.Scale[j]) - 128
+	if c < -128 {
+		c = -128
+	}
+	if c > 127 {
+		c = 127
+	}
+	return int8(c)
+}
+
+// At decodes the element at row i, column j.
+func (q *Int8) At(i, j int) float64 {
+	return q.Zero[j] + q.Scale[j]*(float64(q.Codes[i*q.Cols+j])+128)
+}
+
+// SqDist returns the squared Euclidean distance between query and the
+// dequantized row — the approximate currency of the candidate stage.
+// len(query) must equal Cols.
+func (q *Int8) SqDist(query []float64, row int) float64 {
+	codes := q.Codes[row*q.Cols : (row+1)*q.Cols]
+	scale := q.Scale[:len(codes)]
+	zero := q.Zero[:len(codes)]
+	query = query[:len(codes)]
+	var s float64
+	for j, c := range codes {
+		d := query[j] - (zero[j] + scale[j]*(float64(c)+128))
+		s += d * d
+	}
+	return s
+}
+
+// Dequantize materializes the full float64 matrix the codes decode to.
+func (q *Int8) Dequantize() *mat.Matrix {
+	m := mat.New(q.Rows, q.Cols)
+	for i := 0; i < q.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = q.At(i, j)
+		}
+	}
+	return m
+}
+
+// MemoryBytes reports the code-matrix footprint (codes + parameters).
+func (q *Int8) MemoryBytes() int64 {
+	return int64(len(q.Codes)) + 16*int64(q.Cols)
+}
+
+// Validate checks the internal shape invariants (decoded sections pass
+// through here before use).
+func (q *Int8) Validate() error {
+	if q.Rows < 0 || q.Cols < 0 {
+		return fmt.Errorf("quant: negative int8 shape %d×%d", q.Rows, q.Cols)
+	}
+	if len(q.Scale) != q.Cols || len(q.Zero) != q.Cols {
+		return fmt.Errorf("quant: int8 has %d scales and %d zeros for %d columns", len(q.Scale), len(q.Zero), q.Cols)
+	}
+	if len(q.Codes) != q.Rows*q.Cols {
+		return fmt.Errorf("quant: int8 code length %d does not match %d×%d", len(q.Codes), q.Rows, q.Cols)
+	}
+	return nil
+}
+
+// Float16 is a row-major IEEE-754 binary16 quantization of a rows×cols
+// matrix: ~3 decimal digits of precision over a per-element dynamic
+// range, at a quarter of the float64 bytes.
+type Float16 struct {
+	Rows, Cols int
+	// Bits holds the row-major half-precision bit patterns.
+	Bits []uint16
+}
+
+// QuantizeFloat16 builds the float16 view of m (round to nearest even;
+// values beyond the half range saturate to ±Inf).
+func QuantizeFloat16(m *mat.Matrix) *Float16 {
+	rows, cols := m.Dims()
+	q := &Float16{Rows: rows, Cols: cols, Bits: make([]uint16, rows*cols)}
+	data := m.Data()
+	for i, v := range data {
+		q.Bits[i] = ToFloat16(v)
+	}
+	return q
+}
+
+// At decodes the element at row i, column j.
+func (q *Float16) At(i, j int) float64 {
+	return FromFloat16(q.Bits[i*q.Cols+j])
+}
+
+// SqDist returns the squared Euclidean distance between query and the
+// decoded row. len(query) must equal Cols.
+func (q *Float16) SqDist(query []float64, row int) float64 {
+	bits := q.Bits[row*q.Cols : (row+1)*q.Cols]
+	query = query[:len(bits)]
+	var s float64
+	for j, b := range bits {
+		d := query[j] - FromFloat16(b)
+		s += d * d
+	}
+	return s
+}
+
+// Dequantize materializes the full float64 matrix the bits decode to.
+func (q *Float16) Dequantize() *mat.Matrix {
+	m := mat.New(q.Rows, q.Cols)
+	data := m.Data()
+	for i, b := range q.Bits {
+		data[i] = FromFloat16(b)
+	}
+	return m
+}
+
+// MemoryBytes reports the bit-matrix footprint.
+func (q *Float16) MemoryBytes() int64 { return 2 * int64(len(q.Bits)) }
+
+// Validate checks the internal shape invariants.
+func (q *Float16) Validate() error {
+	if q.Rows < 0 || q.Cols < 0 {
+		return fmt.Errorf("quant: negative float16 shape %d×%d", q.Rows, q.Cols)
+	}
+	if len(q.Bits) != q.Rows*q.Cols {
+		return fmt.Errorf("quant: float16 bit length %d does not match %d×%d", len(q.Bits), q.Rows, q.Cols)
+	}
+	return nil
+}
+
+// ToFloat16 converts a float64 to its nearest IEEE-754 binary16 bit
+// pattern (round to nearest, ties to even), saturating to ±Inf beyond
+// the half range and preserving NaN.
+func ToFloat16(v float64) uint16 {
+	f := float32(v)
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xff) - 127
+	frac := bits & 0x7fffff
+
+	switch {
+	case exp == 128: // Inf or NaN
+		if frac != 0 {
+			return sign | 0x7e00 // quiet NaN
+		}
+		return sign | 0x7c00
+	case exp > 15: // overflow → Inf
+		return sign | 0x7c00
+	case exp >= -14: // normal half
+		// 10 fraction bits; round to nearest even on the 13 dropped bits.
+		h := uint32(exp+15)<<10 | frac>>13
+		round := frac & 0x1fff
+		if round > 0x1000 || (round == 0x1000 && h&1 == 1) {
+			h++ // may carry into the exponent; 0x7c00 (Inf) is then correct
+		}
+		return sign | uint16(h)
+	case exp >= -24: // subnormal half
+		// With the implicit bit, the float32 significand is a 24-bit
+		// integer scaled by 2^(exp−23); the half code is that integer
+		// times 2²⁴·2^(exp−23) = integer >> (−exp−1).
+		frac |= 0x800000
+		shift := uint32(-exp - 1)
+		h := frac >> shift
+		rem := frac & (1<<shift - 1)
+		half := uint32(1) << (shift - 1)
+		if rem > half || (rem == half && h&1 == 1) {
+			h++ // may carry into the smallest normal; that encoding is correct
+		}
+		return sign | uint16(h)
+	default: // underflow → signed zero
+		return sign
+	}
+}
+
+// FromFloat16 converts an IEEE-754 binary16 bit pattern to float64.
+func FromFloat16(h uint16) float64 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	frac := uint32(h & 0x3ff)
+	var bits uint32
+	switch {
+	case exp == 0x1f: // Inf or NaN
+		bits = sign | 0xff<<23 | frac<<13
+	case exp == 0: // zero or subnormal
+		if frac == 0 {
+			bits = sign
+		} else {
+			// Normalize the subnormal: shift the fraction up until the
+			// implicit bit appears (the half value is frac·2⁻²⁴, i.e.
+			// 0.frac·2⁻¹⁴).
+			e := int32(-14)
+			for frac&0x400 == 0 {
+				frac <<= 1
+				e--
+			}
+			frac &= 0x3ff
+			bits = sign | uint32(e+127)<<23 | frac<<13
+		}
+	default:
+		bits = sign | (exp-15+127)<<23 | frac<<13
+	}
+	return float64(math.Float32frombits(bits))
+}

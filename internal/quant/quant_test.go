@@ -1,0 +1,191 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func randomMatrix(rows, cols int, seed int64) *mat.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := mat.New(rows, cols)
+	data := m.Data()
+	for i := range data {
+		data[i] = rng.NormFloat64() * math.Pow(2, float64(i%7)-3)
+	}
+	return m
+}
+
+func TestFloat16RoundtripExactValues(t *testing.T) {
+	// Values exactly representable in binary16 must survive the trip
+	// bit-perfectly.
+	for _, v := range []float64{0, 1, -1, 0.5, 2, 1024, -0.25, 65504, 6.103515625e-05} {
+		got := FromFloat16(ToFloat16(v))
+		if got != v {
+			t.Fatalf("FromFloat16(ToFloat16(%v)) = %v", v, got)
+		}
+	}
+}
+
+func TestFloat16SpecialValues(t *testing.T) {
+	if got := FromFloat16(ToFloat16(math.Inf(1))); !math.IsInf(got, 1) {
+		t.Fatalf("+Inf became %v", got)
+	}
+	if got := FromFloat16(ToFloat16(math.Inf(-1))); !math.IsInf(got, -1) {
+		t.Fatalf("-Inf became %v", got)
+	}
+	if got := FromFloat16(ToFloat16(math.NaN())); !math.IsNaN(got) {
+		t.Fatalf("NaN became %v", got)
+	}
+	// Beyond the half range: saturate to Inf, not garbage.
+	if got := FromFloat16(ToFloat16(1e10)); !math.IsInf(got, 1) {
+		t.Fatalf("1e10 became %v", got)
+	}
+	if got := FromFloat16(ToFloat16(-1e10)); !math.IsInf(got, -1) {
+		t.Fatalf("-1e10 became %v", got)
+	}
+	// Below the subnormal range: signed zero.
+	if got := FromFloat16(ToFloat16(1e-10)); got != 0 {
+		t.Fatalf("1e-10 became %v", got)
+	}
+	if got := ToFloat16(math.Copysign(1e-10, -1)); got != 0x8000 {
+		t.Fatalf("-1e-10 became %#x", got)
+	}
+}
+
+func TestFloat16RelativeError(t *testing.T) {
+	// binary16 has 11 significand bits: relative error ≤ 2⁻¹¹ for
+	// normal values.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		v := rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+		if math.Abs(v) < 6.2e-5 || math.Abs(v) > 65000 {
+			continue
+		}
+		got := FromFloat16(ToFloat16(v))
+		if rel := math.Abs(got-v) / math.Abs(v); rel > 1.0/2048 {
+			t.Fatalf("value %v decoded as %v: relative error %v", v, got, rel)
+		}
+	}
+}
+
+func TestFloat16Subnormals(t *testing.T) {
+	// Smallest positive subnormal and a mid-range one.
+	for _, v := range []float64{math.Pow(2, -24), 3 * math.Pow(2, -24), 1023 * math.Pow(2, -24), math.Pow(2, -15)} {
+		got := FromFloat16(ToFloat16(v))
+		if got != v {
+			t.Fatalf("subnormal %v decoded as %v", v, got)
+		}
+	}
+}
+
+func TestInt8QuantizationError(t *testing.T) {
+	m := randomMatrix(200, 16, 1)
+	q := QuantizeInt8(m)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Per-column affine quantization bounds the absolute error by half a
+	// code step in that column.
+	for i := 0; i < q.Rows; i++ {
+		for j := 0; j < q.Cols; j++ {
+			want := m.At(i, j)
+			got := q.At(i, j)
+			if math.Abs(got-want) > q.Scale[j]/2+1e-12 {
+				t.Fatalf("(%d,%d): %v decoded as %v (scale %v)", i, j, want, got, q.Scale[j])
+			}
+		}
+	}
+}
+
+func TestInt8ConstantColumnExact(t *testing.T) {
+	m := mat.New(10, 3)
+	for i := 0; i < 10; i++ {
+		m.Set(i, 1, 7.25) // constant column decodes exactly
+		m.Set(i, 2, float64(i))
+	}
+	q := QuantizeInt8(m)
+	for i := 0; i < 10; i++ {
+		if got := q.At(i, 0); got != 0 {
+			t.Fatalf("constant zero column decoded as %v", got)
+		}
+		if got := q.At(i, 1); got != 7.25 {
+			t.Fatalf("constant column decoded as %v", got)
+		}
+	}
+}
+
+func TestSqDistMatchesDequantized(t *testing.T) {
+	m := randomMatrix(50, 8, 2)
+	query := make([]float64, 8)
+	for j := range query {
+		query[j] = m.At(3, j)
+	}
+	q8 := QuantizeInt8(m)
+	d8 := q8.Dequantize()
+	q16 := QuantizeFloat16(m)
+	d16 := q16.Dequantize()
+	for i := 0; i < 50; i++ {
+		var w8, w16 float64
+		for j := 0; j < 8; j++ {
+			d := query[j] - d8.At(i, j)
+			w8 += d * d
+			d = query[j] - d16.At(i, j)
+			w16 += d * d
+		}
+		if got := q8.SqDist(query, i); math.Abs(got-w8) > 1e-12*math.Max(1, w8) {
+			t.Fatalf("int8 SqDist row %d: %v, want %v", i, got, w8)
+		}
+		if got := q16.SqDist(query, i); math.Abs(got-w16) > 1e-12*math.Max(1, w16) {
+			t.Fatalf("float16 SqDist row %d: %v, want %v", i, got, w16)
+		}
+	}
+}
+
+func TestQuantizedDistancesApproximateExact(t *testing.T) {
+	// The candidate scorer is only useful if quantized distances track
+	// the exact ones closely enough to rank candidates; check the
+	// relative error stays small on a realistic spread.
+	m := randomMatrix(300, 12, 4)
+	q8 := QuantizeInt8(m)
+	q16 := QuantizeFloat16(m)
+	query := m.Row(0)
+	var worst8, worst16 float64
+	for i := 1; i < 300; i++ {
+		var exact float64
+		for j, v := range query {
+			d := v - m.At(i, j)
+			exact += d * d
+		}
+		if exact == 0 {
+			continue
+		}
+		if rel := math.Abs(q8.SqDist(query, i)-exact) / exact; rel > worst8 {
+			worst8 = rel
+		}
+		if rel := math.Abs(q16.SqDist(query, i)-exact) / exact; rel > worst16 {
+			worst16 = rel
+		}
+	}
+	if worst8 > 0.2 {
+		t.Fatalf("int8 worst relative distance error %v", worst8)
+	}
+	if worst16 > 0.01 {
+		t.Fatalf("float16 worst relative distance error %v", worst16)
+	}
+}
+
+func TestValidateRejectsCorruptShapes(t *testing.T) {
+	q8 := QuantizeInt8(randomMatrix(4, 3, 5))
+	q8.Codes = q8.Codes[:5]
+	if err := q8.Validate(); err == nil {
+		t.Fatal("short int8 codes accepted")
+	}
+	q16 := QuantizeFloat16(randomMatrix(4, 3, 6))
+	q16.Rows = 7
+	if err := q16.Validate(); err == nil {
+		t.Fatal("mismatched float16 shape accepted")
+	}
+}

@@ -8,6 +8,7 @@ package tagging
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/tensor"
 )
@@ -16,6 +17,10 @@ import (
 type Interner struct {
 	byName map[string]int
 	names  []string
+	// lazy defers building byName until the first name→id lookup: id→name
+	// serving (the hot direction) then never pays for the map, which at
+	// 10⁵+ names dominates an otherwise millisecond model open.
+	lazy sync.Once
 }
 
 // NewInterner returns an empty interner.
@@ -25,6 +30,7 @@ func NewInterner() *Interner {
 
 // Intern returns the id of name, assigning the next id on first sight.
 func (in *Interner) Intern(name string) int {
+	in.ensureMap()
 	if id, ok := in.byName[name]; ok {
 		return id
 	}
@@ -48,8 +54,36 @@ func NewInternerFromNames(names []string) (*Interner, error) {
 	return in, nil
 }
 
+// NewInternerFromNamesUnchecked wraps a name list in id order without
+// building the name→id map: the map materializes lazily on the first
+// Lookup/Intern, so opening a memory-mapped model stays O(1) in the
+// vocabulary. Unlike NewInternerFromNames it cannot reject duplicates;
+// if the list has any, the first id wins on lookups (later Name calls
+// still see every entry). Callers own deciding the list is trustworthy
+// — here, a validated model file. The returned interner aliases names.
+func NewInternerFromNamesUnchecked(names []string) *Interner {
+	return &Interner{names: names}
+}
+
+// ensureMap builds the name→id map for interners created lazily.
+// Reverse iteration with overwrite makes the first occurrence of a
+// duplicate name win, matching NewInternerFromNames's id choice had it
+// accepted the list.
+func (in *Interner) ensureMap() {
+	in.lazy.Do(func() {
+		if in.byName != nil {
+			return
+		}
+		in.byName = make(map[string]int, len(in.names))
+		for i := len(in.names) - 1; i >= 0; i-- {
+			in.byName[in.names[i]] = i
+		}
+	})
+}
+
 // Lookup returns the id of name and whether it is known.
 func (in *Interner) Lookup(name string) (int, bool) {
+	in.ensureMap()
 	id, ok := in.byName[name]
 	return id, ok
 }

@@ -264,3 +264,24 @@ func TestTSVRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestNewInternerFromNamesUnchecked(t *testing.T) {
+	in := NewInternerFromNamesUnchecked([]string{"a", "b", "c"})
+	if in.Len() != 3 || in.Name(1) != "b" {
+		t.Fatalf("unchecked interner wraps wrong: len=%d", in.Len())
+	}
+	if id, ok := in.Lookup("c"); !ok || id != 2 {
+		t.Fatalf("Lookup(c) = %d,%v", id, ok)
+	}
+	if id := in.Intern("d"); id != 3 {
+		t.Fatalf("Intern(d) = %d, want 3", id)
+	}
+	// Duplicates: first id wins on lookup, Name still serves every id.
+	dup := NewInternerFromNamesUnchecked([]string{"x", "y", "x"})
+	if id, ok := dup.Lookup("x"); !ok || id != 0 {
+		t.Fatalf("duplicate Lookup(x) = %d,%v, want 0", id, ok)
+	}
+	if dup.Name(2) != "x" {
+		t.Fatalf("Name(2) = %q", dup.Name(2))
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/embed"
+	"repro/internal/quant"
 	"repro/internal/tagging"
 	"repro/internal/tucker"
 )
@@ -15,7 +16,11 @@ import (
 // SaveOption configures Save.
 type SaveOption func(*saveSettings)
 
-type saveSettings struct{ dropWarm bool }
+type saveSettings struct {
+	dropWarm bool
+	int8     bool
+	float16  bool
+}
 
 // WithoutWarmFactors omits the warm-start factor section from the
 // saved model: the file shrinks by roughly 8·(|T|·k₂ + |R|·j₃) bytes —
@@ -24,6 +29,25 @@ type saveSettings struct{ dropWarm bool }
 // for serving-only deployments that will never rebuild incrementally.
 func WithoutWarmFactors() SaveOption {
 	return func(s *saveSettings) { s.dropWarm = true }
+}
+
+// WithInt8Embedding adds the int8 quantized view of the embedding to
+// the saved model (format v4): one code byte per element plus a
+// per-dimension (scale, zero-point) pair — an eighth of the float64
+// section. A loaded engine feeds it to ANN candidate generation
+// (WithANN); exact rankings still come from the full-precision rows,
+// which remain in the file. Engines loaded from a model that already
+// carries int8 codes re-save them bit-identically.
+func WithInt8Embedding() SaveOption {
+	return func(s *saveSettings) { s.int8 = true }
+}
+
+// WithFloat16Embedding adds the IEEE-754 half-precision view of the
+// embedding to the saved model (format v4): a quarter of the float64
+// section, ~3 decimal digits of precision. Like WithInt8Embedding it
+// feeds ANN candidate generation only.
+func WithFloat16Embedding() SaveOption {
+	return func(s *saveSettings) { s.float16 = true }
 }
 
 // Save serializes the engine's model — vocabularies, the |T|×k₂ tag
@@ -53,7 +77,7 @@ func (e *Engine) Save(w io.Writer, opts ...SaveOption) error {
 	if version == 0 {
 		version = 1
 	}
-	return codec.Write(w, &codec.Model{
+	m := &codec.Model{
 		Lowercase:    e.lowercase,
 		Assignments:  e.stats.Assignments,
 		Users:        e.users,
@@ -69,7 +93,21 @@ func (e *Engine) Save(w io.Writer, opts ...SaveOption) error {
 		Assign:       e.assign,
 		K:            e.k,
 		Index:        e.index,
-	})
+	}
+	// Quantized sections: reuse codes the engine already carries (so a
+	// load→save cycle is lossless even though quantization itself is
+	// lossy), quantize fresh otherwise.
+	if settings.int8 {
+		if m.Quant8 = e.quant8; m.Quant8 == nil {
+			m.Quant8 = quant.QuantizeInt8(e.emb.Matrix())
+		}
+	}
+	if settings.float16 {
+		if m.Quant16 = e.quant16; m.Quant16 == nil {
+			m.Quant16 = quant.QuantizeFloat16(e.emb.Matrix())
+		}
+	}
+	return codec.Write(w, m)
 }
 
 // SaveFile writes the model to path.
@@ -94,13 +132,29 @@ func Load(r io.Reader) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cubelsi: %w", err)
 	}
-	tags, err := tagging.NewInternerFromNames(m.Tags)
-	if err != nil {
-		return nil, fmt.Errorf("cubelsi: tag vocabulary: %w", err)
-	}
-	resources, err := tagging.NewInternerFromNames(m.Resources)
-	if err != nil {
-		return nil, fmt.Errorf("cubelsi: resource vocabulary: %w", err)
+	return engineFromModel(m, false)
+}
+
+// engineFromModel builds the serving engine around a decoded model.
+// lazyVocab defers building the name→id maps to the first lookup — the
+// mapped fast path, where map construction would dominate an otherwise
+// millisecond open — at the cost of not rejecting duplicate names (the
+// first id wins instead; streaming loads keep the checked constructor).
+func engineFromModel(m *codec.Model, lazyVocab bool) (*Engine, error) {
+	var tags, resources *tagging.Interner
+	if lazyVocab {
+		tags = tagging.NewInternerFromNamesUnchecked(m.Tags)
+		resources = tagging.NewInternerFromNamesUnchecked(m.Resources)
+	} else {
+		var err error
+		tags, err = tagging.NewInternerFromNames(m.Tags)
+		if err != nil {
+			return nil, fmt.Errorf("cubelsi: tag vocabulary: %w", err)
+		}
+		resources, err = tagging.NewInternerFromNames(m.Resources)
+		if err != nil {
+			return nil, fmt.Errorf("cubelsi: resource vocabulary: %w", err)
+		}
 	}
 	st := Stats{
 		Users:       len(m.Users),
@@ -155,16 +209,57 @@ func Load(r io.Reader) (*Engine, error) {
 		assign:      m.Assign,
 		k:           m.K,
 		index:       m.Index,
+		quant8:      m.Quant8,
+		quant16:     m.Quant16,
+		mapped:      m.Mapped,
 		stats:       st,
 	}, nil
 }
 
+// LoadOption configures LoadFile.
+type LoadOption func(*loadSettings)
+
+type loadSettings struct{ mapped bool }
+
+// WithMapped makes LoadFile memory-map the model file instead of
+// decoding it onto the heap: a v4 model opens in milliseconds at any
+// size, its numeric sections alias the mapping (page cache shared
+// across replicas), and the engine's Close releases the mapping. Files
+// in older formats are decoded onto the heap as usual.
+func WithMapped() LoadOption {
+	return func(s *loadSettings) { s.mapped = true }
+}
+
 // LoadFile restores an engine from a model file written by SaveFile.
-func LoadFile(path string) (*Engine, error) {
+func LoadFile(path string, opts ...LoadOption) (*Engine, error) {
+	var settings loadSettings
+	for _, o := range opts {
+		o(&settings)
+	}
+	if settings.mapped {
+		return LoadMapped(path)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("cubelsi: %w", err)
 	}
 	defer f.Close()
 	return Load(f)
+}
+
+// LoadMapped restores an engine from a model file through a memory
+// mapping (see WithMapped). The caller owns calling Close on the
+// returned engine when it is retired; a finalizer reclaims mappings of
+// collected engines.
+func LoadMapped(path string) (*Engine, error) {
+	m, err := codec.ReadMapped(path)
+	if err != nil {
+		return nil, fmt.Errorf("cubelsi: %w", err)
+	}
+	eng, err := engineFromModel(m, m.Mapped != nil)
+	if err != nil {
+		m.Mapped.Close()
+		return nil, err
+	}
+	return eng, nil
 }
