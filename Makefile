@@ -3,7 +3,7 @@ GO ?= go
 # Preset for the tracked offline benchmark; CI smoke-tests with tiny.
 BENCH_PRESET ?= lastfm
 
-.PHONY: build test bench bench-smoke vet fmt fuzz lint e2e-distrib
+.PHONY: build test bench bench-smoke vet fmt fuzz lint e2e-distrib e2e-replicate
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,13 @@ bench-smoke:
 # the in-process one.
 e2e-distrib:
 	./scripts/e2e_distrib.sh
+
+# e2e-replicate runs one cubelsiserve writer and two read-only replicas,
+# streams a delta log through /stream, and asserts both replicas converge
+# on spool files byte-identical to the writer's — including a killed
+# replica catching up after restart.
+e2e-replicate:
+	./scripts/e2e_replicate.sh
 
 # fuzz exercises the model-decode fuzz target briefly.
 fuzz:

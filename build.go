@@ -429,7 +429,9 @@ func fingerprintDataset(ds *tagging.Dataset) [32]byte {
 // New builds an engine from in-memory assignments.
 //
 // Deprecated: use Build with FromAssignments, which adds context
-// cancellation and progress reporting.
+// cancellation and progress reporting — or NewIndex when the corpus
+// grows after the build. The "Migrating from one-shot Build" table in
+// README.md maps each legacy call to its replacement.
 func New(assignments []Assignment, cfg Config) (*Engine, error) {
 	return Build(context.Background(), FromAssignments(assignments), WithConfig(cfg))
 }
@@ -437,7 +439,9 @@ func New(assignments []Assignment, cfg Config) (*Engine, error) {
 // Open builds an engine from tab-separated "user\ttag\tresource" lines.
 //
 // Deprecated: use Build with FromTSV, which adds context cancellation
-// and progress reporting.
+// and progress reporting — or NewIndex when the corpus grows after the
+// build. The "Migrating from one-shot Build" table in README.md maps
+// each legacy call to its replacement.
 func Open(r io.Reader, cfg Config) (*Engine, error) {
 	return Build(context.Background(), FromTSV(r), WithConfig(cfg))
 }

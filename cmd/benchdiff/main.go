@@ -2,14 +2,16 @@
 // by cmd/benchoffline. It has two modes:
 //
 //	benchdiff compare -base base.json -head head.json [-threshold 0.25] [-min-ms 25]
-//	    Compare the decompose/build/update/shard/ann timings of a PR's
-//	    benchmark run against the merge-base run and fail (exit 1) when a
-//	    tracked metric regresses by more than threshold AND by more than
-//	    min-ms of absolute wall clock (the floor keeps sub-millisecond
+//	    Compare the decompose/build/update/shard/stream/ann timings of a
+//	    PR's benchmark run against the merge-base run and fail (exit 1)
+//	    when a tracked metric regresses by more than threshold AND by more
+//	    than min-ms of absolute wall clock (the floor keeps sub-millisecond
 //	    jitter on tiny CI presets from tripping the gate; ANN latency
 //	    metrics carry their own 1ms floor since their p99s sit below the
 //	    default). The ann section's recall@10 points gate on an absolute
-//	    drop beyond 0.01 instead — for them, lower is the regression.
+//	    drop beyond 0.01 instead — for them, lower is the regression — and
+//	    the stream section's ingest_per_sec is a throughput: it regresses
+//	    when the head rate falls below base·(1−threshold).
 //
 //	benchdiff sizecheck -in BENCH_offline.json [-min-tags 5000] [-min-ratio 10]
 //	    Assert the v1/v2 model-size ratio of every size_scaling point at
@@ -59,6 +61,10 @@ type benchFile struct {
 		FullRebuildMS float64 `json:"full_rebuild_ms"`
 		WarmApplyMS   float64 `json:"warm_apply_ms"`
 	} `json:"update"`
+	Stream struct {
+		IngestPerSec     float64 `json:"ingest_per_sec"`
+		FlushToVisibleMS float64 `json:"flush_to_visible_ms"`
+	} `json:"stream"`
 	Ann struct {
 		Points []struct {
 			Tags   int     `json:"tags"`
@@ -102,6 +108,10 @@ type metric struct {
 	ok      bool
 	recall  bool
 	floorMS float64
+	// throughput marks a rate metric (higher is better): it regresses
+	// when the head rate drops below base·(1−threshold). The millisecond
+	// jitter floor has no meaning for a rate, so it doesn't apply.
+	throughput bool
 }
 
 // timings extracts the gated metrics from a benchmark file. Metrics the
@@ -135,6 +145,12 @@ func timings(b *benchFile) []metric {
 			ok:   d.Millis > 0,
 		})
 	}
+	if v := b.Stream.FlushToVisibleMS; v > 0 {
+		ms = append(ms, metric{name: "stream.flush_to_visible_ms", ms: v, ok: true})
+	}
+	if v := b.Stream.IngestPerSec; v > 0 {
+		ms = append(ms, metric{name: "stream.ingest_per_sec", ms: v, ok: true, throughput: true})
+	}
 	for _, p := range b.Ann.Points {
 		ms = append(ms, metric{
 			name:    fmt.Sprintf("ann.tags[%d].p99_ms", p.Tags),
@@ -161,6 +177,7 @@ type row struct {
 	baseMS, headMS float64
 	hasBase        bool
 	recall         bool
+	throughput     bool
 	regressed      bool
 }
 
@@ -170,9 +187,11 @@ type row struct {
 // own floorMS when it declares one, the CLI's minMS otherwise). Recall
 // metrics gate the other way: lower is worse, and an absolute drop
 // beyond 0.01 regresses regardless of threshold — approximate serving
-// that silently loses recall is a quality bug, not noise. Metrics
-// absent from the baseline (older artifact formats, freshly added
-// metrics) come back with hasBase=false and never regress.
+// that silently loses recall is a quality bug, not noise. Throughput
+// metrics also gate downward, relatively: the head rate regresses when
+// it falls below base·(1−threshold). Metrics absent from the baseline
+// (older artifact formats, freshly added metrics) come back with
+// hasBase=false and never regress.
 func compare(base, head *benchFile, threshold, minMS float64) []row {
 	baseline := make(map[string]float64)
 	for _, m := range timings(base) {
@@ -187,9 +206,12 @@ func compare(base, head *benchFile, threshold, minMS float64) []row {
 		}
 		b, seen := baseline[m.name]
 		var regressed bool
-		if m.recall {
+		switch {
+		case m.recall:
 			regressed = seen && b-m.ms > 0.01
-		} else {
+		case m.throughput:
+			regressed = seen && b-m.ms > threshold*b
+		default:
 			floor := minMS
 			if m.floorMS > 0 {
 				floor = m.floorMS
@@ -198,7 +220,7 @@ func compare(base, head *benchFile, threshold, minMS float64) []row {
 		}
 		rows = append(rows, row{
 			name: m.name, baseMS: b, headMS: m.ms, hasBase: seen,
-			recall: m.recall, regressed: regressed,
+			recall: m.recall, throughput: m.throughput, regressed: regressed,
 		})
 	}
 	return rows
@@ -259,6 +281,10 @@ func runCompare(args []string) int {
 			fmt.Printf("%-40s base %10.3f    head %10.3f  \n", r.name, r.baseMS, r.headMS)
 		case r.recall:
 			fmt.Printf("%-40s base          —  head %10.3f    (new metric)\n", r.name, r.headMS)
+		case r.throughput && r.hasBase:
+			fmt.Printf("%-40s base %10.0f/s  head %10.0f/s  (%+.1f%%)\n", r.name, r.baseMS, r.headMS, 100*(r.headMS-r.baseMS)/r.baseMS)
+		case r.throughput:
+			fmt.Printf("%-40s base          —  head %10.0f/s  (new metric)\n", r.name, r.headMS)
 		case r.hasBase:
 			fmt.Printf("%-40s base %10.1fms  head %10.1fms  (%+.1f%%)\n", r.name, r.baseMS, r.headMS, 100*(r.headMS-r.baseMS)/r.baseMS)
 		default:
@@ -272,13 +298,17 @@ func runCompare(args []string) int {
 		return 0
 	}
 	for _, r := range regs {
-		if r.recall {
+		switch {
+		case r.recall:
 			fmt.Fprintf(os.Stderr, "benchdiff: REGRESSION %s: %.3f -> %.3f (recall dropped)\n",
 				r.name, r.baseMS, r.headMS)
-			continue
+		case r.throughput:
+			fmt.Fprintf(os.Stderr, "benchdiff: REGRESSION %s: %.0f/s -> %.0f/s (%+.1f%%)\n",
+				r.name, r.baseMS, r.headMS, 100*(r.headMS-r.baseMS)/r.baseMS)
+		default:
+			fmt.Fprintf(os.Stderr, "benchdiff: REGRESSION %s: %.1fms -> %.1fms (%+.1f%%)\n",
+				r.name, r.baseMS, r.headMS, 100*(r.headMS-r.baseMS)/r.baseMS)
 		}
-		fmt.Fprintf(os.Stderr, "benchdiff: REGRESSION %s: %.1fms -> %.1fms (%+.1f%%)\n",
-			r.name, r.baseMS, r.headMS, 100*(r.headMS-r.baseMS)/r.baseMS)
 	}
 	return 1
 }

@@ -165,6 +165,58 @@ func TestCompareGatesDistribSection(t *testing.T) {
 	}
 }
 
+func TestCompareGatesStreamSection(t *testing.T) {
+	base := parse(t, `{
+      "stream": {"ingest_per_sec": 100000, "flush_to_visible_ms": 400}
+    }`)
+
+	// Within threshold: quiet (throughput may wobble down a little, the
+	// flush may slow a little).
+	head := parse(t, `{
+      "stream": {"ingest_per_sec": 90000, "flush_to_visible_ms": 430}
+    }`)
+	if regs := regressions(compare(base, head, 0.25, 25)); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %+v", regs)
+	}
+
+	// A flush-to-visible latency past threshold+floor trips the gate like
+	// any other timing.
+	head = parse(t, `{
+      "stream": {"ingest_per_sec": 100000, "flush_to_visible_ms": 900}
+    }`)
+	regs := regressions(compare(base, head, 0.25, 25))
+	if len(regs) != 1 || regs[0].name != "stream.flush_to_visible_ms" {
+		t.Fatalf("want stream.flush_to_visible_ms regression, got %+v", regs)
+	}
+
+	// Throughput gates downward: an ingest rate that fell below
+	// base·(1−threshold) regresses even though every timing held.
+	head = parse(t, `{
+      "stream": {"ingest_per_sec": 60000, "flush_to_visible_ms": 400}
+    }`)
+	regs = regressions(compare(base, head, 0.25, 25))
+	if len(regs) != 1 || regs[0].name != "stream.ingest_per_sec" {
+		t.Fatalf("want stream.ingest_per_sec regression, got %+v", regs)
+	}
+	if !regs[0].throughput {
+		t.Fatalf("ingest_per_sec must be marked throughput: %+v", regs[0])
+	}
+
+	// A faster ingest rate never regresses, no matter how large the jump.
+	head = parse(t, `{
+      "stream": {"ingest_per_sec": 500000, "flush_to_visible_ms": 400}
+    }`)
+	if regs := regressions(compare(base, head, 0.25, 25)); len(regs) != 0 {
+		t.Fatalf("faster throughput must not regress: %+v", regs)
+	}
+
+	// Baselines predating the stream section never fail on it.
+	old := parse(t, `{"build": {"embedding_path": {"decompose_ms": 1000, "total_ms": 1200}}}`)
+	if regs := regressions(compare(old, head, 0.25, 25)); len(regs) != 0 {
+		t.Fatalf("stream metrics without baseline must be skipped: %+v", regs)
+	}
+}
+
 func TestCompareGatesAnnSection(t *testing.T) {
 	base := parse(t, `{
       "ann": {

@@ -19,6 +19,10 @@
 //   - distrib: the full offline build fanned out to 1 and 2 in-process
 //     cubelsiworker instances over loopback HTTP, with a recomputed
 //     bit-identity check against the in-process build.
+//   - stream: the update delta offered record-by-record through the
+//     streaming Ingestor (the /stream micro-batching engine) — enqueue
+//     rate plus the flush-to-visible latency of the closing synchronous
+//     flush (the CI perf gate tracks both).
 //   - ann: sublinear RelatedTags serving — the IVF index vs the exact
 //     scan at the tags10k and tags100k vocabulary scales (p99 at the
 //     smallest nprobe reaching recall@10 ≥ 0.95), plus heap-decoded v3
@@ -34,6 +38,7 @@
 //	             [-out BENCH_offline.json] [-scale-tags 1000,5000]
 //	             [-skip-exact] [-skip-update] [-update-delta 0.01]
 //	             [-shards N] [-skip-shard-scan] [-skip-distrib] [-skip-ann]
+//	             [-skip-stream]
 //	             [-queries 256]
 package main
 
@@ -161,6 +166,31 @@ type updateReport struct {
 	SpeedupVsRebuild float64 `json:"speedup_vs_rebuild"`
 }
 
+// streamReport records the streaming-ingestion benchmark: the update
+// benchmark's holdback delta offered record-by-record through the
+// Ingestor (the same micro-batching engine behind cubelsiserve's POST
+// /stream), with the automatic flush triggers disabled so the run
+// measures exactly two things — how fast records enqueue, and how long
+// the closing synchronous flush takes to make them visible (Flush
+// returning means the new model version is serving).
+type streamReport struct {
+	// DeltaAssignments is the streamed record count; Flushes is how many
+	// micro-batch flushes the run performed (1 here: the explicit one).
+	DeltaAssignments int    `json:"delta_assignments"`
+	Flushes          uint64 `json:"flushes"`
+
+	// OfferMS is the wall clock to enqueue the whole delta (validation,
+	// idempotency bookkeeping, compaction, drift accounting);
+	// IngestPerSec is the resulting enqueue rate.
+	OfferMS      float64 `json:"offer_ms"`
+	IngestPerSec float64 `json:"ingest_per_sec"`
+
+	// FlushToVisibleMS is the synchronous-flush wall clock: the
+	// freshness floor a /stream?flush=1 caller experiences at this
+	// corpus scale.
+	FlushToVisibleMS float64 `json:"flush_to_visible_ms"`
+}
+
 // distribWorkerPoint is one timed offline build fanned out to a fixed
 // number of in-process worker instances over loopback HTTP.
 type distribWorkerPoint struct {
@@ -212,6 +242,7 @@ type report struct {
 	Shard       *shardReport    `json:"shard,omitempty"`
 	Distrib     *distribReport  `json:"distrib,omitempty"`
 	Update      *updateReport   `json:"update,omitempty"`
+	Stream      *streamReport   `json:"stream,omitempty"`
 	Ann         *annReport      `json:"ann,omitempty"`
 	Model       modelReport     `json:"model"`
 	Query       queryReport     `json:"query"`
@@ -229,6 +260,7 @@ func main() {
 	shards := flag.Int("shards", 0, "shard count for the headline builds (0/1 = monolithic; results identical at any value)")
 	skipUpdate := flag.Bool("skip-update", false, "skip the incremental-update (warm-start vs rebuild) benchmark")
 	skipANN := flag.Bool("skip-ann", false, "skip the ANN serving benchmark (IVF vs exact at the tags10k/tags100k scales, plus the mmap load comparison)")
+	skipStream := flag.Bool("skip-stream", false, "skip the streaming-ingestion (Ingestor enqueue + flush-to-visible) benchmark")
 	updateDelta := flag.Float64("update-delta", 0.01, "assignment fraction of the update-benchmark delta")
 	updateMove := flag.Float64("update-move-threshold", 0.25, "relative row-displacement threshold for the update benchmark's re-clustering (the synthetic corpora are noisier than real folksonomies, so this sits above the library default to keep the move-bounded path — the one the gate must track — engaged)")
 	workers := flag.Int("workers", 0, "ALS worker pool bound for the headline builds (0 = all CPUs)")
@@ -314,6 +346,11 @@ func main() {
 	if !*skipUpdate {
 		u := benchUpdate(corpus.Clean, opts, params.Seed, *updateDelta, *updateMove)
 		rep.Update = &u
+	}
+
+	if !*skipStream {
+		s := benchStream(corpus.Clean, opts, params.Seed, *updateDelta)
+		rep.Stream = &s
 	}
 
 	// The ANN section runs at its own fixed scales (the tags10k and
@@ -652,6 +689,91 @@ func benchUpdate(ds *tagging.Dataset, opts core.Options, seed int64, deltaFrac, 
 		out.SpeedupVsRebuild = fullMS / warmMS
 	}
 	return out
+}
+
+// benchStream measures the streaming-ingestion path at the preset's
+// scale: the same base/delta split as benchUpdate, but the delta
+// arrives as a stream of individually offered records (client identity
+// and sequence numbers engaged, so the idempotency bookkeeping is in
+// the measured path) instead of one Apply call. The automatic flush
+// triggers are disabled — count, interval and drift thresholds all out
+// of reach — so OfferMS isolates the enqueue cost and the one explicit
+// Flush isolates the flush-to-visible latency the CI perf gate tracks.
+func benchStream(ds *tagging.Dataset, opts core.Options, seed int64, deltaFrac float64) streamReport {
+	var all []cubelsi.Assignment
+	for _, a := range ds.Assignments() {
+		all = append(all, cubelsi.Assignment{
+			User:     ds.Users.Name(a.User),
+			Tag:      ds.Tags.Name(a.Tag),
+			Resource: ds.Resources.Name(a.Resource),
+		})
+	}
+	nd := int(float64(len(all)) * deltaFrac)
+	if nd < 1 {
+		nd = 1
+	}
+	base, delta := all[:len(all)-nd], all[len(all)-nd:]
+
+	cfg := cubelsi.DefaultConfig()
+	cfg.CoreDims = [3]int{opts.Tucker.J1, opts.Tucker.J2, opts.Tucker.J3}
+	cfg.Concepts = opts.Spectral.K
+	cfg.MinSupport = 0
+	cfg.DropSystemTags = false
+	cfg.Seed = seed
+
+	ctx := context.Background()
+	fmt.Fprintf(os.Stderr, "benchoffline: stream benchmark, base build (|Y|=%d)\n", len(base))
+	idx, err := cubelsi.NewIndex(ctx, cubelsi.FromAssignments(base), cubelsi.WithConfig(cfg))
+	if err != nil {
+		fatal(err)
+	}
+	ing, err := cubelsi.NewIngestor(idx,
+		cubelsi.WithFlushEvery(len(delta)+1),
+		cubelsi.WithFlushInterval(time.Hour),
+		cubelsi.WithFlushDrift(-1),
+		cubelsi.WithQueueCapacity(len(delta)+1),
+	)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "benchoffline: stream benchmark, offering %d records\n", len(delta))
+	start := time.Now()
+	for i, a := range delta {
+		status, err := ing.Offer(cubelsi.StreamRecord{
+			User: a.User, Tag: a.Tag, Resource: a.Resource,
+			Client: "bench", Seq: uint64(i + 1),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if status != cubelsi.OfferAccepted {
+			fatal(fmt.Errorf("stream benchmark: record %d not accepted: %v", i, status))
+		}
+	}
+	offerMS := float64(time.Since(start).Nanoseconds()) / 1e6
+
+	fmt.Fprintf(os.Stderr, "benchoffline: stream benchmark, synchronous flush\n")
+	start = time.Now()
+	if err := ing.Flush(ctx); err != nil {
+		fatal(err)
+	}
+	flushMS := float64(time.Since(start).Nanoseconds()) / 1e6
+	st := ing.Stats()
+	if err := ing.Close(); err != nil {
+		fatal(err)
+	}
+
+	rep := streamReport{
+		DeltaAssignments: len(delta),
+		Flushes:          st.Flushes,
+		OfferMS:          offerMS,
+		FlushToVisibleMS: flushMS,
+	}
+	if offerMS > 0 {
+		rep.IngestPerSec = float64(len(delta)) / (offerMS / 1e3)
+	}
+	return rep
 }
 
 // measureScale encodes a synthetic model with |T| = n in both formats

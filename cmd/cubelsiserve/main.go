@@ -10,23 +10,37 @@
 //
 //	cubelsiserve -model model.clsi [-addr :8080] [-mmap] [-ann] [-ann-nprobe N] [-ann-rerank C]
 //	cubelsiserve -data corpus.tsv [-concepts 40] [-addr :8080]
+//	cubelsiserve -data corpus.tsv -spool dir -notify http://r1:8081,http://r2:8082   (fleet writer)
+//	cubelsiserve -replica-of http://writer:8080 [-spool dir] [-replica-poll 30s]     (read replica)
 //
 // -mmap memory-maps the model file instead of decoding it onto the heap
 // (a v4 model opens in milliseconds at any size); -ann serves /related
 // through the IVF approximate index over the model's concept centroids.
 // Both stick across /reload.
 //
+// Corpus-backed servers also accept a streaming delta log on POST
+// /stream (NDJSON assignment records, micro-batched under the
+// -stream-flush-* policy), and become the fleet's writer when -spool is
+// set: every published snapshot is saved as a versioned v4 model file,
+// served on GET /model, and announced to the -notify replicas, which
+// pull, SHA-256-verify and hot-swap it. Replicas never move backwards:
+// a version older than the serving one is discarded, and the skew a
+// lagging replica carries is visible in its /stats.
+//
 // Endpoints:
 //
 //	GET  /healthz                 liveness probe
 //	GET  /readyz                  readiness probe (503 until a model serves)
-//	GET  /stats                   corpus, model and lifecycle statistics
+//	GET  /stats                   corpus, model, lifecycle, stream and replication statistics
 //	GET  /search?q=a,b&n=10       search (also min_score=, concepts=)
 //	POST /search                  JSON query, or {"queries": [...]} batch
 //	GET  /related?tag=jazz&n=10   nearest tags by purified distance (also nprobe=)
 //	GET  /clusters                distilled concepts as tag groups
 //	POST /update                  apply {"add": [...], "remove": [...]} delta (-data servers)
 //	POST /reload                  hot-swap a model file (-model servers)
+//	POST /stream                  NDJSON delta log, micro-batched (also ?firehose=1, ?flush=1)
+//	GET  /model                   current snapshot bytes + version/sha256 headers (writer)
+//	POST /notify                  snapshot announcement from the writer (replica)
 //
 // Every error answers with the JSON envelope {"error": "..."} and an
 // appropriate status code — including 404/405 from unknown routes.
@@ -40,6 +54,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -58,6 +73,15 @@ func main() {
 	ratio := flag.Float64("ratio", 50, "Tucker reduction ratio when building")
 	minSupport := flag.Int("min-support", 5, "cleaning support threshold when building")
 	seed := flag.Int64("seed", 1, "random seed when building")
+	streamFlushN := flag.Int("stream-flush-n", 256, "flush the /stream micro-batch after this many pending assignment changes")
+	streamFlushT := flag.Duration("stream-flush-interval", 2*time.Second, "flush the /stream micro-batch at least this often")
+	streamFlushDrift := flag.Float64("stream-flush-drift", 0.05, "flush when the pending changes' embedding-drift estimate reaches this fraction of the vocabulary (negative disables)")
+	streamQueue := flag.Int("stream-queue", 4096, "bound on pending /stream changes before backpressure (429)")
+	streamIdemWindow := flag.Int("stream-idem-window", 1024, "per-client sequence-number window for idempotent /stream redelivery")
+	notify := flag.String("notify", "", "comma-separated replica base URLs to announce published snapshots to (writer; requires -spool)")
+	spool := flag.String("spool", "", "directory for versioned model snapshots (writer: published; replica: pulled)")
+	replicaOf := flag.String("replica-of", "", "writer base URL to replicate from (read-only replica mode)")
+	replicaPoll := flag.Duration("replica-poll", 30*time.Second, "anti-entropy poll interval against the writer when notifies are lost")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -65,6 +89,33 @@ func main() {
 
 	var srv *server
 	switch {
+	case *replicaOf != "":
+		if *data != "" {
+			fatal(errors.New("-replica-of and -data are mutually exclusive: a replica's corpus of record is its writer"))
+		}
+		srv = newLifecycleServer(nil, nil, *model)
+		srv.mmap = *mmap
+		srv.ann = *ann || *annNprobe > 0 || *annRerank > 0
+		srv.annProbe = *annNprobe
+		srv.annRerank = *annRerank
+		if *model != "" {
+			// Optional warm seed: serve this model until the first pull
+			// (its version also arms the monotonic guard).
+			eng, err := srv.loadModel(*model)
+			if err != nil {
+				fatal(err)
+			}
+			srv.eng.Store(eng)
+		}
+		sp := *spool
+		if sp == "" {
+			var err error
+			if sp, err = os.MkdirTemp("", "cubelsi-replica-*"); err != nil {
+				fatal(err)
+			}
+		}
+		srv.enableReplica(strings.TrimRight(*replicaOf, "/"), sp, *replicaPoll)
+		go srv.puller.Run(ctx, *replicaPoll)
 	case *model != "":
 		srv = newLifecycleServer(nil, nil, *model)
 		srv.mmap = *mmap
@@ -93,15 +144,42 @@ func main() {
 			fatal(err)
 		}
 		srv = newLifecycleServer(nil, idx, "")
+		if *notify != "" && *spool == "" {
+			fatal(errors.New("-notify requires -spool: announced snapshots must live somewhere replicas can pull from"))
+		}
+		if *spool != "" {
+			if err := os.MkdirAll(*spool, 0o755); err != nil {
+				fatal(err)
+			}
+			srv.enableWriter(*spool, splitList(*notify))
+		}
+		if err := srv.enableStreaming(
+			cubelsi.WithFlushEvery(*streamFlushN),
+			cubelsi.WithFlushInterval(*streamFlushT),
+			cubelsi.WithFlushDrift(*streamFlushDrift),
+			cubelsi.WithQueueCapacity(*streamQueue),
+			cubelsi.WithIdempotencyWindow(*streamIdemWindow),
+		); err != nil {
+			fatal(err)
+		}
+		if srv.pub != nil {
+			// Publish the initial build so replicas started before their
+			// writer converge without waiting for the first delta.
+			srv.publishSnapshot(idx.Snapshot())
+		}
 	default:
-		fmt.Fprintln(os.Stderr, "cubelsiserve: -model or -data is required")
+		fmt.Fprintln(os.Stderr, "cubelsiserve: -model, -data or -replica-of is required")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	st := srv.engine().Stats()
-	fmt.Fprintf(os.Stderr, "serving %d resources / %d tags / %d concepts (model v%d) on %s\n",
-		st.Resources, st.Tags, st.Concepts, srv.engine().Version(), *addr)
+	if eng := srv.engine(); eng != nil {
+		st := eng.Stats()
+		fmt.Fprintf(os.Stderr, "serving %d resources / %d tags / %d concepts (model v%d) on %s\n",
+			st.Resources, st.Tags, st.Concepts, eng.Version(), *addr)
+	} else {
+		fmt.Fprintf(os.Stderr, "replica of %s on %s: waiting for the first model\n", *replicaOf, *addr)
+	}
 
 	// Per-request timeouts: slow-loris headers, slow bodies and stuck
 	// writes all terminate instead of pinning a connection forever.
@@ -128,6 +206,13 @@ func main() {
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal(err)
+		}
+		if srv.ing != nil {
+			// Flush the streamed tail before exiting; accepted records must
+			// not die in the queue.
+			if err := srv.ing.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "cubelsiserve: final flush: %v\n", err)
+			}
 		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 
 	"repro"
 	"repro/internal/httpx"
+	"repro/internal/replicate"
 )
 
 // logBatchPanics writes the recovery stack of every BatchError inside a
@@ -67,6 +68,20 @@ type server struct {
 	ann       bool // serve /related through the IVF index (Engine.WithANN)
 	annProbe  int  // inverted lists probed per query (0 = √lists)
 	annRerank int  // candidate depth before exact rerank (0 = result size)
+
+	// Streaming ingestion plane (corpus-backed servers): POST /stream
+	// micro-batches assignment deltas through the ingestor.
+	ing *cubelsi.Ingestor
+
+	// Replication plane. A writer (enableWriter) spools and announces
+	// snapshots; a replica (enableReplica) pulls and verifies them.
+	pubMu       sync.Mutex // serializes publishSnapshot
+	spool       string
+	pub         *replicate.Publisher
+	notifier    *replicate.Notifier
+	puller      *replicate.Puller
+	replicaOf   string
+	replicaPoll time.Duration
 }
 
 // newServer builds the HTTP handler for a fixed engine snapshot with no
@@ -91,7 +106,28 @@ func newLifecycleServer(eng *cubelsi.Engine, idx *cubelsi.Index, modelPath strin
 	s.mux.HandleFunc("GET /clusters", s.handleClusters)
 	s.mux.HandleFunc("POST /update", s.handleUpdate)
 	s.mux.HandleFunc("POST /reload", s.handleReload)
+	s.mux.HandleFunc("POST /stream", s.handleStream)
 	return s
+}
+
+// enableStreaming attaches the streaming ingestor to a corpus-backed
+// server. When the server is also the fleet's writer, every flush
+// publishes its snapshot to the replicas.
+func (s *server) enableStreaming(opts ...cubelsi.IngestOption) error {
+	if s.idx == nil {
+		return errors.New("streaming requires a corpus-backed server (-data)")
+	}
+	opts = append(opts, cubelsi.WithFlushCallback(func(eng *cubelsi.Engine, _ *cubelsi.UpdateReport) {
+		if s.pub != nil {
+			s.publishSnapshot(eng)
+		}
+	}))
+	ing, err := cubelsi.NewIngestor(s.idx, opts...)
+	if err != nil {
+		return err
+	}
+	s.ing = ing
+	return nil
 }
 
 // loadModel loads a model file with the server's serving options: the
@@ -213,6 +249,11 @@ type statsResponse struct {
 	Nprobe       int    `json:"nprobe"`
 	Quantization string `json:"quantization"`
 	ModelMapped  bool   `json:"model_mapped"`
+	// Stream reports the streaming ingestion plane (corpus-backed servers
+	// with an ingestor); Replication the distribution plane (writer or
+	// replica role). Both absent on a plain standalone server.
+	Stream      *cubelsi.IngestStats `json:"stream,omitempty"`
+	Replication *replicationStats    `json:"replication,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -225,7 +266,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if st.EmbeddingDim == 0 {
 		embBytes = 8 * int64(st.Tags) * int64(st.Tags)
 	}
-	writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		Users:             st.Users,
 		Tags:              st.Tags,
 		Resources:         st.Resources,
@@ -242,7 +283,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Nprobe:            eng.ANNProbe(),
 		Quantization:      eng.Quantization(),
 		ModelMapped:       eng.Mapped(),
-	})
+	}
+	if s.ing != nil {
+		ist := s.ing.Stats()
+		resp.Stream = &ist
+	}
+	resp.Replication = s.replicationSection(eng.Version())
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleUpdate applies an assignment delta to the corpus-backed index
@@ -291,7 +338,27 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, "apply: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, rep)
+	eng := s.idx.Snapshot()
+	// The writer publishes the fresh snapshot to its replicas before
+	// answering, so a scripted rollout can chain "update, then poll the
+	// fleet for model_version" without a race against the spool.
+	if s.pub != nil {
+		s.publishSnapshot(eng)
+	}
+	writeJSON(w, http.StatusOK, updateResponse{
+		UpdateReport:      rep,
+		ModelVersion:      eng.Version(),
+		SourceFingerprint: eng.SourceFingerprint(),
+	})
+}
+
+// updateResponse decorates the raw apply report with the identity of
+// the snapshot now serving, so operators can script rollouts without a
+// follow-up /stats call.
+type updateResponse struct {
+	*cubelsi.UpdateReport
+	ModelVersion      uint64 `json:"model_version"`
+	SourceFingerprint string `json:"source_fingerprint,omitempty"`
 }
 
 // reloadRequest is the optional POST /reload body; an empty body
@@ -303,9 +370,13 @@ type reloadRequest struct {
 type reloadResponse struct {
 	Model        string `json:"model"`
 	ModelVersion uint64 `json:"model_version"`
-	Tags         int    `json:"tags"`
-	Resources    int    `json:"resources"`
-	Concepts     int    `json:"concepts"`
+	// SourceFingerprint identifies the cleaned corpus the loaded model
+	// was built from — the rollout check that a fleet of replicas all
+	// swapped to the same lineage, not just the same version number.
+	SourceFingerprint string `json:"source_fingerprint,omitempty"`
+	Tags              int    `json:"tags"`
+	Resources         int    `json:"resources"`
+	Concepts          int    `json:"concepts"`
 }
 
 // handleReload hot-swaps the serving model from a file. Corpus-backed
@@ -356,11 +427,12 @@ func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 	s.eng.Store(eng)
 	st := eng.Stats()
 	writeJSON(w, http.StatusOK, reloadResponse{
-		Model:        path,
-		ModelVersion: eng.Version(),
-		Tags:         st.Tags,
-		Resources:    st.Resources,
-		Concepts:     st.Concepts,
+		Model:             path,
+		ModelVersion:      eng.Version(),
+		SourceFingerprint: eng.SourceFingerprint(),
+		Tags:              st.Tags,
+		Resources:         st.Resources,
+		Concepts:          st.Concepts,
 	})
 }
 

@@ -1,46 +1,3 @@
-// Package cubelsi is the public API of the CubeLSI reproduction
-// (Bi, Lee, Kao, Cheng: "CubeLSI: An Effective and Efficient Method for
-// Searching Resources in Social Tagging Systems", ICDE 2011).
-//
-// An Engine ingests (user, tag, resource) assignments and runs the
-// offline pipeline of the paper's Figure 1: data cleaning, third-order
-// tensor construction, truncated Tucker decomposition by alternating
-// least squares, purified pairwise tag distances via the Theorem 1/2
-// shortcuts (the dense purified tensor is never materialized), and
-// concept distillation by spectral clustering. Online queries are then
-// answered by cosine similarity in the bag-of-concepts vector space.
-//
-// The offline build is context-aware and reports per-stage progress:
-//
-//	eng, err := cubelsi.Build(ctx, cubelsi.FromTSV(f),
-//		cubelsi.WithConfig(cfg),
-//		cubelsi.WithProgress(func(p cubelsi.Progress) {
-//			log.Printf("%s done=%v %v", p.Stage, p.Done, p.Elapsed)
-//		}))
-//
-// Built engines serialize, so offline build and online serving are
-// separate processes (cmd/cubelsi -save, cmd/cubelsiserve -model):
-//
-//	err = eng.Save(w)
-//	eng, err = cubelsi.Load(r)
-//
-// Queries are values with composable options, and batches amortize
-// multi-query serving:
-//
-//	results := eng.Query(cubelsi.NewQuery([]string{"jazz", "saxophone"},
-//		cubelsi.WithLimit(10), cubelsi.WithMinScore(0.05)))
-//	batches, err := eng.SearchBatch(queries)
-//
-// Growing corpora use the incremental lifecycle instead of one-shot
-// Build: an Index owns the assignment log and publishes immutable,
-// versioned Engine snapshots. Apply folds an assignment delta in — the
-// ALS decomposition warm-starts from the previous factor matrices and
-// only tags whose embedding rows moved are re-clustered — and swaps the
-// new snapshot in atomically under live queries:
-//
-//	idx, err := cubelsi.NewIndex(ctx, cubelsi.FromTSVFile("corpus.tsv"))
-//	report, err := idx.Apply(ctx, cubelsi.Delta{Add: newAssignments})
-//	eng := idx.Snapshot() // immutable; eng.Version() increments per Apply
 package cubelsi
 
 import (

@@ -1,0 +1,94 @@
+package core
+
+import "sync"
+
+// DriftSignal is a cheap, monotone estimate of how much of the tag
+// embedding will move once a set of pending assignment changes is
+// applied — computed without running any stage of the pipeline, so a
+// streaming ingestor can consult it on every offered record.
+//
+// The estimate follows the structure of the incremental Update: a tag
+// moves when its rows of the tensor change by a noticeable fraction of
+// what supports it. Each pending change touching tag t therefore
+// contributes to a per-tag saturation term min(1, pending_t/support_t)
+// — a tag with 3 pending changes against 100 live assignments is
+// barely perturbed, while a brand-new tag (support 0) saturates
+// immediately — and the signal is the mean saturation over the
+// vocabulary:
+//
+//	drift = Σ_t min(1, pending_t / max(1, support_t)) / max(1, |T|)
+//
+// so a value of 0.05 reads as "about 5% of the vocabulary is expected
+// to move past the re-cluster threshold". The value is monotone
+// non-decreasing in the pending set (removals perturb a tag exactly
+// like additions), bounded in [0, 1+newTags/|T|], and maintained
+// incrementally in O(1) per Observe.
+//
+// It is an upper-bound heuristic, not the Procrustes-aligned
+// displacement Update measures: its job is to fire a flush before the
+// model drifts visibly, and firing early only costs an extra
+// warm-started rebuild.
+type DriftSignal struct {
+	mu      sync.Mutex
+	support func(tag string) int
+	vocab   int
+	pending map[string]int
+	value   float64
+}
+
+// NewDriftSignal builds a signal over the current model state: vocab is
+// the cleaned vocabulary size |T|, and support reports the number of
+// live assignments carrying a tag (0 for tags the corpus has never
+// seen). The support function is called once per distinct pending tag
+// per Observe and must be safe for concurrent use if the signal is.
+func NewDriftSignal(vocab int, support func(tag string) int) *DriftSignal {
+	if support == nil {
+		support = func(string) int { return 0 }
+	}
+	return &DriftSignal{support: support, vocab: vocab, pending: make(map[string]int)}
+}
+
+// Observe accounts one pending assignment change (an addition or a
+// removal — both perturb the tag's tensor rows) touching the given tag
+// and returns the updated signal value.
+func (d *DriftSignal) Observe(tag string) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.support(tag)
+	if s < 1 {
+		s = 1
+	}
+	p := d.pending[tag]
+	before := saturation(p, s)
+	d.pending[tag] = p + 1
+	d.value += (saturation(p+1, s) - before) / float64(max(1, d.vocab))
+	return d.value
+}
+
+// Value returns the current drift estimate.
+func (d *DriftSignal) Value() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.value
+}
+
+// Reset clears the pending set against a (possibly new) model state —
+// called after the pending changes were applied and the model republished.
+func (d *DriftSignal) Reset(vocab int, support func(tag string) int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if support != nil {
+		d.support = support
+	}
+	d.vocab = vocab
+	d.pending = make(map[string]int)
+	d.value = 0
+}
+
+// saturation is the per-tag term min(1, pending/support).
+func saturation(pending, support int) float64 {
+	if pending >= support {
+		return 1
+	}
+	return float64(pending) / float64(support)
+}

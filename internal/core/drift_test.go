@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func supportMap(m map[string]int) func(string) int {
+	return func(tag string) int { return m[tag] }
+}
+
+func TestDriftSignalNewTagSaturatesImmediately(t *testing.T) {
+	d := NewDriftSignal(10, supportMap(map[string]int{}))
+	got := d.Observe("brandnew")
+	if want := 1.0 / 10; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("one new tag over |T|=10: drift %v, want %v", got, want)
+	}
+	// Further changes to the same saturated tag add nothing.
+	if got2 := d.Observe("brandnew"); got2 != got {
+		t.Fatalf("saturated tag grew the signal: %v -> %v", got, got2)
+	}
+}
+
+func TestDriftSignalProportionalBelowSaturation(t *testing.T) {
+	d := NewDriftSignal(4, supportMap(map[string]int{"jazz": 8}))
+	for i := 1; i <= 8; i++ {
+		got := d.Observe("jazz")
+		want := math.Min(1, float64(i)/8) / 4
+		if math.Abs(got-want) > 1e-15 {
+			t.Fatalf("after %d changes: drift %v, want %v", i, got, want)
+		}
+	}
+	// Past saturation the tag is pinned at 1/|T|.
+	if got := d.Observe("jazz"); math.Abs(got-0.25) > 1e-15 {
+		t.Fatalf("past saturation: %v, want 0.25", got)
+	}
+}
+
+func TestDriftSignalMonotoneAcrossTags(t *testing.T) {
+	d := NewDriftSignal(100, supportMap(map[string]int{"a": 2, "b": 50}))
+	prev := 0.0
+	for _, tag := range []string{"a", "b", "a", "new", "b", "a"} {
+		got := d.Observe(tag)
+		if got < prev {
+			t.Fatalf("signal decreased: %v -> %v after %q", prev, got, tag)
+		}
+		prev = got
+	}
+	if v := d.Value(); v != prev {
+		t.Fatalf("Value() = %v, want %v", v, prev)
+	}
+}
+
+func TestDriftSignalReset(t *testing.T) {
+	d := NewDriftSignal(2, supportMap(map[string]int{}))
+	d.Observe("x")
+	if d.Value() == 0 {
+		t.Fatal("expected nonzero drift before reset")
+	}
+	d.Reset(5, supportMap(map[string]int{"x": 10}))
+	if d.Value() != 0 {
+		t.Fatalf("drift after reset = %v, want 0", d.Value())
+	}
+	// The new support map is in effect: x now has support 10.
+	if got, want := d.Observe("x"), (1.0/10)/5; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("post-reset observe = %v, want %v", got, want)
+	}
+}
+
+func TestDriftSignalZeroVocab(t *testing.T) {
+	// An empty model (vocab 0) must not divide by zero; every change
+	// counts against a vocabulary of one.
+	d := NewDriftSignal(0, nil)
+	if got := d.Observe("only"); got != 1 {
+		t.Fatalf("drift over empty vocab = %v, want 1", got)
+	}
+}
+
+func TestDriftSignalConcurrentObserve(t *testing.T) {
+	d := NewDriftSignal(1000, supportMap(map[string]int{"t": 1 << 30}))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				d.Observe("t")
+			}
+		}()
+	}
+	wg.Wait()
+	want := (800.0 / float64(1<<30)) / 1000
+	if got := d.Value(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("drift after 800 concurrent observes = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,447 @@
+// Package replicate is the model-distribution plane of the serving
+// fleet: one writer builds versioned model snapshots, N read-only
+// replicas serve them. Distribution is notify-then-pull — the writer
+// broadcasts a tiny announcement {version, sha256} after publishing a
+// snapshot, and each replica pulls the model file from the writer at
+// its own pace, verifies the fingerprint, and hot-swaps it in.
+//
+// The design holds two invariants no matter how messy the fleet gets:
+//
+//   - Verified bytes: a replica never swaps in a model whose SHA-256
+//     does not match what the writer advertised — a truncated download,
+//     a corrupted spool file, or a writer that republished mid-pull all
+//     fail verification and are retried on the next notify or poll.
+//   - Monotonic versions: a replica never swaps backwards. A slow
+//     follower that receives announcements out of order, or pulls an
+//     older file than it already serves, discards it; version skew is
+//     visible in Status until the follower converges, never a rollback.
+//
+// Announcements are best-effort (a lost notify only delays a replica
+// until its anti-entropy poll), so the writer never blocks on a slow or
+// dead replica, and replicas never need to be registered anywhere — a
+// restarted replica converges from its first poll.
+package replicate
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Header names the model transfer travels under; the puller verifies
+// the body against them, so a proxy that strips headers fails closed.
+const (
+	VersionHeader = "X-Model-Version"
+	SumHeader     = "X-Model-Sha256"
+)
+
+// Announcement is the notify payload: the writer's newest snapshot
+// version and the hex SHA-256 of its model file bytes.
+type Announcement struct {
+	Version     uint64 `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Published describes the snapshot a Publisher currently offers.
+type Published struct {
+	Version     uint64
+	Fingerprint string
+	Path        string
+	Size        int64
+}
+
+// Publisher is the writer half: it tracks the latest published model
+// file and serves its bytes. Publish and ServeModel are safe for
+// concurrent use; ServeModel always serves a consistent
+// (version, fingerprint, bytes) triple even while a newer snapshot is
+// being published.
+type Publisher struct {
+	mu  sync.Mutex
+	cur Published
+}
+
+// HashFile returns the hex SHA-256 of a file's bytes — the fingerprint
+// announcements carry and pullers verify.
+func HashFile(path string) (string, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, err
+	}
+	defer f.Close()
+	h := sha256.New()
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return "", 0, err
+	}
+	return hex.EncodeToString(h.Sum(nil)), n, nil
+}
+
+// Publish records a new snapshot file as the current model, hashing it
+// for the announcement. Versions must be monotonically increasing;
+// republishing an older version than the current one is rejected, so a
+// racing pair of publishes can never advertise a rollback.
+func (p *Publisher) Publish(version uint64, path string) (Published, error) {
+	sum, size, err := HashFile(path)
+	if err != nil {
+		return Published{}, fmt.Errorf("replicate: hash snapshot: %w", err)
+	}
+	pub := Published{Version: version, Fingerprint: sum, Path: path, Size: size}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if version < p.cur.Version {
+		return Published{}, fmt.Errorf("replicate: publish version %d behind current %d", version, p.cur.Version)
+	}
+	p.cur = pub
+	return pub, nil
+}
+
+// Current returns the published snapshot, if any.
+func (p *Publisher) Current() (Published, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cur, p.cur.Version != 0
+}
+
+// ServeModel is the GET /model handler: the current snapshot's bytes
+// with its version and fingerprint in the response headers. The file is
+// re-verified against the fingerprint while streaming — if it was
+// overwritten on disk after Publish, the transfer is cut short and the
+// puller's verification fails, rather than serving bytes under a stale
+// fingerprint.
+func (p *Publisher) ServeModel(w http.ResponseWriter, r *http.Request) {
+	cur, ok := p.Current()
+	if !ok {
+		writeJSONError(w, http.StatusServiceUnavailable, "no model published yet")
+		return
+	}
+	f, err := os.Open(cur.Path)
+	if err != nil {
+		writeJSONError(w, http.StatusInternalServerError, "open snapshot: %v", err)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(cur.Size, 10))
+	w.Header().Set(VersionHeader, strconv.FormatUint(cur.Version, 10))
+	w.Header().Set(SumHeader, cur.Fingerprint)
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.Copy(w, io.LimitReader(f, cur.Size))
+}
+
+// Notifier broadcasts announcements to a fixed set of replica base
+// URLs. Delivery is best-effort: each target is tried a few times with
+// a short backoff, concurrently, and failures are returned for logging
+// — never propagated to the publish path (the replica's anti-entropy
+// poll is the safety net).
+type Notifier struct {
+	Targets []string
+	// Client defaults to a 5s-timeout client; Retries to 3 attempts.
+	Client  *http.Client
+	Retries int
+}
+
+func (n *Notifier) client() *http.Client {
+	if n.Client != nil {
+		return n.Client
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+// Broadcast POSTs the announcement to every target's /notify,
+// concurrently. It returns one error per failed target (nil-free when
+// every replica acknowledged).
+func (n *Notifier) Broadcast(ctx context.Context, a Announcement) []error {
+	retries := n.Retries
+	if retries <= 0 {
+		retries = 3
+	}
+	body, _ := json.Marshal(a)
+	errCh := make(chan error, len(n.Targets))
+	var wg sync.WaitGroup
+	for _, target := range n.Targets {
+		wg.Add(1)
+		go func(target string) {
+			defer wg.Done()
+			var last error
+			for attempt := 0; attempt < retries; attempt++ {
+				if attempt > 0 {
+					select {
+					case <-time.After(time.Duration(attempt) * 100 * time.Millisecond):
+					case <-ctx.Done():
+						errCh <- fmt.Errorf("notify %s: %w", target, ctx.Err())
+						return
+					}
+				}
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/notify", bytes.NewReader(body))
+				if err != nil {
+					errCh <- fmt.Errorf("notify %s: %w", target, err)
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := n.client().Do(req)
+				if err != nil {
+					last = err
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode < 300 {
+					return
+				}
+				last = fmt.Errorf("status %s", resp.Status)
+			}
+			errCh <- fmt.Errorf("notify %s: %w", target, last)
+		}(target)
+	}
+	wg.Wait()
+	close(errCh)
+	var errs []error
+	for err := range errCh {
+		errs = append(errs, err)
+	}
+	return errs
+}
+
+// PullerState names where in the notify→pull→verify→swap machine a
+// replica currently is.
+type PullerState string
+
+const (
+	StateIdle      PullerState = "idle"
+	StatePulling   PullerState = "pulling"
+	StateVerifying PullerState = "verifying"
+	StateSwapping  PullerState = "swapping"
+)
+
+// Status is a point-in-time snapshot of the puller, surfaced in the
+// replica's /stats so fleet-wide version skew is observable.
+type Status struct {
+	State PullerState `json:"state"`
+	// WriterVersion is the newest version the writer has announced (or
+	// the puller has seen on a poll); comparing it to the serving version
+	// gives the replica's skew.
+	WriterVersion uint64 `json:"writer_version"`
+	// Pulls counts completed pull+verify+swap cycles; Failures the
+	// cycles that errored (each retried on the next notify or poll).
+	Pulls     uint64 `json:"pulls"`
+	Failures  uint64 `json:"failures"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Puller is the replica half of the state machine. Notify feeds it
+// announcements (from POST /notify), Run drives it (each announcement
+// kicks a sync; a poll interval bounds how stale a replica can get when
+// every notify was lost), and Sync performs one notify→pull→verify→swap
+// cycle. The caller supplies the two integration points: Current (the
+// serving model's version) and Swap (load the verified spool file and
+// hot-swap it in).
+type Puller struct {
+	// Writer is the writer's base URL (e.g. "http://10.0.0.1:8080").
+	Writer string
+	// Spool is the directory downloaded snapshots land in; the verified
+	// file for version V is spooled as model-v<V>.clsi.
+	Spool string
+	// Current reports the version the replica is serving (0 before the
+	// first model); Swap installs a verified snapshot.
+	Current func() uint64
+	Swap    func(path string, version uint64) error
+	// Client defaults to a client with no overall timeout (model pulls
+	// are long); per-cycle cancellation comes from the Sync context.
+	Client *http.Client
+
+	mu       sync.Mutex
+	status   Status
+	announce Announcement // newest announcement seen (version-monotonic)
+	kick     chan struct{}
+	kickOnce sync.Once
+}
+
+func (p *Puller) client() *http.Client {
+	if p.Client != nil {
+		return p.Client
+	}
+	return http.DefaultClient
+}
+
+func (p *Puller) kickCh() chan struct{} {
+	p.kickOnce.Do(func() { p.kick = make(chan struct{}, 1) })
+	return p.kick
+}
+
+// Notify records an announcement and kicks the Run loop. Announcements
+// older than the newest one seen are absorbed (a reordered notify never
+// regresses the target); the sync itself still only ever pulls the
+// writer's current model.
+func (p *Puller) Notify(a Announcement) {
+	p.mu.Lock()
+	if a.Version > p.announce.Version {
+		p.announce = a
+	}
+	if a.Version > p.status.WriterVersion {
+		p.status.WriterVersion = a.Version
+	}
+	p.mu.Unlock()
+	select {
+	case p.kickCh() <- struct{}{}:
+	default:
+	}
+}
+
+// Status returns the puller's current state and counters.
+func (p *Puller) Status() Status {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.status
+}
+
+func (p *Puller) setState(s PullerState) {
+	p.mu.Lock()
+	p.status.State = s
+	p.mu.Unlock()
+}
+
+// Run drives the puller until the context ends: every Notify kicks a
+// Sync immediately, and the poll interval (anti-entropy) bounds how
+// long a replica that missed every notify — it was down, the writer
+// gave up retrying — stays behind. Sync errors are recorded in Status
+// and retried on the next kick or tick.
+func (p *Puller) Run(ctx context.Context, poll time.Duration) {
+	if poll <= 0 {
+		poll = 30 * time.Second
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	// Converge immediately on startup: a restarted replica must not wait
+	// a full poll interval to discover it is behind.
+	_ = p.Sync(ctx)
+	for {
+		select {
+		case <-p.kickCh():
+			_ = p.Sync(ctx)
+		case <-ticker.C:
+			_ = p.Sync(ctx)
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// Sync performs one pull cycle against the writer: fetch /model, bail
+// early unless it is strictly newer than what the replica serves,
+// download into the spool while hashing, verify the SHA-256 against the
+// writer's header (and the announcement that triggered the pull, when
+// one is pending), and hand the verified file to Swap. A nil return
+// means the replica now serves the writer's version — or already did.
+func (p *Puller) Sync(ctx context.Context) error {
+	err := p.sync(ctx)
+	p.mu.Lock()
+	p.status.State = StateIdle
+	if err != nil {
+		p.status.Failures++
+		p.status.LastError = err.Error()
+	} else {
+		p.status.LastError = ""
+	}
+	p.mu.Unlock()
+	return err
+}
+
+func (p *Puller) sync(ctx context.Context) error {
+	p.setState(StatePulling)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.Writer+"/model", nil)
+	if err != nil {
+		return fmt.Errorf("replicate: %w", err)
+	}
+	resp, err := p.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("replicate: pull: %w", err)
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("replicate: pull: writer answered %s", resp.Status)
+	}
+	version, err := strconv.ParseUint(resp.Header.Get(VersionHeader), 10, 64)
+	if err != nil || version == 0 {
+		return fmt.Errorf("replicate: pull: bad %s header %q", VersionHeader, resp.Header.Get(VersionHeader))
+	}
+	wantSum := resp.Header.Get(SumHeader)
+	if wantSum == "" {
+		return fmt.Errorf("replicate: pull: writer sent no %s header", SumHeader)
+	}
+
+	p.mu.Lock()
+	if version > p.status.WriterVersion {
+		p.status.WriterVersion = version
+	}
+	pending := p.announce
+	p.mu.Unlock()
+
+	// Monotonic guard, before a single body byte is read: a slow
+	// follower that raced a newer local swap, or a writer that restarted
+	// on an older model, never drags the replica backwards.
+	if cur := p.Current(); version <= cur {
+		return nil
+	}
+
+	// Download while hashing, into a temp file in the spool so the final
+	// rename is atomic — a replica killed mid-download leaves a .part
+	// file, never a plausible-looking snapshot.
+	if err := os.MkdirAll(p.Spool, 0o755); err != nil {
+		return fmt.Errorf("replicate: spool: %w", err)
+	}
+	tmp, err := os.CreateTemp(p.Spool, "pull-*.part")
+	if err != nil {
+		return fmt.Errorf("replicate: spool: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	h := sha256.New()
+	n, err := io.Copy(io.MultiWriter(tmp, h), resp.Body)
+	if closeErr := tmp.Close(); err == nil {
+		err = closeErr
+	}
+	if err != nil {
+		return fmt.Errorf("replicate: download: %w", err)
+	}
+
+	p.setState(StateVerifying)
+	gotSum := hex.EncodeToString(h.Sum(nil))
+	if gotSum != wantSum {
+		return fmt.Errorf("replicate: verify: downloaded %d bytes hash %s, writer advertised %s (truncated or corrupted transfer)", n, gotSum, wantSum)
+	}
+	if pending.Version == version && pending.Fingerprint != "" && pending.Fingerprint != gotSum {
+		return fmt.Errorf("replicate: verify: version %d hash %s does not match announced fingerprint %s", version, gotSum, pending.Fingerprint)
+	}
+
+	final := filepath.Join(p.Spool, fmt.Sprintf("model-v%d.clsi", version))
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return fmt.Errorf("replicate: spool: %w", err)
+	}
+
+	p.setState(StateSwapping)
+	if err := p.Swap(final, version); err != nil {
+		return fmt.Errorf("replicate: swap v%d: %w", version, err)
+	}
+	p.mu.Lock()
+	p.status.Pulls++
+	p.mu.Unlock()
+	return nil
+}
+
+func writeJSONError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

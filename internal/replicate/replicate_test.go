@@ -1,0 +1,371 @@
+package replicate
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeModel writes a model-file stand-in to dir and returns its path.
+// Replication never parses model bytes — verification is pure SHA-256 —
+// so any payload exercises the full plane.
+func fakeModel(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// testReplica is a minimal replica: an atomic serving version and a
+// record of swapped files.
+type testReplica struct {
+	version atomic.Uint64
+	mu      sync.Mutex
+	swapped []string
+}
+
+func (r *testReplica) current() uint64 { return r.version.Load() }
+
+func (r *testReplica) swap(path string, version uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.swapped = append(r.swapped, path)
+	r.version.Store(version)
+	return nil
+}
+
+func newWriter(t *testing.T, pub *Publisher) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /model", pub.ServeModel)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestPullVerifySwap(t *testing.T) {
+	dir := t.TempDir()
+	model := fakeModel(t, dir, "model.clsi", "model bytes v1")
+	var pub Publisher
+	published, err := pub.Publish(7, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if published.Fingerprint == "" || published.Size != int64(len("model bytes v1")) {
+		t.Fatalf("published = %+v", published)
+	}
+	srv := newWriter(t, &pub)
+
+	rep := &testReplica{}
+	p := &Puller{Writer: srv.URL, Spool: filepath.Join(dir, "spool"), Current: rep.current, Swap: rep.swap}
+	p.Notify(Announcement{Version: 7, Fingerprint: published.Fingerprint})
+	if err := p.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if rep.current() != 7 {
+		t.Fatalf("replica at version %d, want 7", rep.current())
+	}
+	want := filepath.Join(dir, "spool", "model-v7.clsi")
+	if got, err := os.ReadFile(want); err != nil || string(got) != "model bytes v1" {
+		t.Fatalf("spool file %q: %v %q", want, err, got)
+	}
+	st := p.Status()
+	if st.Pulls != 1 || st.Failures != 0 || st.WriterVersion != 7 || st.State != StateIdle {
+		t.Fatalf("status = %+v", st)
+	}
+
+	// Re-sync with nothing new: monotonic guard makes it a no-op.
+	if err := p.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Status(); st.Pulls != 1 {
+		t.Fatalf("no-op sync pulled: %+v", st)
+	}
+}
+
+// TestTruncatedTransferFailsVerification: a writer (or network) that
+// cuts the body short must not produce a swap — the hash disagrees with
+// the advertised fingerprint and the cycle fails, leaving no canonical
+// spool file behind.
+func TestTruncatedTransferFailsVerification(t *testing.T) {
+	dir := t.TempDir()
+	model := fakeModel(t, dir, "model.clsi", "the whole model payload")
+	var pub Publisher
+	published, err := pub.Publish(3, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /model", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(VersionHeader, "3")
+		w.Header().Set(SumHeader, published.Fingerprint)
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("the whole mod")) // truncated
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	rep := &testReplica{}
+	spool := filepath.Join(dir, "spool")
+	p := &Puller{Writer: srv.URL, Spool: spool, Current: rep.current, Swap: rep.swap}
+	err = p.Sync(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "verify") {
+		t.Fatalf("err = %v, want verification failure", err)
+	}
+	if rep.current() != 0 || len(rep.swapped) != 0 {
+		t.Fatal("truncated transfer reached the swap")
+	}
+	if _, err := os.Stat(filepath.Join(spool, "model-v3.clsi")); !os.IsNotExist(err) {
+		t.Fatalf("unverified bytes reached the canonical spool name (err=%v)", err)
+	}
+	if leftovers, _ := filepath.Glob(filepath.Join(spool, "*.part")); len(leftovers) != 0 {
+		t.Fatalf("temp files not cleaned up: %v", leftovers)
+	}
+	if st := p.Status(); st.Failures != 1 || st.LastError == "" {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+// TestAnnouncementFingerprintMismatch: when the pull matches the
+// writer's headers but not the announcement that triggered it (a writer
+// republished version V with different bytes — a lineage fork), the
+// replica refuses the swap.
+func TestAnnouncementFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	model := fakeModel(t, dir, "model.clsi", "forked bytes")
+	var pub Publisher
+	if _, err := pub.Publish(5, model); err != nil {
+		t.Fatal(err)
+	}
+	srv := newWriter(t, &pub)
+
+	rep := &testReplica{}
+	p := &Puller{Writer: srv.URL, Spool: filepath.Join(dir, "spool"), Current: rep.current, Swap: rep.swap}
+	p.Notify(Announcement{Version: 5, Fingerprint: strings.Repeat("ab", 32)})
+	err := p.Sync(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "announced fingerprint") {
+		t.Fatalf("err = %v, want announcement mismatch", err)
+	}
+	if len(rep.swapped) != 0 {
+		t.Fatal("forked model reached the swap")
+	}
+}
+
+// TestMonotonicGuard: a replica already serving version 9 discards a
+// writer still on 7 — announcements and pulls never roll a follower
+// back, and reordered notifies are absorbed.
+func TestMonotonicGuard(t *testing.T) {
+	dir := t.TempDir()
+	model := fakeModel(t, dir, "model.clsi", "old model")
+	var pub Publisher
+	published, err := pub.Publish(7, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newWriter(t, &pub)
+
+	rep := &testReplica{}
+	rep.version.Store(9)
+	p := &Puller{Writer: srv.URL, Spool: filepath.Join(dir, "spool"), Current: rep.current, Swap: rep.swap}
+	p.Notify(Announcement{Version: 9, Fingerprint: "x"})
+	p.Notify(Announcement{Version: 7, Fingerprint: published.Fingerprint}) // reordered: older after newer
+	if st := p.Status(); st.WriterVersion != 9 {
+		t.Fatalf("reordered notify regressed WriterVersion: %+v", st)
+	}
+	if err := p.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.swapped) != 0 {
+		t.Fatal("monotonic guard let an older model swap in")
+	}
+	if st := p.Status(); st.Pulls != 0 || st.Failures != 0 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+// TestPublisherRefusesRollback: the writer-side mirror of the monotonic
+// guard.
+func TestPublisherRefusesRollback(t *testing.T) {
+	dir := t.TempDir()
+	var pub Publisher
+	if _, err := pub.Publish(4, fakeModel(t, dir, "a", "aaa")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Publish(3, fakeModel(t, dir, "b", "bbb")); err == nil {
+		t.Fatal("publisher accepted a version rollback")
+	}
+	if cur, ok := pub.Current(); !ok || cur.Version != 4 {
+		t.Fatalf("current = %+v, %v", cur, ok)
+	}
+}
+
+func TestServeModelBeforePublish(t *testing.T) {
+	var pub Publisher
+	srv := newWriter(t, &pub)
+	resp, err := http.Get(srv.URL + "/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestRunConvergesSlowFollower: a follower that missed intermediate
+// versions converges straight to the writer's newest on the next kick —
+// and a restarted puller (fresh state over the same spool) converges
+// again after the writer moves on.
+func TestRunConvergesSlowFollower(t *testing.T) {
+	dir := t.TempDir()
+	var pub Publisher
+	published, err := pub.Publish(2, fakeModel(t, dir, "v2.clsi", "model v2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newWriter(t, &pub)
+
+	rep := &testReplica{}
+	spool := filepath.Join(dir, "spool")
+	p := &Puller{Writer: srv.URL, Spool: spool, Current: rep.current, Swap: rep.swap}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); p.Run(ctx, time.Hour) }()
+
+	waitVersion := func(want uint64) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for rep.current() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("replica stuck at %d, want %d (status %+v)", rep.current(), want, p.Status())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	// Run's startup sync converges without any notify (restart recovery).
+	waitVersion(2)
+
+	// The writer advances twice; the follower only hears about the last
+	// one (the v3 notify was "lost") and must land on v4 directly.
+	if _, err := pub.Publish(3, fakeModel(t, dir, "v3.clsi", "model v3")); err != nil {
+		t.Fatal(err)
+	}
+	published, err = pub.Publish(4, fakeModel(t, dir, "v4.clsi", "model v4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Notify(Announcement{Version: 4, Fingerprint: published.Fingerprint})
+	waitVersion(4)
+	if got, err := os.ReadFile(filepath.Join(spool, "model-v4.clsi")); err != nil || string(got) != "model v4" {
+		t.Fatalf("spool v4: %v %q", err, got)
+	}
+	cancel()
+	<-done
+
+	// "Restart": a brand-new puller over the same spool, seeded with the
+	// version the replica already serves. It must no-op until the writer
+	// moves, then converge again.
+	p2 := &Puller{Writer: srv.URL, Spool: spool, Current: rep.current, Swap: rep.swap}
+	if err := p2.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := p2.Status(); st.Pulls != 0 {
+		t.Fatalf("restarted puller re-pulled a current model: %+v", st)
+	}
+	if _, err := pub.Publish(5, fakeModel(t, dir, "v5.clsi", "model v5")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if rep.current() != 5 {
+		t.Fatalf("restarted puller stuck at %d, want 5", rep.current())
+	}
+}
+
+// TestSwapFailureRetries: a replica whose swap dies (killed mid-swap)
+// records the failure and completes the cycle on the next sync.
+func TestSwapFailureRetries(t *testing.T) {
+	dir := t.TempDir()
+	var pub Publisher
+	if _, err := pub.Publish(2, fakeModel(t, dir, "m.clsi", "model")); err != nil {
+		t.Fatal(err)
+	}
+	srv := newWriter(t, &pub)
+
+	rep := &testReplica{}
+	var fail atomic.Bool
+	fail.Store(true)
+	p := &Puller{
+		Writer:  srv.URL,
+		Spool:   filepath.Join(dir, "spool"),
+		Current: rep.current,
+		Swap: func(path string, version uint64) error {
+			if fail.Load() {
+				return os.ErrClosed // stand-in for a crash mid-swap
+			}
+			return rep.swap(path, version)
+		},
+	}
+	if err := p.Sync(context.Background()); err == nil {
+		t.Fatal("want swap failure")
+	}
+	if st := p.Status(); st.Failures != 1 || st.Pulls != 0 {
+		t.Fatalf("status = %+v", st)
+	}
+	fail.Store(false)
+	if err := p.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if rep.current() != 2 {
+		t.Fatalf("replica at %d after retry, want 2", rep.current())
+	}
+}
+
+// TestNotifierBroadcast: all targets receive the announcement; dead
+// targets come back as errors without blocking live ones.
+func TestNotifierBroadcast(t *testing.T) {
+	var got atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /notify", func(w http.ResponseWriter, r *http.Request) {
+		var a Announcement
+		if err := jsonDecode(r, &a); err != nil || a.Version != 12 {
+			t.Errorf("bad announcement: %+v err=%v", a, err)
+		}
+		got.Add(1)
+		w.WriteHeader(http.StatusAccepted)
+	})
+	live1 := httptest.NewServer(mux)
+	defer live1.Close()
+	live2 := httptest.NewServer(mux)
+	defer live2.Close()
+
+	n := &Notifier{
+		Targets: []string{live1.URL, live2.URL, "http://127.0.0.1:1"},
+		Client:  &http.Client{Timeout: time.Second},
+		Retries: 1,
+	}
+	errs := n.Broadcast(context.Background(), Announcement{Version: 12, Fingerprint: "f"})
+	if got.Load() != 2 {
+		t.Fatalf("live targets notified %d times, want 2", got.Load())
+	}
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "127.0.0.1:1") {
+		t.Fatalf("errs = %v, want exactly the dead target", errs)
+	}
+}
+
+func jsonDecode(r *http.Request, v any) error {
+	defer r.Body.Close()
+	return json.NewDecoder(r.Body).Decode(v)
+}

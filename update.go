@@ -136,6 +136,23 @@ func NewIndex(ctx context.Context, src Source, opts ...BuildOption) (*Index, err
 // is needed.
 func (idx *Index) Snapshot() *Engine { return idx.cur.Load() }
 
+// TagSupport reports, for every tag with at least one live assignment,
+// how many assignments currently carry it (keys use the same tag
+// case-folding the cleaning pass applies). It is the per-tag support
+// the streaming drift signal measures pending changes against; the
+// scan is O(live corpus) under the Apply lock.
+func (idx *Index) TagSupport() map[string]int {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	support := make(map[string]int)
+	for a, alive := range idx.log.live {
+		if alive {
+			support[a.Tag]++
+		}
+	}
+	return support
+}
+
 // Apply folds an assignment delta into the corpus and publishes a new
 // engine snapshot: the tensor is rebuilt from the updated assignment
 // log, the ALS decomposition warm-starts from the previous factor
