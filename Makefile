@@ -3,13 +3,26 @@ GO ?= go
 # Preset for the tracked offline benchmark; CI smoke-tests with tiny.
 BENCH_PRESET ?= lastfm
 
-.PHONY: build test bench bench-smoke vet fmt fuzz lint e2e-distrib e2e-replicate
+.PHONY: build test bench bench-smoke vet vet-custom check fmt fuzz lint e2e-distrib e2e-replicate
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# vet-custom runs the repo's own analyzer suite (docs/ANALYSIS.md):
+# cubelsivet enforces the determinism, concurrency and serving
+# invariants that generic linters cannot see. It is driven through the
+# real `go vet -vettool` protocol, so findings come with standard
+# file:line positions and results are cached per package.
+vet-custom:
+	$(GO) build -o bin/cubelsivet ./cmd/cubelsivet
+	$(GO) vet -vettool=$(abspath bin/cubelsivet) ./...
+
+# check is the full local gate: formatting idiom, both vet suites,
+# lint, and the race-enabled tests.
+check: vet-custom lint test
 
 # lint mirrors the CI lint job (.golangci.yml); falls back to go vet
 # when golangci-lint is not installed locally.

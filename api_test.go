@@ -238,7 +238,7 @@ func TestNonASCIILowercasing(t *testing.T) {
 	// strings.ToLower folds non-ASCII letters; the old ASCII-only helper
 	// treated "MÜNCHEN" and "münchen" as distinct tags.
 	var assignments []Assignment
-	for ui := 0; ui < 6; ui++ {
+	for ui := range 6 {
 		u := "u" + string(rune('a'+ui))
 		upper, lower := "MÜNCHEN", "münchen"
 		tag := upper

@@ -49,7 +49,7 @@ func getBenchSetup(b *testing.B) *experiments.Setup {
 func BenchmarkTable1_PairJudgments(b *testing.B) {
 	s := getBenchSetup(b)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for range b.N {
 		experiments.Table1(s, 3)
 	}
 }
@@ -61,7 +61,7 @@ func BenchmarkTable2_CleaningPipeline(b *testing.B) {
 	s := getBenchSetup(b)
 	raw := s.Corpus.Raw
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for range b.N {
 		tagging.Clean(raw, tagging.DefaultCleanOptions())
 	}
 }
@@ -73,7 +73,7 @@ func BenchmarkTable3_TagDistanceAccuracy(b *testing.B) {
 	dists := s.Pipeline().Distances
 	tax := s.Corpus.Gen.Taxonomy
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for range b.N {
 		eval.TagDistanceAccuracy(s.Corpus.Clean, dists, tax)
 	}
 }
@@ -85,7 +85,7 @@ func BenchmarkTable4_ConceptDistillation(b *testing.B) {
 	dists := s.Pipeline().Distances
 	opts := s.SpectralOpts()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for range b.N {
 		cluster.Spectral(dists, opts)
 	}
 }
@@ -97,7 +97,7 @@ func BenchmarkTable5_CubeLSIPreprocessing(b *testing.B) {
 	s := getBenchSetup(b)
 	ds := s.Corpus.Clean
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for range b.N {
 		f := ds.Tensor()
 		dec := tucker.Decompose(f, tucker.Options{
 			J1: s.J1, J2: s.J2, J3: s.J3, MaxSweeps: s.Sweeps, Seed: uint64(s.Seed),
@@ -112,7 +112,7 @@ func BenchmarkTable5_CubeSimDensePreprocessing(b *testing.B) {
 	s := getBenchSetup(b)
 	f := s.Corpus.Clean.Tensor()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for range b.N {
 		distance.CubeSimDense(f, nil)
 	}
 }
@@ -124,7 +124,7 @@ func BenchmarkTable6_QueryCubeLSI(b *testing.B) {
 	p := s.Pipeline()
 	queries := s.Queries()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for i := range b.N {
 		p.Query(queries[i%len(queries)].Tags, 20)
 	}
 }
@@ -136,7 +136,7 @@ func BenchmarkTable6_QueryFolkRank(b *testing.B) {
 	ranker := pickRanker(s, "FolkRank")
 	queries := s.Queries()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for i := range b.N {
 		ranker.Query(queries[i%len(queries)].Tags, 20)
 	}
 }
@@ -146,7 +146,7 @@ func BenchmarkTable6_QueryFolkRank(b *testing.B) {
 func BenchmarkTable7_MemoryAccounting(b *testing.B) {
 	s := getBenchSetup(b)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for range b.N {
 		experiments.Table7(s)
 	}
 }
@@ -164,7 +164,7 @@ func BenchmarkFigure4_NDCGWorkload(b *testing.B) {
 	judge := func(qi, r int) int { return s.Corpus.Relevance(queries[qi], r) }
 	n := s.Corpus.Clean.Resources.Len()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for range b.N {
 		eval.NDCGCurve(ranker, tagLists, judge, n, experiments.Figure4Cutoffs)
 	}
 }
@@ -177,7 +177,7 @@ func BenchmarkFigure5_DecompositionAtRatio(b *testing.B) {
 	st := s.Corpus.Clean.Stats()
 	j1, j2, j3 := tucker.FromRatios(st.Users, st.Tags, st.Resources, 8, 8, 8)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for range b.N {
 		if _, err := core.Build(context.Background(), s.Corpus.Clean, core.Options{
 			Tucker:   tucker.Options{J1: j1, J2: j2, J3: j3, MaxSweeps: s.Sweeps, Seed: uint64(s.Seed)},
 			Spectral: cluster.SpectralOptions{K: minIntBench(s.K, j2), Seed: s.Seed},
@@ -205,7 +205,7 @@ func BenchmarkEngineBuild(b *testing.B) {
 	cfg.MinSupport = 2
 	cfg.Seed = 7
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for range b.N {
 		if _, err := New(assignments, cfg); err != nil {
 			b.Fatal(err)
 		}
@@ -234,7 +234,7 @@ func BenchmarkEngineSearch(b *testing.B) {
 	}
 	tags := eng.Tags()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for i := range b.N {
 		eng.Search([]string{tags[i%len(tags)]}, 10)
 	}
 }

@@ -93,7 +93,7 @@ func benchANNPoint(params datagen.Params) annPoint {
 
 	rng := rand.New(rand.NewSource(params.Seed))
 	bases := mat.New(k, k2)
-	for c := 0; c < k; c++ {
+	for c := range k {
 		row := bases.Row(c)
 		for j := range row {
 			row[j] = rng.NormFloat64()
@@ -101,7 +101,7 @@ func benchANNPoint(params datagen.Params) annPoint {
 	}
 	m := mat.New(n, k2)
 	assign := make([]int, n)
-	for t := 0; t < n; t++ {
+	for t := range n {
 		c := rng.Intn(k)
 		if gt := corpus.TagConcepts[t]; len(gt) > 0 {
 			c = gt[0]

@@ -26,17 +26,17 @@ func testAssignments() (base, delta []cubelsi.Assignment) {
 	}
 	musicTags := []string{"audio", "mp3", "songs"}
 	codeTags := []string{"code", "golang", "compiler"}
-	for ui := 0; ui < 6; ui++ {
+	for ui := range 6 {
 		u := fmt.Sprintf("mu%d", ui)
-		for ti := 0; ti < 2; ti++ {
+		for ti := range 2 {
 			for _, r := range []string{"m1", "m2", "m3", "m4"} {
 				add(u, musicTags[(ui+ti)%3], r)
 			}
 		}
 	}
-	for ui := 0; ui < 6; ui++ {
+	for ui := range 6 {
 		u := fmt.Sprintf("cu%d", ui)
-		for ti := 0; ti < 2; ti++ {
+		for ti := range 2 {
 			for _, r := range []string{"c1", "c2", "c3", "c4"} {
 				add(u, codeTags[(ui+ti)%3], r)
 			}
@@ -322,7 +322,7 @@ func TestConcurrentSearchWithUpdateAndReload(t *testing.T) {
 		ts := httptest.NewServer(newLifecycleServer(nil, idx, ""))
 		defer ts.Close()
 		hammer(t, ts, func() {
-			for round := 0; round < 3; round++ {
+			for round := range 3 {
 				d := cubelsi.Delta{Add: delta}
 				if round%2 == 1 {
 					d = cubelsi.Delta{Remove: delta}
@@ -355,7 +355,7 @@ func TestConcurrentSearchWithUpdateAndReload(t *testing.T) {
 		ts := httptest.NewServer(newLifecycleServer(eng, nil, paths[0]))
 		defer ts.Close()
 		hammer(t, ts, func() {
-			for round := 0; round < 6; round++ {
+			for round := range 6 {
 				if resp, raw := postJSON(t, ts, "/reload", reloadRequest{Model: paths[round%2]}); resp.StatusCode != http.StatusOK {
 					t.Errorf("reload status %d: %s", resp.StatusCode, raw)
 					return
@@ -404,7 +404,7 @@ func hammer(t *testing.T, ts *httptest.Server, writer func()) {
 	var stop atomic.Bool
 	var maxSeen atomic.Uint64
 	var wg sync.WaitGroup
-	for r := 0; r < 3; r++ {
+	for range 3 {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

@@ -24,17 +24,17 @@ func buildTestEngine(t *testing.T) (built, loaded *cubelsi.Engine) {
 	}
 	musicTags := []string{"audio", "mp3", "songs"}
 	codeTags := []string{"code", "golang", "compiler"}
-	for ui := 0; ui < 6; ui++ {
+	for ui := range 6 {
 		u := fmt.Sprintf("mu%d", ui)
-		for ti := 0; ti < 2; ti++ {
+		for ti := range 2 {
 			for _, r := range []string{"m1", "m2", "m3", "m4"} {
 				add(u, musicTags[(ui+ti)%3], r)
 			}
 		}
 	}
-	for ui := 0; ui < 6; ui++ {
+	for ui := range 6 {
 		u := fmt.Sprintf("cu%d", ui)
-		for ti := 0; ti < 2; ti++ {
+		for ti := range 2 {
 			for _, r := range []string{"c1", "c2", "c3", "c4"} {
 				add(u, codeTags[(ui+ti)%3], r)
 			}

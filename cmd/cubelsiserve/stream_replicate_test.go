@@ -441,7 +441,7 @@ func TestStreamUnderReadTraffic(t *testing.T) {
 	_, ts := newStreamServer(t)
 	_, delta := testAssignments()
 	hammer(t, ts, func() {
-		for round := 0; round < 3; round++ {
+		for round := range 3 {
 			body := ndjson(delta, fmt.Sprintf("hammer-%d", round), 1)
 			resp, raw := postNDJSON(t, ts, "/stream?flush=1", body)
 			if resp.StatusCode != http.StatusOK {

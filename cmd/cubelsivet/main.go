@@ -1,0 +1,46 @@
+// Command cubelsivet is the repository's custom vet tool: the five
+// analyzers under internal/analysis assembled behind the `go vet`
+// vettool protocol.
+//
+// Usage:
+//
+//	go build -o bin/cubelsivet ./cmd/cubelsivet
+//	go vet -vettool=bin/cubelsivet ./...
+//
+// or, equivalently, let the tool re-exec go vet itself:
+//
+//	bin/cubelsivet ./...
+//
+// Individual analyzers can be switched off (-maporder=false) and
+// configured (-ctxflow.pkgs=..., -errenvelope.pkgs=...) through the
+// usual vet flag syntax. `make vet-custom` builds and runs it over the
+// whole repository; CI keeps it green.
+//
+// The invariants enforced, one analyzer each — see docs/ANALYSIS.md
+// for the full story and the suppression policy:
+//
+//	maporder      map iteration must not feed order-sensitive state
+//	seededrand    randomness flows through explicitly seeded *rand.Rand
+//	ctxflow       pipeline/fleet entry points accept and thread contexts
+//	errenvelope   service errors stay inside the internal/httpx envelope
+//	snapshotswap  atomic.Pointer snapshots move only via Load/Store/CAS
+package main
+
+import (
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/errenvelope"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/seededrand"
+	"repro/internal/analysis/snapshotswap"
+	"repro/internal/analysis/unitchecker"
+)
+
+func main() {
+	unitchecker.Main(
+		maporder.Analyzer,
+		seededrand.Analyzer,
+		ctxflow.Analyzer,
+		errenvelope.Analyzer,
+		snapshotswap.Analyzer,
+	)
+}

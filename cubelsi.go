@@ -250,7 +250,7 @@ func (e *Engine) relatedTags(tag string, n, nprobe int) ([]RelatedTag, error) {
 		nb = e.emb.NearestK(id, n)
 	default:
 		nb = make([]embed.Neighbor, 0, e.tags.Len()-1)
-		for j := 0; j < e.tags.Len(); j++ {
+		for j := range e.tags.Len() {
 			if j == id {
 				continue
 			}

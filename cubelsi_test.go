@@ -15,19 +15,19 @@ func corpus() []Assignment {
 	codeTags := []string{"code", "golang", "compiler"}
 	musicRes := []string{"m1", "m2", "m3", "m4"}
 	codeRes := []string{"c1", "c2", "c3", "c4"}
-	for ui := 0; ui < 6; ui++ {
+	for ui := range 6 {
 		u := "mu" + string(rune('a'+ui))
 		// Each music user uses two of the three synonyms.
-		for ti := 0; ti < 2; ti++ {
+		for ti := range 2 {
 			tag := musicTags[(ui+ti)%3]
 			for _, r := range musicRes {
 				add(u, tag, r)
 			}
 		}
 	}
-	for ui := 0; ui < 6; ui++ {
+	for ui := range 6 {
 		u := "cu" + string(rune('a'+ui))
-		for ti := 0; ti < 2; ti++ {
+		for ti := range 2 {
 			tag := codeTags[(ui+ti)%3]
 			for _, r := range codeRes {
 				add(u, tag, r)

@@ -18,9 +18,9 @@ func exampleCorpus() []cubelsi.Assignment {
 	add := func(u, t, r string) { out = append(out, cubelsi.Assignment{User: u, Tag: t, Resource: r}) }
 	music := []string{"audio", "mp3", "songs"}
 	code := []string{"code", "golang", "compiler"}
-	for ui := 0; ui < 6; ui++ {
+	for ui := range 6 {
 		mu, cu := fmt.Sprintf("mu%d", ui), fmt.Sprintf("cu%d", ui)
-		for ti := 0; ti < 2; ti++ {
+		for ti := range 2 {
 			for _, r := range []string{"m1", "m2", "m3", "m4"} {
 				add(mu, music[(ui+ti)%3], r)
 			}

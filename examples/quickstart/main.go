@@ -25,17 +25,17 @@ func main() {
 	}
 	musicTags := []string{"audio", "mp3", "songs"}
 	codeTags := []string{"code", "golang", "compiler"}
-	for ui := 0; ui < 6; ui++ {
+	for ui := range 6 {
 		u := fmt.Sprintf("musicfan%d", ui)
-		for ti := 0; ti < 2; ti++ {
+		for ti := range 2 {
 			for _, r := range []string{"track-a", "track-b", "track-c", "track-d"} {
 				add(u, musicTags[(ui+ti)%3], r)
 			}
 		}
 	}
-	for ui := 0; ui < 6; ui++ {
+	for ui := range 6 {
 		u := fmt.Sprintf("gopher%d", ui)
-		for ti := 0; ti < 2; ti++ {
+		for ti := range 2 {
 			for _, r := range []string{"repo-a", "repo-b", "repo-c", "repo-d"} {
 				add(u, codeTags[(ui+ti)%3], r)
 			}

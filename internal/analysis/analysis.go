@@ -1,0 +1,118 @@
+// Package analysis is a dependency-free mirror of the core of
+// golang.org/x/tools/go/analysis: just enough Analyzer/Pass/Diagnostic
+// machinery to write the project's custom vet checks without pulling
+// x/tools into the module graph. The build environment for this repo is
+// hermetic (no module proxy), so the framework is reimplemented on the
+// standard library; the shapes are kept deliberately close to the
+// upstream API so analyzers could migrate to x/tools verbatim if the
+// dependency ever becomes available.
+//
+// The analyzers themselves live in subpackages (maporder, seededrand,
+// ctxflow, errenvelope, snapshotswap); cmd/cubelsivet assembles them
+// into a `go vet -vettool=` compatible binary via the unitchecker
+// subpackage, and the analysistest subpackage runs them over testdata
+// packages with `// want` expectations.
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check: a name (also the suppression key
+// for //lint:ignore), user-facing documentation, optional flags, and
+// the Run function applied once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, flags
+	// (-name.flag=value under the vettool) and //lint:ignore
+	// directives. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the help text: first sentence is the summary, the rest
+	// explains the invariant the analyzer encodes.
+	Doc string
+
+	// Flags holds analyzer-specific flags. The unitchecker registers
+	// them prefixed with the analyzer name.
+	Flags flag.FlagSet
+
+	// Run applies the analyzer to one package and reports diagnostics
+	// through pass.Report. The returned value is ignored by this
+	// driver (kept for x/tools API symmetry).
+	Run func(*Pass) (any, error)
+}
+
+// Pass bundles everything an analyzer may inspect about one package:
+// parsed files, type information, and the Report sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Drivers install it; analyzers
+	// should prefer Reportf.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos falls in a _test.go file. The
+// project's determinism invariants bind library code only — tests are
+// free to range over maps or use whatever randomness they like.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// NewInfo returns a types.Info with every map analyzers rely on
+// allocated. Drivers must use it so that Selections, Uses etc. are
+// never nil at analysis time.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// PathHasSuffix reports whether an import path ends with the given
+// slash-separated suffix on a path-segment boundary: "internal/core"
+// matches "repro/internal/core" and "internal/core" but not
+// "internal/encore". Analyzers use it to scope invariants to the
+// packages that carry them, independent of the module name.
+func PathHasSuffix(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	return strings.HasSuffix(path, "/"+suffix)
+}
+
+// PathMatchesAny reports whether path matches any comma-separated
+// suffix in list (see PathHasSuffix). An empty list matches nothing.
+func PathMatchesAny(path, list string) bool {
+	for _, suffix := range strings.Split(list, ",") {
+		suffix = strings.TrimSpace(suffix)
+		if suffix != "" && PathHasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
+}

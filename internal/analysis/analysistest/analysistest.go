@@ -1,0 +1,224 @@
+// Package analysistest runs an analyzer over a testdata package and
+// checks its diagnostics against `// want` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// alone.
+//
+// A testdata package lives at <dir>/testdata/src/<pkgpath> and may
+// import anything from the standard library; imports are resolved from
+// the gc export data the toolchain has already built (via
+// `go list -export`), so tests run hermetically and fast.
+//
+// Expectations are trailing comments on the offending line:
+//
+//	for k := range m { // want `feeds order-sensitive`
+//
+// The text between backquotes (or double quotes) is a regular
+// expression matched against the analyzer's message for a diagnostic
+// reported on that line. Every want must be matched by exactly one
+// diagnostic and every diagnostic must match a want; anything else
+// fails the test with a precise complaint.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRx extracts the expectation pattern from a `// want` comment.
+// Both `// want `+"`rx`"+“ and `// want "rx"` spellings are accepted,
+// and several expectations may sit in one comment.
+var wantRx = regexp.MustCompile("// *want +((`[^`]*`|\"[^\"]*\")( +|$))+")
+
+var exportData struct {
+	once sync.Once
+	m    map[string]string
+	err  error
+}
+
+// stdExports maps stdlib import paths to gc export data files,
+// computed once per test process. `go list -export -deps std` serves
+// entirely from the local build cache — no network, no GOPATH writes
+// beyond the ordinary cache.
+func stdExports() (map[string]string, error) {
+	exportData.once.Do(func() {
+		out, err := exec.Command("go", "list", "-export", "-deps", "-f", "{{.ImportPath}}={{.Export}}", "std").Output()
+		if err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				err = fmt.Errorf("go list -export std: %v\n%s", err, ee.Stderr)
+			}
+			exportData.err = err
+			return
+		}
+		m := make(map[string]string)
+		for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+			if path, file, ok := strings.Cut(line, "="); ok && file != "" {
+				m[path] = file
+			}
+		}
+		exportData.m = m
+	})
+	return exportData.m, exportData.err
+}
+
+// Run loads the package at dir/testdata/src/<pkgpath>, applies the
+// analyzer, and reports every mismatch between diagnostics and the
+// package's `// want` expectations as test errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+
+	srcdir := filepath.Join(dir, "testdata", "src", filepath.FromSlash(pkgpath))
+	entries, err := os.ReadDir(srcdir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(srcdir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("analysistest: parse: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("analysistest: no Go files in %s", srcdir)
+	}
+
+	exports, err := stdExports()
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("testdata packages may only import the standard library; no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	info := analysis.NewInfo()
+	pkg, err := conf.Check(pkgpath, fset, files, info)
+	if err != nil {
+		t.Fatalf("analysistest: typecheck %s: %v", pkgpath, err)
+	}
+
+	// Collect diagnostics, keyed by file:line.
+	type diag struct {
+		line int
+		msg  string
+		used bool
+	}
+	byFile := make(map[string][]*diag)
+	sup := analysis.NewSuppressor(fset, files)
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report: func(d analysis.Diagnostic) {
+			if sup.Suppressed(a.Name, d.Pos) {
+				return
+			}
+			p := fset.Position(d.Pos)
+			byFile[p.Filename] = append(byFile[p.Filename], &diag{line: p.Line, msg: d.Message})
+		},
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: analyzer %s: %v", a.Name, err)
+	}
+
+	// Collect expectations from // want comments.
+	type want struct {
+		file string
+		line int
+		rx   *regexp.Regexp
+		used bool
+	}
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRx.FindString(c.Text)
+				if m == "" {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				body := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(strings.TrimPrefix(m, "//")), "want"))
+				for _, pat := range splitPatterns(body) {
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", p.Filename, p.Line, pat, err)
+					}
+					wants = append(wants, &want{file: p.Filename, line: p.Line, rx: rx})
+				}
+			}
+		}
+	}
+
+	// Match them up.
+	for _, w := range wants {
+		for _, d := range byFile[w.file] {
+			if !d.used && d.line == w.line && w.rx.MatchString(d.msg) {
+				d.used, w.used = true, true
+				break
+			}
+		}
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+	var leftover []string
+	for file, ds := range byFile {
+		for _, d := range ds {
+			if !d.used {
+				leftover = append(leftover, fmt.Sprintf("%s:%d: unexpected diagnostic: %s", file, d.line, d.msg))
+			}
+		}
+	}
+	sort.Strings(leftover)
+	for _, l := range leftover {
+		t.Error(l)
+	}
+}
+
+// splitPatterns splits the body of a want comment into its quoted
+// patterns: `a` "b" → [a b].
+func splitPatterns(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if len(s) < 2 {
+			return out
+		}
+		q := s[0]
+		if q != '`' && q != '"' {
+			return out
+		}
+		end := strings.IndexByte(s[1:], q)
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[1:1+end])
+		s = s[end+2:]
+	}
+}

@@ -1,0 +1,39 @@
+// Package core (under a targeted import-path suffix) violates the
+// ctxflow invariant in every way the analyzer must catch.
+package core
+
+import (
+	"context"
+	"net/http"
+	"os"
+)
+
+func Fetch(url string) error { // want `exported Fetch does network I/O \(http\.Get\)`
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+func Spawn(work func()) { // want `exported Spawn spawns goroutines`
+	go work()
+}
+
+func Slurp(path string) ([]byte, error) { // want `exported Slurp does file I/O \(os\.ReadFile\)`
+	return os.ReadFile(path)
+}
+
+func rooted() error {
+	ctx := context.Background() // want `context\.Background\(\) roots a new context`
+	return ping(ctx)
+}
+
+func Todo() error {
+	return ping(context.TODO()) // want `context\.TODO\(\) roots a new context`
+}
+
+func ping(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}

@@ -1,0 +1,16 @@
+// Package plain sits outside the -pkgs scope: the same patterns the
+// analyzer rejects in targeted packages must pass silently here.
+package plain
+
+import (
+	"context"
+	"os"
+)
+
+func Slurp(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+func Rooted() context.Context {
+	return context.Background()
+}

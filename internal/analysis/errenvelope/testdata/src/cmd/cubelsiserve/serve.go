@@ -1,0 +1,16 @@
+// Package main (under a service-binary import path) escapes the JSON
+// error envelope in every way errenvelope must catch.
+package main
+
+import "net/http"
+
+func bad(w http.ResponseWriter) {
+	http.Error(w, "nope", http.StatusBadRequest) // want `http\.Error writes a text/plain error outside the JSON envelope`
+	w.WriteHeader(http.StatusInternalServerError) // want `WriteHeader\(500\) emits an error status without the JSON envelope`
+	w.WriteHeader(404)                            // want `WriteHeader\(404\) emits an error status without the JSON envelope`
+}
+
+func named(w http.ResponseWriter) {
+	const overloaded = http.StatusTooManyRequests
+	w.WriteHeader(overloaded) // want `WriteHeader\(429\) emits an error status without the JSON envelope`
+}

@@ -1,0 +1,19 @@
+// Package main (under a service-binary import path) stays inside the
+// envelope: success statuses and runtime-derived codes are legal.
+package main
+
+import "net/http"
+
+func ok(w http.ResponseWriter, retryable bool) {
+	w.WriteHeader(http.StatusOK)
+	w.WriteHeader(204)
+	w.WriteHeader(http.StatusNotModified)
+
+	// A status the handler derives at runtime is the enveloped
+	// helper's business, not this analyzer's.
+	status := http.StatusOK
+	if retryable {
+		status = http.StatusServiceUnavailable
+	}
+	w.WriteHeader(status)
+}

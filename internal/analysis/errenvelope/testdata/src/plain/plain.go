@@ -1,0 +1,10 @@
+// Package plain sits outside the service binaries: raw error responses
+// here are some other package's convention, not this invariant's.
+package plain
+
+import "net/http"
+
+func Raw(w http.ResponseWriter) {
+	http.Error(w, "fine here", http.StatusTeapot)
+	w.WriteHeader(http.StatusBadGateway)
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	pos    token.Pos
+	file   string
+	line   int      // line the directive sits on
+	names  []string // analyzer names it silences ("*" for all)
+	hasWhy bool     // a justification was given
+}
+
+// lintIgnorePrefix is the directive syntax shared with staticcheck and
+// golangci-lint: `//lint:ignore <checks> <reason>`, silencing the named
+// checks on the directive's own line and on the next source line. A
+// reason is mandatory — an unexplained suppression is itself reported.
+const lintIgnorePrefix = "//lint:ignore"
+
+// parseIgnores collects every //lint:ignore directive in the files.
+func parseIgnores(fset *token.FileSet, files []*ast.File) []ignoreDirective {
+	var out []ignoreDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, lintIgnorePrefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				d := ignoreDirective{pos: c.Pos(), file: pos.Filename, line: pos.Line}
+				if len(fields) > 0 {
+					d.names = strings.Split(fields[0], ",")
+					d.hasWhy = len(fields) > 1
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// Suppressor filters diagnostics through the file set's //lint:ignore
+// directives. Build one per package with NewSuppressor, then test each
+// diagnostic with Suppressed.
+type Suppressor struct {
+	fset       *token.FileSet
+	directives []ignoreDirective
+}
+
+// NewSuppressor parses the directives of every file in the package.
+func NewSuppressor(fset *token.FileSet, files []*ast.File) *Suppressor {
+	return &Suppressor{fset: fset, directives: parseIgnores(fset, files)}
+}
+
+// Suppressed reports whether a diagnostic from the named analyzer at
+// pos is silenced by a directive on the same line or the line above
+// (the directive-then-statement layout).
+func (s *Suppressor) Suppressed(name string, pos token.Pos) bool {
+	p := s.fset.Position(pos)
+	for _, d := range s.directives {
+		if d.file != p.Filename || (d.line != p.Line && d.line != p.Line-1) {
+			continue
+		}
+		for _, n := range d.names {
+			if n == name || n == "*" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// MissingReasons returns a diagnostic for every directive that names an
+// analyzer of the suite but gives no justification. The driver reports
+// these so a suppression can never silently drop its "why".
+func (s *Suppressor) MissingReasons(known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range s.directives {
+		if d.hasWhy {
+			continue
+		}
+		for _, n := range d.names {
+			if known[n] || n == "*" {
+				out = append(out, Diagnostic{
+					Pos:     d.pos,
+					Message: "lint:ignore directive needs a reason after the check name",
+				})
+				break
+			}
+		}
+	}
+	return out
+}

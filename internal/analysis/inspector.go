@@ -1,0 +1,39 @@
+package analysis
+
+import "go/ast"
+
+// WithStack walks every file in the pass, calling fn for each node in
+// preorder together with the stack of enclosing nodes (stack[0] is the
+// *ast.File, stack[len-1] is n itself). Returning false from fn prunes
+// the subtree below n. It is the stand-in for the x/tools inspector's
+// WithStack; analyzers that need to know how an expression is being
+// consumed (snapshotswap, maporder) read the parent from the stack.
+func WithStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if !fn(n, stack) {
+				// Pruned: ast.Inspect only delivers the nil pop when fn
+				// returned true, so unwind n here.
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// Parent returns the enclosing node i levels above the top of the
+// stack (Parent(stack, 1) is the immediate parent), or nil when the
+// stack is too short.
+func Parent(stack []ast.Node, i int) ast.Node {
+	if len(stack) <= i {
+		return nil
+	}
+	return stack[len(stack)-1-i]
+}

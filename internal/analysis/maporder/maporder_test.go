@@ -1,0 +1,21 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/maporder"
+)
+
+// TestPositive reproduces the bug class: map ranges feeding appends,
+// float accumulation, string concatenation and output emission.
+func TestPositive(t *testing.T) {
+	analysistest.Run(t, ".", maporder.Analyzer, "a")
+}
+
+// TestNegative covers the blessed patterns: sorted-keys idiom, integer
+// accumulation, map-to-map projection, deterministic min/max selection,
+// slice iteration, and test files.
+func TestNegative(t *testing.T) {
+	analysistest.Run(t, ".", maporder.Analyzer, "b")
+}

@@ -1,0 +1,62 @@
+// Package a holds the order-sensitive map consumption the maporder
+// analyzer must reject.
+package a
+
+import (
+	"fmt"
+	"strings"
+)
+
+func appendFromMap(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to "out" inside range over map`
+	}
+	return out
+}
+
+func appendIndexed(m map[int]float64, buckets [][]float64) {
+	for k, v := range m {
+		buckets[k%2] = append(buckets[k%2], v) // want `append to "buckets" inside range over map`
+	}
+}
+
+func floatAccum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `floating-point accumulation into "total"`
+	}
+	return total
+}
+
+func floatScale(m map[string]float64) float64 {
+	prod := 1.0
+	for _, v := range m {
+		prod *= 1 + v // want `floating-point accumulation into "prod"`
+	}
+	return prod
+}
+
+func concat(m map[string]string) string {
+	s := ""
+	for _, v := range m {
+		s += v // want `string concatenation into "s"`
+	}
+	return s
+}
+
+func emit(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		fmt.Println(k)    // want `fmt.Println inside range over map`
+		sb.WriteString(k) // want `sb.WriteString inside range over map`
+	}
+}
+
+func suppressed(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		//lint:ignore maporder order is scrambled downstream on purpose
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+// Package b holds the order-independent map consumption the maporder
+// analyzer must accept.
+package b
+
+import "sort"
+
+// sortedKeys is the canonical collect-then-sort idiom: the append runs
+// in map order, but the sort right after establishes the real order.
+func sortedKeys(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// intAccum is commutative and associative: order cannot matter.
+func intAccum(m map[string]int) int {
+	var total int
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// project builds a map from a map: no order anywhere.
+func project(m map[string]int) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = float64(v)
+	}
+	return out
+}
+
+// maxSelect picks a maximum with a deterministic key tiebreak: plain
+// assignment, not accumulation.
+func maxSelect(m map[int]int) int {
+	best, bestN := -1, -1
+	for k, n := range m {
+		if n > bestN || (n == bestN && k < best) {
+			best, bestN = k, n
+		}
+	}
+	return best
+}
+
+// sliceAppend ranges a slice, which iterates in index order.
+func sliceAppend(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}
+
+// localAccum accumulates into a variable scoped to the loop body.
+func localAccum(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		var sum float64
+		for _, v := range vs {
+			sum += v
+		}
+		out[k] = sum
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/seededrand"
+)
+
+// TestPositive reproduces the bug class: drawing from the global
+// math/rand source in library code.
+func TestPositive(t *testing.T) {
+	analysistest.Run(t, ".", seededrand.Analyzer, "a")
+}
+
+// TestNegative covers the blessed path: explicitly seeded *rand.Rand
+// built via the constructors.
+func TestNegative(t *testing.T) {
+	analysistest.Run(t, ".", seededrand.Analyzer, "b")
+}

@@ -1,0 +1,23 @@
+// Package a draws from the global math/rand source, which seededrand
+// must reject in library code.
+package a
+
+import "math/rand"
+
+func roll() int {
+	return rand.Intn(6) // want `math/rand.Intn draws from the process-global`
+}
+
+func noise() float64 {
+	return rand.Float64() // want `math/rand.Float64 draws from the process-global`
+}
+
+func scramble(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want `math/rand.Shuffle draws from the process-global`
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+func order(n int) []int {
+	return rand.Perm(n) // want `math/rand.Perm draws from the process-global`
+}

@@ -1,0 +1,21 @@
+// Package b threads an explicitly seeded *rand.Rand, the blessed path
+// seededrand must accept.
+package b
+
+import "math/rand"
+
+func roll(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+func sample(rng *rand.Rand, n int) []int {
+	out := rng.Perm(n)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func heavyTail(rng *rand.Rand, n uint64) uint64 {
+	z := rand.NewZipf(rng, 1.2, 1, n)
+	return z.Uint64()
+}

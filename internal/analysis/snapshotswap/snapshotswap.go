@@ -1,0 +1,116 @@
+// Package snapshotswap defines an Analyzer that restricts how
+// atomic.Pointer values may be touched.
+//
+// The serving plane publishes immutable engine snapshots through
+// atomic.Pointer fields (cubelsi.Index.cur since PR 4, the server's
+// handler.eng, the replica hot-swap in PR 8). The whole concurrency
+// story — readers never lock, writers publish a complete snapshot or
+// nothing — holds only while every access goes through the pointer's
+// own methods. Copying the struct value forks the pointer into a stale
+// private cell, and letting the field's address escape invites plain
+// loads and stores that tear the snapshot protocol.
+//
+// The rule: an expression of type sync/atomic.Pointer[T] may appear
+// only as the receiver of Load, Store, Swap or CompareAndSwap. Taking
+// its address is allowed solely to call one of those methods
+// immediately ((&s.p).Load()). Everything else — assigning the value,
+// passing it or its address to a function, binding a method value,
+// returning it — is reported. Declarations (the type expression in a
+// field or var) are of course fine, and test files are exempt.
+package snapshotswap
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer enforces method-only access to atomic.Pointer values.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotswap",
+	Doc:  "report atomic.Pointer fields used other than through Load/Store/Swap/CompareAndSwap",
+	Run:  run,
+}
+
+var atomicMethods = map[string]bool{
+	"Load":           true,
+	"Store":          true,
+	"Swap":           true,
+	"CompareAndSwap": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	analysis.WithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		expr, ok := n.(ast.Expr)
+		if !ok || pass.InTestFile(n.Pos()) {
+			return true
+		}
+		if !isAtomicPointer(pass, expr) {
+			return true
+		}
+		if id, ok := expr.(*ast.Ident); ok && pass.TypesInfo.Defs[id] != nil {
+			return true // the declaring identifier itself
+		}
+		if allowedUse(pass, stack) {
+			return true
+		}
+		pass.Reportf(expr.Pos(), "atomic.Pointer value used outside Load/Store/Swap/CompareAndSwap: copies or escaping addresses break the snapshot-swap protocol")
+		return true
+	})
+	return nil, nil
+}
+
+// allowedUse inspects how the atomic.Pointer expression at the top of
+// the stack is consumed and accepts only immediate method calls.
+func allowedUse(pass *analysis.Pass, stack []ast.Node) bool {
+	parent := analysis.Parent(stack, 1)
+
+	// Unwrap parentheses around the value.
+	depth := 1
+	for {
+		if _, ok := parent.(*ast.ParenExpr); ok {
+			depth++
+			parent = analysis.Parent(stack, depth)
+			continue
+		}
+		break
+	}
+
+	// &s.p — acceptable only as (&s.p).Method(...).
+	if u, ok := parent.(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+		depth++
+		parent = analysis.Parent(stack, depth)
+		for {
+			if _, ok := parent.(*ast.ParenExpr); ok {
+				depth++
+				parent = analysis.Parent(stack, depth)
+				continue
+			}
+			break
+		}
+	}
+
+	sel, ok := parent.(*ast.SelectorExpr)
+	if !ok || !atomicMethods[sel.Sel.Name] {
+		return false
+	}
+	call, ok := analysis.Parent(stack, depth+1).(*ast.CallExpr)
+	return ok && call.Fun == ast.Expr(sel)
+}
+
+// isAtomicPointer reports whether expr is a *value* of type
+// sync/atomic.Pointer[T] (type expressions in declarations don't
+// count).
+func isAtomicPointer(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || !tv.IsValue() {
+		return false
+	}
+	named, ok := types.Unalias(tv.Type).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && obj.Name() == "Pointer"
+}

@@ -1,0 +1,22 @@
+package snapshotswap_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/snapshotswap"
+)
+
+// TestPositive reproduces the bug class: copying an atomic.Pointer
+// value, letting its address escape, binding a method value, returning
+// it.
+func TestPositive(t *testing.T) {
+	analysistest.Run(t, ".", snapshotswap.Analyzer, "a")
+}
+
+// TestNegative covers the blessed accesses: Load/Store/Swap/
+// CompareAndSwap, including through parens and an immediate
+// address-of.
+func TestNegative(t *testing.T) {
+	analysistest.Run(t, ".", snapshotswap.Analyzer, "b")
+}

@@ -1,0 +1,32 @@
+// Package a misuses atomic.Pointer in every way snapshotswap must
+// catch.
+package a
+
+import "sync/atomic"
+
+type Engine struct{ version int }
+
+type server struct {
+	eng atomic.Pointer[Engine]
+}
+
+func copyValue(s *server) {
+	q := s.eng // want `atomic.Pointer value used outside Load/Store/Swap/CompareAndSwap`
+	q.Load()
+}
+
+func escapeAddress(s *server) {
+	stash(&s.eng) // want `atomic.Pointer value used outside Load/Store/Swap/CompareAndSwap`
+}
+
+func methodValue(s *server) func() *Engine {
+	return s.eng.Load // want `atomic.Pointer value used outside Load/Store/Swap/CompareAndSwap`
+}
+
+func returned(s *server) atomic.Pointer[Engine] {
+	return s.eng // want `atomic.Pointer value used outside Load/Store/Swap/CompareAndSwap`
+}
+
+func stash(p *atomic.Pointer[Engine]) {
+	p.Store(nil)
+}

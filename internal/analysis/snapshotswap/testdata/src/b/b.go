@@ -1,0 +1,41 @@
+// Package b touches atomic.Pointer only through its methods — the
+// snapshot-swap protocol snapshotswap must accept.
+package b
+
+import "sync/atomic"
+
+type Engine struct{ version int }
+
+type server struct {
+	eng atomic.Pointer[Engine]
+}
+
+func publish(s *server, e *Engine) {
+	s.eng.Store(e)
+}
+
+func snapshot(s *server) *Engine {
+	return s.eng.Load()
+}
+
+func swapIfNewer(s *server, old, next *Engine) bool {
+	return s.eng.CompareAndSwap(old, next)
+}
+
+func retire(s *server) *Engine {
+	return s.eng.Swap(nil)
+}
+
+func parenned(s *server) *Engine {
+	return (s.eng).Load()
+}
+
+func addressed(s *server) *Engine {
+	return (&s.eng).Load()
+}
+
+func local() *Engine {
+	var p atomic.Pointer[Engine]
+	p.Store(&Engine{version: 1})
+	return p.Load()
+}

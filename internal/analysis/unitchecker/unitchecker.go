@@ -1,0 +1,334 @@
+// Package unitchecker implements the (unpublished) command-line
+// protocol `go vet -vettool=` speaks to an analysis tool, on nothing
+// but the standard library. It is the driver half of the repo-local
+// go/analysis mirror (see internal/analysis): cmd/go hands the tool a
+// JSON config describing one package — source files, the import map,
+// and gc export-data files for every dependency it already compiled —
+// and the tool typechecks the package, runs the analyzers, prints
+// findings to stderr and exits nonzero when there are any.
+//
+// The protocol, distilled from cmd/go/internal/work.(*Builder).vet and
+// cmd/go/internal/vet/vetflag.go:
+//
+//   - `tool -flags` must print a JSON array of {Name,Bool,Usage}
+//     objects describing the tool's flags, so `go vet` can accept and
+//     forward them.
+//   - `tool -V=full` must print "<name> version devel buildID=<id>"
+//     (the id keys cmd/go's result cache; ours hashes the executable,
+//     so editing an analyzer invalidates stale vet results).
+//   - `tool [flags] path/to/vet.cfg` analyzes one package. When the
+//     config says VetxOnly (a dependency analyzed only for facts), the
+//     tool writes its — empty, we define no facts — vetx output and
+//     exits immediately.
+//
+// Invoked with package patterns instead of a .cfg file, the tool
+// re-execs `go vet -vettool=<self>` so `cubelsivet ./...` works
+// directly.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Config mirrors cmd/go/internal/work.vetConfig. Fields the driver
+// never reads are kept so the JSON round-trips completely.
+type Config struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a vettool built from the given
+// analyzers. It never returns.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "%s: static analysis suite for this repository\n\n", progname)
+		fmt.Fprintf(os.Stderr, "Usage of %s:\n", progname)
+		fmt.Fprintf(os.Stderr, "\t%s unit.cfg\t# execute analysis specified by config file\n", progname)
+		fmt.Fprintf(os.Stderr, "\t%s ./...\t# re-exec under 'go vet -vettool'\n\n", progname)
+		fmt.Fprintln(os.Stderr, "Analyzers:")
+		for _, a := range analyzers {
+			doc := a.Doc
+			if i := strings.IndexAny(doc, ".\n"); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Fprintf(os.Stderr, "\t%s\t%s\n", a.Name, doc)
+		}
+		fs.PrintDefaults()
+	}
+
+	printFlags := fs.Bool("flags", false, "print flags in JSON format (the 'go vet' handshake)")
+	version := fs.String("V", "", "print version and exit (-V=full for the cmd/go buildID handshake)")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			fs.Var(f.Value, a.Name+"."+f.Name, f.Usage)
+		})
+	}
+	_ = fs.Parse(os.Args[1:])
+
+	if *printFlags {
+		printFlagsJSON(fs)
+		os.Exit(0)
+	}
+	if *version != "" {
+		printVersion(progname, *version)
+		os.Exit(0)
+	}
+
+	var active []*analysis.Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	args := fs.Args()
+	if len(args) == 0 {
+		fs.Usage()
+		os.Exit(1)
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		diags, err := runOnConfig(args[0], active)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+		if len(diags) > 0 {
+			for _, d := range diags {
+				fmt.Fprintln(os.Stderr, d)
+			}
+			os.Exit(2)
+		}
+		os.Exit(0)
+	}
+
+	// Package-pattern mode: let cmd/go do loading, caching and
+	// per-package re-invocation of this very binary.
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: cannot locate own executable: %v\n", progname, err)
+		os.Exit(1)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, os.Args[1:]...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// printFlagsJSON emits the flag inventory `go vet` asks for before the
+// real run, in the exact shape cmd/go/internal/vet/vetflag.go decodes.
+func printFlagsJSON(fs *flag.FlagSet) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		b, isBool := f.Value.(interface{ IsBoolFlag() bool })
+		out = append(out, jsonFlag{Name: f.Name, Bool: isBool && b.IsBoolFlag(), Usage: f.Usage})
+	})
+	data, err := json.Marshal(out)
+	if err != nil {
+		panic(err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// printVersion implements -V=full: cmd/go parses the trailing
+// buildID=<id> as the tool's identity in its action cache, so the id
+// must change whenever the binary does — a content hash delivers that.
+func printVersion(progname, mode string) {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			_, _ = io.Copy(h, f)
+			f.Close()
+			id = fmt.Sprintf("%x", h.Sum(nil)[:12])
+		}
+	}
+	if mode == "full" {
+		fmt.Printf("%s version devel buildID=%s\n", progname, id)
+	} else {
+		fmt.Printf("%s version devel\n", progname)
+	}
+}
+
+// runOnConfig analyzes the single package described by a vet.cfg file
+// and returns rendered diagnostics.
+func runOnConfig(cfgFile string, analyzers []*analysis.Analyzer) ([]string, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+
+	// cmd/go treats the vetx output as the action's product and caches
+	// it; our analyzers define no cross-package facts, so the product
+	// is empty — and a VetxOnly (dependency) run has nothing else to
+	// do, which keeps `go vet ./...` from re-analyzing the std library.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	tc := &types.Config{
+		Importer:  importer.ForCompiler(fset, cfg.Compiler, exportLookup(&cfg)),
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {}, // collect everything; Check's first error is reported below
+		Sizes:     types.SizesFor(cfg.Compiler, goarch()),
+	}
+	info := analysis.NewInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil && !cfg.SucceedOnTypecheckFailure {
+		return nil, fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	return RunAnalyzers(fset, files, pkg, info, analyzers), nil
+}
+
+// goarch is the architecture the package is being vetted for; cmd/go
+// runs the vettool with the build's GOARCH in the environment.
+func goarch() string {
+	if a := os.Getenv("GOARCH"); a != "" {
+		return a
+	}
+	return runtime.GOARCH
+}
+
+// exportLookup resolves imports against the gc export data files cmd/go
+// already built for every dependency of the package under analysis.
+func exportLookup(cfg *Config) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// RunAnalyzers executes each analyzer over the typechecked package,
+// applies //lint:ignore suppression, and returns diagnostics rendered
+// as "file:line:col: message [analyzer]", sorted by position. It is
+// shared by the vet driver and the analysistest harness so both see
+// identical suppression semantics.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer) []string {
+	sup := analysis.NewSuppressor(fset, files)
+	known := make(map[string]bool, len(analyzers))
+	type posDiag struct {
+		pos  token.Position
+		text string
+	}
+	var diags []posDiag
+	for _, a := range analyzers {
+		known[a.Name] = true
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			if sup.Suppressed(name, d.Pos) {
+				return
+			}
+			p := fset.Position(d.Pos)
+			diags = append(diags, posDiag{pos: p, text: fmt.Sprintf("%s: %s [%s]", p, d.Message, name)})
+		}
+		if _, err := a.Run(pass); err != nil {
+			p := token.Position{Filename: "-"}
+			diags = append(diags, posDiag{pos: p, text: fmt.Sprintf("%s: internal error: %v", a.Name, err)})
+		}
+	}
+	for _, d := range sup.MissingReasons(known) {
+		p := fset.Position(d.Pos)
+		diags = append(diags, posDiag{pos: p, text: fmt.Sprintf("%s: %s [lintignore]", p, d.Message)})
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].pos, diags[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.text
+	}
+	return out
+}

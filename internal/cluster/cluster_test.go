@@ -12,7 +12,7 @@ func TestKMeansTwoBlobs(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	n := 40
 	pts := mat.New(2*n, 2)
-	for i := 0; i < n; i++ {
+	for i := range n {
 		pts.Set(i, 0, 0+0.1*rng.NormFloat64())
 		pts.Set(i, 1, 0+0.1*rng.NormFloat64())
 		pts.Set(n+i, 0, 5+0.1*rng.NormFloat64())
@@ -21,7 +21,7 @@ func TestKMeansTwoBlobs(t *testing.T) {
 	res := KMeans(pts, 2, KMeansOptions{Seed: 3})
 	// All points in the first blob share a label distinct from the second.
 	first := res.Assign[0]
-	for i := 0; i < n; i++ {
+	for i := range n {
 		if res.Assign[i] != first {
 			t.Fatalf("point %d not in first blob's cluster", i)
 		}
@@ -37,8 +37,8 @@ func TestKMeansTwoBlobs(t *testing.T) {
 func TestKMeansDeterministic(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	pts := mat.New(30, 3)
-	for i := 0; i < 30; i++ {
-		for j := 0; j < 3; j++ {
+	for i := range 30 {
+		for j := range 3 {
 			pts.Set(i, j, rng.NormFloat64())
 		}
 	}
@@ -128,7 +128,7 @@ func TestSpectralSeparatesBlocks(t *testing.T) {
 		}
 	}
 	rng := rand.New(rand.NewSource(3))
-	for i := 0; i < n; i++ {
+	for i := range n {
 		for j := i + 1; j < n; j++ {
 			dist := 0.2 + 0.05*rng.Float64()
 			if groupOf[i] != groupOf[j] {
@@ -163,7 +163,7 @@ func TestSpectralAutoK(t *testing.T) {
 			groupOf[i] = g
 		}
 	}
-	for i := 0; i < n; i++ {
+	for i := range n {
 		for j := i + 1; j < n; j++ {
 			dist := 0.1
 			if groupOf[i] != groupOf[j] {
@@ -200,7 +200,7 @@ func TestSpectralLargeUsesSubspace(t *testing.T) {
 	n := 420
 	half := n / 2
 	d := mat.New(n, n)
-	for i := 0; i < n; i++ {
+	for i := range n {
 		for j := i + 1; j < n; j++ {
 			dist := 0.3
 			if (i < half) != (j < half) {

@@ -91,7 +91,7 @@ func chooseKFromEnergies(energies []float64, opts SpectralOptions, n int) (int, 
 func columnEnergies(points *mat.Matrix) []float64 {
 	n, dim := points.Dims()
 	out := make([]float64, dim)
-	for i := 0; i < n; i++ {
+	for i := range n {
 		for j, v := range points.Row(i) {
 			out[j] += v * v
 		}

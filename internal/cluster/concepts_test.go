@@ -10,7 +10,7 @@ import (
 func threeGroups() *mat.Matrix {
 	centers := [][]float64{{0, 0}, {20, 0}, {0, 20}}
 	m := mat.New(24, 2)
-	for i := 0; i < 24; i++ {
+	for i := range 24 {
 		c := centers[i/8]
 		jitter := float64(i%8) * 0.05
 		m.Set(i, 0, c[0]+jitter)
@@ -24,7 +24,7 @@ func TestConceptKMeansSeparatesGroups(t *testing.T) {
 	if res.K != 3 {
 		t.Fatalf("K = %d, want 3", res.K)
 	}
-	for g := 0; g < 3; g++ {
+	for g := range 3 {
 		want := res.Assign[g*8]
 		for i := g * 8; i < (g+1)*8; i++ {
 			if res.Assign[i] != want {

@@ -28,7 +28,7 @@ func Centroids(points *mat.Matrix, assign []int, k int, skip []bool) (centers *m
 	}
 	centers = mat.New(k, dim)
 	counts := make([]int, k)
-	for i := 0; i < n; i++ {
+	for i := range n {
 		if skip != nil && skip[i] {
 			continue
 		}
@@ -40,7 +40,7 @@ func Centroids(points *mat.Matrix, assign []int, k int, skip []bool) (centers *m
 		mat.AXPY(1, points.Row(i), centers.Row(c))
 	}
 	ok = true
-	for c := 0; c < k; c++ {
+	for c := range k {
 		if counts[c] == 0 {
 			ok = false
 			continue

@@ -59,7 +59,7 @@ func ScanBlock(points, centers *mat.Matrix, lo, hi int) ([]int, []float64) {
 	sq := make([]float64, hi-lo)
 	for i := lo; i < hi; i++ {
 		bi, bd := 0, math.Inf(1)
-		for c := 0; c < k; c++ {
+		for c := range k {
 			d := sqDist(points.Row(i), centers.Row(c))
 			if d < bd {
 				bd, bi = d, c
@@ -98,7 +98,7 @@ func KMeans(points *mat.Matrix, k int, opts KMeansOptions) *KMeansResult {
 	}
 
 	var best *KMeansResult
-	for rs := 0; rs < restarts; rs++ {
+	for rs := range restarts {
 		rng := rand.New(rand.NewSource(opts.Seed + int64(rs)*7919))
 		res := kmeansOnce(points, k, maxIter, opts.Shards, opts.Assigner, rng)
 		if best == nil || res.Inertia < best.Inertia {
@@ -117,7 +117,7 @@ func kmeansOnce(points *mat.Matrix, k, maxIter, shards int, asg Assigner, rng *r
 	plan := shard.Plan(n, shards)
 	blockChanged := make([]bool, len(plan))
 
-	for iter := 0; iter < maxIter; iter++ {
+	for iter := range maxIter {
 		// Assignment step, one shard block per unit of work. Each row's
 		// nearest centroid depends only on that row and the centers, and
 		// blocks write disjoint assign/dists entries, so the step is
@@ -146,16 +146,16 @@ func kmeansOnce(points *mat.Matrix, k, maxIter, shards int, asg Assigner, rng *r
 		// therefore the centroids) do not depend on the shard plan.
 		counts := make([]int, k)
 		next := mat.New(k, dim)
-		for i := 0; i < n; i++ {
+		for i := range n {
 			c := assign[i]
 			counts[c]++
 			mat.AXPY(1, points.Row(i), next.Row(c))
 		}
-		for c := 0; c < k; c++ {
+		for c := range k {
 			if counts[c] == 0 {
 				// Re-seed an empty cluster at the farthest point.
 				far, fd := 0, -1.0
-				for i := 0; i < n; i++ {
+				for i := range n {
 					if dists[i] > fd {
 						fd, far = dists[i], i
 					}
@@ -174,7 +174,7 @@ func kmeansOnce(points *mat.Matrix, k, maxIter, shards int, asg Assigner, rng *r
 	}
 
 	var inertia float64
-	for i := 0; i < n; i++ {
+	for i := range n {
 		inertia += sqDist(points.Row(i), centers.Row(assign[i]))
 	}
 	return &KMeansResult{Assign: assign, Centers: centers, Inertia: inertia}
@@ -200,7 +200,7 @@ func seedPlusPlus(points *mat.Matrix, k int, rng *rand.Rand) *mat.Matrix {
 	first := rng.Intn(n)
 	copy(centers.Row(0), points.Row(first))
 	d2 := make([]float64, n)
-	for i := 0; i < n; i++ {
+	for i := range n {
 		d2[i] = sqDist(points.Row(i), centers.Row(0))
 	}
 	for c := 1; c < k; c++ {
@@ -224,7 +224,7 @@ func seedPlusPlus(points *mat.Matrix, k int, rng *rand.Rand) *mat.Matrix {
 			}
 		}
 		copy(centers.Row(c), points.Row(idx))
-		for i := 0; i < n; i++ {
+		for i := range n {
 			if d := sqDist(points.Row(i), centers.Row(c)); d < d2[i] {
 				d2[i] = d
 			}

@@ -10,7 +10,7 @@ import (
 func randPoints(n, dim int, seed int64) *mat.Matrix {
 	rng := rand.New(rand.NewSource(seed))
 	m := mat.New(n, dim)
-	for i := 0; i < n; i++ {
+	for i := range n {
 		row := m.Row(i)
 		for j := range row {
 			row[j] = rng.NormFloat64() + float64((i%5))*3

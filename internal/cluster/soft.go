@@ -64,7 +64,7 @@ func SoftSpectral(d *mat.Matrix, opts SoftOptions) *SoftAssignment {
 		K:       k,
 	}
 	t2 := tau * tau
-	for i := 0; i < n; i++ {
+	for i := range n {
 		row := embedded.Row(i)
 		// Distance to every centroid; convert to memberships.
 		type cw struct {
@@ -72,7 +72,7 @@ func SoftSpectral(d *mat.Matrix, opts SoftOptions) *SoftAssignment {
 			w float64
 		}
 		ws := make([]cw, k)
-		for c := 0; c < k; c++ {
+		for c := range k {
 			ws[c] = cw{c: c, w: math.Exp(-sqDist(row, km.Centers.Row(c)) / t2)}
 		}
 		sort.Slice(ws, func(a, b int) bool {
@@ -119,10 +119,17 @@ func (s *SoftAssignment) Entropy() float64 {
 	if len(s.Weights) == 0 {
 		return 0
 	}
+	// Sorted concept order keeps the float accumulation — and thus the
+	// reported entropy — bit-identical across runs.
 	var total float64
 	for _, m := range s.Weights {
-		for _, w := range m {
-			if w > 0 {
+		concepts := make([]int, 0, len(m))
+		for cc := range m {
+			concepts = append(concepts, cc)
+		}
+		sort.Ints(concepts)
+		for _, cc := range concepts {
+			if w := m[cc]; w > 0 {
 				total -= w * math.Log(w)
 			}
 		}

@@ -22,7 +22,7 @@ func softFixture() *mat.Matrix {
 		}
 		return 2
 	}
-	for i := 0; i < n; i++ {
+	for i := range n {
 		for j := i + 1; j < n; j++ {
 			var dist float64
 			gi, gj := groupOf(i), groupOf(j)
@@ -49,7 +49,7 @@ func TestSoftSpectralMatchesHardOnClearItems(t *testing.T) {
 		t.Fatalf("K = %d, want 2", soft.K)
 	}
 	// Clear items agree between hard and soft argmax.
-	for i := 0; i < 6; i++ {
+	for i := range 6 {
 		if soft.Hard[i] != hard.Assign[i] {
 			t.Fatalf("item %d: soft argmax %d != hard %d", i, soft.Hard[i], hard.Assign[i])
 		}

@@ -102,8 +102,8 @@ func spectralCore(d *mat.Matrix, opts SpectralOptions) (*SpectralResult, *mat.Ma
 	a := mat.New(n, n)
 	if opts.LocalScaling > 0 {
 		local := localScales(d, opts.LocalScaling)
-		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
+		for i := range n {
+			for j := range n {
 				if i == j {
 					continue
 				}
@@ -117,8 +117,8 @@ func spectralCore(d *mat.Matrix, opts SpectralOptions) (*SpectralResult, *mat.Ma
 		}
 	} else {
 		s2 := sigma * sigma
-		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
+		for i := range n {
+			for j := range n {
 				if i == j {
 					continue
 				}
@@ -140,9 +140,9 @@ func spectralCore(d *mat.Matrix, opts SpectralOptions) (*SpectralResult, *mat.Ma
 			j int
 		}
 		row := make([]dj, 0, n-1)
-		for i := 0; i < n; i++ {
+		for i := range n {
 			row = row[:0]
-			for j := 0; j < n; j++ {
+			for j := range n {
 				if j != i {
 					row = append(row, dj{d: d.At(i, j), j: j})
 				}
@@ -158,8 +158,8 @@ func spectralCore(d *mat.Matrix, opts SpectralOptions) (*SpectralResult, *mat.Ma
 				keep[row[r].j][i] = true
 			}
 		}
-		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
+		for i := range n {
+			for j := range n {
 				if i != j && !keep[i][j] {
 					a.Set(i, j, 0)
 				}
@@ -169,9 +169,9 @@ func spectralCore(d *mat.Matrix, opts SpectralOptions) (*SpectralResult, *mat.Ma
 
 	// Step 2: normalized affinity L = M^(−1/2) A M^(−1/2).
 	minv := make([]float64, n)
-	for i := 0; i < n; i++ {
+	for i := range n {
 		var sum float64
-		for j := 0; j < n; j++ {
+		for j := range n {
 			sum += a.At(i, j)
 		}
 		if sum > 0 {
@@ -179,8 +179,8 @@ func spectralCore(d *mat.Matrix, opts SpectralOptions) (*SpectralResult, *mat.Ma
 		}
 	}
 	l := mat.New(n, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
+	for i := range n {
+		for j := range n {
 			l.Set(i, j, minv[i]*a.At(i, j)*minv[j])
 		}
 	}
@@ -202,7 +202,7 @@ func spectralCore(d *mat.Matrix, opts SpectralOptions) (*SpectralResult, *mat.Ma
 	}
 
 	// Row-normalize X.
-	for i := 0; i < n; i++ {
+	for i := range n {
 		mat.Normalize(x.Row(i))
 	}
 
@@ -275,7 +275,7 @@ func chooseK(values []float64, opts SpectralOptions) (int, float64) {
 		return 1, 1
 	}
 	var acc float64
-	for i := 0; i < maxK; i++ {
+	for i := range maxK {
 		if values[i] > 0 {
 			acc += values[i]
 		}
@@ -290,7 +290,7 @@ func chooseK(values []float64, opts SpectralOptions) (int, float64) {
 // total positive mass proxy when only k eigenvalues are known.
 func spectrumMass(values []float64, k, n int, l *mat.Matrix) float64 {
 	var tr float64
-	for i := 0; i < n; i++ {
+	for i := range n {
 		tr += l.At(i, i)
 	}
 	var acc float64
@@ -316,9 +316,9 @@ func localScales(d *mat.Matrix, k int) []float64 {
 	n := d.Rows()
 	out := make([]float64, n)
 	row := make([]float64, 0, n-1)
-	for i := 0; i < n; i++ {
+	for i := range n {
 		row = row[:0]
-		for j := 0; j < n; j++ {
+		for j := range n {
 			if j != i {
 				row = append(row, d.At(i, j))
 			}
@@ -341,7 +341,7 @@ func localScales(d *mat.Matrix, k int) []float64 {
 func medianOffDiagonal(d *mat.Matrix) float64 {
 	n := d.Rows()
 	var vals []float64
-	for i := 0; i < n; i++ {
+	for i := range n {
 		for j := i + 1; j < n; j++ {
 			vals = append(vals, d.At(i, j))
 		}

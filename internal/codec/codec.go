@@ -610,7 +610,7 @@ func (d *decoder) f64s() []float64 {
 		return nil
 	}
 	out := make([]float64, 0, capCap(n))
-	for i := 0; i < n; i++ {
+	for range n {
 		if d.err != nil {
 			return nil
 		}
@@ -649,7 +649,7 @@ func (d *decoder) strings() []string {
 		return nil
 	}
 	out := make([]string, 0, capCap(n))
-	for i := 0; i < n; i++ {
+	for range n {
 		if d.err != nil {
 			return nil
 		}

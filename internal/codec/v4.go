@@ -528,7 +528,7 @@ func (c *v4cursor) vocab() []string {
 		c.fail("vocabulary offsets do not start at 0")
 		return nil
 	}
-	for i := 0; i < n; i++ {
+	for i := range n {
 		end := binary.LittleEndian.Uint64(offs[8*(i+1):])
 		if end < prev || end > total {
 			c.fail("vocabulary offsets not monotonic")

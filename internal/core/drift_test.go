@@ -80,11 +80,11 @@ func TestDriftSignalZeroVocab(t *testing.T) {
 func TestDriftSignalConcurrentObserve(t *testing.T) {
 	d := NewDriftSignal(1000, supportMap(map[string]int{"t": 1 << 30}))
 	var wg sync.WaitGroup
-	for g := 0; g < 8; g++ {
+	for range 8 {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := 0; i < 100; i++ {
+			for range 100 {
 				d.Observe("t")
 			}
 		}()

@@ -63,7 +63,7 @@ func TestGoldenParityEmbeddingVsExactSpectral(t *testing.T) {
 
 	// Identical rankings for every single-tag query (partition-equal
 	// models index identically; scores match within float tolerance).
-	for tag := 0; tag < ds.Tags.Len(); tag++ {
+	for tag := range ds.Tags.Len() {
 		name := ds.Tags.Name(tag)
 		ra := embedded.Query([]string{name}, 0)
 		rb := exact.Query([]string{name}, 0)
@@ -81,8 +81,8 @@ func TestGoldenParityEmbeddingVsExactSpectral(t *testing.T) {
 	// tolerance (λ·a − λ·b vs λ²·(a−b)² rounding).
 	dm := embedded.DistanceMatrix()
 	n := dm.Rows()
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
+	for i := range n {
+		for j := range n {
 			if math.Abs(dm.At(i, j)-exact.Distances.At(i, j)) > 1e-9 {
 				t.Fatalf("D̂[%d,%d]: lazy %v vs exact %v", i, j, dm.At(i, j), exact.Distances.At(i, j))
 			}

@@ -44,7 +44,7 @@ func TestGoldenParityShardedBuild(t *testing.T) {
 				t.Fatalf("shards=%d: partitions diverge: %v vs %v", shards, sharded.Assign, single.Assign)
 			}
 		}
-		for tag := 0; tag < ds.Tags.Len(); tag++ {
+		for tag := range ds.Tags.Len() {
 			name := ds.Tags.Name(tag)
 			ra, rb := sharded.Query([]string{name}, 0), single.Query([]string{name}, 0)
 			if len(ra) != len(rb) {
@@ -125,7 +125,7 @@ func TestShardedUpdateParity(t *testing.T) {
 			t.Fatalf("partitions diverge: %v vs %v", sharded.Assign, single.Assign)
 		}
 	}
-	for tag := 0; tag < updated.Tags.Len(); tag++ {
+	for tag := range updated.Tags.Len() {
 		name := updated.Tags.Name(tag)
 		ra, rb := sharded.Query([]string{name}, 0), single.Query([]string{name}, 0)
 		if len(ra) != len(rb) {

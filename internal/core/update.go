@@ -151,7 +151,7 @@ func Update(ctx context.Context, ds *tagging.Dataset, prev *PrevState, opts Opti
 		// tags) before measuring displacement.
 		var pairs []embed.RowPair
 		prevOf = make([]int, n)
-		for i := 0; i < n; i++ {
+		for i := range n {
 			pi, known := prevTag[ds.Tags.Name(i)]
 			if !known {
 				prevOf[i] = -1
@@ -182,7 +182,7 @@ func Update(ctx context.Context, ds *tagging.Dataset, prev *PrevState, opts Opti
 				movedFlag[i] = thr < 0 || d > thr*scale
 			}
 		})
-		for i := 0; i < n; i++ {
+		for i := range n {
 			if prevOf[i] < 0 {
 				st.NewTags++
 			}

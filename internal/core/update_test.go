@@ -62,7 +62,7 @@ func TestUpdateMatchesFullRebuildOnPaperExample(t *testing.T) {
 	// Partition-equal models index the same counts: rankings must be
 	// bit-identical (tf-idf weights depend only on the partition and the
 	// dataset, never on the factor matrices).
-	for tag := 0; tag < updated.Tags.Len(); tag++ {
+	for tag := range updated.Tags.Len() {
 		name := updated.Tags.Name(tag)
 		ra, rb := inc.Query([]string{name}, 0), full.Query([]string{name}, 0)
 		if len(ra) != len(rb) {
@@ -89,21 +89,21 @@ func communityDataset(extraUsers int) *tagging.Dataset {
 	ds := tagging.NewDataset()
 	music := []string{"audio", "mp3", "songs", "jazz"}
 	code := []string{"code", "golang", "compiler", "parser"}
-	for ui := 0; ui < 6; ui++ {
+	for ui := range 6 {
 		u := "mu" + string(rune('a'+ui))
-		for ti := 0; ti < 2; ti++ {
+		for ti := range 2 {
 			for _, r := range []string{"m1", "m2", "m3", "m4"} {
 				ds.Add(u, music[(ui+ti)%len(music)], r)
 			}
 		}
 		u = "cu" + string(rune('a'+ui))
-		for ti := 0; ti < 2; ti++ {
+		for ti := range 2 {
 			for _, r := range []string{"c1", "c2", "c3", "c4"} {
 				ds.Add(u, code[(ui+ti)%len(code)], r)
 			}
 		}
 	}
-	for e := 0; e < extraUsers; e++ {
+	for e := range extraUsers {
 		u := "xu" + string(rune('a'+e))
 		ds.Add(u, "jazz", "m1")
 		ds.Add(u, "jazz", "m2")
@@ -146,7 +146,7 @@ func TestUpdateKeepsStableConceptLabels(t *testing.T) {
 	// Recompute each tag's displacement the way Update does and assert
 	// the unmoved ones kept their labels.
 	thr := uopts.moveThreshold()
-	for i := 0; i < updated.Tags.Len(); i++ {
+	for i := range updated.Tags.Len() {
 		name := updated.Tags.Name(i)
 		pi, ok := prev.DS.Tags.Lookup(name)
 		if !ok {

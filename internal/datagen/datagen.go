@@ -193,7 +193,7 @@ func Generate(p Params) *Corpus {
 		}
 	}
 	nPoly := int(p.PolysemyRate * float64(nConcepts))
-	for i := 0; i < nPoly; i++ {
+	for range nPoly {
 		dst := rng.Intn(nConcepts)
 		src := rng.Intn(nConcepts)
 		if src == dst {
@@ -221,7 +221,7 @@ func Generate(p Params) *Corpus {
 	// interest's category.
 	userConcepts := make([][]int, p.Users)
 	userVocab := make([]map[int][]string, p.Users) // concept → words this user uses
-	for u := 0; u < p.Users; u++ {
+	for u := range p.Users {
 		k := 1 + rng.Intn(p.MaxConceptsPerUser)
 		first := zipfConcept.sample()
 		cs := []int{first}
@@ -285,7 +285,7 @@ func Generate(p Params) *Corpus {
 	}
 	resourceConcepts := make([][]int, p.Resources)
 	conceptResources := make([][]int, nConcepts)
-	for r := 0; r < p.Resources; r++ {
+	for r := range p.Resources {
 		var k int
 		if p.DualAspectRate > 0 {
 			k = 1
@@ -325,7 +325,7 @@ func Generate(p Params) *Corpus {
 		coverage = 1
 	}
 	userResources := make([]map[int][]int, p.Users)
-	for u := 0; u < p.Users; u++ {
+	for u := range p.Users {
 		userResources[u] = make(map[int][]int, len(userConcepts[u]))
 		for _, c := range userConcepts[u] {
 			pool := conceptResources[c]
@@ -338,7 +338,7 @@ func Generate(p Params) *Corpus {
 			}
 			perm := rng.Perm(len(pool))
 			sub := make([]int, k)
-			for i := 0; i < k; i++ {
+			for i := range k {
 				sub[i] = pool[perm[i]]
 			}
 			sort.Ints(sub)
@@ -366,7 +366,7 @@ func Generate(p Params) *Corpus {
 	}
 
 	allWords := gen.Taxonomy.Leaves()
-	for n := 0; n < p.Assignments; n++ {
+	for range p.Assignments {
 		u := zipfUser.sample()
 		if nSpam > 0 && rng.Float64() < p.SpamRate {
 			su := p.Users - 1 - rng.Intn(nSpam)
@@ -483,7 +483,7 @@ func subsetWords(rng *rand.Rand, ws []string, frac float64) []string {
 	}
 	perm := rng.Perm(len(ws))
 	out := make([]string, k)
-	for i := 0; i < k; i++ {
+	for i := range k {
 		out[i] = ws[perm[i]]
 	}
 	sort.Strings(out)
@@ -519,7 +519,7 @@ type zipf struct {
 func newZipf(rng *rand.Rand, n int, s float64) *zipf {
 	cum := make([]float64, n)
 	var acc float64
-	for i := 0; i < n; i++ {
+	for i := range n {
 		acc += 1 / math.Pow(float64(i+1), s)
 		cum[i] = acc
 	}

@@ -58,18 +58,18 @@ func TestGroundTruthCoverage(t *testing.T) {
 	c := tinyCorpus(t)
 	// Every cleaned resource and user must have ground-truth concepts;
 	// most cleaned tags should (gibberish doesn't survive cleaning).
-	for id := 0; id < c.Clean.Resources.Len(); id++ {
+	for id := range c.Clean.Resources.Len() {
 		if len(c.ResourceConcepts[id]) == 0 {
 			t.Fatalf("resource %s has no ground-truth concepts", c.Clean.Resources.Name(id))
 		}
 	}
-	for id := 0; id < c.Clean.Users.Len(); id++ {
+	for id := range c.Clean.Users.Len() {
 		if len(c.UserConcepts[id]) == 0 {
 			t.Fatalf("user %s has no ground-truth concepts", c.Clean.Users.Name(id))
 		}
 	}
 	known := 0
-	for id := 0; id < c.Clean.Tags.Len(); id++ {
+	for id := range c.Clean.Tags.Len() {
 		if len(c.TagConcepts[id]) > 0 {
 			known++
 		}
@@ -157,7 +157,7 @@ func TestRelevanceGrading(t *testing.T) {
 	qs := c.MakeQueries(10, 2, 5)
 	sawRelevant, sawIrrelevant := false, false
 	for _, q := range qs {
-		for r := 0; r < c.Clean.Resources.Len(); r++ {
+		for r := range c.Clean.Resources.Len() {
 			switch c.Relevance(q, r) {
 			case 2:
 				sawRelevant = true

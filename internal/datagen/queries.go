@@ -24,6 +24,7 @@ func (c *Corpus) MakeQueries(n, maxTags int, seed int64) []Query {
 	for id, cs := range c.TagConcepts {
 		name := c.Clean.Tags.Name(id)
 		for _, cc := range cs {
+			//lint:ignore maporder every bucket is sorted a few lines below, before any draw
 			conceptTags[cc] = append(conceptTags[cc], name)
 		}
 	}
@@ -42,7 +43,7 @@ func (c *Corpus) MakeQueries(n, maxTags int, seed int64) []Query {
 	}
 
 	out := make([]Query, 0, n)
-	for i := 0; i < n; i++ {
+	for range n {
 		cc := concepts[rng.Intn(len(concepts))]
 		avail := conceptTags[cc]
 		k := 1 + rng.Intn(maxTags)
@@ -51,7 +52,7 @@ func (c *Corpus) MakeQueries(n, maxTags int, seed int64) []Query {
 		}
 		perm := rng.Perm(len(avail))
 		tags := make([]string, k)
-		for j := 0; j < k; j++ {
+		for j := range k {
 			tags[j] = avail[perm[j]]
 		}
 		sort.Strings(tags)

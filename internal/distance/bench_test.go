@@ -13,7 +13,7 @@ func benchDecomposition(b *testing.B) (*tensor.Sparse3, *tucker.Decomposition) {
 	b.Helper()
 	rng := rand.New(rand.NewSource(1))
 	f := tensor.NewSparse3(120, 100, 150)
-	for n := 0; n < 6000; n++ {
+	for range 6000 {
 		f.Append(rng.Intn(120), rng.Intn(100), rng.Intn(150), 1)
 	}
 	f.Build()
@@ -26,7 +26,7 @@ func BenchmarkTheorem2AllPairs(b *testing.B) {
 	_, dec := benchDecomposition(b)
 	c := NewCubeLSI(dec)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for range b.N {
 		c.Pairwise()
 	}
 }
@@ -37,7 +37,7 @@ func BenchmarkTheorem1AllPairs(b *testing.B) {
 	_, dec := benchDecomposition(b)
 	c := NewCubeLSI(dec)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for range b.N {
 		c.PairwiseTheorem1()
 	}
 }
@@ -49,7 +49,7 @@ func BenchmarkTheorem1AllPairs(b *testing.B) {
 func BenchmarkBruteForceAllPairs(b *testing.B) {
 	_, dec := benchDecomposition(b)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for range b.N {
 		BruteForce(dec)
 	}
 }
@@ -59,12 +59,12 @@ func BenchmarkBruteForceAllPairs(b *testing.B) {
 func BenchmarkCubeSimSparseVsDense(b *testing.B) {
 	f, _ := benchDecomposition(b)
 	b.Run("sparse", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
+		for range b.N {
 			CubeSimSparse(f)
 		}
 	})
 	b.Run("dense", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
+		for range b.N {
 			CubeSimDense(f, nil)
 		}
 	})
@@ -74,7 +74,7 @@ func BenchmarkCubeSimSparseVsDense(b *testing.B) {
 func BenchmarkLSIDistances(b *testing.B) {
 	f, _ := benchDecomposition(b)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for i := range b.N {
 		LSI(f, 24, mat.SubspaceOptions{Seed: uint64(i)})
 	}
 }

@@ -91,7 +91,7 @@ func (c *CubeLSI) Pairwise() *mat.Matrix {
 func (c *CubeLSI) PairwiseContext(ctx context.Context) (*mat.Matrix, error) {
 	n := c.NumTags()
 	out := mat.New(n, n)
-	for i := 0; i < n; i++ {
+	for i := range n {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -109,7 +109,7 @@ func (c *CubeLSI) PairwiseContext(ctx context.Context) (*mat.Matrix, error) {
 func (c *CubeLSI) PairwiseTheorem1() *mat.Matrix {
 	n := c.NumTags()
 	out := mat.New(n, n)
-	for i := 0; i < n; i++ {
+	for i := range n {
 		for j := i + 1; j < n; j++ {
 			d := c.Distance(i, j)
 			out.Set(i, j, d)
@@ -140,7 +140,7 @@ func BruteForce(d *tucker.Decomposition) *mat.Matrix {
 	fh := d.Reconstruct()
 	_, n, _ := fh.Dims()
 	out := mat.New(n, n)
-	for i := 0; i < n; i++ {
+	for i := range n {
 		si := fh.SliceMode2(i)
 		for j := i + 1; j < n; j++ {
 			dist := mat.Sub(si, fh.SliceMode2(j)).FrobNorm()
@@ -158,7 +158,7 @@ func CubeSimSparse(f *tensor.Sparse3) *mat.Matrix {
 	_, n, _ := f.Dims()
 	idx := f.Mode2SliceIndex()
 	out := mat.New(n, n)
-	for i := 0; i < n; i++ {
+	for i := range n {
 		for j := i + 1; j < n; j++ {
 			d := tensor.SliceDistanceFromIndex(idx, i, j)
 			out.Set(i, j, d)
@@ -189,7 +189,7 @@ func CubeSimDense(f *tensor.Sparse3, budget func() bool) (d *mat.Matrix, complet
 			buf[e.I*i3+e.K] = e.V
 		}
 	}
-	for i := 0; i < n; i++ {
+	for i := range n {
 		if budget != nil && !budget() {
 			return out, i
 		}
@@ -239,12 +239,12 @@ func LSI(f *tensor.Sparse3, k int, opts mat.SubspaceOptions) *mat.Matrix {
 		svd = mat.TruncatedSVD(m, k, opts)
 	}
 	out := mat.New(rows, rows)
-	for i := 0; i < rows; i++ {
+	for i := range rows {
 		ui := svd.U.Row(i)
 		for j := i + 1; j < rows; j++ {
 			uj := svd.U.Row(j)
 			var s float64
-			for q := 0; q < k; q++ {
+			for q := range k {
 				d := (ui[q] - uj[q]) * svd.S[q]
 				s += d * d
 			}
@@ -262,9 +262,9 @@ func LSI(f *tensor.Sparse3, k int, opts mat.SubspaceOptions) *mat.Matrix {
 func NearestNeighbor(d *mat.Matrix) []int {
 	n := d.Rows()
 	out := make([]int, n)
-	for i := 0; i < n; i++ {
+	for i := range n {
 		best, bd := -1, math.Inf(1)
-		for j := 0; j < n; j++ {
+		for j := range n {
 			if j == i {
 				continue
 			}

@@ -23,7 +23,7 @@ func paperTensor() *tensor.Sparse3 {
 
 func randSparse(rng *rand.Rand, i1, i2, i3, nnz int) *tensor.Sparse3 {
 	f := tensor.NewSparse3(i1, i2, i3)
-	for n := 0; n < nnz; n++ {
+	for range nnz {
 		f.Append(rng.Intn(i1), rng.Intn(i2), rng.Intn(i3), rng.NormFloat64())
 	}
 	f.Build()
@@ -37,13 +37,13 @@ func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
 // distances on the materialized purified tensor, for truncated cores.
 func TestTheorem1AgainstBruteForce(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	for trial := 0; trial < 5; trial++ {
+	for trial := range 5 {
 		f := randSparse(rng, 6, 7, 5, 60)
 		d := tucker.Decompose(f, tucker.Options{J1: 3, J2: 4, J3: 3, Seed: uint64(trial)})
 		c := NewCubeLSI(d)
 		oracle := BruteForce(d)
-		for i := 0; i < 7; i++ {
-			for j := 0; j < 7; j++ {
+		for i := range 7 {
+			for j := range 7 {
 				if i == j {
 					continue
 				}
@@ -64,7 +64,7 @@ func TestTheorem2AgainstTheorem1(t *testing.T) {
 	f := randSparse(rng, 6, 8, 7, 90)
 	d := tucker.Decompose(f, tucker.Options{J1: 4, J2: 4, J3: 4, Seed: 3, MaxSweeps: 80, Tol: 1e-13})
 	c := NewCubeLSI(d)
-	for i := 0; i < 8; i++ {
+	for i := range 8 {
 		for j := i + 1; j < 8; j++ {
 			t1 := c.Distance(i, j)
 			t2 := c.DistanceDiag(i, j)
@@ -105,11 +105,11 @@ func TestPairwiseSymmetricZeroDiagonal(t *testing.T) {
 	d := tucker.Decompose(f, tucker.Options{J1: 3, J2: 3, J3: 3, Seed: 4})
 	c := NewCubeLSI(d)
 	for _, m := range []*mat.Matrix{c.Pairwise(), c.PairwiseTheorem1()} {
-		for i := 0; i < m.Rows(); i++ {
+		for i := range m.Rows() {
 			if m.At(i, i) != 0 {
 				t.Fatal("diagonal must be zero")
 			}
-			for j := 0; j < m.Cols(); j++ {
+			for j := range m.Cols() {
 				if m.At(i, j) != m.At(j, i) {
 					t.Fatal("matrix must be symmetric")
 				}
@@ -184,11 +184,11 @@ func TestLSITruncationPurifies(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	f := randSparse(rng, 6, 9, 8, 80)
 	d := LSI(f, 3, mat.SubspaceOptions{Seed: 2})
-	for i := 0; i < 9; i++ {
+	for i := range 9 {
 		if d.At(i, i) != 0 {
 			t.Fatal("diagonal not zero")
 		}
-		for j := 0; j < 9; j++ {
+		for j := range 9 {
 			if d.At(i, j) != d.At(j, i) || d.At(i, j) < 0 {
 				t.Fatal("not symmetric non-negative")
 			}

@@ -354,7 +354,7 @@ func (c *Coordinator) matrixBlock(ctx context.Context, b int, req execRequest, s
 // stitchRows copies a standalone block into rows [lo, lo+block.Rows())
 // of dst — the deterministic global-row-order reduction.
 func stitchRows(dst, block *mat.Matrix, lo int) {
-	for r := 0; r < block.Rows(); r++ {
+	for r := range block.Rows() {
 		copy(dst.Row(lo+r), block.Row(r))
 	}
 }
@@ -373,7 +373,7 @@ func (c *Coordinator) runBlock(ctx context.Context, b int, req execRequest, stat
 	}
 	start := b % len(order)
 	var lastErr error
-	for i := 0; i < len(order); i++ {
+	for i := range len(order) {
 		w := order[(start+i)%len(order)]
 		body, err := c.tryWorker(ctx, w, req, states)
 		if err == nil {
@@ -422,7 +422,7 @@ func (c *Coordinator) tryWorker(ctx context.Context, w *remoteWorker, req execRe
 
 	attempts := 1 + c.opts.retries()
 	var lastErr error
-	for a := 0; a < attempts; a++ {
+	for a := range attempts {
 		if a > 0 {
 			backoff := c.opts.backoff() << (a - 1)
 			select {

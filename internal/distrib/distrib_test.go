@@ -29,7 +29,7 @@ func (r *testRNG) next() float64 {
 func randMatrix(rows, cols int, seed uint64) *mat.Matrix {
 	rng := &testRNG{state: seed*0x9e3779b97f4a7c15 + 1}
 	m := mat.New(rows, cols)
-	for i := 0; i < rows; i++ {
+	for i := range rows {
 		row := m.Row(i)
 		for j := range row {
 			row[j] = rng.next()
@@ -41,7 +41,7 @@ func randMatrix(rows, cols int, seed uint64) *mat.Matrix {
 func randTensor(i1, i2, i3, nnz int, seed uint64) *tensor.Sparse3 {
 	rng := &testRNG{state: seed*0xbf58476d1ce4e5b9 + 1}
 	f := tensor.NewSparse3(i1, i2, i3)
-	for e := 0; e < nnz; e++ {
+	for range nnz {
 		i := int((rng.next() + 0.5) * float64(i1))
 		j := int((rng.next() + 0.5) * float64(i2))
 		k := int((rng.next() + 0.5) * float64(i3))

@@ -15,7 +15,7 @@ func rotate2(e *TagEmbedding, theta float64, flip []float64) *TagEmbedding {
 	n, k := e.m.Dims()
 	out := mat.New(n, k)
 	c, s := math.Cos(theta), math.Sin(theta)
-	for i := 0; i < n; i++ {
+	for i := range n {
 		src, dst := e.m.Row(i), out.Row(i)
 		copy(dst, src)
 		dst[0] = c*src[0] - s*src[1]
@@ -30,8 +30,8 @@ func rotate2(e *TagEmbedding, theta float64, flip []float64) *TagEmbedding {
 func randomEmbedding(n, k int, seed int64) *TagEmbedding {
 	rng := rand.New(rand.NewSource(seed))
 	m := mat.New(n, k)
-	for i := 0; i < n; i++ {
-		for j := 0; j < k; j++ {
+	for i := range n {
+		for j := range k {
 			m.Set(i, j, rng.NormFloat64())
 		}
 	}
@@ -50,7 +50,7 @@ func TestAlignToUndoesRotationAndSignFlips(t *testing.T) {
 		pairs[i] = RowPair{A: i, B: i}
 	}
 	aligned := rotated.AlignTo(ref, pairs)
-	for i := 0; i < ref.NumTags(); i++ {
+	for i := range ref.NumTags() {
 		if d := CrossDist(aligned, i, ref, i); d > 1e-9 {
 			t.Fatalf("row %d still displaced by %v after alignment", i, d)
 		}
@@ -64,7 +64,7 @@ func TestAlignToPreservesRealDisplacement(t *testing.T) {
 	ref := randomEmbedding(30, 4, 2)
 	movedRow := 7
 	pre := ref.Matrix().Clone()
-	for j := 0; j < 4; j++ {
+	for j := range 4 {
 		pre.Set(movedRow, j, pre.At(movedRow, j)+3)
 	}
 	rotated := rotate2(FromMatrix(pre), 0.7, []float64{-1, 1, -1, 1})
@@ -79,7 +79,7 @@ func TestAlignToPreservesRealDisplacement(t *testing.T) {
 	if math.Abs(got-want) > 0.2*want {
 		t.Fatalf("moved row displacement %v, want ≈ %v", got, want)
 	}
-	for i := 0; i < ref.NumTags(); i++ {
+	for i := range ref.NumTags() {
 		if i == movedRow {
 			continue
 		}
@@ -117,7 +117,7 @@ func TestAlignToRankDeficientPairsKeepsIsometry(t *testing.T) {
 	// Make the three PAIRED rows collinear: rank-1 overlap.
 	d := []float64{1, 2, -1, 0.5}
 	for _, i := range []int{0, 1, 2} {
-		for j := 0; j < 4; j++ {
+		for j := range 4 {
 			ref.Matrix().Set(i, j, float64(i+1)*d[j])
 		}
 	}
@@ -125,7 +125,7 @@ func TestAlignToRankDeficientPairsKeepsIsometry(t *testing.T) {
 	pairs := []RowPair{{A: 0, B: 0}, {A: 1, B: 1}, {A: 2, B: 2}}
 
 	aligned := rotated.AlignTo(ref, pairs)
-	for i := 0; i < ref.NumTags(); i++ {
+	for i := range ref.NumTags() {
 		got, want := aligned.RowNorm(i), rotated.RowNorm(i)
 		if math.Abs(got-want) > 1e-9*math.Max(1, want) {
 			t.Fatalf("row %d norm shrank under rank-deficient alignment: %v -> %v", i, want, got)

@@ -233,7 +233,7 @@ func completeBasis(b *mat.Matrix, s []float64) *mat.Matrix {
 	}
 	tol := smax * 1e-6
 	deficient := make([]int, 0, k)
-	for j := 0; j < k; j++ {
+	for j := range k {
 		if j >= len(s) || s[j] <= tol {
 			deficient = append(deficient, j)
 		}
@@ -244,7 +244,7 @@ func completeBasis(b *mat.Matrix, s []float64) *mat.Matrix {
 	out := b.Clone()
 	col := make([]float64, n)
 	for _, j := range deficient {
-		for cand := 0; cand < n; cand++ {
+		for cand := range n {
 			for i := range col {
 				col[i] = 0
 			}
@@ -252,15 +252,15 @@ func completeBasis(b *mat.Matrix, s []float64) *mat.Matrix {
 			// Orthogonalize against every other column (not-yet-completed
 			// deficient columns are zero, so they no-op here and later
 			// orthogonalize against this one — no candidate is reused).
-			for c := 0; c < k; c++ {
+			for c := range k {
 				if c == j {
 					continue
 				}
 				var dot float64
-				for i := 0; i < n; i++ {
+				for i := range n {
 					dot += col[i] * out.At(i, c)
 				}
-				for i := 0; i < n; i++ {
+				for i := range n {
 					col[i] -= dot * out.At(i, c)
 				}
 			}
@@ -270,7 +270,7 @@ func completeBasis(b *mat.Matrix, s []float64) *mat.Matrix {
 			}
 			if norm > 1e-6 {
 				norm = math.Sqrt(norm)
-				for i := 0; i < n; i++ {
+				for i := range n {
 					out.Set(i, j, col[i]/norm)
 				}
 				break
@@ -467,7 +467,7 @@ func (e *TagEmbedding) PairwiseBlock(lo, hi int) *mat.Matrix {
 	out := mat.New(hi-lo, n)
 	for i := lo; i < hi; i++ {
 		row := out.Row(i - lo)
-		for j := 0; j < n; j++ {
+		for j := range n {
 			if j == i {
 				continue
 			}
@@ -510,7 +510,7 @@ func (e *TagEmbedding) PairwiseContext(ctx context.Context) (*mat.Matrix, error)
 	var wg sync.WaitGroup
 	// Rows are dealt round-robin so the triangular workload stays
 	// balanced (row i has n−i−1 pairs).
-	for w := 0; w < workers; w++ {
+	for w := range workers {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()

@@ -29,8 +29,8 @@ func paperDecomposition(t testing.TB) *tucker.Decomposition {
 func syntheticEmbedding(n, dim int) *TagEmbedding {
 	m := mat.New(n, dim)
 	state := uint64(0x9e3779b97f4a7c15)
-	for i := 0; i < n; i++ {
-		for j := 0; j < dim; j++ {
+	for i := range n {
+		for j := range dim {
 			state ^= state << 13
 			state ^= state >> 7
 			state ^= state << 17
@@ -50,8 +50,8 @@ func TestDistMatchesTheorem2(t *testing.T) {
 	if e.Dim() != dec.Y2.Cols() {
 		t.Fatalf("Dim = %d, want %d", e.Dim(), dec.Y2.Cols())
 	}
-	for i := 0; i < e.NumTags(); i++ {
-		for j := 0; j < e.NumTags(); j++ {
+	for i := range e.NumTags() {
+		for j := range e.NumTags() {
 			got := e.Dist(i, j)
 			want := cube.DistanceDiag(i, j)
 			if math.Abs(got-want) > 1e-12 {
@@ -66,8 +66,8 @@ func TestPairwiseMatchesDistanceMatrix(t *testing.T) {
 	want := distance.NewCubeLSI(dec).Pairwise()
 	got := FromDecomposition(dec).Pairwise()
 	n := want.Rows()
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
+	for i := range n {
+		for j := range n {
 			if math.Abs(got.At(i, j)-want.At(i, j)) > 1e-12 {
 				t.Fatalf("Pairwise[%d,%d] = %v, want %v", i, j, got.At(i, j), want.At(i, j))
 			}
@@ -80,7 +80,7 @@ func TestNearestKMatchesBruteForce(t *testing.T) {
 	n := e.NumTags()
 	for _, probe := range []int{0, 1, 68, n - 1} {
 		brute := make([]Neighbor, 0, n-1)
-		for j := 0; j < n; j++ {
+		for j := range n {
 			if j != probe {
 				brute = append(brute, Neighbor{Tag: j, Dist: e.Dist(probe, j)})
 			}
@@ -116,7 +116,7 @@ func TestNearestKDeterministicTies(t *testing.T) {
 	// Four identical points: all cross distances are 0, so ordering must
 	// fall back to ascending tag id.
 	m := mat.New(4, 3)
-	for i := 0; i < 4; i++ {
+	for i := range 4 {
 		copy(m.Row(i), []float64{1, 2, 3})
 	}
 	e := FromMatrix(m)
@@ -147,7 +147,7 @@ func TestPairwiseBlock(t *testing.T) {
 			t.Fatalf("block [%d,%d) is %d×%d", lo, hi, r, c)
 		}
 		for i := lo; i < hi; i++ {
-			for j := 0; j < 23; j++ {
+			for j := range 23 {
 				if block.At(i-lo, j) != full.At(i, j) {
 					t.Fatalf("block[%d,%d] = %v, full = %v", i-lo, j, block.At(i-lo, j), full.At(i, j))
 				}
@@ -159,11 +159,11 @@ func TestPairwiseBlock(t *testing.T) {
 func TestPairwiseSymmetricZeroDiagonal(t *testing.T) {
 	e := syntheticEmbedding(31, 6)
 	p := e.Pairwise()
-	for i := 0; i < 31; i++ {
+	for i := range 31 {
 		if p.At(i, i) != 0 {
 			t.Fatalf("diagonal [%d] = %v", i, p.At(i, i))
 		}
-		for j := 0; j < 31; j++ {
+		for j := range 31 {
 			if p.At(i, j) != p.At(j, i) {
 				t.Fatalf("asymmetric at (%d,%d)", i, j)
 			}
@@ -195,7 +195,7 @@ func TestMemoryBytes(t *testing.T) {
 func BenchmarkNearestK(b *testing.B) {
 	e := syntheticEmbedding(20000, 64)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for i := range b.N {
 		e.NearestK(i%20000, 10)
 	}
 }
@@ -204,7 +204,7 @@ func BenchmarkSqDistRows(b *testing.B) {
 	e := syntheticEmbedding(2, 64)
 	ri, rj := e.Row(0), e.Row(1)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for range b.N {
 		sink += sqDistRows(ri, rj)
 	}
 }
@@ -214,7 +214,7 @@ var sink float64
 func BenchmarkNearestK10(b *testing.B) {
 	e := syntheticEmbedding(5000, 64)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for i := range b.N {
 		e.NearestK(i%5000, 10)
 	}
 }
@@ -222,7 +222,7 @@ func BenchmarkNearestK10(b *testing.B) {
 func BenchmarkPairwise1k(b *testing.B) {
 	e := syntheticEmbedding(1000, 64)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for range b.N {
 		e.Pairwise()
 	}
 }

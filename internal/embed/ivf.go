@@ -52,7 +52,7 @@ func NewIVF(e *TagEmbedding, centers *mat.Matrix) (*IVF, error) {
 	}
 	ivf := &IVF{e: e, centers: centers, lists: make([][]int, l)}
 	n := e.NumTags()
-	for i := 0; i < n; i++ {
+	for i := range n {
 		ri := e.Row(i)
 		best, bestD := 0, sqDistRows(ri, centers.Row(0))
 		for c := 1; c < l; c++ {

@@ -15,7 +15,7 @@ import (
 func syntheticCentroids(e *TagEmbedding, k int) *mat.Matrix {
 	c := mat.New(k, e.Dim())
 	counts := make([]int, k)
-	for i := 0; i < e.NumTags(); i++ {
+	for i := range e.NumTags() {
 		g := i % k
 		row := c.Row(g)
 		for j, v := range e.Row(i) {
@@ -23,7 +23,7 @@ func syntheticCentroids(e *TagEmbedding, k int) *mat.Matrix {
 		}
 		counts[g]++
 	}
-	for g := 0; g < k; g++ {
+	for g := range k {
 		if counts[g] == 0 {
 			continue
 		}
@@ -58,7 +58,7 @@ func TestIVFExactRerankMatchesNearestKOnPaperExample(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < e.NumTags(); i++ {
+	for i := range e.NumTags() {
 		want := e.NearestK(i, 0)
 		got := ivf.NearestK(i, 0, ivf.Lists(), ExactRerank)
 		if !reflect.DeepEqual(got, want) {
@@ -195,7 +195,7 @@ func BenchmarkIVFNearestK(b *testing.B) {
 	}
 	nprobe := ivf.DefaultProbe()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for i := range b.N {
 		ivf.NearestK(i%20000, 10, nprobe, 100)
 	}
 }

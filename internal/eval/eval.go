@@ -71,7 +71,7 @@ func NDCGCurve(r Queryable, queries [][]string, judge Judge, numResources int, c
 			ranked[i] = judge(qi, s.Doc)
 		}
 		all := make([]int, numResources)
-		for rid := 0; rid < numResources; rid++ {
+		for rid := range numResources {
 			all[rid] = judge(qi, rid)
 		}
 		for _, n := range cutoffs {
@@ -111,7 +111,7 @@ func TagDistanceAccuracy(ds *tagging.Dataset, dist *mat.Matrix, tax *semnet.Taxo
 	// D = tags present in the lexicon.
 	var lexicon []string
 	inLex := make([]bool, n)
-	for id := 0; id < n; id++ {
+	for id := range n {
 		name := ds.Tags.Name(id)
 		if tax.Contains(name) {
 			inLex[id] = true
@@ -120,7 +120,7 @@ func TagDistanceAccuracy(ds *tagging.Dataset, dist *mat.Matrix, tax *semnet.Taxo
 	}
 	nn := nearestNeighbors(dist)
 	var acc TagAccuracy
-	for id := 0; id < n; id++ {
+	for id := range n {
 		if !inLex[id] {
 			continue
 		}
@@ -144,9 +144,9 @@ func TagDistanceAccuracy(ds *tagging.Dataset, dist *mat.Matrix, tax *semnet.Taxo
 func nearestNeighbors(d *mat.Matrix) []int {
 	n := d.Rows()
 	out := make([]int, n)
-	for i := 0; i < n; i++ {
+	for i := range n {
 		best, bd := -1, math.Inf(1)
-		for j := 0; j < n; j++ {
+		for j := range n {
 			if j == i {
 				continue
 			}

@@ -61,8 +61,8 @@ func RunningExample() string {
 
 	// Spectral clustering (Section V) with σ=1, k=2.
 	dist := mat.New(3, 3)
-	for i := 0; i < 3; i++ {
-		for j := 0; j < 3; j++ {
+	for i := range 3 {
+		for j := range 3 {
 			if i != j {
 				dist.Set(i, j, cube.Distance(i, j))
 			}
@@ -75,7 +75,7 @@ func RunningExample() string {
 		groups[c] = append(groups[c], names[i])
 	}
 	fmt.Fprintf(&b, "spectral clustering (σ=1, k=2) concepts:\n")
-	for c := 0; c < res.K; c++ {
+	for c := range res.K {
 		fmt.Fprintf(&b, "  concept %d: %s\n", c, strings.Join(groups[c], ", "))
 	}
 	fmt.Fprintf(&b, "paper: {folk, people} and {laptop}\n")

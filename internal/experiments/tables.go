@@ -107,7 +107,7 @@ func withinNeighbors(d *mat.Matrix, a, b, k int) bool {
 		n := d.Rows()
 		dist := d.At(from, to)
 		r := 0
-		for j := 0; j < n; j++ {
+		for j := range n {
 			if j == from || j == to {
 				continue
 			}
@@ -125,7 +125,7 @@ func withinNeighbors(d *mat.Matrix, a, b, k int) bool {
 func pickPairs(s *Setup, n int) (related, unrelated [][2]int) {
 	c := s.Corpus
 	byConcept := make(map[int][]int)
-	for id := 0; id < c.Clean.Tags.Len(); id++ {
+	for id := range c.Clean.Tags.Len() {
 		cs := c.TagConcepts[id]
 		if len(cs) == 1 { // monosemous only: unambiguous ground truth
 			byConcept[cs[0]] = append(byConcept[cs[0]], id)
@@ -232,7 +232,7 @@ func Table3(s *Setup) *Table3Result {
 	ds := s.Corpus.Clean
 	tax := s.Corpus.Gen.Taxonomy
 	inLex := 0
-	for id := 0; id < ds.Tags.Len(); id++ {
+	for id := range ds.Tags.Len() {
 		if tax.Contains(ds.Tags.Name(id)) {
 			inLex++
 		}
@@ -371,7 +371,7 @@ func Table5(s *Setup, budget time.Duration) Table5Row {
 		// from the share of pairs completed.
 		total := float64(nTags) * float64(nTags-1) / 2
 		var done float64
-		for i := 0; i < rows; i++ {
+		for i := range rows {
 			done += float64(nTags - i - 1)
 		}
 		if done > 0 {

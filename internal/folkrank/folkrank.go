@@ -55,7 +55,9 @@ func NewGraph(d *tagging.Dataset) *Graph {
 	g.adj = make([][]edge, n)
 	addBoth := func(m map[pair]float64) {
 		for p, w := range m {
+			//lint:ignore maporder every adjacency list is sorted by destination right after the addBoth calls
 			g.adj[p.a] = append(g.adj[p.a], edge{to: p.b, weight: w})
+			//lint:ignore maporder every adjacency list is sorted by destination right after the addBoth calls
 			g.adj[p.b] = append(g.adj[p.b], edge{to: p.a, weight: w})
 		}
 	}
@@ -139,8 +141,8 @@ func (g *Graph) propagate(p []float64, opts Options) []float64 {
 	w := make([]float64, n)
 	next := make([]float64, n)
 	copy(w, p)
-	for iter := 0; iter < opts.MaxIter; iter++ {
-		for v := 0; v < n; v++ {
+	for range opts.MaxIter {
+		for v := range n {
 			var acc float64
 			inv := g.invDegree[v]
 			if inv > 0 {
@@ -152,7 +154,7 @@ func (g *Graph) propagate(p []float64, opts Options) []float64 {
 			next[v] = opts.Damping*acc + (1-opts.Damping)*p[v]
 		}
 		var delta float64
-		for v := 0; v < n; v++ {
+		for v := range n {
 			delta += math.Abs(next[v] - w[v])
 		}
 		w, next = next, w
@@ -203,7 +205,7 @@ func (g *Graph) RankWithBaseline(queryTags []int, w0 []float64, opts Options) []
 	w1 := g.propagate(pref, opts)
 
 	out := make([]float64, g.numResources)
-	for r := 0; r < g.numResources; r++ {
+	for r := range g.numResources {
 		v := g.ResourceVertex(r)
 		out[r] = w1[v] - w0[v]
 	}

@@ -26,7 +26,7 @@ func TestGraphShape(t *testing.T) {
 		t.Fatalf("vertices = %d, want 9", g.NumVertices())
 	}
 	// Every vertex in this dataset participates in ≥1 assignment.
-	for v := 0; v < g.NumVertices(); v++ {
+	for v := range g.NumVertices() {
 		if g.invDegree[v] == 0 {
 			t.Fatalf("vertex %d isolated", v)
 		}

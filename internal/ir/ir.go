@@ -75,17 +75,19 @@ func BuildIndexFloat(docs []map[int]float64, numTerms int) *Index {
 	}
 	n := float64(len(docs))
 	for d, counts := range docs {
+		// Iterate terms in sorted order so floating-point accumulation —
+		// the document total here as much as the norm below — is
+		// deterministic across runs (map order is randomized).
+		terms := sortedTerms(counts)
 		var total float64
-		for _, c := range counts {
-			total += c
+		for _, t := range terms {
+			total += counts[t]
 		}
 		if total == 0 {
 			continue
 		}
-		// Iterate terms in sorted order so floating-point accumulation is
-		// deterministic across runs (map order is randomized).
 		var norm2 float64
-		for _, t := range sortedTerms(counts) {
+		for _, t := range terms {
 			c := counts[t]
 			if c <= 0 || ix.df[t] == 0 {
 				continue
@@ -181,9 +183,11 @@ func (ix *Index) QueryMin(counts map[int]int, topN int, minScore float64) []Scor
 
 // QueryFloat is Query over fractional term counts (soft concept mapping).
 func (ix *Index) QueryFloat(counts map[int]float64, topN int) []Scored {
+	// Sorted iteration keeps the floating-point total — and with it the
+	// query weights — bit-identical across runs.
 	var total float64
-	for _, c := range counts {
-		total += c
+	for _, t := range sortedTerms(counts) {
+		total += counts[t]
 	}
 	if total == 0 {
 		return nil
@@ -232,6 +236,7 @@ func (ix *Index) rank(qw map[int]float64, topN int, minScore float64) []Scored {
 		if score < minScore {
 			continue
 		}
+		//lint:ignore maporder sortScoredDesc below imposes the final order (score desc, doc asc)
 		out = append(out, Scored{Doc: d, Score: score})
 	}
 	sortScoredDesc(out)
@@ -306,13 +311,17 @@ func MapToConcepts(tagCounts map[int]int, assign []int) map[int]int {
 // the paper sketches in footnote 5 for the polysemy problem. Each tag
 // occurrence spreads its mass across the tag's concepts.
 func MapToConceptsSoft(tagCounts map[int]int, weights []map[int]float64) map[int]float64 {
+	// A concept cell accumulates mass from several tags, so the float
+	// additions must run in a fixed order for the fractional counts to
+	// be bit-identical across runs: sorted tags, sorted concepts.
 	out := make(map[int]float64, len(tagCounts))
-	for t, c := range tagCounts {
+	for _, t := range sortedTerms(tagCounts) {
 		if t < 0 || t >= len(weights) {
 			continue
 		}
-		for concept, w := range weights[t] {
-			out[concept] += float64(c) * w
+		c := tagCounts[t]
+		for _, concept := range sortedTerms(weights[t]) {
+			out[concept] += float64(c) * weights[t][concept]
 		}
 	}
 	return out

@@ -10,10 +10,10 @@ import (
 // term-1-only documents that keep every idf positive.
 func gradedIndex(docs int) *Index {
 	collection := make([]map[int]int, 0, docs+4)
-	for d := 0; d < docs; d++ {
+	for d := range docs {
 		collection = append(collection, map[int]int{0: docs - d, 1: d + 1})
 	}
-	for d := 0; d < 4; d++ {
+	for range 4 {
 		collection = append(collection, map[int]int{1: 3})
 	}
 	return BuildIndex(collection, 2)

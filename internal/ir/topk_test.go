@@ -61,7 +61,7 @@ func TestQueryTopKDeterministicAcrossRuns(t *testing.T) {
 	ix := syntheticIndex(2000, 11)
 	counts := map[int]int{0: 1, 3: 1}
 	want := ix.Query(counts, 25)
-	for run := 0; run < 20; run++ {
+	for run := range 20 {
 		got := ix.Query(counts, 25)
 		for i := range want {
 			if got[i] != want[i] {
@@ -84,7 +84,7 @@ func BenchmarkQueryTop10(b *testing.B) {
 		b.Run(fmt.Sprintf("docs=%d", n), func(b *testing.B) {
 			ix, counts := benchIndex(b, n)
 			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
+			for range b.N {
 				ix.Query(counts, 10)
 			}
 		})
@@ -98,7 +98,7 @@ func BenchmarkQueryFullSort(b *testing.B) {
 		b.Run(fmt.Sprintf("docs=%d", n), func(b *testing.B) {
 			ix, counts := benchIndex(b, n)
 			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
+			for range b.N {
 				ix.Query(counts, 0)
 			}
 		})

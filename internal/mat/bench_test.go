@@ -18,7 +18,7 @@ func BenchmarkMul256(b *testing.B) {
 	x := benchMatrix(256, 256, 1)
 	y := benchMatrix(256, 256, 2)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for range b.N {
 		Mul(x, y)
 	}
 }
@@ -26,7 +26,7 @@ func BenchmarkMul256(b *testing.B) {
 func BenchmarkSymMulT512x128(b *testing.B) {
 	x := benchMatrix(512, 128, 3)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for range b.N {
 		SymMulT(x)
 	}
 }
@@ -34,7 +34,7 @@ func BenchmarkSymMulT512x128(b *testing.B) {
 func BenchmarkQRFactor256x64(b *testing.B) {
 	x := benchMatrix(256, 64, 4)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for range b.N {
 		QRFactor(x)
 	}
 }
@@ -42,7 +42,7 @@ func BenchmarkQRFactor256x64(b *testing.B) {
 func BenchmarkOrthonormalizeCholQR(b *testing.B) {
 	x := benchMatrix(1024, 64, 5)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for range b.N {
 		Orthonormalize(x.Clone())
 	}
 }
@@ -51,7 +51,7 @@ func BenchmarkSymEigJacobi64(b *testing.B) {
 	x := benchMatrix(64, 64, 6)
 	s := AddTo(x, x.T())
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for range b.N {
 		SymEig(s)
 	}
 }
@@ -60,7 +60,7 @@ func BenchmarkSymEigTridiag256(b *testing.B) {
 	x := benchMatrix(256, 256, 7)
 	s := AddTo(x, x.T())
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for range b.N {
 		SymEigTridiag(s)
 	}
 }
@@ -69,7 +69,7 @@ func BenchmarkSubspaceIterationTop16(b *testing.B) {
 	w := benchMatrix(512, 256, 8)
 	op := GramOperator{W: w}
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for i := range b.N {
 		SubspaceIteration(op, 16, SubspaceOptions{Seed: uint64(i)})
 	}
 }
@@ -77,7 +77,7 @@ func BenchmarkSubspaceIterationTop16(b *testing.B) {
 func BenchmarkLeftSVD512x256k32(b *testing.B) {
 	w := benchMatrix(512, 256, 9)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for i := range b.N {
 		LeftSVD(w, 32, SubspaceOptions{Seed: uint64(i)})
 	}
 }
@@ -85,7 +85,7 @@ func BenchmarkLeftSVD512x256k32(b *testing.B) {
 func BenchmarkThinSVD128(b *testing.B) {
 	w := benchMatrix(128, 96, 10)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for range b.N {
 		ThinSVD(w)
 	}
 }

@@ -54,7 +54,7 @@ func TestNorm2Overflow(t *testing.T) {
 
 func TestQRFactorization(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	for trial := 0; trial < 20; trial++ {
+	for trial := range 20 {
 		m := 3 + rng.Intn(10)
 		n := 1 + rng.Intn(m)
 		a := randMatrix(rng, m, n)
@@ -63,8 +63,8 @@ func TestQRFactorization(t *testing.T) {
 			t.Fatalf("trial %d: Q not orthonormal", trial)
 		}
 		// R upper triangular.
-		for i := 0; i < n; i++ {
-			for j := 0; j < i; j++ {
+		for i := range n {
+			for j := range i {
 				if math.Abs(qr.R.At(i, j)) > 1e-12 {
 					t.Fatalf("trial %d: R not upper triangular at (%d,%d)", trial, i, j)
 				}
@@ -111,10 +111,10 @@ func checkEigen(t *testing.T, a *Matrix, e *Eigen, tol float64) {
 	t.Helper()
 	n := a.Rows()
 	// A·v = λ·v for each pair.
-	for j := 0; j < len(e.Values); j++ {
+	for j := range len(e.Values) {
 		v := e.Vectors.Col(j)
 		av := a.MulVec(v)
-		for i := 0; i < n; i++ {
+		for i := range n {
 			if math.Abs(av[i]-e.Values[j]*v[i]) > tol {
 				t.Fatalf("eigenpair %d: residual %g at row %d", j, av[i]-e.Values[j]*v[i], i)
 			}
@@ -130,7 +130,7 @@ func checkEigen(t *testing.T, a *Matrix, e *Eigen, tol float64) {
 
 func TestSymEigJacobi(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
-	for trial := 0; trial < 10; trial++ {
+	for trial := range 10 {
 		n := 2 + rng.Intn(12)
 		a := symmetric(rng, n)
 		e := SymEig(a)
@@ -152,13 +152,13 @@ func TestSymEigKnown(t *testing.T) {
 
 func TestSymEigTridiagMatchesJacobi(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
-	for trial := 0; trial < 8; trial++ {
+	for trial := range 8 {
 		n := 2 + rng.Intn(30)
 		a := symmetric(rng, n)
 		e1 := SymEig(a)
 		e2 := SymEigTridiag(a)
 		checkEigen(t, a, e2, 1e-8)
-		for j := 0; j < n; j++ {
+		for j := range n {
 			if !almostEq(e1.Values[j], e2.Values[j], 1e-8) {
 				t.Fatalf("trial %d: eigenvalue %d mismatch: %v vs %v", trial, j, e1.Values[j], e2.Values[j])
 			}
@@ -174,7 +174,7 @@ func TestSymEigTridiagLarge(t *testing.T) {
 	checkEigen(t, a, e, 1e-7)
 	// Trace preserved.
 	var tr, sum float64
-	for i := 0; i < n; i++ {
+	for i := range n {
 		tr += a.At(i, i)
 		sum += e.Values[i]
 	}
@@ -194,7 +194,7 @@ func TestSubspaceIterationTopK(t *testing.T) {
 	q := Orthonormalize(randMatrix(rng, n, n))
 	a := Mul(Mul(q, Diag(vals)), q.T())
 	e := SubspaceIteration(MatrixOperator{M: a}, k, SubspaceOptions{Seed: 42})
-	for j := 0; j < k; j++ {
+	for j := range k {
 		if !almostEq(e.Values[j], vals[j], 1e-6) {
 			t.Fatalf("eigenvalue %d = %v, want %v", j, e.Values[j], vals[j])
 		}
@@ -209,7 +209,7 @@ func TestSubspaceMatchesFullEig(t *testing.T) {
 	g := MulT(w, w) // PSD Gram matrix
 	full := SymEig(g)
 	sub := SubspaceIteration(GramOperator{W: w}, k, SubspaceOptions{Seed: 1})
-	for j := 0; j < k; j++ {
+	for j := range k {
 		if !almostEq(full.Values[j], sub.Values[j], 1e-7) {
 			t.Fatalf("eigenvalue %d: full %v vs subspace %v", j, full.Values[j], sub.Values[j])
 		}
@@ -254,13 +254,13 @@ func TestTruncatedSVDMatchesThin(t *testing.T) {
 		thin := ThinSVD(a)
 		k := 4
 		tr := TruncatedSVD(a, k, SubspaceOptions{Seed: 2})
-		for j := 0; j < k; j++ {
+		for j := range k {
 			if !almostEq(thin.S[j], tr.S[j], 1e-7) {
 				t.Fatalf("%v: singular value %d: %v vs %v", dims, j, thin.S[j], tr.S[j])
 			}
 		}
 		// Left vectors agree up to sign.
-		for j := 0; j < k; j++ {
+		for j := range k {
 			d := math.Abs(Dot(thin.U.Col(j), tr.U.Col(j)))
 			if !almostEq(d, 1, 1e-5) {
 				t.Fatalf("%v: left singular vector %d misaligned (|dot|=%v)", dims, j, d)
@@ -276,7 +276,7 @@ func TestLeftSVDMatchesThin(t *testing.T) {
 		thin := ThinSVD(a)
 		k := 4
 		left := LeftSVD(a, k, SubspaceOptions{Seed: 3})
-		for j := 0; j < k; j++ {
+		for j := range k {
 			if !almostEq(thin.S[j], left.S[j], 1e-9) {
 				t.Fatalf("%v: singular value %d: %v vs %v", dims, j, thin.S[j], left.S[j])
 			}

@@ -28,7 +28,7 @@ func SymEig(a *Matrix) *Eigen {
 
 	offDiag := func() float64 {
 		var s float64
-		for i := 0; i < n; i++ {
+		for i := range n {
 			for j := i + 1; j < n; j++ {
 				s += w.At(i, j) * w.At(i, j)
 			}
@@ -41,7 +41,7 @@ func SymEig(a *Matrix) *Eigen {
 		scale = 1
 	}
 	const maxSweeps = 64
-	for sweep := 0; sweep < maxSweeps; sweep++ {
+	for range maxSweeps {
 		if offDiag() <= 1e-14*scale*float64(n) {
 			break
 		}
@@ -62,18 +62,18 @@ func SymEig(a *Matrix) *Eigen {
 				cth := 1 / math.Sqrt(1+t*t)
 				sth := t * cth
 				// Apply the rotation J(p,q,θ) on both sides of w.
-				for k := 0; k < n; k++ {
+				for k := range n {
 					akp, akq := w.At(k, p), w.At(k, q)
 					w.Set(k, p, cth*akp-sth*akq)
 					w.Set(k, q, sth*akp+cth*akq)
 				}
-				for k := 0; k < n; k++ {
+				for k := range n {
 					apk, aqk := w.At(p, k), w.At(q, k)
 					w.Set(p, k, cth*apk-sth*aqk)
 					w.Set(q, k, sth*apk+cth*aqk)
 				}
 				// Accumulate eigenvectors.
-				for k := 0; k < n; k++ {
+				for k := range n {
 					vkp, vkq := v.At(k, p), v.At(k, q)
 					v.Set(k, p, cth*vkp-sth*vkq)
 					v.Set(k, q, sth*vkp+cth*vkq)
@@ -83,7 +83,7 @@ func SymEig(a *Matrix) *Eigen {
 	}
 
 	vals := make([]float64, n)
-	for i := 0; i < n; i++ {
+	for i := range n {
 		vals[i] = w.At(i, i)
 	}
 	return sortEigen(vals, v)
@@ -125,7 +125,7 @@ func (o MatrixOperator) Dim() int { return o.M.Rows() }
 // Apply computes y = M·x.
 func (o MatrixOperator) Apply(x, y []float64) {
 	m := o.M
-	for i := 0; i < m.rows; i++ {
+	for i := range m.rows {
 		y[i] = Dot(m.Row(i), x)
 	}
 }
@@ -207,8 +207,8 @@ func SubspaceIteration(op Operator, k int, opts SubspaceOptions) *Eigen {
 
 	rng := newSplitMix(opts.Seed ^ 0x9e3779b97f4a7c15)
 	q := New(n, b)
-	for i := 0; i < n; i++ {
-		for j := 0; j < b; j++ {
+	for i := range n {
+		for j := range b {
 			q.Set(i, j, rng.normFloat())
 		}
 	}
@@ -230,7 +230,7 @@ func SubspaceIteration(op Operator, k int, opts SubspaceOptions) *Eigen {
 				xw := make([]float64, n)
 				yw := make([]float64, n)
 				for j := lo; j < hi; j++ {
-					for i := 0; i < n; i++ {
+					for i := range n {
 						xw[i] = q.At(i, j)
 					}
 					op.Apply(xw, yw)
@@ -239,8 +239,8 @@ func SubspaceIteration(op Operator, k int, opts SubspaceOptions) *Eigen {
 			})
 			return
 		}
-		for j := 0; j < b; j++ {
-			for i := 0; i < n; i++ {
+		for j := range b {
+			for i := range n {
 				xbuf[i] = q.At(i, j)
 			}
 			op.Apply(xbuf, ybuf)
@@ -250,7 +250,7 @@ func SubspaceIteration(op Operator, k int, opts SubspaceOptions) *Eigen {
 	rayleighRitz := func() *Eigen {
 		// H = QᵀZ is symmetric since A is; symmetrize against rounding.
 		h := tmulW(q, z, opts.Workers)
-		for i := 0; i < b; i++ {
+		for i := range b {
 			for j := i + 1; j < b; j++ {
 				v := 0.5 * (h.At(i, j) + h.At(j, i))
 				h.Set(i, j, v)
@@ -291,9 +291,9 @@ func SubspaceIteration(op Operator, k int, opts SubspaceOptions) *Eigen {
 			maxv = 1
 		}
 		var worst float64
-		for j := 0; j < k; j++ {
+		for j := range k {
 			var res float64
-			for i := 0; i < n; i++ {
+			for i := range n {
 				r := avecs.At(i, j) - ritz.Values[j]*vecs.At(i, j)
 				res += r * r
 			}
@@ -308,7 +308,7 @@ func SubspaceIteration(op Operator, k int, opts SubspaceOptions) *Eigen {
 
 	out := &Eigen{Values: make([]float64, k), Vectors: New(n, k)}
 	copy(out.Values, ritz.Values[:k])
-	for j := 0; j < k; j++ {
+	for j := range k {
 		out.Vectors.SetCol(j, vecs.Col(j))
 	}
 	return out
@@ -332,7 +332,7 @@ func (s *splitMix) next() uint64 {
 // of uniforms (Irwin–Hall with 4 terms), adequate for iteration starts.
 func (s *splitMix) normFloat() float64 {
 	var acc float64
-	for i := 0; i < 4; i++ {
+	for range 4 {
 		acc += float64(s.next()>>11) / (1 << 53)
 	}
 	return (acc - 2) * math.Sqrt(3)

@@ -59,7 +59,7 @@ func FromData(rows, cols int, data []float64) *Matrix {
 // Identity returns the n×n identity matrix.
 func Identity(n int) *Matrix {
 	m := New(n, n)
-	for i := 0; i < n; i++ {
+	for i := range n {
 		m.data[i*n+i] = 1
 	}
 	return m
@@ -121,7 +121,7 @@ func (m *Matrix) Col(j int) []float64 {
 		panic(fmt.Sprintf("mat: column %d out of bounds %d×%d", j, m.rows, m.cols))
 	}
 	out := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
+	for i := range m.rows {
 		out[i] = m.data[i*m.cols+j]
 	}
 	return out
@@ -158,7 +158,7 @@ func (m *Matrix) Clone() *Matrix {
 // T returns the transpose of m as a new matrix.
 func (m *Matrix) T() *Matrix {
 	t := New(m.cols, m.rows)
-	for i := 0; i < m.rows; i++ {
+	for i := range m.rows {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		for j, v := range row {
 			t.data[j*t.cols+i] = v
@@ -211,7 +211,7 @@ func mulTW(a, b *Matrix, workers int) *Matrix {
 		for i := lo; i < hi; i++ {
 			arow := a.data[i*a.cols : (i+1)*a.cols]
 			crow := c.data[i*c.cols : (i+1)*c.cols]
-			for j := 0; j < b.rows; j++ {
+			for j := range b.rows {
 				brow := b.data[j*b.cols : (j+1)*b.cols]
 				crow[j] = Dot(arow, brow)
 			}
@@ -242,7 +242,7 @@ func tmulW(a, b *Matrix, workers int) *Matrix {
 	parallelForW(a.cols, a.rows*a.cols*b.cols, workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			crow := c.data[i*c.cols : (i+1)*c.cols]
-			for k := 0; k < a.rows; k++ {
+			for k := range a.rows {
 				av := a.data[k*a.cols+i]
 				if av == 0 {
 					continue
@@ -263,7 +263,7 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 		panic(fmt.Sprintf("mat: MulVec length %d, want %d", len(x), m.cols))
 	}
 	y := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
+	for i := range m.rows {
 		y[i] = Dot(m.data[i*m.cols:(i+1)*m.cols], x)
 	}
 	return y
@@ -364,9 +364,9 @@ func Equal(a, b *Matrix, tol float64) bool {
 // String renders m for debugging.
 func (m *Matrix) String() string {
 	var sb strings.Builder
-	for i := 0; i < m.rows; i++ {
+	for i := range m.rows {
 		sb.WriteString("[")
-		for j := 0; j < m.cols; j++ {
+		for j := range m.cols {
 			if j > 0 {
 				sb.WriteString(" ")
 			}

@@ -85,7 +85,7 @@ func TestMulAgainstHand(t *testing.T) {
 
 func TestMulVariantsAgree(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	for trial := 0; trial < 20; trial++ {
+	for trial := range 20 {
 		m, k, n := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
 		a := randMatrix(rng, m, k)
 		b := randMatrix(rng, k, n)

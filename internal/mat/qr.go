@@ -22,7 +22,7 @@ func QRFactor(a *Matrix) *QR {
 	r := a.Clone()
 	// vs[k] stores the Householder vector for column k.
 	vs := make([][]float64, n)
-	for k := 0; k < n; k++ {
+	for k := range n {
 		// Build the Householder vector from column k below the diagonal.
 		v := make([]float64, m-k)
 		for i := k; i < m; i++ {
@@ -54,7 +54,7 @@ func QRFactor(a *Matrix) *QR {
 	// Accumulate thin Q by applying the reflections to the first n columns
 	// of the identity, in reverse order.
 	q := New(m, n)
-	for j := 0; j < n; j++ {
+	for j := range n {
 		q.Set(j, j, 1)
 	}
 	for k := n - 1; k >= 0; k-- {
@@ -62,7 +62,7 @@ func QRFactor(a *Matrix) *QR {
 		if v == nil {
 			continue
 		}
-		for j := 0; j < n; j++ {
+		for j := range n {
 			var dot float64
 			for i := k; i < m; i++ {
 				dot += v[i-k] * q.At(i, j)
@@ -75,7 +75,7 @@ func QRFactor(a *Matrix) *QR {
 	}
 	// Zero the strictly-lower part of R and truncate to n×n.
 	rr := New(n, n)
-	for i := 0; i < n; i++ {
+	for i := range n {
 		for j := i; j < n; j++ {
 			rr.Set(i, j, r.At(i, j))
 		}
@@ -108,13 +108,13 @@ func orthonormalizeW(a *Matrix, workers int) *Matrix {
 		}
 	}
 	cols := make([][]float64, n)
-	for j := 0; j < n; j++ {
+	for j := range n {
 		cols[j] = a.Col(j)
 	}
-	for j := 0; j < n; j++ {
+	for j := range n {
 		// Two passes of projection for numerical robustness.
-		for pass := 0; pass < 2; pass++ {
-			for k := 0; k < j; k++ {
+		for range 2 {
+			for k := range j {
 				d := Dot(cols[k], cols[j])
 				AXPY(-d, cols[k], cols[j])
 			}
@@ -126,7 +126,7 @@ func orthonormalizeW(a *Matrix, workers int) *Matrix {
 			for e := 0; e < m && !replaced; e++ {
 				cand := make([]float64, m)
 				cand[e] = 1
-				for k := 0; k < j; k++ {
+				for k := range j {
 					d := Dot(cols[k], cand)
 					AXPY(-d, cols[k], cand)
 				}
@@ -141,7 +141,7 @@ func orthonormalizeW(a *Matrix, workers int) *Matrix {
 		}
 		Normalize(cols[j])
 	}
-	for j := 0; j < n; j++ {
+	for j := range n {
 		a.SetCol(j, cols[j])
 	}
 	return a
@@ -155,9 +155,9 @@ func cholQR(a *Matrix, workers int) bool {
 	m, n := a.Dims()
 	g := tmulW(a, a, workers)
 	// In-place Cholesky G = RᵀR (upper triangular R stored in g).
-	for j := 0; j < n; j++ {
+	for j := range n {
 		d := g.At(j, j)
-		for k := 0; k < j; k++ {
+		for k := range j {
 			d -= g.At(k, j) * g.At(k, j)
 		}
 		if d <= 1e-12*g.At(j, j) || d <= 0 {
@@ -167,7 +167,7 @@ func cholQR(a *Matrix, workers int) bool {
 		g.Set(j, j, rjj)
 		for c := j + 1; c < n; c++ {
 			v := g.At(j, c)
-			for k := 0; k < j; k++ {
+			for k := range j {
 				v -= g.At(k, j) * g.At(k, c)
 			}
 			g.Set(j, c, v/rjj)
@@ -178,9 +178,9 @@ func cholQR(a *Matrix, workers int) bool {
 		x := make([]float64, n)
 		for i := lo; i < hi; i++ {
 			row := a.Row(i)
-			for j := 0; j < n; j++ {
+			for j := range n {
 				v := row[j]
-				for k := 0; k < j; k++ {
+				for k := range j {
 					v -= x[k] * g.At(k, j)
 				}
 				x[j] = v / g.At(j, j)
@@ -195,8 +195,8 @@ func cholQR(a *Matrix, workers int) bool {
 func IsOrthonormal(a *Matrix, tol float64) bool {
 	g := TMul(a, a)
 	n := a.Cols()
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
+	for i := range n {
+		for j := range n {
 			want := 0.0
 			if i == j {
 				want = 1

@@ -65,15 +65,15 @@ func SketchedLeftSVD(a *Matrix, k int, spec SketchSpec, opts SubspaceOptions) *S
 	// Seeded Gaussian test matrix Ω ∈ R^{n×l}.
 	rng := newSplitMix(opts.Seed ^ 0x5851f42d4c957f2d)
 	omega := New(n, l)
-	for i := 0; i < n; i++ {
-		for j := 0; j < l; j++ {
+	for i := range n {
+		for j := range l {
 			omega.Set(i, j, rng.normFloat())
 		}
 	}
 
 	// Range sketch with power refinement.
 	y := mulW(a, omega, opts.Workers) // m×l
-	for q := 0; q < spec.powerIters(); q++ {
+	for range spec.powerIters() {
 		orthonormalizeW(y, opts.Workers)
 		z := tmulW(a, y, opts.Workers) // n×l = Aᵀ·Y
 		y = mulW(a, z, opts.Workers)   // m×l = A·Aᵀ·Y
@@ -86,7 +86,7 @@ func SketchedLeftSVD(a *Matrix, k int, spec SketchSpec, opts SubspaceOptions) *S
 	eig := symEigAuto(symMulTW(b, opts.Workers))
 	s := make([]float64, k)
 	ub := New(l, k)
-	for j := 0; j < k; j++ {
+	for j := range k {
 		ev := eig.Values[j]
 		if ev < 0 {
 			ev = 0

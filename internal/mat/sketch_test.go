@@ -12,10 +12,10 @@ func lowRankPlusNoise(rng *rand.Rand, m, n, r int, noise float64) *Matrix {
 	u := Orthonormalize(randMatrix(rng, m, r))
 	v := Orthonormalize(randMatrix(rng, n, r))
 	a := New(m, n)
-	for t := 0; t < r; t++ {
+	for t := range r {
 		s := float64(r - t)
-		for i := 0; i < m; i++ {
-			for j := 0; j < n; j++ {
+		for i := range m {
+			for j := range n {
 				a.Add(i, j, s*u.At(i, t)*v.At(j, t))
 			}
 		}
@@ -41,17 +41,17 @@ func TestSketchedLeftSVDMatchesThin(t *testing.T) {
 	if !IsOrthonormal(sk.U, 1e-8) {
 		t.Fatal("sketched U not orthonormal")
 	}
-	for j := 0; j < k; j++ {
+	for j := range k {
 		if rel := math.Abs(sk.S[j]-exact.S[j]) / exact.S[j]; rel > 1e-3 {
 			t.Fatalf("singular value %d: sketched %v vs exact %v (rel %v)", j, sk.S[j], exact.S[j], rel)
 		}
 	}
 	// Subspace agreement: the projection of each exact leading left
 	// vector onto the sketched basis must be near unit length.
-	for j := 0; j < k; j++ {
+	for j := range k {
 		uj := exact.U.Col(j)
 		var captured float64
-		for c := 0; c < k; c++ {
+		for c := range k {
 			d := Dot(uj, sk.U.Col(c))
 			captured += d * d
 		}
@@ -90,13 +90,13 @@ func TestTMulWorkerParity(t *testing.T) {
 
 	// Reference: the historical k-outer serial loop.
 	want := New(120, 90)
-	for k := 0; k < 150; k++ {
-		for i := 0; i < 120; i++ {
+	for k := range 150 {
+		for i := range 120 {
 			av := a.At(k, i)
 			if av == 0 {
 				continue
 			}
-			for j := 0; j < 90; j++ {
+			for j := range 90 {
 				want.Add(i, j, av*b.At(k, j))
 			}
 		}

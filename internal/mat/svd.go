@@ -33,7 +33,7 @@ func ThinSVD(a *Matrix) *SVD {
 		eig := symEigAuto(g)
 		s := make([]float64, k)
 		v := New(n, k)
-		for j := 0; j < k; j++ {
+		for j := range k {
 			ev := eig.Values[j]
 			if ev < 0 {
 				ev = 0
@@ -42,15 +42,15 @@ func ThinSVD(a *Matrix) *SVD {
 			v.SetCol(j, eig.Vectors.Col(j))
 		}
 		u := Mul(a, v)
-		for j := 0; j < k; j++ {
+		for j := range k {
 			if s[j] > svdRankTol(s[0], m, n) {
-				for i := 0; i < m; i++ {
+				for i := range m {
 					u.Set(i, j, u.At(i, j)/s[j])
 				}
 			} else {
 				// Null singular value: zero the column; callers treating U
 				// as a basis should truncate by rank.
-				for i := 0; i < m; i++ {
+				for i := range m {
 					u.Set(i, j, 0)
 				}
 			}
@@ -62,7 +62,7 @@ func ThinSVD(a *Matrix) *SVD {
 	eig := symEigAuto(g)
 	s := make([]float64, k)
 	u := New(m, k)
-	for j := 0; j < k; j++ {
+	for j := range k {
 		ev := eig.Values[j]
 		if ev < 0 {
 			ev = 0
@@ -71,13 +71,13 @@ func ThinSVD(a *Matrix) *SVD {
 		u.SetCol(j, eig.Vectors.Col(j))
 	}
 	v := TMul(a, u)
-	for j := 0; j < k; j++ {
+	for j := range k {
 		if s[j] > svdRankTol(s[0], m, n) {
-			for i := 0; i < n; i++ {
+			for i := range n {
 				v.Set(i, j, v.At(i, j)/s[j])
 			}
 		} else {
-			for i := 0; i < n; i++ {
+			for i := range n {
 				v.Set(i, j, 0)
 			}
 		}
@@ -120,7 +120,7 @@ func TruncatedSVD(a *Matrix, k int, opts SubspaceOptions) *SVD {
 		eig := SubspaceIteration(GramOperator{W: a}, k, opts)
 		s := make([]float64, k)
 		u := eig.Vectors
-		for j := 0; j < k; j++ {
+		for j := range k {
 			ev := eig.Values[j]
 			if ev < 0 {
 				ev = 0
@@ -128,9 +128,9 @@ func TruncatedSVD(a *Matrix, k int, opts SubspaceOptions) *SVD {
 			s[j] = math.Sqrt(ev)
 		}
 		v := tmulW(a, u, opts.Workers)
-		for j := 0; j < k; j++ {
+		for j := range k {
 			if s[j] > svdRankTol(s[0], m, n) {
-				for i := 0; i < n; i++ {
+				for i := range n {
 					v.Set(i, j, v.At(i, j)/s[j])
 				}
 			}
@@ -141,7 +141,7 @@ func TruncatedSVD(a *Matrix, k int, opts SubspaceOptions) *SVD {
 	eig := SubspaceIteration(gramTOperator{w: a}, k, opts)
 	s := make([]float64, k)
 	v := eig.Vectors
-	for j := 0; j < k; j++ {
+	for j := range k {
 		ev := eig.Values[j]
 		if ev < 0 {
 			ev = 0
@@ -149,9 +149,9 @@ func TruncatedSVD(a *Matrix, k int, opts SubspaceOptions) *SVD {
 		s[j] = math.Sqrt(ev)
 	}
 	u := mulW(a, v, opts.Workers)
-	for j := 0; j < k; j++ {
+	for j := range k {
 		if s[j] > svdRankTol(s[0], m, n) {
-			for i := 0; i < m; i++ {
+			for i := range m {
 				u.Set(i, j, u.At(i, j)/s[j])
 			}
 		}
@@ -177,7 +177,7 @@ func symMulTW(a *Matrix, maxWorkers int) *Matrix {
 		}
 	}
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := range workers {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
@@ -194,8 +194,8 @@ func symMulTW(a *Matrix, maxWorkers int) *Matrix {
 	}
 	wg.Wait()
 	// Mirror the lower triangle.
-	for i := 0; i < m; i++ {
-		for j := 0; j < i; j++ {
+	for i := range m {
+		for j := range i {
 			g.data[i*m+j] = g.data[j*m+i]
 		}
 	}
@@ -225,7 +225,7 @@ func LeftSVD(a *Matrix, k int, opts SubspaceOptions) *SVD {
 		eig := gramEig(symMulTW(a, opts.Workers), k, opts)
 		s := make([]float64, k)
 		u := New(m, k)
-		for j := 0; j < k; j++ {
+		for j := range k {
 			ev := eig.Values[j]
 			if ev < 0 {
 				ev = 0
@@ -239,7 +239,7 @@ func LeftSVD(a *Matrix, k int, opts SubspaceOptions) *SVD {
 		eig := gramEig(symMulTW(a.T(), opts.Workers), k, opts)
 		s := make([]float64, k)
 		vk := New(n, k)
-		for j := 0; j < k; j++ {
+		for j := range k {
 			ev := eig.Values[j]
 			if ev < 0 {
 				ev = 0
@@ -248,13 +248,13 @@ func LeftSVD(a *Matrix, k int, opts SubspaceOptions) *SVD {
 			vk.SetCol(j, eig.Vectors.Col(j))
 		}
 		u := mulW(a, vk, opts.Workers)
-		for j := 0; j < k; j++ {
+		for j := range k {
 			if s[j] > svdRankTol(s[0], m, n) {
-				for i := 0; i < m; i++ {
+				for i := range m {
 					u.Set(i, j, u.At(i, j)/s[j])
 				}
 			} else {
-				for i := 0; i < m; i++ {
+				for i := range m {
 					u.Set(i, j, 0)
 				}
 			}
@@ -292,8 +292,8 @@ func (o gramTOperator) Apply(x, y []float64) {
 func (s *SVD) Reconstruct() *Matrix {
 	k := len(s.S)
 	us := s.U.Clone()
-	for j := 0; j < k; j++ {
-		for i := 0; i < us.Rows(); i++ {
+	for j := range k {
+		for i := range us.Rows() {
 			us.Set(i, j, us.At(i, j)*s.S[j])
 		}
 	}

@@ -35,23 +35,23 @@ func SymEigTridiag(a *Matrix) *Eigen {
 // routine as presented in Numerical Recipes / JAMA.
 func tred2(z *Matrix, d, e []float64) {
 	n := z.Rows()
-	for j := 0; j < n; j++ {
+	for j := range n {
 		d[j] = z.At(n-1, j)
 	}
 	for i := n - 1; i > 0; i-- {
 		var scale, h float64
-		for k := 0; k < i; k++ {
+		for k := range i {
 			scale += math.Abs(d[k])
 		}
 		if scale == 0 {
 			e[i] = d[i-1]
-			for j := 0; j < i; j++ {
+			for j := range i {
 				d[j] = z.At(i-1, j)
 				z.Set(i, j, 0)
 				z.Set(j, i, 0)
 			}
 		} else {
-			for k := 0; k < i; k++ {
+			for k := range i {
 				d[k] /= scale
 				h += d[k] * d[k]
 			}
@@ -63,10 +63,10 @@ func tred2(z *Matrix, d, e []float64) {
 			e[i] = scale * g
 			h -= f * g
 			d[i-1] = f - g
-			for j := 0; j < i; j++ {
+			for j := range i {
 				e[j] = 0
 			}
-			for j := 0; j < i; j++ {
+			for j := range i {
 				f = d[j]
 				z.Set(j, i, f)
 				g = e[j] + z.At(j, j)*f
@@ -77,15 +77,15 @@ func tred2(z *Matrix, d, e []float64) {
 				e[j] = g
 			}
 			f = 0
-			for j := 0; j < i; j++ {
+			for j := range i {
 				e[j] /= h
 				f += e[j] * d[j]
 			}
 			hh := f / (h + h)
-			for j := 0; j < i; j++ {
+			for j := range i {
 				e[j] -= hh * d[j]
 			}
-			for j := 0; j < i; j++ {
+			for j := range i {
 				f = d[j]
 				g = e[j]
 				for k := j; k <= i-1; k++ {
@@ -119,7 +119,7 @@ func tred2(z *Matrix, d, e []float64) {
 			z.Set(k, i+1, 0)
 		}
 	}
-	for j := 0; j < n; j++ {
+	for j := range n {
 		d[j] = z.At(n-1, j)
 		z.Set(n-1, j, 0)
 	}
@@ -139,7 +139,7 @@ func tql2(z *Matrix, d, e []float64) {
 
 	var f, tst1 float64
 	eps := math.Nextafter(1, 2) - 1
-	for l := 0; l < n; l++ {
+	for l := range n {
 		tst1 = math.Max(tst1, math.Abs(d[l])+math.Abs(e[l]))
 		m := l
 		for m < n {
@@ -185,7 +185,7 @@ func tql2(z *Matrix, d, e []float64) {
 					c = p / r
 					p = c*d[i] - s*g
 					d[i+1] = h + s*(c*g+s*d[i])
-					for k := 0; k < n; k++ {
+					for k := range n {
 						h = z.At(k, i+1)
 						z.Set(k, i+1, s*z.At(k, i)+c*h)
 						z.Set(k, i, c*z.At(k, i)-s*h)

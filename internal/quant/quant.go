@@ -59,13 +59,13 @@ func QuantizeInt8(m *mat.Matrix) *Int8 {
 			}
 		}
 	}
-	for j := 0; j < cols; j++ {
+	for j := range cols {
 		q.Zero[j] = lo[j]
 		if hi[j] > lo[j] {
 			q.Scale[j] = (hi[j] - lo[j]) / 255
 		}
 	}
-	for i := 0; i < rows; i++ {
+	for i := range rows {
 		row := m.Row(i)
 		out := q.Codes[i*cols : (i+1)*cols]
 		for j, v := range row {
@@ -113,7 +113,7 @@ func (q *Int8) SqDist(query []float64, row int) float64 {
 // Dequantize materializes the full float64 matrix the codes decode to.
 func (q *Int8) Dequantize() *mat.Matrix {
 	m := mat.New(q.Rows, q.Cols)
-	for i := 0; i < q.Rows; i++ {
+	for i := range q.Rows {
 		row := m.Row(i)
 		for j := range row {
 			row[j] = q.At(i, j)

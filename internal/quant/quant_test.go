@@ -59,7 +59,7 @@ func TestFloat16RelativeError(t *testing.T) {
 	// binary16 has 11 significand bits: relative error ≤ 2⁻¹¹ for
 	// normal values.
 	rng := rand.New(rand.NewSource(3))
-	for i := 0; i < 10000; i++ {
+	for range 10000 {
 		v := rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
 		if math.Abs(v) < 6.2e-5 || math.Abs(v) > 65000 {
 			continue
@@ -89,8 +89,8 @@ func TestInt8QuantizationError(t *testing.T) {
 	}
 	// Per-column affine quantization bounds the absolute error by half a
 	// code step in that column.
-	for i := 0; i < q.Rows; i++ {
-		for j := 0; j < q.Cols; j++ {
+	for i := range q.Rows {
+		for j := range q.Cols {
 			want := m.At(i, j)
 			got := q.At(i, j)
 			if math.Abs(got-want) > q.Scale[j]/2+1e-12 {
@@ -102,12 +102,12 @@ func TestInt8QuantizationError(t *testing.T) {
 
 func TestInt8ConstantColumnExact(t *testing.T) {
 	m := mat.New(10, 3)
-	for i := 0; i < 10; i++ {
+	for i := range 10 {
 		m.Set(i, 1, 7.25) // constant column decodes exactly
 		m.Set(i, 2, float64(i))
 	}
 	q := QuantizeInt8(m)
-	for i := 0; i < 10; i++ {
+	for i := range 10 {
 		if got := q.At(i, 0); got != 0 {
 			t.Fatalf("constant zero column decoded as %v", got)
 		}
@@ -127,9 +127,9 @@ func TestSqDistMatchesDequantized(t *testing.T) {
 	d8 := q8.Dequantize()
 	q16 := QuantizeFloat16(m)
 	d16 := q16.Dequantize()
-	for i := 0; i < 50; i++ {
+	for i := range 50 {
 		var w8, w16 float64
-		for j := 0; j < 8; j++ {
+		for j := range 8 {
 			d := query[j] - d8.At(i, j)
 			w8 += d * d
 			d = query[j] - d16.At(i, j)

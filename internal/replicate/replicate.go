@@ -70,9 +70,9 @@ type Publisher struct {
 	cur Published
 }
 
-// HashFile returns the hex SHA-256 of a file's bytes — the fingerprint
+// hashFile returns the hex SHA-256 of a file's bytes — the fingerprint
 // announcements carry and pullers verify.
-func HashFile(path string) (string, int64, error) {
+func hashFile(path string) (string, int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return "", 0, err
@@ -91,7 +91,7 @@ func HashFile(path string) (string, int64, error) {
 // republishing an older version than the current one is rejected, so a
 // racing pair of publishes can never advertise a rollback.
 func (p *Publisher) Publish(version uint64, path string) (Published, error) {
-	sum, size, err := HashFile(path)
+	sum, size, err := hashFile(path)
 	if err != nil {
 		return Published{}, fmt.Errorf("replicate: hash snapshot: %w", err)
 	}
@@ -173,7 +173,7 @@ func (n *Notifier) Broadcast(ctx context.Context, a Announcement) []error {
 		go func(target string) {
 			defer wg.Done()
 			var last error
-			for attempt := 0; attempt < retries; attempt++ {
+			for attempt := range retries {
 				if attempt > 0 {
 					select {
 					case <-time.After(time.Duration(attempt) * 100 * time.Millisecond):

@@ -261,13 +261,13 @@ func Generate(opts GenOptions) *Generated {
 	g := &Generated{Taxonomy: t}
 	seen := make(map[string]bool)
 	concept := 0
-	for c := 0; c < opts.Categories; c++ {
+	for c := range opts.Categories {
 		cat := t.AddNode(t.Root(), fmt.Sprintf("category-%02d", c))
-		for s := 0; s < opts.ConceptsPerCategory; s++ {
+		for s := range opts.ConceptsPerCategory {
 			cname := fmt.Sprintf("concept-%02d-%02d", c, s)
 			cn := t.AddNode(cat, cname)
 			words := make([]string, 0, opts.WordsPerConcept)
-			for w := 0; w < opts.WordsPerConcept; w++ {
+			for range opts.WordsPerConcept {
 				word := uniqueWord(rng, seen)
 				t.AddNode(cn, word)
 				words = append(words, word)
@@ -293,7 +293,7 @@ func uniqueWord(rng *rand.Rand, seen map[string]bool) string {
 	for {
 		syll := 2 + rng.Intn(2)
 		w := ""
-		for s := 0; s < syll; s++ {
+		for s := range syll {
 			w += onsets[rng.Intn(len(onsets))] + vowels[rng.Intn(len(vowels))]
 			if s == syll-1 {
 				w += codas[rng.Intn(len(codas))]

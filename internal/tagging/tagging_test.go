@@ -92,7 +92,7 @@ func TestInterner(t *testing.T) {
 func TestCleanLowercaseMergesTags(t *testing.T) {
 	d := NewDataset()
 	// Build enough volume that nothing is support-pruned.
-	for i := 0; i < 5; i++ {
+	for i := range 5 {
 		d.Add(fmt.Sprintf("u%d", i), "Music", fmt.Sprintf("r%d", i%2))
 		d.Add(fmt.Sprintf("u%d", i), "music", fmt.Sprintf("r%d", i%2))
 	}
@@ -108,7 +108,7 @@ func TestCleanLowercaseMergesTags(t *testing.T) {
 
 func TestCleanDropsSystemTags(t *testing.T) {
 	d := NewDataset()
-	for i := 0; i < 6; i++ {
+	for i := range 6 {
 		d.Add(fmt.Sprintf("u%d", i), "system:imported", "r0")
 		d.Add(fmt.Sprintf("u%d", i), "web", "r0")
 	}
@@ -127,9 +127,9 @@ func TestCleanMinSupportIterates(t *testing.T) {
 	d := NewDataset()
 	// A solid core: 3 users × 3 tags × 3 resources, all combinations,
 	// gives every entity ≥ 9 ≥ 3 assignments.
-	for u := 0; u < 3; u++ {
-		for g := 0; g < 3; g++ {
-			for r := 0; r < 3; r++ {
+	for u := range 3 {
+		for g := range 3 {
+			for r := range 3 {
 				d.Add(fmt.Sprintf("core-u%d", u), fmt.Sprintf("core-t%d", g), fmt.Sprintf("core-r%d", r))
 			}
 		}
@@ -160,12 +160,12 @@ func TestCleanShrinksLikeTableII(t *testing.T) {
 	// entity meets the support threshold).
 	d := NewDataset()
 	// Popular core plus noise.
-	for u := 0; u < 10; u++ {
-		for r := 0; r < 6; r++ {
+	for u := range 10 {
+		for r := range 6 {
 			d.Add(fmt.Sprintf("u%d", u), fmt.Sprintf("t%d", (u+r)%4), fmt.Sprintf("r%d", r))
 		}
 	}
-	for i := 0; i < 30; i++ {
+	for i := range 30 {
 		d.Add(fmt.Sprintf("rare-u%d", i), fmt.Sprintf("gibberish-%d", i), fmt.Sprintf("rare-r%d", i))
 	}
 	c := Clean(d, DefaultCleanOptions())

@@ -10,7 +10,7 @@ import (
 func benchSparse(i1, i2, i3, nnz int) *Sparse3 {
 	rng := rand.New(rand.NewSource(1))
 	f := NewSparse3(i1, i2, i3)
-	for n := 0; n < nnz; n++ {
+	for range nnz {
 		f.Append(rng.Intn(i1), rng.Intn(i2), rng.Intn(i3), 1)
 	}
 	f.Build()
@@ -20,8 +20,8 @@ func benchSparse(i1, i2, i3, nnz int) *Sparse3 {
 func benchFactor(rows, cols int, seed int64) *mat.Matrix {
 	rng := rand.New(rand.NewSource(seed))
 	m := mat.New(rows, cols)
-	for i := 0; i < rows; i++ {
-		for j := 0; j < cols; j++ {
+	for i := range rows {
+		for j := range cols {
 			m.Set(i, j, rng.NormFloat64())
 		}
 	}
@@ -36,7 +36,7 @@ func BenchmarkBuild20k(b *testing.B) {
 		entries[n] = e{rng.Intn(400), rng.Intn(300), rng.Intn(500)}
 	}
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for range b.N {
 		f := NewSparse3(400, 300, 500)
 		for _, x := range entries {
 			f.Append(x.i, x.j, x.k, 1)
@@ -50,7 +50,7 @@ func BenchmarkProjectedUnfoldMode2(b *testing.B) {
 	y1 := benchFactor(400, 32, 3)
 	y3 := benchFactor(500, 32, 4)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for range b.N {
 		ProjectedUnfold(f, 2, y1, y3)
 	}
 }
@@ -61,7 +61,7 @@ func BenchmarkCore(b *testing.B) {
 	y2 := benchFactor(300, 32, 6)
 	y3 := benchFactor(500, 24, 7)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for range b.N {
 		Core(f, y1, y2, y3)
 	}
 }
@@ -75,7 +75,7 @@ func BenchmarkUnfoldingGramApply(b *testing.B) {
 		x[i] = 1
 	}
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for range b.N {
 		op.Apply(x, y)
 	}
 }
@@ -84,7 +84,7 @@ func BenchmarkSliceDistanceSparse(b *testing.B) {
 	f := benchSparse(400, 300, 500, 20000)
 	idx := f.Mode2SliceIndex()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for i := range b.N {
 		SliceDistanceFromIndex(idx, i%300, (i+7)%300)
 	}
 }
@@ -92,7 +92,7 @@ func BenchmarkSliceDistanceSparse(b *testing.B) {
 func BenchmarkMode2Matrix(b *testing.B) {
 	f := benchSparse(400, 300, 500, 20000)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for range b.N {
 		Mode2Matrix(f)
 	}
 }

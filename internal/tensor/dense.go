@@ -96,15 +96,15 @@ func (d *Dense3) Unfold(mode int) *mat.Matrix {
 	switch mode {
 	case 1:
 		m := mat.New(d.i1, d.i2*d.i3)
-		for i := 0; i < d.i1; i++ {
+		for i := range d.i1 {
 			copy(m.Row(i), d.data[i*d.i2*d.i3:(i+1)*d.i2*d.i3])
 		}
 		return m
 	case 2:
 		m := mat.New(d.i2, d.i1*d.i3)
-		for i := 0; i < d.i1; i++ {
-			for j := 0; j < d.i2; j++ {
-				for k := 0; k < d.i3; k++ {
+		for i := range d.i1 {
+			for j := range d.i2 {
+				for k := range d.i3 {
 					m.Set(j, i*d.i3+k, d.At(i, j, k))
 				}
 			}
@@ -112,9 +112,9 @@ func (d *Dense3) Unfold(mode int) *mat.Matrix {
 		return m
 	case 3:
 		m := mat.New(d.i3, d.i1*d.i2)
-		for i := 0; i < d.i1; i++ {
-			for j := 0; j < d.i2; j++ {
-				for k := 0; k < d.i3; k++ {
+		for i := range d.i1 {
+			for j := range d.i2 {
+				for k := range d.i3 {
 					m.Set(k, i*d.i2+j, d.At(i, j, k))
 				}
 			}
@@ -134,16 +134,16 @@ func FoldDense3(m *mat.Matrix, mode, i1, i2, i3 int) *Dense3 {
 		if m.Rows() != i1 || m.Cols() != i2*i3 {
 			panic("tensor: Fold mode-1 shape mismatch")
 		}
-		for i := 0; i < i1; i++ {
+		for i := range i1 {
 			copy(d.data[i*i2*i3:(i+1)*i2*i3], m.Row(i))
 		}
 	case 2:
 		if m.Rows() != i2 || m.Cols() != i1*i3 {
 			panic("tensor: Fold mode-2 shape mismatch")
 		}
-		for j := 0; j < i2; j++ {
-			for i := 0; i < i1; i++ {
-				for k := 0; k < i3; k++ {
+		for j := range i2 {
+			for i := range i1 {
+				for k := range i3 {
 					d.Set(i, j, k, m.At(j, i*i3+k))
 				}
 			}
@@ -152,9 +152,9 @@ func FoldDense3(m *mat.Matrix, mode, i1, i2, i3 int) *Dense3 {
 		if m.Rows() != i3 || m.Cols() != i1*i2 {
 			panic("tensor: Fold mode-3 shape mismatch")
 		}
-		for k := 0; k < i3; k++ {
-			for i := 0; i < i1; i++ {
-				for j := 0; j < i2; j++ {
+		for k := range i3 {
+			for i := range i1 {
+				for j := range i2 {
 					d.Set(i, j, k, m.At(k, i*i2+j))
 				}
 			}
@@ -174,14 +174,14 @@ func (d *Dense3) ModeProduct(mode int, w *mat.Matrix) *Dense3 {
 			panic(fmt.Sprintf("tensor: mode-1 product needs %d columns, got %d", d.i1, w.Cols()))
 		}
 		out := NewDense3(w.Rows(), d.i2, d.i3)
-		for jn := 0; jn < w.Rows(); jn++ {
-			for i := 0; i < d.i1; i++ {
+		for jn := range w.Rows() {
+			for i := range d.i1 {
 				wv := w.At(jn, i)
 				if wv == 0 {
 					continue
 				}
-				for j := 0; j < d.i2; j++ {
-					for k := 0; k < d.i3; k++ {
+				for j := range d.i2 {
+					for k := range d.i3 {
 						out.Set(jn, j, k, out.At(jn, j, k)+wv*d.At(i, j, k))
 					}
 				}
@@ -193,14 +193,14 @@ func (d *Dense3) ModeProduct(mode int, w *mat.Matrix) *Dense3 {
 			panic(fmt.Sprintf("tensor: mode-2 product needs %d columns, got %d", d.i2, w.Cols()))
 		}
 		out := NewDense3(d.i1, w.Rows(), d.i3)
-		for jn := 0; jn < w.Rows(); jn++ {
-			for j := 0; j < d.i2; j++ {
+		for jn := range w.Rows() {
+			for j := range d.i2 {
 				wv := w.At(jn, j)
 				if wv == 0 {
 					continue
 				}
-				for i := 0; i < d.i1; i++ {
-					for k := 0; k < d.i3; k++ {
+				for i := range d.i1 {
+					for k := range d.i3 {
 						out.Set(i, jn, k, out.At(i, jn, k)+wv*d.At(i, j, k))
 					}
 				}
@@ -212,14 +212,14 @@ func (d *Dense3) ModeProduct(mode int, w *mat.Matrix) *Dense3 {
 			panic(fmt.Sprintf("tensor: mode-3 product needs %d columns, got %d", d.i3, w.Cols()))
 		}
 		out := NewDense3(d.i1, d.i2, w.Rows())
-		for jn := 0; jn < w.Rows(); jn++ {
-			for k := 0; k < d.i3; k++ {
+		for jn := range w.Rows() {
+			for k := range d.i3 {
 				wv := w.At(jn, k)
 				if wv == 0 {
 					continue
 				}
-				for i := 0; i < d.i1; i++ {
-					for j := 0; j < d.i2; j++ {
+				for i := range d.i1 {
+					for j := range d.i2 {
 						out.Set(i, j, jn, out.At(i, j, jn)+wv*d.At(i, j, k))
 					}
 				}
@@ -234,8 +234,8 @@ func (d *Dense3) ModeProduct(mode int, w *mat.Matrix) *Dense3 {
 // SliceMode2 returns the frontal slice D[:, j, :] as an I1×I3 matrix.
 func (d *Dense3) SliceMode2(j int) *mat.Matrix {
 	m := mat.New(d.i1, d.i3)
-	for i := 0; i < d.i1; i++ {
-		for k := 0; k < d.i3; k++ {
+	for i := range d.i1 {
+		for k := range d.i3 {
 			m.Set(i, k, d.At(i, j, k))
 		}
 	}

@@ -10,7 +10,7 @@ import (
 
 func randFactor(rng *rand.Rand, rows, cols int) *mat.Matrix {
 	m := mat.New(rows, cols)
-	for i := 0; i < rows; i++ {
+	for i := range rows {
 		row := m.Row(i)
 		for j := range row {
 			row[j] = rng.NormFloat64()
@@ -73,8 +73,8 @@ func TestProjectedUnfoldBlockStitches(t *testing.T) {
 			if block.Rows() != r.Len() || block.Cols() != want.Cols() {
 				t.Fatalf("block [%d,%d): shape %dx%d", r.Lo, r.Hi, block.Rows(), block.Cols())
 			}
-			for i := 0; i < block.Rows(); i++ {
-				for j := 0; j < block.Cols(); j++ {
+			for i := range block.Rows() {
+				for j := range block.Cols() {
 					if block.At(i, j) != want.At(r.Lo+i, j) {
 						t.Fatalf("block [%d,%d) element (%d,%d) diverges", r.Lo, r.Hi, i, j)
 					}

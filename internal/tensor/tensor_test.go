@@ -31,7 +31,7 @@ func paperTensor() *Sparse3 {
 
 func randSparse(rng *rand.Rand, i1, i2, i3, nnz int) *Sparse3 {
 	f := NewSparse3(i1, i2, i3)
-	for n := 0; n < nnz; n++ {
+	for range nnz {
 		f.Append(rng.Intn(i1), rng.Intn(i2), rng.Intn(i3), rng.NormFloat64())
 	}
 	f.Build()
@@ -143,7 +143,7 @@ func TestModeProductAgainstUnfolding(t *testing.T) {
 	dims := []int{3, 4, 5}
 	for mode := 1; mode <= 3; mode++ {
 		w := mat.New(2, dims[mode-1])
-		for i := 0; i < 2; i++ {
+		for i := range 2 {
 			for j := 0; j < dims[mode-1]; j++ {
 				w.Set(i, j, rng.NormFloat64())
 			}
@@ -185,8 +185,8 @@ func TestModeProductComposes(t *testing.T) {
 
 func randomMatrix(rng *rand.Rand, r, c int) *mat.Matrix {
 	m := mat.New(r, c)
-	for i := 0; i < r; i++ {
-		for j := 0; j < c; j++ {
+	for i := range r {
+		for j := range c {
 			m.Set(i, j, rng.NormFloat64())
 		}
 	}
@@ -255,8 +255,8 @@ func TestSliceDistanceProperty(t *testing.T) {
 		fz := randSparse(rng, 4, 4, 4, 20)
 		d := fz.Dense()
 		idx := fz.Mode2SliceIndex()
-		for a := 0; a < 4; a++ {
-			for b := 0; b < 4; b++ {
+		for a := range 4 {
+			for b := range 4 {
 				want := mat.Sub(d.SliceMode2(a), d.SliceMode2(b)).FrobNorm()
 				if math.Abs(fz.SliceDistanceMode2(a, b)-want) > 1e-10 {
 					return false

@@ -10,7 +10,7 @@ import (
 func benchTensor(i1, i2, i3, nnz int) *tensor.Sparse3 {
 	rng := rand.New(rand.NewSource(1))
 	f := tensor.NewSparse3(i1, i2, i3)
-	for n := 0; n < nnz; n++ {
+	for range nnz {
 		f.Append(rng.Intn(i1), rng.Intn(i2), rng.Intn(i3), 1)
 	}
 	f.Build()
@@ -22,7 +22,7 @@ func benchTensor(i1, i2, i3, nnz int) *tensor.Sparse3 {
 func BenchmarkDecomposeSmall(b *testing.B) {
 	f := benchTensor(80, 48, 60, 3000)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for i := range b.N {
 		Decompose(f, Options{J1: 12, J2: 16, J3: 12, Seed: uint64(i), MaxSweeps: 3})
 	}
 }
@@ -33,12 +33,12 @@ func BenchmarkDecomposeSmall(b *testing.B) {
 func BenchmarkDecomposeHOSVDInitAblation(b *testing.B) {
 	f := benchTensor(80, 48, 60, 3000)
 	b.Run("hosvd-init", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
+		for i := range b.N {
 			Decompose(f, Options{J1: 12, J2: 16, J3: 12, Seed: uint64(i), MaxSweeps: 3})
 		}
 	})
 	b.Run("random-init", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
+		for i := range b.N {
 			Decompose(f, Options{J1: 12, J2: 16, J3: 12, Seed: uint64(i), MaxSweeps: 3, SkipHOSVDInit: true})
 		}
 	})
@@ -49,7 +49,7 @@ func BenchmarkDecomposeHOSVDInitAblation(b *testing.B) {
 func BenchmarkSweepCost(b *testing.B) {
 	f := benchTensor(400, 300, 500, 20000)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for i := range b.N {
 		Decompose(f, Options{J1: 32, J2: 48, J3: 40, Seed: uint64(i), MaxSweeps: 1})
 	}
 }

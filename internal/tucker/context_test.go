@@ -10,8 +10,8 @@ import (
 
 func smallTensor() *tensor.Sparse3 {
 	f := tensor.NewSparse3(6, 6, 6)
-	for i := 0; i < 6; i++ {
-		for j := 0; j < 6; j++ {
+	for i := range 6 {
+		for j := range 6 {
 			if (i+j)%2 == 0 {
 				f.Append(i, j, (i*j)%6, 1)
 			}

@@ -19,7 +19,7 @@ import (
 func mediumTensor(seed int64) *tensor.Sparse3 {
 	rng := rand.New(rand.NewSource(seed))
 	f := tensor.NewSparse3(40, 50, 60)
-	for n := 0; n < 6000; n++ {
+	for range 6000 {
 		f.Append(rng.Intn(40), rng.Intn(50), rng.Intn(60), rng.NormFloat64())
 	}
 	f.Build()

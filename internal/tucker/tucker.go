@@ -180,6 +180,7 @@ type Decomposition struct {
 // that want errors instead of panics, or cancellation, use
 // DecomposeContext.
 func Decompose(f *tensor.Sparse3, opts Options) *Decomposition {
+	//lint:ignore ctxflow documented compat shim: Decompose IS DecomposeContext under a never-cancelled root context
 	d, err := DecomposeContext(context.Background(), f, opts)
 	if err != nil {
 		// Background contexts are never cancelled, so err can only be an
@@ -275,7 +276,7 @@ func DecomposeContext(ctx context.Context, f *tensor.Sparse3, opts Options) (*De
 	fit := 0.0
 	sweeps := 0
 
-	for s := 0; s < maxSweeps; s++ {
+	for s := range maxSweeps {
 		sweeps = s + 1
 		// Mode 1.
 		if err := ctx.Err(); err != nil {
@@ -434,9 +435,9 @@ func adaptFactor(src *mat.Matrix, rows, cols int, seed uint64) *mat.Matrix {
 		return float64(state>>11)/(1<<53) - 0.5
 	}
 	const noise = 1e-3
-	for i := 0; i < rows; i++ {
+	for i := range rows {
 		dst := out.Row(i)
-		for j := 0; j < cols; j++ {
+		for j := range cols {
 			if i < sr && j < sc {
 				dst[j] = src.At(i, j)
 			} else {
@@ -458,8 +459,8 @@ func randomOrthonormal(n, k int, seed uint64) *mat.Matrix {
 		state ^= state << 17
 		return float64(state>>11)/(1<<53) - 0.5
 	}
-	for i := 0; i < n; i++ {
-		for j := 0; j < k; j++ {
+	for i := range n {
+		for j := range k {
 			m.Set(i, j, next())
 		}
 	}

@@ -23,7 +23,7 @@ func paperTensor() *tensor.Sparse3 {
 
 func randSparse(rng *rand.Rand, i1, i2, i3, nnz int) *tensor.Sparse3 {
 	f := tensor.NewSparse3(i1, i2, i3)
-	for n := 0; n < nnz; n++ {
+	for range nnz {
 		f.Append(rng.Intn(i1), rng.Intn(i2), rng.Intn(i3), rng.NormFloat64())
 	}
 	f.Build()
@@ -135,8 +135,8 @@ func TestLambdaMatchesCoreGram(t *testing.T) {
 	s2 := d.Core.Unfold(2)
 	g := mat.MulT(s2, s2)
 	scale := d.Lambda[1][0] * d.Lambda[1][0]
-	for i := 0; i < g.Rows(); i++ {
-		for j := 0; j < g.Cols(); j++ {
+	for i := range g.Rows() {
+		for j := range g.Cols() {
 			want := 0.0
 			if i == j {
 				want = d.Lambda[1][i] * d.Lambda[1][i]

@@ -18,7 +18,7 @@ func perturb(f *tensor.Sparse3, extra int, seed int64) *tensor.Sparse3 {
 		out.Append(e.I, e.J, e.K, e.V)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	for n := 0; n < extra; n++ {
+	for range extra {
 		out.Append(rng.Intn(i1), rng.Intn(i2), rng.Intn(i3), 1)
 	}
 	out.Build()
@@ -76,7 +76,7 @@ func TestWarmStartAdaptsShapes(t *testing.T) {
 	for _, e := range small.Entries() {
 		grown.Append(e.I, e.J, e.K, e.V)
 	}
-	for n := 0; n < 12; n++ {
+	for n := range 12 {
 		grown.Append(n%i1, i2+n%5, i3+(n+2)%5, 1)
 	}
 	grown.Build()

@@ -134,8 +134,8 @@ func TestLoadV1ModelUpgradesToEmbedding(t *testing.T) {
 
 	// Derived distances agree with the v1 matrix.
 	n := ds.Tags.Len()
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
+	for i := range n {
+		for j := range n {
 			got, err := eng.Distance(ds.Tags.Name(i), ds.Tags.Name(j))
 			if err != nil {
 				t.Fatal(err)

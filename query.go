@@ -140,7 +140,7 @@ func (e *Engine) SearchBatch(queries []Query) ([][]Result, error) {
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for range workers {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

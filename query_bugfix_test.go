@@ -17,14 +17,14 @@ func scoredCorpus() []Assignment {
 	var out []Assignment
 	add := func(u, t, r string) { out = append(out, Assignment{User: u, Tag: t, Resource: r}) }
 	users := []string{"u1", "u2", "u3", "u4", "u5", "u6"}
-	for i := 0; i < 12; i++ {
+	for i := range 12 {
 		r := "m" + string(rune('a'+i))
 		for _, u := range users {
 			add(u, "audio", r)
 			add(u, "mp3", r)
 		}
 	}
-	for i := 0; i < 6; i++ {
+	for i := range 6 {
 		r := "x" + string(rune('a'+i))
 		for ui, u := range users {
 			if ui <= i {
@@ -38,7 +38,7 @@ func scoredCorpus() []Assignment {
 	// Pure code resources keep the music concept out of some documents,
 	// so its idf — and therefore every "audio" query weight — stays
 	// positive.
-	for i := 0; i < 4; i++ {
+	for i := range 4 {
 		r := "c" + string(rune('a'+i))
 		for _, u := range users {
 			add(u, "code", r)

@@ -418,7 +418,7 @@ func TestIngestorConcurrentProducers(t *testing.T) {
 	}
 
 	var wg sync.WaitGroup
-	for p := 0; p < 4; p++ {
+	for p := range 4 {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -347,9 +348,21 @@ func (l *assignmentLog) apply(d Delta) (added, removed []Assignment) {
 		l.live[a] = true
 		added = append(added, a)
 	}
+	// removedSet is a map, so collect then sort: rollback and the
+	// update report see the same removal order on every run.
 	for a := range removedSet {
 		removed = append(removed, a)
 	}
+	sort.Slice(removed, func(i, j int) bool {
+		x, y := removed[i], removed[j]
+		if x.User != y.User {
+			return x.User < y.User
+		}
+		if x.Tag != y.Tag {
+			return x.Tag < y.Tag
+		}
+		return x.Resource < y.Resource
+	})
 	return added, removed
 }
 

@@ -207,7 +207,7 @@ func TestIndexConcurrentSearchAndApply(t *testing.T) {
 	var stop atomic.Bool
 	var maxSeen atomic.Uint64
 	var wg sync.WaitGroup
-	for r := 0; r < 4; r++ {
+	for range 4 {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -241,7 +241,7 @@ func TestIndexConcurrentSearchAndApply(t *testing.T) {
 	}
 
 	want := uint64(1)
-	for round := 0; round < 4; round++ {
+	for round := range 4 {
 		d := Delta{Add: delta}
 		if round%2 == 1 {
 			d = Delta{Remove: delta}
@@ -385,7 +385,7 @@ func TestAssignmentLogCompaction(t *testing.T) {
 	l := newAssignmentLog(raw, true)
 
 	// Churn many distinct ephemeral triples through the log.
-	for i := 0; i < 100; i++ {
+	for i := range 100 {
 		a := Assignment{User: "u", Tag: "t" + string(rune('a'+i%26)) + string(rune('a'+i/26)), Resource: "r"}
 		l.apply(Delta{Add: []Assignment{a}})
 		l.apply(Delta{Remove: []Assignment{a}})
