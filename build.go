@@ -393,6 +393,8 @@ func engineFromPipeline(cfg Config, p *core.Pipeline, version uint64) *Engine {
 		assign:      p.Assign,
 		k:           p.K,
 		index:       p.Index,
+		userFactors: compactUserFactors(p.Decomposition, p.Assign, p.K),
+		userlk:      &userLookup{},
 		stats: Stats{
 			Users: st.Users, Tags: st.Tags, Resources: st.Resources,
 			Assignments:  st.Assignments,

@@ -2,16 +2,17 @@
 // by cmd/benchoffline. It has two modes:
 //
 //	benchdiff compare -base base.json -head head.json [-threshold 0.25] [-min-ms 25]
-//	    Compare the decompose/build/update/shard/stream/ann timings of a
-//	    PR's benchmark run against the merge-base run and fail (exit 1)
+//	    Compare the decompose/build/update/shard/stream/ann/rerank timings
+//	    of a PR's benchmark run against the merge-base run and fail (exit 1)
 //	    when a tracked metric regresses by more than threshold AND by more
 //	    than min-ms of absolute wall clock (the floor keeps sub-millisecond
-//	    jitter on tiny CI presets from tripping the gate; ANN latency
-//	    metrics carry their own 1ms floor since their p99s sit below the
-//	    default). The ann section's recall@10 points gate on an absolute
-//	    drop beyond 0.01 instead — for them, lower is the regression — and
-//	    the stream section's ingest_per_sec is a throughput: it regresses
-//	    when the head rate falls below base·(1−threshold).
+//	    jitter on tiny CI presets from tripping the gate; ANN and rerank
+//	    latency metrics carry their own 1ms floor since their p99s sit
+//	    below the default). The ann section's recall@10 points and the
+//	    rerank section's MAP/precision@10 points gate on an absolute drop
+//	    beyond 0.01 instead — for them, lower is the regression — and the
+//	    stream section's ingest_per_sec is a throughput: it regresses when
+//	    the head rate falls below base·(1−threshold).
 //
 //	benchdiff sizecheck -in BENCH_offline.json [-min-tags 5000] [-min-ratio 10]
 //	    Assert the v1/v2 model-size ratio of every size_scaling point at
@@ -75,6 +76,17 @@ type benchFile struct {
 			MappedLoadMS float64 `json:"mapped_load_ms"`
 		} `json:"mmap"`
 	} `json:"ann"`
+	Rerank struct {
+		Scales []struct {
+			Tags   int `json:"tags"`
+			Points []struct {
+				Depth         int     `json:"depth"`
+				MAP           float64 `json:"map"`
+				PrecisionAt10 float64 `json:"precision_at_10"`
+				P99           float64 `json:"p99_ms"`
+			} `json:"depths"`
+		} `json:"scales"`
+	} `json:"rerank"`
 	SizeScaling []struct {
 		Tags  int     `json:"tags"`
 		V1    int64   `json:"v1_bytes"`
@@ -167,6 +179,32 @@ func timings(b *benchFile) []metric {
 	}
 	if v := b.Ann.Mmap.MappedLoadMS; v > 0 {
 		ms = append(ms, metric{name: "ann.mmap.mapped_load_ms", ms: v, ok: true, floorMS: 1})
+	}
+	// The rerank ladder's quality scores gate like recall (an absolute
+	// drop beyond 0.01 is a quality bug regardless of threshold); its
+	// per-depth p99s gate like the ANN latencies, with the same 1ms
+	// jitter floor.
+	for _, s := range b.Rerank.Scales {
+		for _, p := range s.Points {
+			ms = append(ms, metric{
+				name:   fmt.Sprintf("rerank.tags[%d].depth[%d].map", s.Tags, p.Depth),
+				ms:     p.MAP,
+				ok:     p.MAP > 0,
+				recall: true,
+			})
+			ms = append(ms, metric{
+				name:   fmt.Sprintf("rerank.tags[%d].depth[%d].precision_at_10", s.Tags, p.Depth),
+				ms:     p.PrecisionAt10,
+				ok:     p.PrecisionAt10 > 0,
+				recall: true,
+			})
+			ms = append(ms, metric{
+				name:    fmt.Sprintf("rerank.tags[%d].depth[%d].p99_ms", s.Tags, p.Depth),
+				ms:      p.P99,
+				ok:      p.P99 > 0,
+				floorMS: 1,
+			})
+		}
 	}
 	return ms
 }

@@ -27,6 +27,11 @@
 //     scan at the tags10k and tags100k vocabulary scales (p99 at the
 //     smallest nprobe reaching recall@10 ≥ 0.95), plus heap-decoded v3
 //     vs memory-mapped v4 model loading at serving scale.
+//   - rerank: the two-stage retrieval pipeline — concept-probing
+//     candidate generation plus exact rerank across a depth ladder,
+//     scored (MAP, precision@10) against the exact full-depth ranking
+//     as ground truth, with p99 latency per depth, at the tags10k and
+//     tags100k scales.
 //   - query: online latency percentiles over a generated workload.
 //   - size_scaling: encoded model bytes of the v1 (quadratic, dense
 //     distance matrix) vs v2+ (linear, |T|×k₂ embedding) formats at
@@ -38,7 +43,7 @@
 //	             [-out BENCH_offline.json] [-scale-tags 1000,5000]
 //	             [-skip-exact] [-skip-update] [-update-delta 0.01]
 //	             [-shards N] [-skip-shard-scan] [-skip-distrib] [-skip-ann]
-//	             [-skip-stream]
+//	             [-skip-stream] [-skip-rerank]
 //	             [-queries 256]
 package main
 
@@ -244,6 +249,7 @@ type report struct {
 	Update      *updateReport   `json:"update,omitempty"`
 	Stream      *streamReport   `json:"stream,omitempty"`
 	Ann         *annReport      `json:"ann,omitempty"`
+	Rerank      *rerankReport   `json:"rerank,omitempty"`
 	Model       modelReport     `json:"model"`
 	Query       queryReport     `json:"query"`
 	SizeScaling []scalePoint    `json:"size_scaling"`
@@ -261,6 +267,7 @@ func main() {
 	skipUpdate := flag.Bool("skip-update", false, "skip the incremental-update (warm-start vs rebuild) benchmark")
 	skipANN := flag.Bool("skip-ann", false, "skip the ANN serving benchmark (IVF vs exact at the tags10k/tags100k scales, plus the mmap load comparison)")
 	skipStream := flag.Bool("skip-stream", false, "skip the streaming-ingestion (Ingestor enqueue + flush-to-visible) benchmark")
+	skipRerank := flag.Bool("skip-rerank", false, "skip the two-stage retrieval benchmark (concept-probing candidates vs the exact ranking across a rerank-depth ladder)")
 	updateDelta := flag.Float64("update-delta", 0.01, "assignment fraction of the update-benchmark delta")
 	updateMove := flag.Float64("update-move-threshold", 0.25, "relative row-displacement threshold for the update benchmark's re-clustering (the synthetic corpora are noisier than real folksonomies, so this sits above the library default to keep the move-bounded path — the one the gate must track — engaged)")
 	workers := flag.Int("workers", 0, "ALS worker pool bound for the headline builds (0 = all CPUs)")
@@ -360,6 +367,14 @@ func main() {
 	if !*skipANN {
 		a := benchANN()
 		rep.Ann = &a
+	}
+
+	// The rerank section shares the ANN section's fixed scales for the
+	// same reason: the quality/latency trade of bounded-depth candidate
+	// generation is invisible on the tiny paper-analogue corpora.
+	if !*skipRerank {
+		r := benchRerank()
+		rep.Rerank = &r
 	}
 
 	// Model size: the real pipeline serialized the way each format's

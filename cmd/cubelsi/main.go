@@ -62,6 +62,7 @@ func main() {
 	sketchPower := flag.Int("sketch-power", 0, "sketch power-iteration rounds (0 = default 2; implies -sketch)")
 	update := flag.String("update", "", "delta TSV to apply incrementally after the build (lines add, '-\\t'-prefixed lines remove; requires -data)")
 	warmFrom := flag.String("warm-from", "", "previously saved model to warm-start the initial build from (requires -data)")
+	saveUserFactors := flag.Bool("save-user-factors", false, "persist the compacted user-mode factors with -save (codec v5 section; enables personalized WithUser/?user= queries from the saved model)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -103,7 +104,11 @@ func main() {
 		st.Users, st.Tags, st.Resources, st.Assignments, st.CoreDims, st.Concepts, st.Fit)
 
 	if *save != "" {
-		if err := eng.SaveFile(*save); err != nil {
+		var saveOpts []cubelsi.SaveOption
+		if *saveUserFactors {
+			saveOpts = append(saveOpts, cubelsi.WithUserFactors())
+		}
+		if err := eng.SaveFile(*save, saveOpts...); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "model saved to %s\n", *save)

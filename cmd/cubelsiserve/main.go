@@ -14,9 +14,11 @@
 //	cubelsiserve -replica-of http://writer:8080 [-spool dir] [-replica-poll 30s]     (read replica)
 //
 // -mmap memory-maps the model file instead of decoding it onto the heap
-// (a v4 model opens in milliseconds at any size); -ann serves /related
-// through the IVF approximate index over the model's concept centroids.
-// Both stick across /reload.
+// (a v4/v5 model opens in milliseconds at any size); -ann serves
+// /related through the IVF approximate index over the model's concept
+// centroids; -retrieve/-rerank serve /search through the explicit
+// two-stage retrieval pipeline (candidate generation, then exact rerank
+// of the top C). All stick across /reload.
 //
 // Corpus-backed servers also accept a streaming delta log on POST
 // /stream (NDJSON assignment records, micro-batched under the
@@ -32,7 +34,7 @@
 //	GET  /healthz                 liveness probe
 //	GET  /readyz                  readiness probe (503 until a model serves)
 //	GET  /stats                   corpus, model, lifecycle, stream and replication statistics
-//	GET  /search?q=a,b&n=10       search (also min_score=, concepts=)
+//	GET  /search?q=a,b&n=10       search (also min_score=, concepts=, rerank=, user=)
 //	POST /search                  JSON query, or {"queries": [...]} batch
 //	GET  /related?tag=jazz&n=10   nearest tags by purified distance (also nprobe=)
 //	GET  /clusters                distilled concepts as tag groups
@@ -69,6 +71,8 @@ func main() {
 	ann := flag.Bool("ann", false, "serve /related through the IVF ANN index instead of the exact scan (model-backed servers)")
 	annNprobe := flag.Int("ann-nprobe", 0, "inverted lists probed per ANN query (0 = √lists; /related?nprobe= overrides per request)")
 	annRerank := flag.Int("ann-rerank", 0, "candidate depth kept before the exact rerank (0 = result size)")
+	retrieveSrc := flag.String("retrieve", "", "serve /search through the two-stage retrieval pipeline with this candidate source (\"exact\" or \"concept\")")
+	rerankDepth := flag.Int("rerank", 0, "stage-two rerank depth C for -retrieve (0 = whole corpus; /search?rerank= overrides per request)")
 	concepts := flag.Int("concepts", 0, "concept count when building (0 = automatic)")
 	ratio := flag.Float64("ratio", 50, "Tucker reduction ratio when building")
 	minSupport := flag.Int("min-support", 5, "cleaning support threshold when building")
@@ -98,6 +102,13 @@ func main() {
 		srv.ann = *ann || *annNprobe > 0 || *annRerank > 0
 		srv.annProbe = *annNprobe
 		srv.annRerank = *annRerank
+		srv.retrieveSrc = *retrieveSrc
+		if *rerankDepth > 0 {
+			if srv.retrieveSrc == "" {
+				srv.retrieveSrc = "exact"
+			}
+			srv.retrieveDepth = *rerankDepth
+		}
 		if *model != "" {
 			// Optional warm seed: serve this model until the first pull
 			// (its version also arms the monotonic guard).
@@ -122,6 +133,13 @@ func main() {
 		srv.ann = *ann || *annNprobe > 0 || *annRerank > 0
 		srv.annProbe = *annNprobe
 		srv.annRerank = *annRerank
+		srv.retrieveSrc = *retrieveSrc
+		if *rerankDepth > 0 {
+			if srv.retrieveSrc == "" {
+				srv.retrieveSrc = "exact"
+			}
+			srv.retrieveDepth = *rerankDepth
+		}
 		eng, err := srv.loadModel(*model)
 		if err != nil {
 			fatal(err)

@@ -69,6 +69,12 @@ type server struct {
 	annProbe  int  // inverted lists probed per query (0 = √lists)
 	annRerank int  // candidate depth before exact rerank (0 = result size)
 
+	// Two-stage retrieval pipeline for /search (Engine.WithRetrieval),
+	// re-applied on every load like the ANN options. Empty retrieveSrc
+	// with zero retrieveDepth leaves the monolithic query path in place.
+	retrieveSrc   string // stage-one candidate source ("exact" or "concept")
+	retrieveDepth int    // stage-two rerank depth C (0 = whole corpus)
+
 	// Streaming ingestion plane (corpus-backed servers): POST /stream
 	// micro-batches assignment deltas through the ingestor.
 	ing *cubelsi.Ingestor
@@ -151,6 +157,14 @@ func (s *server) loadModel(path string) (*cubelsi.Engine, error) {
 			return nil, err
 		}
 		eng = annEng
+	}
+	if s.retrieveSrc != "" || s.retrieveDepth > 0 {
+		retrEng, err := eng.WithRetrieval(s.retrieveSrc, s.retrieveDepth)
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		eng = retrEng
 	}
 	return eng, nil
 }
@@ -249,6 +263,17 @@ type statsResponse struct {
 	Nprobe       int    `json:"nprobe"`
 	Quantization string `json:"quantization"`
 	ModelMapped  bool   `json:"model_mapped"`
+	// RetrievalSource names the stage-one candidate source /search runs
+	// through ("" = monolithic single-stage path); RerankDepth is the
+	// configured stage-two candidate depth C (0 = whole corpus,
+	// /search?rerank= overrides per request). UserFactors reports whether
+	// the model carries the compacted Y⁽¹⁾ section, i.e. whether
+	// /search?user= personalizes or silently serves the shared ranking;
+	// PersonalizableUsers is the number of users that section covers.
+	RetrievalSource     string `json:"retrieval_source,omitempty"`
+	RerankDepth         int    `json:"rerank_depth"`
+	UserFactors         bool   `json:"user_factors"`
+	PersonalizableUsers int    `json:"personalizable_users"`
 	// Stream reports the streaming ingestion plane (corpus-backed servers
 	// with an ingestor); Replication the distribution plane (writer or
 	// replica role). Both absent on a plain standalone server.
@@ -283,6 +308,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Nprobe:            eng.ANNProbe(),
 		Quantization:      eng.Quantization(),
 		ModelMapped:       eng.Mapped(),
+		RetrievalSource:   eng.RetrievalSource(),
+		RerankDepth:       eng.RetrievalDepth(),
+		UserFactors:       eng.UserFactors(),
+	}
+	if resp.UserFactors {
+		resp.PersonalizableUsers = st.Users
 	}
 	if s.ing != nil {
 		ist := s.ing.Stats()
@@ -444,7 +475,9 @@ type batchResponse struct {
 	Batches [][]cubelsi.Result `json:"batches"`
 }
 
-// handleSearchGet answers GET /search?q=jazz,sax&n=10&min_score=0.05&concepts=1,2.
+// handleSearchGet answers GET /search?q=jazz,sax&n=10&min_score=0.05&concepts=1,2
+// (also rerank= for the per-request stage-two candidate depth and user=
+// for a personalized ranking when the model carries user factors).
 func (s *server) handleSearchGet(w http.ResponseWriter, r *http.Request) {
 	if s.notReady(w) {
 		return
@@ -476,6 +509,18 @@ func (s *server) handleSearchGet(w http.ResponseWriter, r *http.Request) {
 		}
 		q.Concepts = append(q.Concepts, id)
 	}
+	if v := params.Get("rerank"); v != "" {
+		c, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad rerank: %v", err)
+			return
+		}
+		q.Rerank = c
+	}
+	// An unknown user (or a model without user factors) serves the shared
+	// ranking rather than erroring, so clients can send user=
+	// unconditionally — /stats user_factors says whether it has effect.
+	q.User = params.Get("user")
 	// Concept-only queries (no q) are the concept-browsing entry point.
 	if len(q.Tags) == 0 && len(q.Concepts) == 0 {
 		writeError(w, http.StatusBadRequest, "missing query parameter q or concepts")
@@ -515,7 +560,7 @@ func (s *server) handleSearchPost(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Queries) > 0 {
-		if len(req.Tags) > 0 || req.Limit != 0 || req.MinScore != 0 || len(req.Concepts) > 0 {
+		if len(req.Tags) > 0 || req.Limit != 0 || req.MinScore != 0 || len(req.Concepts) > 0 || req.Rerank != 0 || req.User != "" {
 			writeError(w, http.StatusBadRequest, "batch requests take options per query, not top-level")
 			return
 		}

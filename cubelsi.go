@@ -11,6 +11,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/mat"
 	"repro/internal/quant"
+	"repro/internal/retrieve"
 	"repro/internal/tagging"
 	"repro/internal/tucker"
 )
@@ -142,6 +143,20 @@ type Engine struct {
 	// mapped owns the model-file memory mapping of an engine opened with
 	// LoadMapped / WithMapped; nil for heap-decoded engines.
 	mapped *codec.Mapping
+
+	// userFactors is the compacted user-mode view of the Tucker Y⁽¹⁾
+	// factor: row u is user u's ℓ²-normalized affinity over the K
+	// distilled concepts (see compactUserFactors). Present on freshly
+	// built engines and models saved with WithUserFactors; nil
+	// otherwise, in which case WithUser queries serve the shared
+	// ranking. userlk lazily indexes users by name for WithUser lookups
+	// and is shared across derived snapshots.
+	userFactors *mat.Matrix
+	userlk      *userLookup
+
+	// retr is the optional two-stage retrieval pipeline (WithRetrieval);
+	// nil serves the monolithic exact path.
+	retr *retrieve.Pipeline
 
 	stats   Stats
 	timings core.Timings

@@ -1,9 +1,10 @@
 // Package ctxflow defines an Analyzer that enforces context threading
 // in the packages that do real work on behalf of a caller.
 //
-// The build pipeline (internal/core, internal/tucker) and the fleet
-// planes (internal/distrib, internal/replicate) are cancellation-safe
-// end to end: a caller that abandons a build or a replica pull must be
+// The build pipeline (internal/core, internal/tucker), the fleet
+// planes (internal/distrib, internal/replicate) and the serving-side
+// retrieval pipeline (internal/retrieve) are cancellation-safe end to
+// end: a caller that abandons a build or a replica pull must be
 // able to stop the goroutines and I/O spawned for it. That only holds
 // if every exported entry point that does I/O or spawns goroutines
 // accepts a context.Context and threads the caller's — an entry point
@@ -11,7 +12,7 @@
 // subtree from cancellation and deadlines.
 //
 // Two checks, scoped by the -pkgs flag (comma-separated import-path
-// suffixes; default covers the four packages above), in non-test
+// suffixes; default covers the five packages above), in non-test
 // files:
 //
 //   - an exported function or method whose body contains a go
@@ -42,7 +43,7 @@ var pkgs string
 
 func init() {
 	Analyzer.Flags.StringVar(&pkgs, "pkgs",
-		"internal/core,internal/tucker,internal/distrib,internal/replicate",
+		"internal/core,internal/tucker,internal/distrib,internal/replicate,internal/retrieve",
 		"comma-separated import-path suffixes the invariant applies to")
 }
 

@@ -21,6 +21,13 @@ func TestNegative(t *testing.T) {
 	analysistest.Run(t, ".", ctxflow.Analyzer, "internal/distrib")
 }
 
+// TestRetrieve covers the serving-side retrieval pipeline package added
+// to the default scope: pure ranking code passes without a context, but
+// I/O or goroutine growth without one is caught.
+func TestRetrieve(t *testing.T) {
+	analysistest.Run(t, ".", ctxflow.Analyzer, "internal/retrieve")
+}
+
 // TestOutOfScope proves the invariant is scoped: the same violations
 // in a package outside -pkgs produce no diagnostics.
 func TestOutOfScope(t *testing.T) {

@@ -1,0 +1,37 @@
+// Package retrieve (under a targeted import-path suffix) mixes pure
+// in-memory ranking — which needs no context — with the violations the
+// analyzer must still catch if the retrieval pipeline ever grows I/O.
+package retrieve
+
+import (
+	"context"
+	"os"
+	"sort"
+)
+
+// Rank is pure computation: no I/O, no goroutines, so no context
+// parameter is demanded.
+func Rank(scores []float64) []float64 {
+	out := append([]float64(nil), scores...)
+	sort.Float64s(out)
+	return out
+}
+
+func WarmFromDisk(path string) ([]byte, error) { // want `exported WarmFromDisk does file I/O \(os\.ReadFile\)`
+	return os.ReadFile(path)
+}
+
+func Prefetch(load func()) { // want `exported Prefetch spawns goroutines`
+	go load()
+}
+
+// SearchCtx threads the caller's context; compliant.
+func SearchCtx(ctx context.Context, run func(context.Context)) {
+	go run(ctx)
+}
+
+func detached() error {
+	ctx := context.Background() // want `context\.Background\(\) roots a new context`
+	<-ctx.Done()
+	return ctx.Err()
+}

@@ -59,8 +59,12 @@ import (
 var Magic = [4]byte{'C', 'L', 'S', 'I'}
 
 // Version is the current format version, written by Write. Read accepts
-// VersionV3, VersionV2 and VersionV1 streams as well.
-const Version uint32 = 4
+// VersionV4, VersionV3, VersionV2 and VersionV1 streams as well.
+const Version uint32 = 5
+
+// VersionV4 is the first aligned mappable format — v5 without the
+// optional user-factor section.
+const VersionV4 uint32 = 4
 
 // VersionV3 is the last streaming format: v2 plus the lifecycle header
 // and the optional warm-start factor section, without the v4 aligned
@@ -171,6 +175,13 @@ type Model struct {
 	Quant8  *quant.Int8
 	Quant16 *quant.Float16
 
+	// UserFactors is the optional compacted user-mode section (v5,
+	// written when set): the |U|×K matrix whose row u is user u's
+	// ℓ²-normalized affinity over the K distilled concepts, the piece a
+	// personalized (WithUser) query biases ranking through. nil when the
+	// model was saved without it.
+	UserFactors *mat.Matrix
+
 	// Mapped is the live memory mapping this model's numeric payloads
 	// alias when it was opened with ReadMapped; nil for models decoded
 	// onto the heap. The model (and anything sharing its slices) must not
@@ -178,14 +189,33 @@ type Model struct {
 	Mapped *Mapping
 }
 
-// Write encodes the model to w in the current (v4) format: the aligned
+// Write encodes the model to w in the current (v5) format: the aligned
 // mappable layout, with the quantized embedding sections included when
-// m.Quant8 / m.Quant16 are set. m.Embedding must be set.
+// m.Quant8 / m.Quant16 are set and the user-factor section when
+// m.UserFactors is set. m.Embedding must be set.
 func Write(w io.Writer, m *Model) error {
 	if m.Embedding == nil {
 		return fmt.Errorf("codec: write: model has no tag embedding (v2+ requires one; see embed.FromDecomposition)")
 	}
-	return writeV4(w, m)
+	return writeAligned(w, m, Version)
+}
+
+// WriteV4 encodes the model in the v4 aligned format — v5 without the
+// user-factor section, which v4 readers predate. m.UserFactors must be
+// nil: silently dropping an explicitly attached section would turn a
+// personalized model into an unpersonalized one without a trace.
+//
+// Deprecated: WriteV4 exists so tests, migration tooling and the fuzz
+// corpus can produce v4 streams; new models should always be written
+// with Write.
+func WriteV4(w io.Writer, m *Model) error {
+	if m.Embedding == nil {
+		return fmt.Errorf("codec: write: model has no tag embedding (v2+ requires one; see embed.FromDecomposition)")
+	}
+	if m.UserFactors != nil {
+		return fmt.Errorf("codec: write: the user-factor section requires format v%d (v4 readers cannot decode it); drop UserFactors or use Write", Version)
+	}
+	return writeAligned(w, m, VersionV4)
 }
 
 // WriteV3 encodes the model in the v3 streaming format: the linear-size
@@ -278,19 +308,19 @@ func write(w io.Writer, m *Model, version uint32) error {
 }
 
 // Read decodes a model from r and validates its cross-section shape
-// invariants. v4 streams are buffered whole and decoded with the
+// invariants. v4 and v5 streams are buffered whole and decoded with the
 // aligned-layout parser (the same one ReadMapped uses on a mapping);
 // v1–v3 streams go through the legacy streaming decoder.
 func Read(r io.Reader) (*Model, error) {
 	br := bufio.NewReader(r)
-	if head, err := br.Peek(8); err == nil &&
-		[4]byte(head[:4]) == Magic &&
-		binary.LittleEndian.Uint32(head[4:8]) == Version {
-		data, err := io.ReadAll(br)
-		if err != nil {
-			return nil, fmt.Errorf("codec: read: %w", err)
+	if head, err := br.Peek(8); err == nil && [4]byte(head[:4]) == Magic {
+		if v := binary.LittleEndian.Uint32(head[4:8]); v == Version || v == VersionV4 {
+			data, err := io.ReadAll(br)
+			if err != nil {
+				return nil, fmt.Errorf("codec: read: %w", err)
+			}
+			return parseAligned(data)
 		}
-		return parseV4(data)
 	}
 	return readStream(br)
 }
@@ -306,7 +336,10 @@ func readStream(br *bufio.Reader) (*Model, error) {
 	}
 	version := d.u32()
 	if d.err == nil && version != VersionV3 && version != VersionV2 && version != VersionV1 {
-		return nil, fmt.Errorf("codec: unsupported model version %d (want %d, %d, %d or %d)", version, Version, VersionV3, VersionV2, VersionV1)
+		// The same shape of error a pre-v5 reader reports on a v5 file:
+		// name the offending version and every format this reader speaks,
+		// so a mixed-version fleet diagnoses itself from the message.
+		return nil, fmt.Errorf("codec: unsupported model version %d (want %d, %d, %d, %d or %d)", version, Version, VersionV4, VersionV3, VersionV2, VersionV1)
 	}
 
 	m := &Model{}
@@ -427,6 +460,11 @@ func (m *Model) validate() error {
 		}
 		if _, c := m.Embedding.Dims(); m.Quant16.Rows != nTags || m.Quant16.Cols != c {
 			return fmt.Errorf("codec: float16 section is %d×%d for a %d×%d embedding", m.Quant16.Rows, m.Quant16.Cols, nTags, c)
+		}
+	}
+	if m.UserFactors != nil {
+		if r, c := m.UserFactors.Dims(); r != len(m.Users) || c != m.K {
+			return fmt.Errorf("codec: user-factor section is %d×%d for %d users and %d concepts", r, c, len(m.Users), m.K)
 		}
 	}
 	return nil

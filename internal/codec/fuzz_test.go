@@ -10,15 +10,15 @@ import (
 
 // FuzzLoad proves the decode path fails fast — an error, never a panic,
 // a hang, or an unbounded allocation — on corrupt or truncated model
-// bytes, for the v1–v4 formats (both decoders: the streaming one and
-// the v4 aligned-layout parser ReadMapped shares).
+// bytes, for the v1–v5 formats (both decoders: the streaming one and
+// the aligned-layout parser ReadMapped shares).
 func FuzzLoad(f *testing.F) {
 	// Seed with structurally valid streams of every format — the v3 seed
 	// carries the full lifecycle header and a warm-start factor section,
-	// and the v4 seeds cover the mapped layout with each quantized
-	// section combination — plus systematic truncations and a few
-	// classic corruptions, so the fuzzer starts from deep inside the
-	// format.
+	// and the aligned-layout seeds cover each combination of the opt-in
+	// sections: the quantized embedding views and the v5 user-factor
+	// matrix — plus systematic truncations and a few classic corruptions,
+	// so the fuzzer starts from deep inside the format.
 	m := buildModel(f)
 	var v1, v2, v3 bytes.Buffer
 	if err := WriteV1(&v1, m); err != nil {
@@ -30,9 +30,12 @@ func FuzzLoad(f *testing.F) {
 	if err := WriteV3(&v3, withLifecycle(m)); err != nil { //nolint:staticcheck // fuzz corpus covers the legacy writer
 		f.Fatal(err)
 	}
-	v4Variants := [][2]bool{{false, false}, {true, false}, {false, true}, {true, true}}
-	v4Seeds := make([][]byte, 0, len(v4Variants))
-	for _, variant := range v4Variants {
+	alignedVariants := [][3]bool{ // {int8, float16, user factors}
+		{false, false, false}, {true, false, false}, {false, true, false}, {true, true, false},
+		{false, false, true}, {true, false, true}, {false, true, true}, {true, true, true},
+	}
+	alignedSeeds := make([][]byte, 0, len(alignedVariants))
+	for _, variant := range alignedVariants {
 		qm := withLifecycle(buildModel(f))
 		if variant[0] {
 			qm.Quant8 = quant.QuantizeInt8(qm.Embedding)
@@ -40,13 +43,16 @@ func FuzzLoad(f *testing.F) {
 		if variant[1] {
 			qm.Quant16 = quant.QuantizeFloat16(qm.Embedding)
 		}
-		var v4 bytes.Buffer
-		if err := Write(&v4, qm); err != nil {
+		if variant[2] {
+			withUserFactors(qm)
+		}
+		var aligned bytes.Buffer
+		if err := Write(&aligned, qm); err != nil {
 			f.Fatal(err)
 		}
-		v4Seeds = append(v4Seeds, v4.Bytes())
+		alignedSeeds = append(alignedSeeds, aligned.Bytes())
 	}
-	for _, valid := range append([][]byte{v1.Bytes(), v2.Bytes(), v3.Bytes()}, v4Seeds...) {
+	for _, valid := range append([][]byte{v1.Bytes(), v2.Bytes(), v3.Bytes()}, alignedSeeds...) {
 		f.Add(valid)
 		for _, frac := range []int{2, 3, 5, 10, 100} {
 			f.Add(valid[:len(valid)/frac])

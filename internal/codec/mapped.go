@@ -70,9 +70,9 @@ func openMapping(path string) (*Mapping, error) {
 	return mp, nil
 }
 
-// ReadMapped opens a model file through a memory mapping: a v4 file is
-// parsed zero-copy against the mapped bytes — milliseconds for any
-// model size, with the page cache shared across replicas — and the
+// ReadMapped opens a model file through a memory mapping: a v4 or v5
+// file is parsed zero-copy against the mapped bytes — milliseconds for
+// any model size, with the page cache shared across replicas — and the
 // returned model's Mapped field owns the mapping. v1–v3 files are
 // decoded onto the heap as usual (the mapping is released before
 // returning) so callers can point ReadMapped at any model vintage.
@@ -81,10 +81,13 @@ func ReadMapped(path string) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(mp.data) >= 8 &&
-		[4]byte(mp.data[:4]) == Magic &&
-		uint32(mp.data[4])|uint32(mp.data[5])<<8|uint32(mp.data[6])<<16|uint32(mp.data[7])<<24 == Version {
-		m, err := parseV4(mp.data)
+	var fileVersion uint32
+	if len(mp.data) >= 8 {
+		fileVersion = uint32(mp.data[4]) | uint32(mp.data[5])<<8 | uint32(mp.data[6])<<16 | uint32(mp.data[7])<<24
+	}
+	if len(mp.data) >= 8 && [4]byte(mp.data[:4]) == Magic &&
+		(fileVersion == Version || fileVersion == VersionV4) {
+		m, err := parseAligned(mp.data)
 		if err != nil {
 			mp.Close()
 			return nil, err

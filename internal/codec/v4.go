@@ -28,10 +28,15 @@ import (
 // base pointer; the parser verifies both at runtime and falls back to
 // element-wise decoding, so the format itself stays portable.
 
-// v4 section flag bits.
+// Aligned-layout section flag bits (the byte after the version).
 const (
 	v4FlagInt8    = 1 << 0
 	v4FlagFloat16 = 1 << 1
+	// v5FlagUserFactors marks the compacted user-mode section; v5 only —
+	// a v4 stream carrying it is corrupt, and a v4-era reader meeting a
+	// v5 file fails on the version field with its "unsupported model
+	// version" error before ever seeing this bit.
+	v5FlagUserFactors = 1 << 2
 )
 
 // nativeLittleEndian reports whether float64/uint16 payloads can be
@@ -42,18 +47,28 @@ var nativeLittleEndian = func() bool {
 	return b[0] == 0x02
 }()
 
-// writeV4 encodes the model in the aligned v4 layout.
-func writeV4(w io.Writer, m *Model) error {
+// writeAligned encodes the model in the aligned layout shared by v4 and
+// v5; version selects which header is written, and the user-factor
+// section is emitted only for v5 (WriteV4 rejects models carrying one).
+func writeAligned(w io.Writer, m *Model, version uint32) error {
+	if m.UserFactors != nil && version >= Version {
+		if r, c := m.UserFactors.Dims(); r != len(m.Users) || c != m.K {
+			return fmt.Errorf("codec: write: user-factor section is %d×%d for %d users and %d concepts", r, c, len(m.Users), m.K)
+		}
+	}
 	e := &v4encoder{w: bufio.NewWriter(w)}
 
 	e.bytes(Magic[:])
-	e.u32(Version)
+	e.u32(version)
 	var flags byte
 	if m.Quant8 != nil {
 		flags |= v4FlagInt8
 	}
 	if m.Quant16 != nil {
 		flags |= v4FlagFloat16
+	}
+	if m.UserFactors != nil && version >= Version {
+		flags |= v5FlagUserFactors
 	}
 	e.byte(flags)
 	e.bool(m.Lowercase)
@@ -94,6 +109,13 @@ func writeV4(w io.Writer, m *Model) error {
 		e.length(m.Quant16.Rows)
 		e.length(m.Quant16.Cols)
 		e.u16s(m.Quant16.Bits)
+	}
+	if flags&v5FlagUserFactors != 0 {
+		// Last section: after the quant payloads (int8 bytes / uint16
+		// halves) the encoder re-pads to an 8-byte boundary inside f64s,
+		// so the factor rows stay aliasable from a mapping like every
+		// other float64 payload.
+		e.matrix(m.UserFactors)
 	}
 
 	if e.err != nil {
@@ -272,10 +294,11 @@ func (e *v4encoder) index(s *ir.IndexSnapshot) {
 	e.f64s(s.Norms)
 }
 
-// parseV4 decodes a whole v4 image (a mapping or one read buffer).
-// Numeric payloads alias data when the machine allows it, so the caller
-// must keep data alive (and unmodified) for the model's lifetime.
-func parseV4(data []byte) (*Model, error) {
+// parseAligned decodes a whole v4/v5 image (a mapping or one read
+// buffer). Numeric payloads alias data when the machine allows it, so
+// the caller must keep data alive (and unmodified) for the model's
+// lifetime.
+func parseAligned(data []byte) (*Model, error) {
 	c := &v4cursor{data: data}
 
 	var magic [4]byte
@@ -283,10 +306,14 @@ func parseV4(data []byte) (*Model, error) {
 	if c.err == nil && magic != Magic {
 		return nil, fmt.Errorf("codec: bad magic %q: not a CubeLSI model", magic[:])
 	}
-	if v := c.u32(); c.err == nil && v != Version {
-		return nil, fmt.Errorf("codec: v4 parser got version %d", v)
+	version := c.u32()
+	if c.err == nil && version != Version && version != VersionV4 {
+		return nil, fmt.Errorf("codec: aligned parser got version %d", version)
 	}
 	flags := c.byte()
+	if flags&v5FlagUserFactors != 0 && version < Version {
+		return nil, fmt.Errorf("codec: v%d stream carries the v%d user-factor flag", version, Version)
+	}
 
 	m := &Model{}
 	m.Lowercase = c.bool()
@@ -332,6 +359,9 @@ func parseV4(data []byte) (*Model, error) {
 		q.Cols = c.length()
 		q.Bits = c.u16s()
 		m.Quant16 = q
+	}
+	if flags&v5FlagUserFactors != 0 {
+		m.UserFactors = c.matrix()
 	}
 
 	if c.err != nil {

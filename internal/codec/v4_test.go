@@ -161,7 +161,7 @@ func TestReadMappedMissingFile(t *testing.T) {
 }
 
 func TestV4UnalignedBufferFallsBack(t *testing.T) {
-	// parseV4 runs over whatever buffer Read handed it; if the payloads
+	// parseAligned runs over whatever buffer Read handed it; if the payloads
 	// land unaligned (holding a shifted copy) the element-wise fallback
 	// must produce the identical model.
 	m := withQuant(withLifecycle(buildModel(t)))
@@ -171,7 +171,7 @@ func TestV4UnalignedBufferFallsBack(t *testing.T) {
 	}
 	shifted := make([]byte, buf.Len()+1)
 	copy(shifted[1:], buf.Bytes())
-	got, err := parseV4(shifted[1:])
+	got, err := parseAligned(shifted[1:])
 	if err != nil {
 		t.Fatal(err)
 	}

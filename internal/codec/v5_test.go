@@ -1,0 +1,187 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// withUserFactors attaches a deterministic |U|×K user-factor section —
+// the codec v5 opt-in payload.
+func withUserFactors(m *Model) *Model {
+	u := mat.New(len(m.Users), m.K)
+	for i := range len(m.Users) {
+		for j := range m.K {
+			u.Set(i, j, float64(i+1)/float64(j+2))
+		}
+	}
+	m.UserFactors = u
+	return m
+}
+
+func eqUserFactors(t *testing.T, got, want *Model) {
+	t.Helper()
+	if (got.UserFactors == nil) != (want.UserFactors == nil) {
+		t.Fatalf("user-factor section lost or invented: got %v, want %v",
+			got.UserFactors != nil, want.UserFactors != nil)
+	}
+	if want.UserFactors == nil {
+		return
+	}
+	gr, gc := got.UserFactors.Dims()
+	wr, wc := want.UserFactors.Dims()
+	if gr != wr || gc != wc {
+		t.Fatalf("user-factor shape %d×%d, want %d×%d", gr, gc, wr, wc)
+	}
+	eqF64Bits(t, "user factors", got.UserFactors.Data(), want.UserFactors.Data())
+}
+
+func TestV5RoundtripUserFactors(t *testing.T) {
+	// The opt-in section alone, and stacked with both quantized views —
+	// it sits after them in the layout, so the combined variant covers
+	// the section ordering.
+	plain := withUserFactors(withLifecycle(buildModel(t)))
+	got := roundtrip(t, plain)
+	eqModels(t, got, plain)
+	eqUserFactors(t, got, plain)
+
+	stacked := withUserFactors(withQuant(withLifecycle(buildModel(t))))
+	got = roundtrip(t, stacked)
+	eqModels(t, got, stacked)
+	eqUserFactors(t, got, stacked)
+
+	// A model without the section round-trips without inventing one.
+	bare := withLifecycle(buildModel(t))
+	eqUserFactors(t, roundtrip(t, bare), bare)
+}
+
+func TestReadMappedV5UserFactors(t *testing.T) {
+	m := withUserFactors(withQuant(withLifecycle(buildModel(t))))
+	path := writeTempModel(t, m, func(b *bytes.Buffer) error { return Write(b, m) })
+	mapped, err := ReadMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Mapped.Close()
+	if runtime.GOOS == "linux" && (mapped.Mapped == nil || !mapped.Mapped.Mapped()) {
+		t.Fatal("v5 model on linux did not come back memory-mapped")
+	}
+	eqModels(t, mapped, m)
+	eqUserFactors(t, mapped, m)
+}
+
+func TestV5UnalignedBufferFallsBack(t *testing.T) {
+	m := withUserFactors(withLifecycle(buildModel(t)))
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	shifted := make([]byte, buf.Len()+1)
+	copy(shifted[1:], buf.Bytes())
+	got, err := parseAligned(shifted[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqUserFactors(t, got, m)
+}
+
+// TestWriteV4RejectsUserFactors pins the deprecated v4 writer's refusal:
+// a v4 stream has no room for the section, and dropping it silently
+// would ship an unpersonalized model under a personalized name.
+func TestWriteV4RejectsUserFactors(t *testing.T) {
+	m := withUserFactors(withLifecycle(buildModel(t)))
+	err := WriteV4(&bytes.Buffer{}, m) //nolint:staticcheck // deprecated writer under test
+	if err == nil {
+		t.Fatal("WriteV4 accepted a user-factor section")
+	}
+	if !strings.Contains(err.Error(), "user-factor") || !strings.Contains(err.Error(), "v4") {
+		t.Fatalf("error %q does not explain the v4 limitation", err)
+	}
+
+	// Without the section the deprecated writer still produces a readable
+	// v4 stream — the forward-compat escape hatch for old readers.
+	m.UserFactors = nil
+	var v4 bytes.Buffer
+	if err := WriteV4(&v4, m); err != nil { //nolint:staticcheck // deprecated writer under test
+		t.Fatal(err)
+	}
+	got, err := Read(&v4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqModels(t, got, m)
+}
+
+// TestV4StreamWithUserFlagRejected corrupts a v5 stream's version field
+// down to 4: a v4 stream claiming the v5 user-factor flag is
+// self-contradictory and must fail with a message naming the flag, not
+// misparse the trailing section.
+func TestV4StreamWithUserFlagRejected(t *testing.T) {
+	m := withUserFactors(withLifecycle(buildModel(t)))
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	binary.LittleEndian.PutUint32(b[4:8], VersionV4)
+	if _, err := Read(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "user-factor flag") {
+		t.Fatalf("err = %v, want user-factor flag rejection", err)
+	}
+}
+
+// TestUnsupportedVersionMessageListsKnown is the forward-compat error a
+// reader from this revision gives a file from a future format: the
+// message names the unknown version and every version it can decode, so
+// the operator knows to upgrade the reader rather than suspect the file.
+func TestUnsupportedVersionMessageListsKnown(t *testing.T) {
+	m := withLifecycle(buildModel(t))
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	binary.LittleEndian.PutUint32(b[4:8], Version+1)
+	_, err := Read(bytes.NewReader(b))
+	if err == nil {
+		t.Fatal("future version accepted")
+	}
+	if !strings.Contains(err.Error(), "unsupported model version 6") || !strings.Contains(err.Error(), "want 5, 4, 3, 2 or 1") {
+		t.Fatalf("err = %v, want self-diagnosing version list", err)
+	}
+}
+
+// TestUserFactorShapeValidated rejects a section whose dimensions
+// disagree with the vocabularies.
+func TestUserFactorShapeValidated(t *testing.T) {
+	m := withLifecycle(buildModel(t))
+	m.UserFactors = mat.New(len(m.Users)+1, m.K)
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err == nil || !strings.Contains(err.Error(), "user-factor section") {
+		t.Fatalf("err = %v, want user-factor shape rejection", err)
+	}
+}
+
+// TestV5TruncatedFailsFast runs the truncation ladder over a stream
+// carrying every optional section, user factors included.
+func TestV5TruncatedFailsFast(t *testing.T) {
+	m := withUserFactors(withQuant(withLifecycle(buildModel(t))))
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, frac := range []int{1, 2, 3, 5, 10, 50} {
+		cut := full[:len(full)*frac/51]
+		if _, err := Read(bytes.NewReader(cut)); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", len(cut))
+		}
+	}
+	// Cutting inside the trailing user-factor section specifically.
+	if _, err := Read(bytes.NewReader(full[:len(full)-8])); err == nil {
+		t.Fatal("truncation inside the user-factor section accepted")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/topk"
 )
@@ -28,6 +29,11 @@ type Index struct {
 	// the document's tf-idf weight for t.
 	postings [][]posting
 	norms    []float64 // per-document vector norms
+
+	// fwd is the lazily built doc-major view of the postings (Forward),
+	// shared by every engine snapshot holding this index.
+	fwdOnce sync.Once
+	fwd     *Forward
 }
 
 type posting struct {
@@ -205,6 +211,32 @@ func (ix *Index) QueryFloat(counts map[int]float64, topN int) []Scored {
 	}
 	return ix.rank(qw, topN, math.Inf(-1))
 }
+
+// RankWeights ranks documents against a precomputed tf-idf query vector
+// (QueryWeights output) — the exported scoring seam the two-stage
+// retrieval pipeline builds on. Semantics match QueryMin exactly: the
+// topN best documents at or above minScore, ordered (score desc,
+// doc asc); topN ≤ 0 returns every match. Pass math.Inf(-1) as minScore
+// for an unthresholded candidate scan.
+func (ix *Index) RankWeights(qw map[int]float64, topN int, minScore float64) []Scored {
+	return ix.rank(qw, topN, minScore)
+}
+
+// QueryNorm returns the Euclidean norm of a tf-idf query vector,
+// accumulated over sorted terms — bit-identical to the norm the ranking
+// paths divide by.
+func (ix *Index) QueryNorm(qw map[int]float64) float64 {
+	var qnorm2 float64
+	for _, t := range sortedTerms(qw) {
+		qnorm2 += qw[t] * qw[t]
+	}
+	return math.Sqrt(qnorm2)
+}
+
+// SortScoredDesc orders results best-first: descending score, ties
+// broken by ascending document id — the comparator every ranking path
+// shares.
+func SortScoredDesc(out []Scored) { sortScoredDesc(out) }
 
 func (ix *Index) rank(qw map[int]float64, topN int, minScore float64) []Scored {
 	if len(qw) == 0 {

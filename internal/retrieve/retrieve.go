@@ -1,0 +1,206 @@
+// Package retrieve implements the two-stage retrieval pipeline of the
+// serving stack: a candidate-generation stage bounded by a depth C (the
+// full inverted-index scan, or the sublinear concept-probing source),
+// followed by an exact rerank of the survivors in concept space, with an
+// optional user-mode bias blended into the stage-two scores. With the
+// exact source and C at or above the corpus size the pipeline ranks
+// bit-identically to the monolithic inverted scan — the golden-parity
+// contract pinned at the public API — because both stages accumulate
+// matched products in ascending term order, divide by the same norms,
+// and impose the same (score desc, doc asc) final order.
+package retrieve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Source generates stage-one candidates for a query. Implementations
+// must return each document at most once; scores are the source's own
+// (possibly approximate) candidate-selection scores and never survive
+// into the final ranking — stage two rescores every candidate exactly.
+type Source interface {
+	// Name identifies the source in configuration and stats.
+	Name() string
+	// Candidates returns up to depth candidates for the tf-idf query
+	// vector, best-first under the source's selection order. depth is
+	// pre-clamped to [1, NumDocs].
+	Candidates(ix *ir.Index, qw map[int]float64, depth int) []ir.Scored
+}
+
+// exactSource is the exhaustive candidate generator: the same inverted
+// full scan the monolithic query path runs, unthresholded, keeping the
+// best depth documents.
+type exactSource struct{}
+
+func (exactSource) Name() string { return "exact" }
+
+func (exactSource) Candidates(ix *ir.Index, qw map[int]float64, depth int) []ir.Scored {
+	return ix.RankWeights(qw, depth, math.Inf(-1))
+}
+
+// Exact returns the exhaustive candidate source — stage one scores every
+// matching document, so the pipeline's ranking quality is bounded only
+// by the rerank depth, never by candidate recall.
+func Exact() Source { return exactSource{} }
+
+// conceptSource probes only the inverted document lists of the query's
+// own concepts: every document whose dominant concept (its
+// largest-weight term) appears in the query is scored exactly and the
+// best depth survive. Documents the query reaches only through a
+// non-dominant concept are skipped — the recall the quality/latency
+// bench measures against the exact ground truth.
+type conceptSource struct{}
+
+func (conceptSource) Name() string { return "concept" }
+
+func (conceptSource) Candidates(ix *ir.Index, qw map[int]float64, depth int) []ir.Scored {
+	f := ix.Forward()
+	qnorm := ix.QueryNorm(qw)
+	terms := make([]int, 0, len(qw))
+	for t := range qw {
+		terms = append(terms, t)
+	}
+	sort.Ints(terms)
+	var out []ir.Scored
+	// Dominant-term lists partition the documents, so no candidate
+	// appears twice even when the query probes several lists.
+	for _, t := range terms {
+		for _, d := range f.List(t) {
+			if s, ok := f.Score(qw, qnorm, d); ok {
+				out = append(out, ir.Scored{Doc: d, Score: s})
+			}
+		}
+	}
+	ir.SortScoredDesc(out)
+	if len(out) > depth {
+		out = out[:depth]
+	}
+	return out
+}
+
+// Concept returns the concept-probing candidate source.
+func Concept() Source { return conceptSource{} }
+
+// ByName resolves a configured candidate-source name; the empty string
+// means exact.
+func ByName(name string) (Source, error) {
+	switch name {
+	case "", "exact":
+		return Exact(), nil
+	case "concept":
+		return Concept(), nil
+	}
+	return nil, fmt.Errorf("retrieve: unknown candidate source %q (want %q or %q)", name, "exact", "concept")
+}
+
+// UserBlend is β, the weight of the user-mode affinity in a
+// personalized stage-two score: (1−β)·cosine + β·affinity. Affinities
+// are computed from ℓ²-normalized user-factor rows, so a fixed blend
+// keeps personalization a bias, never a takeover.
+const UserBlend = 0.25
+
+// Request is one retrieval request against an index.
+type Request struct {
+	// Weights is the query's tf-idf vector over the index terms
+	// (ir.Index.QueryWeights output).
+	Weights map[int]float64
+	// Limit caps the result count; zero or negative returns every match.
+	Limit int
+	// MinScore drops results whose final — after any user bias — score
+	// is below it.
+	MinScore float64
+	// Depth overrides the pipeline's rerank depth C for this request;
+	// zero or negative keeps the configured depth.
+	Depth int
+	// User is the optional per-term affinity vector of the requesting
+	// user (a compacted user-factor row). nil serves the unpersonalized
+	// ranking, bit-identically to a pipeline without personalization.
+	User []float64
+}
+
+// Pipeline is a configured two-stage retrieval plan: a candidate source
+// and a default rerank depth. The zero depth reranks the entire corpus.
+// A Pipeline is immutable and safe for concurrent Search calls.
+type Pipeline struct {
+	source Source
+	depth  int
+}
+
+// New builds a pipeline over a candidate source (nil means exact) with
+// a default rerank depth C (0 = the entire corpus; negative is
+// invalid).
+func New(source Source, depth int) (*Pipeline, error) {
+	if depth < 0 {
+		return nil, fmt.Errorf("retrieve: rerank depth must be ≥ 0, got %d", depth)
+	}
+	if source == nil {
+		source = Exact()
+	}
+	return &Pipeline{source: source, depth: depth}, nil
+}
+
+// Default returns the pipeline equivalent to the monolithic path: exact
+// candidates at full depth. It is what per-request overrides fall back
+// to on engines configured without an explicit pipeline.
+func Default() *Pipeline { return &Pipeline{source: Exact()} }
+
+// SourceName returns the configured candidate source's name.
+func (p *Pipeline) SourceName() string { return p.source.Name() }
+
+// Depth returns the configured default rerank depth (0 = full corpus).
+func (p *Pipeline) Depth() int { return p.depth }
+
+// Search runs both stages: generate up to C candidates, exactly rescore
+// them (blending in the user bias when req.User is set), filter by
+// MinScore, and return the best Limit in (score desc, doc asc) order.
+func (p *Pipeline) Search(ix *ir.Index, req Request) []ir.Scored {
+	if len(req.Weights) == 0 {
+		return nil
+	}
+	depth := req.Depth
+	if depth <= 0 {
+		depth = p.depth
+	}
+	if depth <= 0 || depth > ix.NumDocs() {
+		depth = ix.NumDocs()
+	}
+	cands := p.source.Candidates(ix, req.Weights, depth)
+	return rerank(ix, cands, req)
+}
+
+// rerank is stage two: exact rescoring of the candidates through the
+// doc-major forward view — bit-identical to the inverted scan — plus
+// the optional user bias, the MinScore filter, and the final order.
+func rerank(ix *ir.Index, cands []ir.Scored, req Request) []ir.Scored {
+	f := ix.Forward()
+	qnorm := ix.QueryNorm(req.Weights)
+	// Rescore in ascending document order: deterministic regardless of
+	// the source's candidate order.
+	sort.Slice(cands, func(a, b int) bool { return cands[a].Doc < cands[b].Doc })
+	out := make([]ir.Scored, 0, len(cands))
+	for _, cand := range cands {
+		score, ok := f.Score(req.Weights, qnorm, cand.Doc)
+		if !ok {
+			continue
+		}
+		if req.User != nil {
+			// Skipped entirely — not added as zero — when no user vector
+			// is in play, so unpersonalized pipelines stay bit-identical
+			// to the monolithic path.
+			score = (1-UserBlend)*score + UserBlend*f.Affinity(req.User, cand.Doc)
+		}
+		if score < req.MinScore {
+			continue
+		}
+		out = append(out, ir.Scored{Doc: cand.Doc, Score: score})
+	}
+	ir.SortScoredDesc(out)
+	if req.Limit > 0 && len(out) > req.Limit {
+		out = out[:req.Limit]
+	}
+	return out
+}

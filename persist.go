@@ -17,9 +17,10 @@ import (
 type SaveOption func(*saveSettings)
 
 type saveSettings struct {
-	dropWarm bool
-	int8     bool
-	float16  bool
+	dropWarm    bool
+	int8        bool
+	float16     bool
+	userFactors bool
 }
 
 // WithoutWarmFactors omits the warm-start factor section from the
@@ -50,17 +51,32 @@ func WithFloat16Embedding() SaveOption {
 	return func(s *saveSettings) { s.float16 = true }
 }
 
+// WithUserFactors adds the compacted user-mode factors to the saved
+// model (format v5): the |U|×K concept-affinity matrix WithUser queries
+// personalize through, 8·|U|·K bytes in the same aligned mappable
+// layout as every other numeric section. Without this option the
+// section is omitted — user factors are opt-in serving state, and
+// models saved without them answer WithUser queries with the shared
+// ranking, bit-identically to an unpersonalized query. Saving an engine
+// that carries no user factors (loaded from a model saved without them)
+// with this option is an error rather than a silently unpersonalized
+// file.
+func WithUserFactors() SaveOption {
+	return func(s *saveSettings) { s.userFactors = true }
+}
+
 // Save serializes the engine's model — vocabularies, the |T|×k₂ tag
 // embedding, decomposition statistics, concept assignment, and index —
 // so a separate serving process can Load it and answer queries with
 // bit-identical rankings, without re-running the offline pipeline.
-// Models are written in format v3: still linear in the vocabularies
-// (no dense matrices, no mode-1 factor), now carrying the lifecycle
-// header — model version, source fingerprint, sweep count — and, when
-// the engine has them, the mode-2/mode-3 factor matrices so a later
-// NewIndex(..., WithPreviousModel(eng)) can warm-start its rebuild
-// (drop them with WithoutWarmFactors). Loading a v1 or v2 model and
-// saving it again upgrades it in place.
+// Models are written in format v5: the aligned mappable layout, linear
+// in the vocabularies, carrying the lifecycle header and, when the
+// engine has them, the mode-2/mode-3 warm-start factors (drop them with
+// WithoutWarmFactors), plus the opt-in sections — quantized embedding
+// views (WithInt8Embedding / WithFloat16Embedding) and the compacted
+// user-mode factors (WithUserFactors). Loading an older model and
+// saving it again upgrades the file in place; v1–v4 files remain
+// readable.
 func (e *Engine) Save(w io.Writer, opts ...SaveOption) error {
 	if e.emb == nil {
 		return errors.New("cubelsi: model carries no tag embedding (legacy v1 file without a decomposition); rebuild it to save in the current format")
@@ -106,6 +122,12 @@ func (e *Engine) Save(w io.Writer, opts ...SaveOption) error {
 		if m.Quant16 = e.quant16; m.Quant16 == nil {
 			m.Quant16 = quant.QuantizeFloat16(e.emb.Matrix())
 		}
+	}
+	if settings.userFactors {
+		if e.userFactors == nil {
+			return errors.New("cubelsi: WithUserFactors: engine carries no user factors (loaded from a model saved without them); rebuild from the corpus to save a personalized model")
+		}
+		m.UserFactors = e.userFactors
 	}
 	return codec.Write(w, m)
 }
@@ -209,6 +231,8 @@ func engineFromModel(m *codec.Model, lazyVocab bool) (*Engine, error) {
 		assign:      m.Assign,
 		k:           m.K,
 		index:       m.Index,
+		userFactors: m.UserFactors,
+		userlk:      &userLookup{},
 		quant8:      m.Quant8,
 		quant16:     m.Quant16,
 		mapped:      m.Mapped,

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/ir"
+	"repro/internal/retrieve"
 )
 
 // BatchError reports one recovered SearchBatch query panic: which query
@@ -42,8 +43,23 @@ type Query struct {
 	MinScore float64 `json:"min_score,omitempty"`
 	// Concepts adds concept ids directly to the query vector, alongside
 	// the concepts the tags map to — the hook for soft-concept scoring
-	// and concept-browsing front ends. Out-of-range ids are ignored.
+	// and concept-browsing front ends. Out-of-range ids are ignored, and
+	// repeated ids count once: listing a concept twice must not silently
+	// double its weight.
 	Concepts []int `json:"concepts,omitempty"`
+	// Rerank overrides the engine's stage-two rerank depth C for this
+	// request (WithRetrieval): stage one keeps the best Rerank
+	// candidates before the exact rerank. Zero keeps the engine's
+	// configured depth; on an engine without a retrieval pipeline a
+	// positive Rerank runs the two-stage path ad hoc with the exact
+	// candidate source.
+	Rerank int `json:"rerank,omitempty"`
+	// User personalizes the ranking through the model's compacted
+	// user-mode factors: stage-two scores are blended with the named
+	// user's concept affinities. Empty serves the shared ranking; an
+	// unknown user, or a model saved without WithUserFactors, also
+	// serves the shared ranking, bit-identically.
+	User string `json:"user,omitempty"`
 }
 
 // QueryOption configures a Query.
@@ -60,8 +76,21 @@ func WithMinScore(s float64) QueryOption {
 }
 
 // WithConcepts adds concept ids directly to the query vector.
+// Out-of-range ids are ignored and duplicates count once.
 func WithConcepts(ids ...int) QueryOption {
 	return func(q *Query) { q.Concepts = append(q.Concepts, ids...) }
+}
+
+// WithRerank overrides the stage-two rerank depth C for this query
+// (see Query.Rerank); zero keeps the engine's configured depth.
+func WithRerank(c int) QueryOption {
+	return func(q *Query) { q.Rerank = c }
+}
+
+// WithUser personalizes the query through the model's user-mode factors
+// (see Query.User); the empty string serves the shared ranking.
+func WithUser(id string) QueryOption {
+	return func(q *Query) { q.User = id }
 }
 
 // NewQuery builds a Query over the given tags.
@@ -75,12 +104,20 @@ func NewQuery(tags []string, opts ...QueryOption) Query {
 
 // Query answers one search request: the tags are case-folded the same
 // way the vocabulary was, mapped to distilled concepts (plus any
-// explicitly listed concept ids), and resources are ranked by cosine
-// similarity in concept space (Equation 4). When both Limit and
-// MinScore are set, the threshold is applied inside the ranking's
-// bounded heap before the truncation, so the result is the Limit best
-// resources at or above MinScore — whenever at least Limit resources
-// pass the threshold, exactly Limit come back.
+// explicitly listed concept ids, deduplicated), and resources are
+// ranked by cosine similarity in concept space (Equation 4). When both
+// Limit and MinScore are set, the threshold is applied before the
+// truncation, so the result is the Limit best resources at or above
+// MinScore — whenever at least Limit resources pass the threshold,
+// exactly Limit come back.
+//
+// On engines derived with WithRetrieval — or when the request itself
+// carries a Rerank depth or a User — the request runs the two-stage
+// pipeline: stage one generates up to C candidates, stage two reranks
+// them exactly (blending in the user's concept affinities when the
+// model carries user factors), and MinScore applies to the final,
+// possibly personalized, score. Otherwise the monolithic inverted scan
+// answers, exactly as before the pipeline existed.
 func (e *Engine) Query(q Query) []Result {
 	counts := make(map[int]int, len(q.Tags))
 	for _, name := range q.Tags {
@@ -92,12 +129,38 @@ func (e *Engine) Query(q Query) []Result {
 		}
 	}
 	concepts := ir.MapToConcepts(counts, e.assign)
-	for _, c := range q.Concepts {
-		if c >= 0 && c < e.k {
-			concepts[c]++
+	if len(q.Concepts) > 0 {
+		seen := make(map[int]bool, len(q.Concepts))
+		for _, c := range q.Concepts {
+			if c >= 0 && c < e.k && !seen[c] {
+				seen[c] = true
+				concepts[c]++
+			}
 		}
 	}
-	scored := e.index.QueryMin(concepts, q.Limit, q.MinScore)
+
+	user := e.userVector(q.User)
+	if e.retr == nil && user == nil && q.Rerank <= 0 {
+		// Monolithic fast path: no pipeline, no personalization, no
+		// per-request depth — the pre-refactor exact scan, untouched.
+		return e.results(e.index.QueryMin(concepts, q.Limit, q.MinScore))
+	}
+	p := e.retr
+	if p == nil {
+		p = retrieve.Default()
+	}
+	scored := p.Search(e.index, retrieve.Request{
+		Weights:  e.index.QueryWeights(concepts),
+		Limit:    q.Limit,
+		MinScore: q.MinScore,
+		Depth:    q.Rerank,
+		User:     user,
+	})
+	return e.results(scored)
+}
+
+// results maps ranked documents back to resource names.
+func (e *Engine) results(scored []ir.Scored) []Result {
 	out := make([]Result, 0, len(scored))
 	for _, s := range scored {
 		out = append(out, Result{Resource: e.resources.Name(s.Doc), Score: s.Score})
